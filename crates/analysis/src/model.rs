@@ -1,0 +1,410 @@
+//! The idealized execution model of §3.2.
+//!
+//! Assumptions, exactly as in the paper's analysis:
+//!
+//! * keys are uniformly distributed in `[0, 1]`; with a cutoff key `c`
+//!   established, a fraction `c` of the remaining input survives the input
+//!   filter, so filling `M` memory rows consumes `⌊M / c⌋` input rows;
+//! * a full memory load holds keys idealized at the exact quantiles
+//!   `c₀ · j / M` for `j = 1..=M`, where `c₀` is the cutoff when the run
+//!   was filled;
+//! * `B` buckets per run put boundaries every `w = max(1, ⌊M/(B+1)⌋)` rows
+//!   (so `B = 9` tracks the deciles 10%…90% of Table 1, `B = 1` the median
+//!   of Table 5), and the tail beyond the last boundary is *not* tracked;
+//! * writing a run stops at the first key that the — continuously
+//!   sharpening — cutoff filter eliminates ("the cutoff key may be
+//!   sharpened and used to eliminate parts of the same, currently being
+//!   written, run", §3.1.2).
+
+use histok_core::{CutoffFilter, SizingPolicy};
+use histok_sort::SpillObserver;
+use histok_types::{F64Key, SortOrder};
+
+/// Parameters of one analytical experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelParams {
+    /// Total input rows (uniform keys in `[0, 1]`).
+    pub input_rows: u64,
+    /// Requested output rows.
+    pub k: u64,
+    /// Memory capacity in rows.
+    pub memory_rows: u64,
+    /// Histogram buckets per run (0 disables the histogram).
+    pub buckets_per_run: u32,
+}
+
+impl ModelParams {
+    /// The setup of the paper's running example (§3.2.1 / Table 1, with
+    /// the Table 2 default of 10 buckets per run): top 5,000 of 1,000,000
+    /// rows with memory for 1,000.
+    pub fn paper_example(buckets_per_run: u32) -> Self {
+        ModelParams { input_rows: 1_000_000, k: 5_000, memory_rows: 1_000, buckets_per_run }
+    }
+}
+
+/// What happened during one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// Input rows left before this run (Table 1, "Remaining Input Rows").
+    pub remaining_before: u64,
+    /// Cutoff key before the run (Table 1, "Cutoff Key").
+    pub cutoff_before: Option<f64>,
+    /// Input rows consumed to fill memory.
+    pub consumed: u64,
+    /// Rows that survived the input filter into memory.
+    pub filled: u64,
+    /// Rows actually written to the run (≤ `filled`; the rest were
+    /// eliminated mid-run by the sharpening cutoff).
+    pub written: u64,
+    /// Key at each decile (10%…90%) of the *memory load*, `None` where the
+    /// row was eliminated before being written — Table 1's quantile
+    /// columns with their empty cells.
+    pub deciles: [Option<f64>; 9],
+}
+
+/// The outcome of one analytical experiment.
+#[derive(Debug, Clone)]
+pub struct ModelResult {
+    /// Runs written (the paper's "Runs" column).
+    pub runs: u64,
+    /// Total rows written to secondary storage (the "Rows" column).
+    pub rows_spilled: u64,
+    /// Cutoff key after the last run (the "Cutoff" column).
+    pub final_cutoff: Option<f64>,
+    /// The ideal cutoff `k / N` — the true kth key of a uniform input.
+    pub ideal_cutoff: f64,
+    /// `final_cutoff / ideal_cutoff` (the "Ratio" column; smaller is
+    /// better, 1.0 is perfect).
+    pub ratio: Option<f64>,
+    /// Per-run trace (Table 1's rows).
+    pub trace: Vec<RunTrace>,
+}
+
+impl ModelResult {
+    /// `ratio` rounded the way the paper prints it (2 decimals).
+    pub fn ratio_rounded(&self) -> Option<f64> {
+        self.ratio.map(|r| (r * 100.0).round() / 100.0)
+    }
+}
+
+/// An analytic key distribution: a strictly increasing quantile function
+/// `Q : [0,1] → keys` and its inverse CDF `F = Q⁻¹`.
+///
+/// The algorithm is comparison-based, so its *counts* (runs, rows spilled)
+/// depend only on ranks — simulating under any strictly monotone `Q` must
+/// reproduce the uniform counts exactly, with every cutoff key mapped
+/// through `Q`. [`simulate_keyed`] lets tests prove that property
+/// analytically — the reason the paper's Figure 3 curves coincide across
+/// uniform, Zipf and lognormal data.
+pub struct KeyModel {
+    /// Quantile function: fraction of the key population → key value.
+    pub quantile: Box<dyn Fn(f64) -> f64>,
+    /// CDF: key value → fraction of the population at or below it.
+    pub cdf: Box<dyn Fn(f64) -> f64>,
+}
+
+impl KeyModel {
+    /// Uniform keys on `[0, 1]` — the paper's §3.2 assumption.
+    pub fn uniform() -> Self {
+        KeyModel { quantile: Box::new(|u| u), cdf: Box::new(|k| k) }
+    }
+
+    /// Exponential(λ) keys: `Q(u) = −ln(1−u)/λ`.
+    pub fn exponential(rate: f64) -> Self {
+        assert!(rate > 0.0);
+        KeyModel {
+            quantile: Box::new(move |u| -(1.0 - u).max(f64::MIN_POSITIVE).ln() / rate),
+            cdf: Box::new(move |k| 1.0 - (-rate * k).exp()),
+        }
+    }
+
+    /// Power-law keys on `[1, ∞)`: `Q(u) = (1−u)^(−1/α)` — a Pareto shape
+    /// resembling the paper's `fal` generator (descending order flipped to
+    /// ascending by taking reciprocals is equivalent for counts).
+    pub fn pareto(alpha: f64) -> Self {
+        assert!(alpha > 0.0);
+        KeyModel {
+            quantile: Box::new(move |u| (1.0 - u).max(f64::MIN_POSITIVE).powf(-1.0 / alpha)),
+            cdf: Box::new(move |k| if k <= 1.0 { 0.0 } else { 1.0 - k.powf(-alpha) }),
+        }
+    }
+}
+
+/// Runs the idealized simulation with uniform `[0, 1]` keys (the paper's
+/// §3.2 setup).
+pub fn simulate(params: ModelParams) -> ModelResult {
+    simulate_keyed(params, &KeyModel::uniform())
+}
+
+/// Runs the idealized simulation under an arbitrary analytic key
+/// distribution (see [`KeyModel`]).
+pub fn simulate_keyed(params: ModelParams, model: &KeyModel) -> ModelResult {
+    assert!(params.k > 0, "k must be positive");
+    assert!(params.memory_rows > 0, "memory must hold at least one row");
+    let sizing = if params.buckets_per_run == 0 {
+        SizingPolicy::Disabled
+    } else {
+        SizingPolicy::TargetBuckets(params.buckets_per_run)
+    };
+    // Tail buckets off: the paper's model tracks only the B quantile
+    // boundaries of each run (Table 1 tracks 9 deciles of 1000-row runs).
+    let mut filter: CutoffFilter<F64Key> =
+        CutoffFilter::with_policy(params.k, SortOrder::Ascending, sizing).with_tail_buckets(false);
+
+    let mut remaining = params.input_rows;
+    let mut trace = Vec::new();
+    let mut runs = 0u64;
+    let mut rows_spilled = 0u64;
+
+    while remaining > 0 {
+        let cutoff_before = filter.cutoff().map(|c| c.get());
+        // Survival fraction under the cutoff: F(cutoff), 1.0 before one
+        // is established.
+        let f0 = cutoff_before.map_or(1.0, |c| (model.cdf)(c));
+        debug_assert!(f0 > 0.0);
+        // Fill memory: with survival fraction f0, M rows require M/f0 input.
+        let want = (params.memory_rows as f64 / f0).floor() as u64;
+        let (consumed, filled) = if want <= remaining {
+            (want.max(1), params.memory_rows)
+        } else {
+            // Final partial load: the whole remainder is consumed; the
+            // expected survivors are remaining * f0.
+            (remaining, ((remaining as f64) * f0).floor() as u64)
+        };
+        let remaining_before = remaining;
+        remaining -= consumed;
+        if filled == 0 {
+            trace.push(RunTrace {
+                remaining_before,
+                cutoff_before,
+                consumed,
+                filled: 0,
+                written: 0,
+                deciles: [None; 9],
+            });
+            continue;
+        }
+
+        // Write the sorted memory load, building the run's histogram and
+        // stopping at the first eliminated key. The j-th of the `filled`
+        // surviving rows sits at population quantile f0·j/filled.
+        filter.run_started(filled);
+        let mut written = 0u64;
+        for j in 1..=filled {
+            let key = F64Key((model.quantile)(f0 * j as f64 / filled as f64));
+            if filter.should_eliminate(&key.clone()) {
+                break;
+            }
+            filter.row_spilled(&key);
+            written += 1;
+        }
+        filter.run_finished();
+
+        let mut deciles = [None; 9];
+        for (i, slot) in deciles.iter_mut().enumerate() {
+            let row = (filled * (i as u64 + 1)) / 10;
+            if row >= 1 && row <= written {
+                *slot = Some((model.quantile)(f0 * row as f64 / filled as f64));
+            }
+        }
+        trace.push(RunTrace {
+            remaining_before,
+            cutoff_before,
+            consumed,
+            filled,
+            written,
+            deciles,
+        });
+        if written > 0 {
+            runs += 1;
+            rows_spilled += written;
+        }
+    }
+
+    let final_cutoff = filter.cutoff().map(|c| c.get());
+    let ideal_cutoff = (model.quantile)(params.k as f64 / params.input_rows as f64);
+    ModelResult {
+        runs,
+        rows_spilled,
+        final_cutoff,
+        ideal_cutoff,
+        ratio: final_cutoff.map(|c| c / ideal_cutoff),
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_trace_runs_1_to_8() {
+        // §3.2.1, Table 1 with decile histograms (B = 9).
+        let r = simulate(ModelParams { buckets_per_run: 9, ..ModelParams::paper_example(9) });
+        let t = &r.trace;
+        // Runs 1-5: full, unfiltered, cutoff not yet established.
+        for run in &t[..5] {
+            assert_eq!(run.cutoff_before, None);
+            assert_eq!(run.consumed, 1000);
+            assert_eq!(run.written, 1000);
+        }
+        // Run 6: cutoff 0.9 is established *during* the run — its last 10%
+        // is eliminated ("we can eliminate rows with keys above 0.9 in run
+        // 6").
+        assert_eq!(t[5].cutoff_before, None);
+        assert_eq!(t[5].written, 900);
+        // Run 7: cutoff 0.9 before; consumes 1111; ends with key 0.72.
+        assert_eq!(t[6].remaining_before, 994_000);
+        assert_eq!(t[6].cutoff_before, Some(0.9));
+        assert_eq!(t[6].consumed, 1111);
+        assert_eq!(t[6].written, 800);
+        assert!((t[6].deciles[0].unwrap() - 0.09).abs() < 1e-9);
+        assert!((t[6].deciles[7].unwrap() - 0.72).abs() < 1e-9);
+        assert_eq!(t[6].deciles[8], None); // 90% decile eliminated
+                                           // Run 8: cutoff 0.72 before; consumes 1388; ends just past 0.6.
+        assert_eq!(t[7].remaining_before, 992_889);
+        assert!((t[7].cutoff_before.unwrap() - 0.72).abs() < 1e-9);
+        assert_eq!(t[7].consumed, 1388);
+        assert!((t[7].deciles[7].unwrap() - 0.576).abs() < 1e-9);
+        assert_eq!(t[7].deciles[8], None);
+    }
+
+    #[test]
+    fn paper_example_totals_with_deciles() {
+        // "only 39 runs are required containing less than 35,000 rows".
+        let r = simulate(ModelParams::paper_example(9));
+        assert!(
+            (37..=41).contains(&r.runs),
+            "expected ~39 runs, got {} ({} rows)",
+            r.runs,
+            r.rows_spilled
+        );
+        assert!(r.rows_spilled < 35_000, "expected <35k rows, got {}", r.rows_spilled);
+    }
+
+    #[test]
+    fn nineteen_buckets_improves_slightly() {
+        // "with 19 buckets per run ... 37 runs are required rather than 39
+        // and the final cutoff key is 0.006024. The total size of the 37
+        // runs is less than 32,000 rows."
+        let r = simulate(ModelParams::paper_example(19));
+        assert!((35..=39).contains(&r.runs), "got {} runs", r.runs);
+        assert!(r.rows_spilled < 32_500, "got {} rows", r.rows_spilled);
+    }
+
+    #[test]
+    fn median_only_histogram_still_beats_full_sort_by_15x() {
+        // "The opposite extreme case tracks only the median key value of
+        // each run, which requires 66 runs containing less than 63,000
+        // rows ... still 15× less than the traditional external merge
+        // sort."
+        let r = simulate(ModelParams::paper_example(1));
+        assert!((62..=70).contains(&r.runs), "got {} runs", r.runs);
+        assert!(r.rows_spilled < 64_000, "got {} rows", r.rows_spilled);
+        assert!(1_000_000 / r.rows_spilled >= 15);
+    }
+
+    #[test]
+    fn no_histogram_spills_everything() {
+        // Table 2, first row: 0 buckets → 1,000 runs, 1,000,000 rows.
+        let r = simulate(ModelParams::paper_example(0));
+        assert_eq!(r.runs, 1_000);
+        assert_eq!(r.rows_spilled, 1_000_000);
+        assert_eq!(r.final_cutoff, None);
+    }
+
+    #[test]
+    fn per_key_histogram_is_the_floor() {
+        // Table 2, last row: 1,000 buckets → 35 runs, 29,258 rows, ratio 1.
+        let r = simulate(ModelParams::paper_example(1000));
+        assert!((33..=37).contains(&r.runs), "got {} runs", r.runs);
+        assert!((28_000..31_000).contains(&r.rows_spilled), "got {} rows", r.rows_spilled);
+        assert!(r.ratio.unwrap() < 1.05);
+    }
+
+    #[test]
+    fn cutoff_never_beats_ideal() {
+        // The cutoff must stay at or above the true kth key, or rows of
+        // the answer would have been eliminated.
+        for buckets in [1, 5, 10, 50, 1000] {
+            let r = simulate(ModelParams::paper_example(buckets));
+            assert!(
+                r.ratio.unwrap() >= 0.999,
+                "B={buckets}: ratio {} < 1 would mean lost output rows",
+                r.ratio.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn input_smaller_than_k_never_establishes_cutoff() {
+        let r = simulate(ModelParams {
+            input_rows: 3_000,
+            k: 5_000,
+            memory_rows: 1_000,
+            buckets_per_run: 10,
+        });
+        assert_eq!(r.final_cutoff, None);
+        assert_eq!(r.rows_spilled, 3_000);
+    }
+
+    #[test]
+    fn counts_are_distribution_free() {
+        // Comparison-based algorithm: runs and rows spilled depend only on
+        // ranks, so any strictly monotone quantile function yields the
+        // exact same counts as the uniform model — the analytic form of
+        // the paper's Figure 3 observation.
+        let params = ModelParams::paper_example(10);
+        let uniform = simulate(params);
+        for model in [KeyModel::exponential(2.5), KeyModel::pareto(1.25)] {
+            let skewed = simulate_keyed(params, &model);
+            // Identical up to f64 round-trips through Q and F, which can
+            // shift a single ⌊M/F(c)⌋ by one row.
+            assert!(skewed.runs.abs_diff(uniform.runs) <= 1);
+            assert!(
+                skewed.rows_spilled.abs_diff(uniform.rows_spilled) <= uniform.rows_spilled / 500,
+                "{} vs {}",
+                skewed.rows_spilled,
+                uniform.rows_spilled
+            );
+        }
+    }
+
+    #[test]
+    fn cutoffs_map_through_the_quantile_function() {
+        let params = ModelParams::paper_example(10);
+        let uniform = simulate(params);
+        let rate = 3.0;
+        let exp = simulate_keyed(params, &KeyModel::exponential(rate));
+        let (u_cut, e_cut) = (uniform.final_cutoff.unwrap(), exp.final_cutoff.unwrap());
+        // Q_exp(u_cut) == e_cut.
+        let mapped = -(1.0f64 - u_cut).ln() / rate;
+        assert!((mapped - e_cut).abs() < 1e-9, "expected Q(cutoff) {mapped}, got {e_cut}");
+        // And the ratio column stays meaningful (>= 1 up to fp noise).
+        assert!(exp.ratio.unwrap() >= 0.999);
+    }
+
+    #[test]
+    fn key_models_are_self_consistent() {
+        for model in [KeyModel::uniform(), KeyModel::exponential(0.7), KeyModel::pareto(2.0)] {
+            for u in [0.01, 0.1, 0.5, 0.9, 0.99] {
+                let k = (model.quantile)(u);
+                let back = (model.cdf)(k);
+                assert!((back - u).abs() < 1e-9, "F(Q({u})) = {back}");
+            }
+            // Monotone.
+            let a = (model.quantile)(0.2);
+            let b = (model.quantile)(0.8);
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn trace_conserves_input() {
+        let r = simulate(ModelParams::paper_example(10));
+        let consumed: u64 = r.trace.iter().map(|t| t.consumed).sum();
+        assert_eq!(consumed, 1_000_000);
+        let written: u64 = r.trace.iter().map(|t| t.written).sum();
+        assert_eq!(written, r.rows_spilled);
+    }
+}

@@ -1,0 +1,250 @@
+//! Generators for the paper's analysis tables (Tables 1–5).
+//!
+//! Each function returns structured rows; the `histok-bench` binaries
+//! format them exactly like the paper prints them and `EXPERIMENTS.md`
+//! records paper-vs-measured values.
+
+use crate::model::{simulate, ModelParams, ModelResult};
+
+/// Table 1 — the §3.2.1 worked example: top 5,000 of 1,000,000 rows,
+/// memory 1,000 rows, decile histograms. Returns the full per-run trace.
+pub fn table1() -> ModelResult {
+    simulate(ModelParams::paper_example(9))
+}
+
+/// One row of Table 2 (varying histogram size).
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Buckets per run.
+    pub buckets: u32,
+    /// The simulation outcome.
+    pub result: ModelResult,
+}
+
+/// Table 2 — varying the histogram sizing policy over the §3.2.1 setup.
+pub fn table2() -> Vec<Table2Row> {
+    [0u32, 1, 5, 10, 20, 50, 100, 1000]
+        .into_iter()
+        .map(|buckets| Table2Row { buckets, result: simulate(ModelParams::paper_example(buckets)) })
+        .collect()
+}
+
+/// One row of Table 3 (varying output size).
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Requested output rows.
+    pub k: u64,
+    /// Buckets per run used for this row.
+    pub buckets: u32,
+    /// The simulation outcome.
+    pub result: ModelResult,
+}
+
+/// Table 3 — varying the output size; the `k = 50,000` experiment is run
+/// thrice with 10, 100 and 1,000 buckets per run, as in the paper.
+pub fn table3() -> Vec<Table3Row> {
+    let mut rows = Vec::new();
+    for k in [2_000u64, 5_000, 10_000, 20_000] {
+        rows.push(Table3Row {
+            k,
+            buckets: 10,
+            result: simulate(ModelParams {
+                input_rows: 1_000_000,
+                k,
+                memory_rows: 1_000,
+                buckets_per_run: 10,
+            }),
+        });
+    }
+    for buckets in [10u32, 100, 1000] {
+        rows.push(Table3Row {
+            k: 50_000,
+            buckets,
+            result: simulate(ModelParams {
+                input_rows: 1_000_000,
+                k: 50_000,
+                memory_rows: 1_000,
+                buckets_per_run: buckets,
+            }),
+        });
+    }
+    rows
+}
+
+/// One row of Table 4 / Table 5 (varying input size).
+#[derive(Debug, Clone)]
+pub struct Table45Row {
+    /// Input rows.
+    pub input: u64,
+    /// The simulation outcome.
+    pub result: ModelResult,
+}
+
+/// The input sizes of Tables 4 and 5.
+pub const TABLE45_INPUTS: [u64; 15] = [
+    6_000,
+    7_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+];
+
+fn table45(buckets: u32) -> Vec<Table45Row> {
+    TABLE45_INPUTS
+        .into_iter()
+        .map(|input| Table45Row {
+            input,
+            result: simulate(ModelParams {
+                input_rows: input,
+                k: 5_000,
+                memory_rows: 1_000,
+                buckets_per_run: buckets,
+            }),
+        })
+        .collect()
+}
+
+/// Table 4 — varying input size, default histograms (10 buckets per run).
+pub fn table4() -> Vec<Table45Row> {
+    table45(10)
+}
+
+/// Table 5 — varying input size, minimal histograms (1 bucket per run:
+/// the median key only).
+pub fn table5() -> Vec<Table45Row> {
+    table45(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Asserts `got` is within `pct` percent of `want`.
+    fn close(got: u64, want: u64, pct: f64, what: &str) {
+        let diff = (got as f64 - want as f64).abs() / want as f64 * 100.0;
+        assert!(diff <= pct, "{what}: got {got}, paper says {want} ({diff:.1}% off)");
+    }
+
+    #[test]
+    fn table2_tracks_the_paper() {
+        let rows = table2();
+        // Paper: (#buckets, runs, rows).
+        let paper: [(u32, u64, u64); 8] = [
+            (0, 1_000, 1_000_000),
+            (1, 66, 62_781),
+            (5, 44, 39_150),
+            (10, 39, 34_077),
+            (20, 37, 31_568),
+            (50, 35, 30_156),
+            (100, 35, 29_780),
+            (1_000, 35, 29_258),
+        ];
+        for (row, (buckets, runs, spilled)) in rows.iter().zip(paper) {
+            assert_eq!(row.buckets, buckets);
+            close(row.result.runs, runs, 8.0, &format!("B={buckets} runs"));
+            close(row.result.rows_spilled, spilled, 8.0, &format!("B={buckets} rows"));
+        }
+        // The monotone trend the paper highlights: more buckets, less I/O.
+        for pair in rows.windows(2).skip(1) {
+            assert!(pair[1].result.rows_spilled <= pair[0].result.rows_spilled);
+        }
+    }
+
+    #[test]
+    fn table3_tracks_the_paper() {
+        let rows = table3();
+        let paper: [(u64, u32, u64, u64); 7] = [
+            (2_000, 10, 20, 14_858),
+            (5_000, 10, 39, 34_077),
+            (10_000, 10, 67, 62_072),
+            (20_000, 10, 113, 109_016),
+            (50_000, 10, 222, 218_539),
+            (50_000, 100, 204, 200_161),
+            (50_000, 1_000, 202, 198_436),
+        ];
+        for (row, (k, buckets, runs, spilled)) in rows.iter().zip(paper) {
+            assert_eq!((row.k, row.buckets), (k, buckets));
+            close(row.result.runs, runs, 10.0, &format!("k={k},B={buckets} runs"));
+            close(row.result.rows_spilled, spilled, 10.0, &format!("k={k},B={buckets} rows"));
+        }
+    }
+
+    #[test]
+    fn table4_tracks_the_paper() {
+        let rows = table4();
+        let paper_runs_rows: [(u64, u64, u64); 15] = [
+            (6_000, 6, 5_900),
+            (7_000, 7, 6_699),
+            (10_000, 9, 8_332),
+            (20_000, 13, 11_840),
+            (50_000, 19, 16_690),
+            (100_000, 24, 20_627),
+            (200_000, 28, 24_638),
+            (500_000, 35, 30_008),
+            (1_000_000, 39, 34_077),
+            (2_000_000, 44, 38_188),
+            (5_000_000, 50, 43_565),
+            (10_000_000, 55, 47_683),
+            (20_000_000, 60, 51_735),
+            (50_000_000, 66, 57_182),
+            (100_000_000, 71, 61_235),
+        ];
+        for (row, (input, runs, spilled)) in rows.iter().zip(paper_runs_rows) {
+            assert_eq!(row.input, input);
+            close(row.result.runs, runs, 12.0, &format!("N={input} runs"));
+            close(row.result.rows_spilled, spilled, 12.0, &format!("N={input} rows"));
+        }
+    }
+
+    #[test]
+    fn table5_tracks_the_paper() {
+        let rows = table5();
+        let paper: [(u64, u64, u64); 6] = [
+            (10_000, 10, 9_500),
+            (100_000, 34, 32_250),
+            (1_000_000, 66, 62_781),
+            (10_000_000, 100, 94_999),
+            (50_000_000, 123, 116_209),
+            (100_000_000, 133, 125_708),
+        ];
+        let by_input = |input: u64| {
+            rows.iter().find(|r| r.input == input).expect("input present").result.clone()
+        };
+        for (input, runs, spilled) in paper {
+            let r = by_input(input);
+            close(r.runs, runs, 12.0, &format!("N={input} runs"));
+            close(r.rows_spilled, spilled, 12.0, &format!("N={input} rows"));
+        }
+        // "it filters out 99 7/8 % of the input" for the largest size.
+        let big = by_input(100_000_000);
+        assert!(big.rows_spilled as f64 / 1e8 < 0.0016);
+    }
+
+    #[test]
+    fn table4_scalability_claims() {
+        // "the second 50,000,000 input rows require only 5 additional runs
+        // containing just over 4,000 additional rows".
+        let rows = table4();
+        let get = |input: u64| rows.iter().find(|r| r.input == input).unwrap().result.clone();
+        let (a, b) = (get(50_000_000), get(100_000_000));
+        assert!(b.runs - a.runs <= 8, "run growth {} too large", b.runs - a.runs);
+        assert!(
+            b.rows_spilled - a.rows_spilled < 8_000,
+            "row growth {} too large",
+            b.rows_spilled - a.rows_spilled
+        );
+        // Three orders of magnitude better than the traditional sort for
+        // the largest input (§3.3).
+        assert!(100_000_000 / b.rows_spilled >= 1_000);
+    }
+}

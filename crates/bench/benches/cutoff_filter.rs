@@ -1,0 +1,100 @@
+//! Microbenchmarks of the cutoff filter — the per-row costs that §5.5
+//! bounds: bucket insertion (with sharpening pops), the `eliminate` test on
+//! the input hot path, and consolidation under a tiny queue budget.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use histok_core::{Bucket, CutoffFilter, SizingPolicy};
+use histok_sort::SpillObserver;
+use histok_types::SortOrder;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cutoff_filter/insert_bucket");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("10k_buckets_k1000", |b| {
+        b.iter(|| {
+            let mut f: CutoffFilter<u64> = CutoffFilter::new(1_000, SortOrder::Ascending);
+            for i in 0..10_000u64 {
+                // Boundaries descend: every insert sharpens.
+                f.insert_bucket(Bucket::new(1_000_000 - i * 7, 100));
+            }
+            black_box(f.cutoff().copied())
+        })
+    });
+    g.finish();
+}
+
+fn bench_eliminate(c: &mut Criterion) {
+    let mut f: CutoffFilter<u64> = CutoffFilter::new(100, SortOrder::Ascending);
+    for i in 0..200u64 {
+        f.insert_bucket(Bucket::new(10_000 - i, 10));
+    }
+    assert!(f.established());
+    let mut g = c.benchmark_group("cutoff_filter/eliminate");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("hot_path_1k_keys", |b| {
+        b.iter(|| {
+            let mut kills = 0u32;
+            for key in 0..1_000u64 {
+                if f.eliminate(black_box(&(key * 13))) {
+                    kills += 1;
+                }
+            }
+            black_box(kills)
+        })
+    });
+    g.finish();
+}
+
+fn bench_consolidation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cutoff_filter/consolidation");
+    g.throughput(Throughput::Elements(10_000));
+    for budget in [256usize, 1024 * 1024] {
+        g.bench_function(format!("queue_budget_{budget}B"), |b| {
+            b.iter(|| {
+                let mut f: CutoffFilter<u64> =
+                    CutoffFilter::new(1_000, SortOrder::Ascending).with_memory_budget(budget);
+                for i in 0..10_000u64 {
+                    f.insert_bucket(Bucket::new(1_000_000 - i, 1));
+                }
+                black_box(f.metrics().consolidations)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_observer_path(c: &mut Criterion) {
+    // The full spill-observer path on an adversarial stream: sharpens
+    // constantly, eliminates nothing — the §5.5 worst case, per row.
+    let mut g = c.benchmark_group("cutoff_filter/observer_adversarial");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("100k_rows", |b| {
+        b.iter(|| {
+            let mut f: CutoffFilter<u64> = CutoffFilter::with_policy(
+                1_000,
+                SortOrder::Ascending,
+                SizingPolicy::TargetBuckets(50),
+            );
+            for run in 0..50u64 {
+                f.run_started(2_000);
+                for j in 0..2_000u64 {
+                    let key = (50 - run) * 1_000_000 + j;
+                    if !f.should_eliminate(&key) {
+                        f.row_spilled(&key);
+                    }
+                }
+                f.run_finished();
+            }
+            black_box(f.metrics().buckets_inserted)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_insert, bench_eliminate, bench_consolidation, bench_observer_path
+}
+criterion_main!(benches);

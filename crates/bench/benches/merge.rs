@@ -1,0 +1,62 @@
+//! Loser-tree merge benchmarks: per-row cost as fan-in grows (the ⌈log₂ n⌉
+//! comparison bound), and the §4.1 early-stop benefit.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use histok_sort::LoserTree;
+use histok_types::{Result, Row, SortOrder};
+
+const TOTAL_ROWS: u64 = 100_000;
+
+type VecSource = std::vec::IntoIter<Result<Row<u64>>>;
+
+fn sources(n: u64) -> Vec<VecSource> {
+    (0..n)
+        .map(|i| {
+            let rows: Vec<Result<Row<u64>>> =
+                (0..TOTAL_ROWS / n).map(|j| Ok(Row::key_only(j * n + i))).collect();
+            rows.into_iter()
+        })
+        .collect()
+}
+
+fn bench_fan_in(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge/fan_in");
+    g.throughput(Throughput::Elements(TOTAL_ROWS));
+    g.sample_size(20);
+    for n in [2u64, 8, 64, 256] {
+        g.bench_function(format!("{n}_sources"), |b| {
+            b.iter(|| {
+                let tree = LoserTree::new(sources(n), SortOrder::Ascending).unwrap();
+                let mut count = 0u64;
+                for row in tree {
+                    black_box(row.unwrap());
+                    count += 1;
+                }
+                assert_eq!(count, TOTAL_ROWS / n * n);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_early_stop(c: &mut Criterion) {
+    // A top-k merge stops after k rows: the cost is proportional to k, not
+    // to the total run volume (§4.1).
+    let mut g = c.benchmark_group("merge/early_stop");
+    g.sample_size(20);
+    for k in [100u64, 10_000, TOTAL_ROWS] {
+        g.bench_function(format!("take_{k}_of_100k"), |b| {
+            b.iter(|| {
+                let tree = LoserTree::new(sources(64), SortOrder::Ascending).unwrap();
+                let got =
+                    tree.take(k as usize).map(|r| r.unwrap().key).fold(0u64, |acc, k| acc ^ k);
+                black_box(got)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fan_in, bench_early_stop);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Parallel top-k benchmarks (§4.4): thread scaling with the shared
+//! histogram priority queue, and the contention cost of the shared filter.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use histok_core::{ParallelTopK, TopKConfig};
+use histok_storage::MemoryBackend;
+use histok_types::{F64Key, Row, SortSpec};
+use histok_workload::Workload;
+
+const ROWS: u64 = 400_000;
+const K: u64 = 8_000;
+const MEM_ROWS_PER_WORKER: usize = 2_000;
+
+fn run_parallel(rows: &[Row<F64Key>], threads: usize) -> u64 {
+    let config = TopKConfig::builder().memory_budget(MEM_ROWS_PER_WORKER * 64).build().unwrap();
+    let mut op: ParallelTopK<F64Key> =
+        ParallelTopK::new(SortSpec::ascending(K), config, MemoryBackend::new(), threads).unwrap();
+    for row in rows.iter().cloned() {
+        op.push(row).unwrap();
+    }
+    let n = op.finish().unwrap().count() as u64;
+    assert_eq!(n, K);
+    op.metrics().io.rows_written
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let rows: Vec<Row<F64Key>> = Workload::uniform(ROWS, 99).rows().collect();
+    let mut g = c.benchmark_group("parallel/thread_scaling");
+    g.throughput(Throughput::Elements(ROWS));
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_function(format!("{threads}_workers"), |b| {
+            b.iter(|| black_box(run_parallel(&rows, threads)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_shared_filter_bound(c: &mut Criterion) {
+    // §4.4's claim rendered as an assertion inside the bench: total spill
+    // with 4 workers stays within 3x of a single worker's.
+    let rows: Vec<Row<F64Key>> = Workload::uniform(ROWS, 100).rows().collect();
+    let single = run_parallel(&rows, 1);
+    let mut g = c.benchmark_group("parallel/shared_filter");
+    g.sample_size(10);
+    g.bench_function("spill_bound_4_workers", |b| {
+        b.iter(|| {
+            let quad = run_parallel(&rows, 4);
+            assert!(quad < single * 3, "shared filter broke: {quad} vs {single}");
+            black_box(quad)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_shared_filter_bound);
+criterion_main!(benches);

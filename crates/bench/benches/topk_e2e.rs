@@ -1,0 +1,72 @@
+//! End-to-end comparison of all four top-k algorithms at a fixed, scaled
+//! workload — the timing companion to the `fig*` experiment binaries,
+//! small enough to run under `cargo bench`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use histok_bench::{figure_config, run_topk, BackendKind};
+use histok_exec::Algorithm;
+use histok_types::SortSpec;
+use histok_workload::{Distribution, Workload};
+
+const INPUT: u64 = 200_000;
+const MEM_ROWS: u64 = 1_000;
+const K: u64 = 5_000;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topk_e2e/200k_rows_k5000_mem1000");
+    g.throughput(Throughput::Elements(INPUT));
+    g.sample_size(10);
+    for (name, algo) in [
+        ("histogram", Algorithm::Histogram),
+        ("optimized_ems", Algorithm::Optimized),
+        ("traditional_ems", Algorithm::Traditional),
+        ("in_memory", Algorithm::InMemory),
+    ] {
+        g.bench_function(name, |b| {
+            let w = Workload::uniform(INPUT, 42);
+            let config = figure_config(MEM_ROWS, 0, 50);
+            b.iter(|| {
+                let out =
+                    run_topk(algo, &w, SortSpec::ascending(K), config.clone(), BackendKind::Memory)
+                        .unwrap();
+                assert_eq!(out.output_rows, K);
+                black_box(out.checksum)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    // The paper: "the distribution of the sort keys does not affect the
+    // performance of our algorithm" (§5.2).
+    let mut g = c.benchmark_group("topk_e2e/histogram_by_distribution");
+    g.throughput(Throughput::Elements(INPUT));
+    g.sample_size(10);
+    for dist in [
+        Distribution::Uniform,
+        Distribution::Fal { shape: 1.25 },
+        Distribution::lognormal_default(),
+    ] {
+        g.bench_function(dist.label(), |b| {
+            let w = Workload::uniform(INPUT, 42).with_distribution(dist);
+            let config = figure_config(MEM_ROWS, 0, 50);
+            b.iter(|| {
+                let out = run_topk(
+                    Algorithm::Histogram,
+                    &w,
+                    SortSpec::ascending(K),
+                    config.clone(),
+                    BackendKind::Memory,
+                )
+                .unwrap();
+                black_box(out.checksum)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_distributions);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Runs every experiment binary in sequence — the one-command
+//! reproduction of the paper's evaluation. Each child's stdout is teed to
+//! `results/<name>.txt` (relative to the current directory).
+//!
+//! ```sh
+//! cargo run --release -p histok-bench --bin all_experiments
+//! ```
+
+use std::fs;
+use std::path::Path;
+use std::process::{Command, ExitCode};
+use std::time::Instant;
+
+const EXPERIMENTS: [&str; 12] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5", // §3.2 analysis
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",            // §5 figures
+    "overhead",        // §5.5
+    "all_done_marker", // replaced below; keeps the array length honest
+];
+
+fn main() -> ExitCode {
+    let out_dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(Path::to_path_buf))
+        .expect("current_exe has a parent directory");
+
+    let total = Instant::now();
+    for name in EXPERIMENTS.iter().take(EXPERIMENTS.len() - 1) {
+        let bin = exe_dir.join(name);
+        if !bin.exists() {
+            eprintln!(
+                "skipping {name}: {} not built (run `cargo build --release -p histok-bench --bins`)",
+                bin.display()
+            );
+            continue;
+        }
+        let start = Instant::now();
+        print!("running {name:>9} ... ");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        match Command::new(&bin).output() {
+            Ok(output) if output.status.success() => {
+                let path = out_dir.join(format!("{name}.txt"));
+                if let Err(e) = fs::write(&path, &output.stdout) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("ok in {:.1}s → {}", start.elapsed().as_secs_f64(), path.display());
+            }
+            Ok(output) => {
+                eprintln!("FAILED ({})", output.status);
+                eprintln!("{}", String::from_utf8_lossy(&output.stderr));
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("cannot run {}: {e}", bin.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "\nall experiments done in {:.1}s; outputs in {}/",
+        total.elapsed().as_secs_f64(),
+        out_dir.display()
+    );
+    println!("compare against the paper with EXPERIMENTS.md");
+    ExitCode::SUCCESS
+}

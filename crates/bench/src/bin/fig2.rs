@@ -1,0 +1,97 @@
+//! Regenerates **Figure 2** (§5.2): improvement of the histogram algorithm
+//! over the optimized-external-merge-sort baseline as the output size `k`
+//! grows, for the `uniform` and `fal(z = 1.25)` distributions.
+//!
+//! Scaled from the paper's 2 B rows / 7 M-row memory: the defaults use
+//! 2,000,000 input rows and memory for 14,000, preserving the k : memory
+//! and k : input ratios. Top plot = execution-time speedup; bottom plot =
+//! spilled-rows reduction; both are printed as one table here.
+
+use histok_analysis::{simulate, ModelParams};
+use histok_bench::{
+    banner, env_u64, env_usize, figure_config, fmt_count, run_topk, BackendKind, RunOutcome,
+};
+use histok_exec::Algorithm;
+use histok_types::SortSpec;
+use histok_workload::{Distribution, Workload};
+
+fn main() {
+    let input = env_u64("HISTOK_INPUT_ROWS", 4_000_000);
+    let mem_rows = env_u64("HISTOK_MEM_ROWS", 14_000);
+    let payload = env_usize("HISTOK_PAYLOAD", 0);
+    let backend = BackendKind::from_env();
+    banner(
+        "Figure 2 — varying output size",
+        &format!(
+            "input {} rows, memory {} rows, backend {:?} (paper: 2B rows, 7M-row memory)",
+            fmt_count(input),
+            fmt_count(mem_rows),
+            backend
+        ),
+    );
+
+    let ks: Vec<u64> = [1u64, 2, 4, 8, 16, 32, 64, 128]
+        .iter()
+        .map(|f| mem_rows / 2 * f)
+        .filter(|&k| k <= input / 2)
+        .collect();
+
+    for dist in [Distribution::Uniform, Distribution::Fal { shape: 1.25 }] {
+        println!("\n--- distribution: {} ---", dist.label());
+        println!(
+            "{:>10} {:>7} | {:>10} {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8}",
+            "k",
+            "k/mem",
+            "model(h)",
+            "spill(h)",
+            "spill(b)",
+            "reduct.",
+            "time(h)",
+            "time(b)",
+            "speedup"
+        );
+        for &k in &ks {
+            let w = Workload::uniform(input, 0xF1 + k).with_distribution(dist);
+            if payload > 0 {
+                // payload applied uniformly to both algorithms
+            }
+            let w = w.with_payload_bytes(payload);
+            let spec = SortSpec::ascending(k);
+            let config = figure_config(mem_rows, payload, 50);
+            let hist: RunOutcome =
+                run_topk(Algorithm::Histogram, &w, spec, config.clone(), backend)
+                    .expect("histogram run");
+            let base: RunOutcome =
+                run_topk(Algorithm::Optimized, &w, spec, config, backend).expect("baseline run");
+            assert_eq!(hist.checksum, base.checksum, "algorithms disagree at k={k}");
+            let reduction =
+                base.metrics.rows_spilled() as f64 / hist.metrics.rows_spilled().max(1) as f64;
+            let speedup = base.total_time().as_secs_f64() / hist.total_time().as_secs_f64();
+            // The §3.2 analytical model's prediction for this point (the
+            // model assumes load-sort-store and spilled residue, so it is
+            // a ballpark, not an exact target).
+            let model = simulate(ModelParams {
+                input_rows: input,
+                k,
+                memory_rows: mem_rows,
+                buckets_per_run: 50,
+            });
+            println!(
+                "{:>10} {:>7.2} | {:>10} {:>10} {:>10} {:>7.1}x | {:>10} {:>10} {:>7.1}x",
+                fmt_count(k),
+                k as f64 / mem_rows as f64,
+                fmt_count(model.rows_spilled),
+                fmt_count(hist.metrics.rows_spilled()),
+                fmt_count(base.metrics.rows_spilled()),
+                reduction,
+                histok_bench::fmt_duration(hist.total_time()),
+                histok_bench::fmt_duration(base.total_time()),
+                speedup,
+            );
+        }
+    }
+    println!("\nmodel(h) is the §3.2 analytical prediction of the histogram operator's");
+    println!("spill (it has no in-memory phase, so it over-predicts when k fits memory).");
+    println!("\npaper shape: speedup ~1x while k fits memory, rising to ~11x, then");
+    println!("declining as k approaches the input size; identical across distributions.");
+}

@@ -1,0 +1,67 @@
+//! Regenerates **Figure 3** (§5.3): improvement of the histogram algorithm
+//! over the optimized baseline as the *input* size grows, for six key
+//! distributions (`uniform`, `lognormal`, `fal` with shapes 0.5, 1.05,
+//! 1.25, 1.5). `k` is fixed at ~4.3× the memory capacity, like the paper's
+//! k = 30 M over a 7 M-row memory.
+
+use histok_bench::{banner, env_u64, env_usize, figure_config, fmt_count, run_topk, BackendKind};
+use histok_exec::Algorithm;
+use histok_types::SortSpec;
+use histok_workload::{Distribution, Workload};
+
+fn main() {
+    let mem_rows = env_u64("HISTOK_MEM_ROWS", 14_000);
+    let k = env_u64("HISTOK_K", mem_rows * 30 / 7); // paper: k = 30M, mem = 7M
+    let base_input = env_u64("HISTOK_INPUT_ROWS", 4_000_000);
+    let payload = env_usize("HISTOK_PAYLOAD", 0);
+    let backend = BackendKind::from_env();
+    banner(
+        "Figure 3 — varying input size, multiple distributions",
+        &format!(
+            "k = {}, memory {} rows, backend {:?} (paper: k=30M, 7M-row memory, 50M-2B rows)",
+            fmt_count(k),
+            fmt_count(mem_rows),
+            backend
+        ),
+    );
+
+    // Paper sweeps input/memory from ~7x to ~286x.
+    let inputs: Vec<u64> =
+        [1u64, 3, 10, 20].iter().map(|f| base_input / 20 * f).filter(|&n| n > k * 2).collect();
+    let distributions = [
+        Distribution::Uniform,
+        Distribution::lognormal_default(),
+        Distribution::Fal { shape: 0.5 },
+        Distribution::Fal { shape: 1.05 },
+        Distribution::Fal { shape: 1.25 },
+        Distribution::Fal { shape: 1.5 },
+    ];
+
+    println!(
+        "\n{:>11} {:>10} | {:>10} {:>10} {:>8} {:>8}",
+        "distrib.", "input", "spill(h)", "spill(b)", "reduct.", "speedup"
+    );
+    for dist in distributions {
+        for &input in &inputs {
+            let w =
+                Workload::uniform(input, 0xF3).with_distribution(dist).with_payload_bytes(payload);
+            let spec = SortSpec::ascending(k);
+            let config = figure_config(mem_rows, payload, 50);
+            let hist =
+                run_topk(Algorithm::Histogram, &w, spec, config.clone(), backend).expect("hist");
+            let base = run_topk(Algorithm::Optimized, &w, spec, config, backend).expect("base");
+            assert_eq!(hist.checksum, base.checksum, "{} n={input}", dist.label());
+            println!(
+                "{:>11} {:>10} | {:>10} {:>10} {:>7.1}x {:>7.1}x",
+                dist.label(),
+                fmt_count(input),
+                fmt_count(hist.metrics.rows_spilled()),
+                fmt_count(base.metrics.rows_spilled()),
+                base.metrics.rows_spilled() as f64 / hist.metrics.rows_spilled().max(1) as f64,
+                base.total_time().as_secs_f64() / hist.total_time().as_secs_f64(),
+            );
+        }
+    }
+    println!("\npaper shape: small benefit near input ≈ k, rising with input size to ~11x;");
+    println!("curves for all six distributions nearly identical.");
+}

@@ -1,0 +1,62 @@
+//! Regenerates **Figure 5** (§5.4): improvement as the histogram size is
+//! varied from 0 (no filtering) to 100 buckets per run, at a fixed input
+//! size and k.
+
+use histok_bench::{banner, env_u64, env_usize, figure_config, fmt_count, run_topk, BackendKind};
+use histok_exec::Algorithm;
+use histok_types::SortSpec;
+use histok_workload::Workload;
+
+fn main() {
+    let mem_rows = env_u64("HISTOK_MEM_ROWS", 14_000);
+    let k = env_u64("HISTOK_K", mem_rows * 30 / 7);
+    let input = env_u64("HISTOK_INPUT_ROWS", 4_000_000);
+    let payload = env_usize("HISTOK_PAYLOAD", 0);
+    let backend = BackendKind::from_env();
+    banner(
+        "Figure 5 — varying histogram size",
+        &format!(
+            "input {} rows, k = {}, memory {} rows, uniform keys",
+            fmt_count(input),
+            fmt_count(k),
+            fmt_count(mem_rows)
+        ),
+    );
+
+    let w = Workload::uniform(input, 0xF5).with_payload_bytes(payload);
+    let spec = SortSpec::ascending(k);
+    let base =
+        run_topk(Algorithm::Optimized, &w, spec, figure_config(mem_rows, payload, 50), backend)
+            .expect("baseline");
+    println!(
+        "\nbaseline (optimized EMS): spilled {} rows in {}",
+        fmt_count(base.metrics.rows_spilled()),
+        histok_bench::fmt_duration(base.total_time())
+    );
+    println!(
+        "\n{:>9} | {:>10} {:>8} {:>8} | {:>10} {:>8}",
+        "#buckets", "spilled", "reduct.", "speedup", "time", "runs"
+    );
+    for buckets in [0u32, 1, 2, 5, 10, 20, 50, 100] {
+        let hist = run_topk(
+            Algorithm::Histogram,
+            &w,
+            spec,
+            figure_config(mem_rows, payload, buckets),
+            backend,
+        )
+        .expect("histogram");
+        assert_eq!(hist.checksum, base.checksum, "B={buckets}");
+        println!(
+            "{:>9} | {:>10} {:>7.1}x {:>7.1}x | {:>10} {:>8}",
+            buckets,
+            fmt_count(hist.metrics.rows_spilled()),
+            base.metrics.rows_spilled() as f64 / hist.metrics.rows_spilled().max(1) as f64,
+            base.total_time().as_secs_f64() / hist.total_time().as_secs_f64(),
+            histok_bench::fmt_duration(hist.total_time()),
+            hist.metrics.runs(),
+        );
+    }
+    println!("\npaper shape: size 0 eliminates nothing; benefit grows quickly with the first");
+    println!("few buckets and saturates — 50 → 100 buckets adds < 0.1x.");
+}

@@ -1,0 +1,85 @@
+//! Regenerates **Table 1** (§3.2.1): the run-by-run trace of the worked
+//! example — top 5,000 of 1,000,000 uniform rows, memory for 1,000 rows,
+//! decile histograms. Prints remaining input, cutoff key before each run,
+//! and the quantile keys with the paper's empty cells for eliminated rows.
+
+use histok_analysis::table1;
+use histok_bench::{banner, fmt_count};
+use histok_core::{HistogramTopK, RunGenKind, SizingPolicy, TopKConfig, TopKOperator};
+use histok_sort::run_gen::ResiduePolicy;
+use histok_storage::MemoryBackend;
+use histok_types::SortSpec;
+use histok_workload::Workload;
+
+/// Runs the production operator with the model's exact setup (1,000-row
+/// memory, load-sort-store, 9 deciles, no tail buckets, residue spilled)
+/// on real shuffled keys.
+fn real_operator_check() -> (u64, u64) {
+    let config = TopKConfig::builder()
+        .memory_budget(1_000 * 56) // key-only rows ≈ 56 bytes charged
+        .sizing(SizingPolicy::TargetBuckets(9))
+        .tail_buckets(false)
+        .run_generation(RunGenKind::LoadSortStore)
+        .residue(ResiduePolicy::SpillToRuns)
+        .build()
+        .expect("static config");
+    let mut op = HistogramTopK::new(SortSpec::ascending(5_000), config, MemoryBackend::new())
+        .expect("operator");
+    for row in Workload::uniform(1_000_000, 1).rows() {
+        op.push(row).expect("push");
+    }
+    let produced = op.finish().expect("finish").count() as u64;
+    assert_eq!(produced, 5_000);
+    (op.metrics().runs(), op.metrics().rows_spilled())
+}
+
+fn main() {
+    banner(
+        "Table 1 — approximate quantiles and cutoff keys (idealized model)",
+        "top 5,000 of 1,000,000 uniform rows, memory 1,000 rows, decile histograms",
+    );
+    let result = table1();
+    println!(
+        "{:>4}  {:>12}  {:>10}  {:>9} {:>9} {:>4} {:>9} {:>9} {:>9}",
+        "Run", "Remaining", "Cutoff", "10%", "20%", "...", "70%", "80%", "90%"
+    );
+    let fmt_opt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.6}"),
+        None => String::new(),
+    };
+    for (i, t) in result.trace.iter().enumerate() {
+        println!(
+            "{:>4}  {:>12}  {:>10}  {:>9} {:>9} {:>4} {:>9} {:>9} {:>9}",
+            i + 1,
+            fmt_count(t.remaining_before),
+            t.cutoff_before.map(|c| format!("{c:.6}")).unwrap_or_else(|| "-".into()),
+            fmt_opt(t.deciles[0]),
+            fmt_opt(t.deciles[1]),
+            "...",
+            fmt_opt(t.deciles[6]),
+            fmt_opt(t.deciles[7]),
+            fmt_opt(t.deciles[8]),
+        );
+    }
+    println!();
+    println!(
+        "total: {} runs, {} rows spilled (paper: 39 runs, <35,000 rows)",
+        result.runs,
+        fmt_count(result.rows_spilled)
+    );
+    println!(
+        "final cutoff {:.6} vs ideal {:.6} (ratio {:.2})",
+        result.final_cutoff.unwrap_or(f64::NAN),
+        result.ideal_cutoff,
+        result.ratio.unwrap_or(f64::NAN)
+    );
+    println!("\ncross-check: production operator on real shuffled keys (same setup)...");
+    let (runs, rows) = real_operator_check();
+    println!(
+        "  measured {} runs, {} rows spilled vs model {} runs, {} rows",
+        runs,
+        fmt_count(rows),
+        result.runs,
+        fmt_count(result.rows_spilled)
+    );
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table 3** (§3.2.2): varying the output size `k` over a
+//! 1,000,000-row uniform input with memory for 1,000 rows. The last
+//! experiment runs thrice with 10, 100 and 1,000 buckets per run.
+
+use histok_analysis::table3;
+use histok_bench::{banner, fmt_count};
+
+/// Paper values: (k, buckets, runs, rows).
+const PAPER: [(u64, u32, u64, u64); 7] = [
+    (2_000, 10, 20, 14_858),
+    (5_000, 10, 39, 34_077),
+    (10_000, 10, 67, 62_072),
+    (20_000, 10, 113, 109_016),
+    (50_000, 10, 222, 218_539),
+    (50_000, 100, 204, 200_161),
+    (50_000, 1_000, 202, 198_436),
+];
+
+fn main() {
+    banner(
+        "Table 3 — varying output size (idealized model)",
+        "1,000,000 uniform rows, memory 1,000 rows",
+    );
+    println!(
+        "{:>8} {:>9} | {:>6} {:>10} {:>10} {:>6} | {:>6} {:>10} (paper)",
+        "Output", "#Buckets", "Runs", "Rows", "Cutoff", "Ratio", "Runs", "Rows"
+    );
+    for (row, (k, b, p_runs, p_rows)) in table3().iter().zip(PAPER) {
+        assert_eq!((row.k, row.buckets), (k, b));
+        let r = &row.result;
+        println!(
+            "{:>8} {:>9} | {:>6} {:>10} {:>10} {:>6} | {:>6} {:>10}",
+            fmt_count(row.k),
+            row.buckets,
+            r.runs,
+            fmt_count(r.rows_spilled),
+            r.final_cutoff.map(|c| format!("{c:.6}")).unwrap_or_else(|| "-".into()),
+            r.ratio.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
+            p_runs,
+            fmt_count(p_rows),
+        );
+    }
+}

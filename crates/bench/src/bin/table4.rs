@@ -1,0 +1,50 @@
+//! Regenerates **Table 4** (§3.2.2): varying the input size from 6,000 to
+//! 100,000,000 rows (k = 5,000, memory 1,000 rows, 10 buckets per run).
+
+use histok_analysis::table4;
+use histok_bench::{banner, fmt_count};
+
+/// Paper values: (input, runs, rows).
+const PAPER: [(u64, u64, u64); 15] = [
+    (6_000, 6, 5_900),
+    (7_000, 7, 6_699),
+    (10_000, 9, 8_332),
+    (20_000, 13, 11_840),
+    (50_000, 19, 16_690),
+    (100_000, 24, 20_627),
+    (200_000, 28, 24_638),
+    (500_000, 35, 30_008),
+    (1_000_000, 39, 34_077),
+    (2_000_000, 44, 38_188),
+    (5_000_000, 50, 43_565),
+    (10_000_000, 55, 47_683),
+    (20_000_000, 60, 51_735),
+    (50_000_000, 66, 57_182),
+    (100_000_000, 71, 61_235),
+];
+
+fn main() {
+    banner(
+        "Table 4 — varying input size (idealized model)",
+        "k = 5,000, memory 1,000 rows, 10 buckets per run",
+    );
+    println!(
+        "{:>12} | {:>5} {:>8} {:>10} {:>10} {:>6} | {:>5} {:>8} (paper)",
+        "Input size", "Runs", "Rows", "Cutoff", "Ideal", "Ratio", "Runs", "Rows"
+    );
+    for (row, (input, p_runs, p_rows)) in table4().iter().zip(PAPER) {
+        assert_eq!(row.input, input);
+        let r = &row.result;
+        println!(
+            "{:>12} | {:>5} {:>8} {:>10} {:>10} {:>6} | {:>5} {:>8}",
+            fmt_count(row.input),
+            r.runs,
+            fmt_count(r.rows_spilled),
+            r.final_cutoff.map(|c| format!("{c:.6}")).unwrap_or_else(|| "-".into()),
+            format!("{:.6}", r.ideal_cutoff),
+            r.ratio.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
+            p_runs,
+            fmt_count(p_rows),
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Regenerates **Table 5** (§3.2.2): varying the input size with minimal
+//! histograms — one bucket per run, bounded by the run's median key
+//! (k = 5,000, memory 1,000 rows).
+
+use histok_analysis::table5;
+use histok_bench::{banner, fmt_count};
+
+/// Paper values: (input, runs, rows).
+const PAPER: [(u64, u64, u64); 15] = [
+    (6_000, 6, 6_000),
+    (7_000, 7, 7_000),
+    (10_000, 10, 9_500),
+    (20_000, 15, 14_500),
+    (50_000, 25, 24_000),
+    (100_000, 34, 32_250),
+    (200_000, 44, 41_125),
+    (500_000, 56, 53_437),
+    (1_000_000, 66, 62_781),
+    (2_000_000, 76, 72_203),
+    (5_000_000, 90, 85_499),
+    (10_000_000, 100, 94_999),
+    (20_000_000, 110, 104_500),
+    (50_000_000, 123, 116_209),
+    (100_000_000, 133, 125_708),
+];
+
+fn main() {
+    banner(
+        "Table 5 — varying input size, minimal histograms (idealized model)",
+        "k = 5,000, memory 1,000 rows, 1 bucket per run (the median key)",
+    );
+    println!(
+        "{:>12} | {:>5} {:>8} {:>10} {:>10} {:>6} | {:>5} {:>8} (paper)",
+        "Input size", "Runs", "Rows", "Cutoff", "Ideal", "Ratio", "Runs", "Rows"
+    );
+    for (row, (input, p_runs, p_rows)) in table5().iter().zip(PAPER) {
+        assert_eq!(row.input, input);
+        let r = &row.result;
+        println!(
+            "{:>12} | {:>5} {:>8} {:>10} {:>10} {:>6} | {:>5} {:>8}",
+            fmt_count(row.input),
+            r.runs,
+            fmt_count(r.rows_spilled),
+            r.final_cutoff.map(|c| format!("{c:.6}")).unwrap_or_else(|| "-".into()),
+            format!("{:.6}", r.ideal_cutoff),
+            r.ratio.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
+            p_runs,
+            fmt_count(p_rows),
+        );
+    }
+    println!();
+    let rows = table5();
+    let largest = &rows.last().unwrap().result;
+    println!(
+        "largest input spills {:.3}% of its rows (paper: 1/8 % = 0.125%)",
+        largest.rows_spilled as f64 / 1e8 * 100.0
+    );
+}

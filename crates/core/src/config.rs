@@ -1,0 +1,259 @@
+//! Configuration of the top-k operators.
+
+use histok_sort::run_gen::ResiduePolicy;
+use histok_sort::{MergeConfig, MergePolicy};
+use histok_types::{Error, Result};
+
+use crate::sizing::SizingPolicy;
+
+/// Which run-generation strategy the operator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunGenKind {
+    /// Replacement selection (production default, §5.1.2).
+    #[default]
+    ReplacementSelection,
+    /// Quicksort load-sort-store runs (PostgreSQL-style; also what the
+    /// §3.2 analysis assumes).
+    LoadSortStore,
+}
+
+/// Tunables for [`crate::HistogramTopK`] (and, where applicable, the
+/// baselines). Build with [`TopKConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct TopKConfig {
+    /// Workspace bytes for buffered rows (§5.1.2 default is 1 GB; ours is
+    /// 16 MiB, suitable for scaled experiments).
+    pub memory_budget: usize,
+    /// Histogram sizing policy (default: 50 buckets per run).
+    pub sizing: SizingPolicy,
+    /// Memory allowed for the histogram priority queue before a
+    /// consolidation step (§5.1.2 default: 1 MiB).
+    pub histogram_memory: usize,
+    /// Emit tail buckets at run end (strictly more information than the
+    /// paper's idealized model; ablation switch).
+    pub tail_buckets: bool,
+    /// Run-generation strategy.
+    pub run_generation: RunGenKind,
+    /// Cap runs at `offset + limit` rows (the [Graefe'08] optimization).
+    pub limit_run_size: bool,
+    /// Merge fan-in and intermediate-run selection policy.
+    pub merge: MergeConfig,
+    /// What to do with rows still in memory when input ends.
+    pub residue: ResiduePolicy,
+    /// Master switch for the cutoff filter (off = measure the bare
+    /// operator, §5.5).
+    pub filter_enabled: bool,
+    /// Apply the filter at operator input (Algorithm 1 line 4); ablation.
+    pub input_filter: bool,
+    /// Apply the filter again at spill time (Algorithm 1 line 11);
+    /// ablation.
+    pub spill_filter: bool,
+    /// Run-file block payload bytes.
+    pub block_bytes: usize,
+    /// Approximation slack ε ∈ [0, 1) (§4.5): the cutoff filter targets
+    /// ⌈k·(1−ε)⌉ rows instead of `k`, filtering earlier and harder. The
+    /// exact top ⌈k·(1−ε)⌉ rows are still guaranteed; the remaining output
+    /// positions are best-effort and the row count may fall short of `k`.
+    /// 0.0 (the default) = exact.
+    pub approx_slack: f64,
+}
+
+impl Default for TopKConfig {
+    fn default() -> Self {
+        TopKConfig {
+            memory_budget: 16 * 1024 * 1024,
+            sizing: SizingPolicy::default(),
+            histogram_memory: crate::cutoff::DEFAULT_FILTER_MEMORY,
+            tail_buckets: true,
+            run_generation: RunGenKind::default(),
+            limit_run_size: true,
+            // The paper's algorithm performs "one pass over the input to
+            // generate sorted runs and then merges the runs until the top k
+            // rows are produced" (§1) — intermediate merge steps only happen
+            // when the run count exceeds this generous fan-in.
+            merge: MergeConfig { fan_in: 512, policy: MergePolicy::LowestKeyFirst },
+            residue: ResiduePolicy::KeepInMemory,
+            filter_enabled: true,
+            input_filter: true,
+            spill_filter: true,
+            block_bytes: histok_storage::DEFAULT_BLOCK_BYTES,
+            approx_slack: 0.0,
+        }
+    }
+}
+
+impl TopKConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> TopKConfigBuilder {
+        TopKConfigBuilder { config: TopKConfig::default() }
+    }
+
+    /// Checks the configuration for consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.memory_budget == 0 {
+            return Err(Error::InvalidConfig("memory budget must be positive".into()));
+        }
+        if self.block_bytes == 0 {
+            return Err(Error::InvalidConfig("block bytes must be positive".into()));
+        }
+        if !(0.0..1.0).contains(&self.approx_slack) {
+            return Err(Error::InvalidConfig("approx_slack must be in [0, 1)".into()));
+        }
+        self.sizing.validate()?;
+        self.merge.validate()?;
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`TopKConfig`].
+#[derive(Debug, Clone)]
+pub struct TopKConfigBuilder {
+    config: TopKConfig,
+}
+
+impl TopKConfigBuilder {
+    /// Sets the workspace byte budget.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.config.memory_budget = bytes;
+        self
+    }
+
+    /// Sets the histogram sizing policy.
+    pub fn sizing(mut self, policy: SizingPolicy) -> Self {
+        self.config.sizing = policy;
+        self
+    }
+
+    /// Sets the histogram priority-queue memory budget.
+    pub fn histogram_memory(mut self, bytes: usize) -> Self {
+        self.config.histogram_memory = bytes;
+        self
+    }
+
+    /// Enables or disables tail buckets.
+    pub fn tail_buckets(mut self, emit: bool) -> Self {
+        self.config.tail_buckets = emit;
+        self
+    }
+
+    /// Chooses the run-generation strategy.
+    pub fn run_generation(mut self, kind: RunGenKind) -> Self {
+        self.config.run_generation = kind;
+        self
+    }
+
+    /// Enables or disables the run-size cap at `k`.
+    pub fn limit_run_size(mut self, on: bool) -> Self {
+        self.config.limit_run_size = on;
+        self
+    }
+
+    /// Sets merge fan-in.
+    pub fn fan_in(mut self, fan_in: usize) -> Self {
+        self.config.merge.fan_in = fan_in;
+        self
+    }
+
+    /// Sets the intermediate-merge run-selection policy.
+    pub fn merge_policy(mut self, policy: MergePolicy) -> Self {
+        self.config.merge.policy = policy;
+        self
+    }
+
+    /// Sets the end-of-input residue policy.
+    pub fn residue(mut self, residue: ResiduePolicy) -> Self {
+        self.config.residue = residue;
+        self
+    }
+
+    /// Master filter switch (§5.5 overhead experiments).
+    pub fn filter_enabled(mut self, on: bool) -> Self {
+        self.config.filter_enabled = on;
+        self
+    }
+
+    /// Input-side filtering switch (ablation).
+    pub fn input_filter(mut self, on: bool) -> Self {
+        self.config.input_filter = on;
+        self
+    }
+
+    /// Spill-time filtering switch (ablation).
+    pub fn spill_filter(mut self, on: bool) -> Self {
+        self.config.spill_filter = on;
+        self
+    }
+
+    /// Run-file block payload size.
+    pub fn block_bytes(mut self, bytes: usize) -> Self {
+        self.config.block_bytes = bytes;
+        self
+    }
+
+    /// Approximation slack (§4.5); see [`TopKConfig::approx_slack`].
+    pub fn approx_slack(mut self, slack: f64) -> Self {
+        self.config.approx_slack = slack;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<TopKConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = TopKConfig::default();
+        assert_eq!(c.sizing, SizingPolicy::TargetBuckets(50)); // §5.1.2
+        assert_eq!(c.histogram_memory, 1024 * 1024); // §5.1.2: 1 MB
+        assert_eq!(c.run_generation, RunGenKind::ReplacementSelection);
+        assert!(c.limit_run_size);
+        assert!(c.filter_enabled && c.input_filter && c.spill_filter);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let c = TopKConfig::builder()
+            .memory_budget(1 << 20)
+            .sizing(SizingPolicy::TargetBuckets(9))
+            .histogram_memory(4096)
+            .tail_buckets(false)
+            .run_generation(RunGenKind::LoadSortStore)
+            .limit_run_size(false)
+            .fan_in(8)
+            .merge_policy(MergePolicy::SmallestFirst)
+            .residue(ResiduePolicy::SpillToRuns)
+            .filter_enabled(true)
+            .input_filter(false)
+            .spill_filter(true)
+            .block_bytes(1024)
+            .build()
+            .unwrap();
+        assert_eq!(c.memory_budget, 1 << 20);
+        assert_eq!(c.sizing, SizingPolicy::TargetBuckets(9));
+        assert!(!c.tail_buckets);
+        assert_eq!(c.run_generation, RunGenKind::LoadSortStore);
+        assert!(!c.limit_run_size);
+        assert_eq!(c.merge.fan_in, 8);
+        assert!(!c.input_filter);
+        assert_eq!(c.block_bytes, 1024);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(TopKConfig::builder().memory_budget(0).build().is_err());
+        assert!(TopKConfig::builder().block_bytes(0).build().is_err());
+        assert!(TopKConfig::builder().fan_in(1).build().is_err());
+        assert!(TopKConfig::builder().sizing(SizingPolicy::FixedWidth(0)).build().is_err());
+        assert!(TopKConfig::builder().approx_slack(1.0).build().is_err());
+        assert!(TopKConfig::builder().approx_slack(-0.1).build().is_err());
+        assert!(TopKConfig::builder().approx_slack(0.25).build().is_ok());
+    }
+}

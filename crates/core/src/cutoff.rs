@@ -1,0 +1,524 @@
+//! The cutoff filter — the paper's central data structure (§3.1.2).
+//!
+//! A priority queue of histogram [`Bucket`]s, sorted *inverse* to the
+//! requested output order, models the input seen so far. Once the buckets
+//! jointly represent at least `k` rows, the boundary key at the top of the
+//! queue is a valid **cutoff key**: at least `k` rows are known to sort at
+//! or before it, so any row sorting strictly after it cannot be in the
+//! output and is eliminated. After every insertion the queue pops buckets
+//! while `Σcount − top.count ≥ k`, continuously sharpening the cutoff.
+//!
+//! The filter implements [`SpillObserver`], which is how it watches run
+//! generation: each spilled row feeds a [`HistogramBuilder`], each completed
+//! bucket is inserted, and the sharpened cutoff immediately starts
+//! eliminating rows — including later rows of the very run being written.
+
+use histok_sort::{BinaryHeapBy, SpillObserver};
+use histok_types::{Result, SortKey, SortOrder};
+
+use crate::histogram::{Bucket, HistogramBuilder};
+use crate::sizing::SizingPolicy;
+
+/// Default memory allocation for the histogram priority queue (§5.1.2:
+/// "default: 1 MB").
+pub const DEFAULT_FILTER_MEMORY: usize = 1024 * 1024;
+
+/// Counters describing the filter's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterMetrics {
+    /// Buckets inserted into the priority queue.
+    pub buckets_inserted: u64,
+    /// Buckets popped while sharpening.
+    pub buckets_popped: u64,
+    /// Times the cutoff key strictly tightened.
+    pub refinements: u64,
+    /// Consolidation steps (queue collapsed to one bucket).
+    pub consolidations: u64,
+    /// Rows eliminated by [`CutoffFilter::should_eliminate`] at spill time.
+    pub eliminated_at_spill: u64,
+}
+
+/// Boxed runtime comparator for buckets.
+type BucketCmp<K> = Box<dyn FnMut(&Bucket<K>, &Bucket<K>) -> bool + Send>;
+type BucketHeap<K> = BinaryHeapBy<Bucket<K>, BucketCmp<K>>;
+
+/// The histogram-based cutoff filter.
+///
+/// ```
+/// use histok_core::{Bucket, CutoffFilter};
+/// use histok_types::SortOrder;
+///
+/// // Query wants the 4 smallest keys.
+/// let mut filter: CutoffFilter<u64> = CutoffFilter::new(4, SortOrder::Ascending);
+/// assert!(!filter.eliminate(&1_000)); // nothing established yet
+///
+/// filter.insert_bucket(Bucket::new(10, 2)); // 2 rows ≤ 10
+/// filter.insert_bucket(Bucket::new(50, 2)); // 2 rows ≤ 50 → Σ = 4 = k
+/// assert_eq!(filter.cutoff(), Some(&50));
+/// assert!(filter.eliminate(&51));
+/// assert!(!filter.eliminate(&50)); // ties survive
+///
+/// filter.insert_bucket(Bucket::new(20, 2)); // sharper: pop the 50-bucket
+/// assert_eq!(filter.cutoff(), Some(&20));
+/// ```
+pub struct CutoffFilter<K: SortKey> {
+    order: SortOrder,
+    k: u64,
+    /// Max-heap w.r.t. output order (i.e. sorted inverse to the output):
+    /// the top bucket carries the largest boundary key.
+    heap: BucketHeap<K>,
+    /// Total rows represented by the queued buckets.
+    sum: u64,
+    cutoff: Option<K>,
+    builder: HistogramBuilder<K>,
+    policy: SizingPolicy,
+    emit_tail: bool,
+    /// When false, `should_eliminate` always passes rows through but the
+    /// histogram is still built (ablation of Algorithm 1 line 11).
+    spill_elimination: bool,
+    memory_budget: usize,
+    used_bytes: usize,
+    metrics: FilterMetrics,
+}
+
+impl<K: SortKey> CutoffFilter<K> {
+    /// Creates a filter for a query retaining `k` rows in `order`, with the
+    /// default sizing policy (50 buckets/run) and 1 MiB queue budget.
+    pub fn new(k: u64, order: SortOrder) -> Self {
+        Self::with_policy(k, order, SizingPolicy::default())
+    }
+
+    /// Creates a filter with an explicit sizing policy.
+    pub fn with_policy(k: u64, order: SortOrder, policy: SizingPolicy) -> Self {
+        let cmp: BucketCmp<K> = Box::new(move |a, b| order.follows(&a.boundary, &b.boundary));
+        CutoffFilter {
+            order,
+            k: k.max(1),
+            heap: BinaryHeapBy::new(cmp),
+            sum: 0,
+            cutoff: None,
+            builder: HistogramBuilder::new(),
+            policy,
+            emit_tail: true,
+            spill_elimination: true,
+            memory_budget: DEFAULT_FILTER_MEMORY,
+            used_bytes: 0,
+            metrics: FilterMetrics::default(),
+        }
+    }
+
+    /// Overrides the priority-queue memory budget that triggers
+    /// consolidation.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes.max(64);
+        self
+    }
+
+    /// Controls whether a run's tail rows (after the last full bucket) form
+    /// a final bucket. `true` (default) is strictly more informative;
+    /// `false` reproduces the paper's idealized model exactly.
+    pub fn with_tail_buckets(mut self, emit: bool) -> Self {
+        self.emit_tail = emit;
+        self
+    }
+
+    /// Controls whether rows are eliminated at spill time; when off, the
+    /// histogram is still maintained but `should_eliminate` passes
+    /// everything through (ablation of Algorithm 1 line 11).
+    pub fn with_spill_elimination(mut self, on: bool) -> Self {
+        self.spill_elimination = on;
+        self
+    }
+
+    /// Validates configuration invariants.
+    pub fn validate(&self) -> Result<()> {
+        self.policy.validate()
+    }
+
+    /// The current cutoff key, if established.
+    pub fn cutoff(&self) -> Option<&K> {
+        self.cutoff.as_ref()
+    }
+
+    /// True once a cutoff key has been established (`Σcount ≥ k`).
+    pub fn established(&self) -> bool {
+        self.cutoff.is_some()
+    }
+
+    /// The paper's `eliminate(row)`: true iff a cutoff exists and `key`
+    /// sorts strictly after it. Rows equal to the cutoff are kept so that
+    /// duplicate keys around the kth position are never lost.
+    #[inline]
+    pub fn eliminate(&self, key: &K) -> bool {
+        match &self.cutoff {
+            Some(cut) => self.order.follows(key, cut),
+            None => false,
+        }
+    }
+
+    /// Inserts one bucket into the input model and sharpens the cutoff.
+    pub fn insert_bucket(&mut self, bucket: Bucket<K>) {
+        debug_assert!(bucket.count > 0, "empty buckets carry no information");
+        self.metrics.buckets_inserted += 1;
+        self.used_bytes += bucket.footprint();
+        self.sum += bucket.count;
+        self.heap.push(bucket);
+        self.sharpen();
+        if self.used_bytes > self.memory_budget && self.heap.len() > 1 {
+            self.consolidate();
+        }
+    }
+
+    /// Pops buckets while doing so keeps at least `k` rows represented,
+    /// then refreshes the cutoff key.
+    fn sharpen(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.sum - top.count >= self.k {
+                let popped = self.heap.pop().expect("peeked");
+                self.sum -= popped.count;
+                self.used_bytes = self.used_bytes.saturating_sub(popped.footprint());
+                self.metrics.buckets_popped += 1;
+            } else {
+                break;
+            }
+        }
+        if self.sum >= self.k {
+            let top = self.heap.peek().expect("sum ≥ k implies a bucket");
+            let tightened = match &self.cutoff {
+                Some(cur) => self.order.precedes(&top.boundary, cur),
+                None => true,
+            };
+            if tightened {
+                // The cutoff is monotone: input filtering guarantees no new
+                // boundary sorts after the current cutoff.
+                self.cutoff = Some(top.boundary.clone());
+                self.metrics.refinements += 1;
+            }
+        }
+    }
+
+    /// §5.1.2 consolidation: replace every queued bucket with a single one
+    /// carrying the current top boundary and the total count. Costs one
+    /// insertion; loses resolution but never validity.
+    fn consolidate(&mut self) {
+        let Some(top) = self.heap.peek() else { return };
+        let merged = Bucket::new(top.boundary.clone(), self.sum);
+        let fp = merged.footprint();
+        self.heap.drain_unordered();
+        self.heap.push(merged);
+        self.used_bytes = fp;
+        self.metrics.consolidations += 1;
+    }
+
+    /// Externally tightens the cutoff (merge refinement, §4.1). The caller
+    /// must guarantee at least `k` rows sort at or before `key` — true for
+    /// the last key of any `k`-row merge output. Ignored if not tighter.
+    pub fn tighten(&mut self, key: &K) {
+        let tighter = match &self.cutoff {
+            Some(cur) => self.order.precedes(key, cur),
+            None => true,
+        };
+        if tighter {
+            self.cutoff = Some(key.clone());
+            self.metrics.refinements += 1;
+        }
+    }
+
+    /// Rows currently represented by the queue.
+    pub fn represented_rows(&self) -> u64 {
+        self.sum
+    }
+
+    /// Buckets currently queued.
+    pub fn bucket_count(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Approximate bytes used by the queue.
+    pub fn memory_used(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Activity counters.
+    pub fn metrics(&self) -> FilterMetrics {
+        self.metrics
+    }
+
+    /// The `k` this filter targets.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+}
+
+impl<K: SortKey> SpillObserver<K> for CutoffFilter<K> {
+    fn run_started(&mut self, estimated_rows: u64) {
+        let width = self.policy.width_for_run(estimated_rows.max(1));
+        self.builder.start_run(width, self.policy.max_buckets_per_run());
+    }
+
+    fn should_eliminate(&mut self, key: &K) -> bool {
+        let kill = self.spill_elimination && self.eliminate(key);
+        if kill {
+            self.metrics.eliminated_at_spill += 1;
+        }
+        kill
+    }
+
+    fn row_spilled(&mut self, key: &K) {
+        if let Some(bucket) = self.builder.offer(key) {
+            self.insert_bucket(bucket);
+        }
+    }
+
+    fn run_finished(&mut self) {
+        if let Some(tail) = self.builder.finish_run(self.emit_tail) {
+            self.insert_bucket(tail);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histok_types::F64Key;
+
+    /// Inserts the decile buckets of one §3.2.1-style run: boundaries at
+    /// `scale * i/10` for i = 1..=9, 100 rows each.
+    fn insert_decile_run(f: &mut CutoffFilter<F64Key>, scale: f64) {
+        for i in 1..=9 {
+            f.insert_bucket(Bucket::new(F64Key(scale * i as f64 / 10.0), 100));
+        }
+    }
+
+    #[test]
+    fn no_cutoff_until_k_rows_represented() {
+        let mut f: CutoffFilter<F64Key> = CutoffFilter::new(5000, SortOrder::Ascending);
+        for _ in 0..5 {
+            insert_decile_run(&mut f, 1.0);
+        }
+        // 5 runs × 900 rows = 4500 < 5000 → nothing established.
+        assert!(!f.established());
+        assert!(!f.eliminate(&F64Key(0.99)));
+    }
+
+    #[test]
+    fn paper_trace_cutoff_after_run_six_is_0_9() {
+        // §3.2.1: "after run 6 ... eliminate rows with keys above 0.9,
+        // because 6 * 900 = 5,400 > 5,000".
+        let mut f: CutoffFilter<F64Key> = CutoffFilter::new(5000, SortOrder::Ascending);
+        for _ in 0..6 {
+            insert_decile_run(&mut f, 1.0);
+        }
+        assert_eq!(f.cutoff(), Some(&F64Key(0.9)));
+        assert!(f.eliminate(&F64Key(0.91)));
+        assert!(!f.eliminate(&F64Key(0.9))); // ties survive
+        assert_eq!(f.represented_rows(), 5000);
+    }
+
+    #[test]
+    fn paper_trace_run_seven_ends_at_0_72() {
+        let mut f: CutoffFilter<F64Key> = CutoffFilter::new(5000, SortOrder::Ascending);
+        for _ in 0..6 {
+            insert_decile_run(&mut f, 1.0);
+        }
+        // Run 7's deciles are 0.09 * i (scale 0.9). Insert while the next
+        // boundary survives the current cutoff, exactly like run generation.
+        let mut written = Vec::new();
+        for i in 1..=9 {
+            let b = F64Key(0.9 * i as f64 / 10.0);
+            if f.eliminate(&b) {
+                break;
+            }
+            f.insert_bucket(Bucket::new(b, 100));
+            written.push(b.get());
+        }
+        // §3.2.1: run 7 ends with key value 0.72 (8 buckets written).
+        assert_eq!(written.len(), 8);
+        assert!((written[7] - 0.72).abs() < 1e-12);
+        assert_eq!(f.cutoff().unwrap().get(), 0.72);
+    }
+
+    #[test]
+    fn paper_trace_run_eight_yields_0_6() {
+        let mut f: CutoffFilter<F64Key> = CutoffFilter::new(5000, SortOrder::Ascending);
+        for _ in 0..6 {
+            insert_decile_run(&mut f, 1.0);
+        }
+        for i in 1..=8 {
+            f.insert_bucket(Bucket::new(F64Key(0.9 * i as f64 / 10.0), 100));
+        }
+        assert_eq!(f.cutoff().unwrap().get(), 0.72);
+        // Run 8: deciles 0.072 * i, scale = 0.72.
+        let mut last = None;
+        for i in 1..=9 {
+            let b = F64Key(0.72 * i as f64 / 10.0);
+            if f.eliminate(&b) {
+                break;
+            }
+            f.insert_bucket(Bucket::new(b, 100));
+            last = Some(b.get());
+        }
+        // §3.2.1: "After run 8, the new cutoff key is 0.6".
+        assert_eq!(f.cutoff().unwrap().get(), 0.6);
+        assert!((last.unwrap() - 0.576).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cutoff_is_monotone_under_any_insertions() {
+        let mut f: CutoffFilter<u64> = CutoffFilter::new(10, SortOrder::Ascending);
+        let mut last: Option<u64> = None;
+        for boundary in [100u64, 90, 95, 80, 85, 70, 60, 65, 50] {
+            f.insert_bucket(Bucket::new(boundary, 5));
+            if let (Some(prev), Some(cur)) = (last, f.cutoff().copied()) {
+                assert!(cur <= prev, "cutoff went backwards: {prev} -> {cur}");
+            }
+            last = f.cutoff().copied();
+        }
+    }
+
+    #[test]
+    fn descending_queries_mirror() {
+        // Top-k LARGEST: cutoff sits below, rows smaller than it die.
+        let mut f: CutoffFilter<u64> = CutoffFilter::new(4, SortOrder::Descending);
+        f.insert_bucket(Bucket::new(80, 2));
+        f.insert_bucket(Bucket::new(60, 2));
+        assert_eq!(f.cutoff(), Some(&60));
+        assert!(f.eliminate(&59));
+        assert!(!f.eliminate(&60));
+        assert!(!f.eliminate(&100));
+        f.insert_bucket(Bucket::new(90, 2));
+        // 90,80,60 represent 6 ≥ 4; popping 60 keeps 4 → cutoff 80.
+        assert_eq!(f.cutoff(), Some(&80));
+    }
+
+    #[test]
+    fn consolidation_collapses_to_one_bucket_and_stays_valid() {
+        let mut f: CutoffFilter<u64> =
+            CutoffFilter::new(100, SortOrder::Ascending).with_memory_budget(64);
+        for i in 0..50u64 {
+            f.insert_bucket(Bucket::new(1000 - i, 10));
+        }
+        assert!(f.metrics().consolidations > 0, "tiny budget must consolidate");
+        assert!(f.bucket_count() < 50);
+        // Validity: the cutoff still represents ≥ k rows.
+        assert!(f.established());
+        assert!(f.represented_rows() >= 100);
+        // And elimination still behaves.
+        let cut = *f.cutoff().unwrap();
+        assert!(f.eliminate(&(cut + 1)));
+        assert!(!f.eliminate(&(cut - 1)));
+    }
+
+    #[test]
+    fn consolidation_costs_resolution_not_correctness() {
+        // After consolidation the single bucket pins sum at the top
+        // boundary; further buckets keep sharpening below it.
+        let mut f: CutoffFilter<u64> =
+            CutoffFilter::new(10, SortOrder::Ascending).with_memory_budget(64);
+        for i in 0..30u64 {
+            f.insert_bucket(Bucket::new(500 + i, 1));
+        }
+        let after_consolidation = *f.cutoff().unwrap();
+        for i in 0..20u64 {
+            f.insert_bucket(Bucket::new(10 + i, 1));
+        }
+        assert!(*f.cutoff().unwrap() <= after_consolidation);
+    }
+
+    #[test]
+    fn observer_path_builds_buckets_from_spills() {
+        use histok_sort::SpillObserver;
+        let mut f: CutoffFilter<u64> =
+            CutoffFilter::with_policy(6, SortOrder::Ascending, SizingPolicy::TargetBuckets(4));
+        // Run of estimated 10 rows → width 2.
+        f.run_started(10);
+        let mut spilled = Vec::new();
+        for key in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            if !f.should_eliminate(&key) {
+                f.row_spilled(&key);
+                spilled.push(key);
+            }
+        }
+        f.run_finished();
+        // Buckets (2,2) (4,2) (6,2): after (6,2) the sum hits k=6 and the
+        // cutoff 6 eliminates the rest of the very same run — the paper's
+        // "the cutoff key may be sharpened and used to eliminate parts of
+        // the same, currently being written, run" (§3.1.2).
+        assert_eq!(spilled, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(f.cutoff(), Some(&6));
+        assert_eq!(f.metrics().eliminated_at_spill, 4);
+        // A second run keeps being filtered at spill time.
+        f.run_started(10);
+        assert!(f.should_eliminate(&7));
+        assert!(!f.should_eliminate(&6));
+        assert_eq!(f.metrics().eliminated_at_spill, 5);
+    }
+
+    #[test]
+    fn tail_buckets_add_information() {
+        use histok_sort::SpillObserver;
+        let mk = |tail: bool| {
+            let mut f: CutoffFilter<u64> =
+                CutoffFilter::with_policy(4, SortOrder::Ascending, SizingPolicy::FixedWidth(3))
+                    .with_tail_buckets(tail);
+            f.run_started(5);
+            for key in [1u64, 2, 3, 4, 5] {
+                f.row_spilled(&key);
+            }
+            f.run_finished();
+            f.cutoff().copied()
+        };
+        // Width 3 over 5 rows: bucket (3,3) plus tail (5,2).
+        assert_eq!(mk(true), Some(5)); // 3+2 = 5 ≥ 4 → cutoff 5
+        assert_eq!(mk(false), None); // only 3 rows represented
+    }
+
+    #[test]
+    fn tighten_only_tightens() {
+        let mut f: CutoffFilter<u64> = CutoffFilter::new(2, SortOrder::Ascending);
+        f.insert_bucket(Bucket::new(50, 2));
+        assert_eq!(f.cutoff(), Some(&50));
+        f.tighten(&60); // looser → ignored
+        assert_eq!(f.cutoff(), Some(&50));
+        f.tighten(&40);
+        assert_eq!(f.cutoff(), Some(&40));
+        assert!(f.eliminate(&41));
+    }
+
+    #[test]
+    fn k_of_zero_is_clamped() {
+        let f: CutoffFilter<u64> = CutoffFilter::new(0, SortOrder::Ascending);
+        assert_eq!(f.k(), 1);
+    }
+
+    #[test]
+    fn never_eliminates_a_true_top_k_key() {
+        // Adversarial mix of bucket sizes: the invariant Σcount ≥ k over
+        // keys ≤ cutoff must protect every true top-k key.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let k = 57u64;
+        let mut f: CutoffFilter<u64> = CutoffFilter::new(k, SortOrder::Ascending);
+        let mut spilled: Vec<u64> = Vec::new();
+        for _ in 0..2000 {
+            let key: u64 = rng.gen_range(0..100_000);
+            if f.eliminate(&key) {
+                continue; // eliminated rows are by definition > cutoff
+            }
+            spilled.push(key);
+            // Every spilled row becomes its own bucket (width-1 extreme).
+            f.insert_bucket(Bucket::new(key, 1));
+        }
+        // The k smallest *spilled* keys must be the k smallest overall:
+        // elimination only ever removed keys > some valid cutoff, i.e. keys
+        // with ≥ k spilled keys below them.
+        spilled.sort_unstable();
+        let kth = spilled[(k - 1) as usize];
+        assert!(f.cutoff().is_some());
+        assert!(
+            *f.cutoff().unwrap() >= kth,
+            "cutoff {} below true kth spilled key {kth}",
+            f.cutoff().unwrap()
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Grouped top-k (§4.3): "top K for groups and partitions".
+//!
+//! One cutoff filter per group — "if there are customers in 180 countries,
+//! each country has its own histogram priority queue, cutoff key, etc."
+//! Each group is an independent [`HistogramTopK`] sharing one storage
+//! backend (run-object names are process-unique). The caller divides the
+//! total memory budget among groups via the per-group config; smaller
+//! histogram budgets per group are supported exactly as §4.3 suggests.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use histok_storage::StorageBackend;
+use histok_types::{Error, Result, Row, SortKey, SortSpec};
+
+use crate::config::TopKConfig;
+use crate::metrics::OperatorMetrics;
+use crate::topk::{HistogramTopK, TopKOperator};
+
+/// Per-group top-k over a stream of `(group, row)` pairs.
+pub struct GroupedTopK<G, K: SortKey> {
+    spec: SortSpec,
+    config: TopKConfig,
+    backend: Arc<dyn StorageBackend>,
+    groups: HashMap<G, HistogramTopK<K>>,
+    finished: bool,
+}
+
+impl<G, K> GroupedTopK<G, K>
+where
+    G: Eq + Hash + Ord + Clone + Send,
+    K: SortKey,
+{
+    /// Creates the operator; `config` applies to *each* group (size its
+    /// budgets accordingly).
+    pub fn new(
+        spec: SortSpec,
+        config: TopKConfig,
+        backend: impl StorageBackend + 'static,
+    ) -> Result<Self> {
+        spec.validate()?;
+        config.validate()?;
+        Ok(GroupedTopK {
+            spec,
+            config,
+            backend: Arc::new(backend),
+            groups: HashMap::new(),
+            finished: false,
+        })
+    }
+
+    /// Offers one row to its group's operator (created on first sight).
+    pub fn push(&mut self, group: G, row: Row<K>) -> Result<()> {
+        if self.finished {
+            return Err(Error::InvalidConfig("push after finish".into()));
+        }
+        let op = match self.groups.entry(group) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(HistogramTopK::with_arc(
+                self.spec,
+                self.config.clone(),
+                self.backend.clone(),
+            )?),
+        };
+        op.push(row)
+    }
+
+    /// Number of groups seen so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Ends the input and returns each group's top-k, ordered by group.
+    pub fn finish(&mut self) -> Result<Vec<(G, Vec<Row<K>>)>> {
+        if self.finished {
+            return Err(Error::InvalidConfig("finish called twice".into()));
+        }
+        self.finished = true;
+        let mut out: Vec<(G, Vec<Row<K>>)> = Vec::with_capacity(self.groups.len());
+        for (group, mut op) in self.groups.drain() {
+            let rows: Result<Vec<Row<K>>> = op.finish()?.collect();
+            out.push((group, rows?));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Aggregated metrics across every group.
+    pub fn metrics(&self) -> OperatorMetrics {
+        let mut total = OperatorMetrics::default();
+        for op in self.groups.values() {
+            let m = op.metrics();
+            total.rows_in += m.rows_in;
+            total.eliminated_at_input += m.eliminated_at_input;
+            total.eliminated_at_spill += m.eliminated_at_spill;
+            total.io.rows_written += m.io.rows_written;
+            total.io.bytes_written += m.io.bytes_written;
+            total.io.rows_read += m.io.rows_read;
+            total.io.bytes_read += m.io.bytes_read;
+            total.io.runs_created += m.io.runs_created;
+            total.spilled |= m.spilled;
+            total.peak_memory_bytes += m.peak_memory_bytes;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histok_storage::MemoryBackend;
+    use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+    fn config(budget: usize) -> TopKConfig {
+        TopKConfig::builder().memory_budget(budget).block_bytes(1024).build().unwrap()
+    }
+
+    #[test]
+    fn per_group_top_k_in_memory() {
+        let mut op: GroupedTopK<&'static str, u64> =
+            GroupedTopK::new(SortSpec::ascending(2), config(1 << 20), MemoryBackend::new())
+                .unwrap();
+        op.push("us", Row::key_only(5)).unwrap();
+        op.push("us", Row::key_only(1)).unwrap();
+        op.push("us", Row::key_only(3)).unwrap();
+        op.push("de", Row::key_only(9)).unwrap();
+        op.push("de", Row::key_only(7)).unwrap();
+        assert_eq!(op.group_count(), 2);
+        let out = op.finish().unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, "de");
+        assert_eq!(out[0].1.iter().map(|r| r.key).collect::<Vec<_>>(), vec![7, 9]);
+        assert_eq!(out[1].0, "us");
+        assert_eq!(out[1].1.iter().map(|r| r.key).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn groups_spill_independently() {
+        let row_bytes = histok_sort::row_footprint(&Row::key_only(0u64));
+        // ~40 rows of budget per group, k = 100 → every group goes external.
+        let mut op: GroupedTopK<u32, u64> = GroupedTopK::new(
+            SortSpec::ascending(100),
+            config(40 * row_bytes),
+            MemoryBackend::new(),
+        )
+        .unwrap();
+        let mut rows: Vec<(u32, u64)> = Vec::new();
+        for g in 0..4u32 {
+            for k in 0..3000u64 {
+                rows.push((g, k));
+            }
+        }
+        rows.shuffle(&mut StdRng::seed_from_u64(13));
+        for (g, k) in rows {
+            op.push(g, Row::key_only(k)).unwrap();
+        }
+        let m = op.metrics();
+        assert!(m.spilled);
+        assert!(m.io.rows_written < 12_000, "groups should filter, spilled {}", m.io.rows_written);
+        let out = op.finish().unwrap();
+        assert_eq!(out.len(), 4);
+        for (_, rows) in out {
+            assert_eq!(
+                rows.iter().map(|r| r.key).collect::<Vec<_>>(),
+                (0..100).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_group_sizes() {
+        let mut op: GroupedTopK<u8, u64> =
+            GroupedTopK::new(SortSpec::ascending(3), config(1 << 20), MemoryBackend::new())
+                .unwrap();
+        // Group 0 has one row; group 1 has many.
+        op.push(0, Row::key_only(42)).unwrap();
+        for k in (0..100u64).rev() {
+            op.push(1, Row::key_only(k)).unwrap();
+        }
+        let out = op.finish().unwrap();
+        assert_eq!(out[0].1.len(), 1);
+        assert_eq!(out[1].1.iter().map(|r| r.key).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn finish_twice_errors() {
+        let mut op: GroupedTopK<u8, u64> =
+            GroupedTopK::new(SortSpec::ascending(1), config(1024), MemoryBackend::new()).unwrap();
+        op.finish().unwrap();
+        assert!(op.finish().is_err());
+        assert!(op.push(0, Row::key_only(1)).is_err());
+    }
+}

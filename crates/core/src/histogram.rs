@@ -1,0 +1,209 @@
+//! Histogram buckets — the input model's building blocks.
+//!
+//! As a run is written, every `width`-th spilled row closes a bucket: the
+//! row's key becomes the bucket's *boundary key* and the number of rows
+//! spilled since the previous boundary is the *bucket size* (§3.1.2:
+//! "Each histogram bucket is defined by its maximum (boundary) key and by
+//! the number of rows it represents").
+
+use histok_types::SortKey;
+
+/// One histogram bucket: `count` rows whose keys all sort at or before
+/// `boundary` (in output order) relative to the rest of their run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket<K> {
+    /// The maximum (in output order) key the bucket represents.
+    pub boundary: K,
+    /// Number of rows the bucket represents.
+    pub count: u64,
+}
+
+impl<K: SortKey> Bucket<K> {
+    /// Creates a bucket.
+    pub fn new(boundary: K, count: u64) -> Self {
+        Bucket { boundary, count }
+    }
+
+    /// Approximate heap bytes one bucket occupies in the priority queue
+    /// (used for the consolidation budget).
+    pub fn footprint(&self) -> usize {
+        std::mem::size_of::<Self>() + self.boundary.heap_size()
+    }
+}
+
+/// Builds the buckets of one run as its rows are spilled.
+#[derive(Debug)]
+pub struct HistogramBuilder<K> {
+    /// Rows per bucket for the current run (0 = histogram disabled).
+    width: u64,
+    /// Maximum buckets to emit for the current run (0 = unlimited). The
+    /// paper's sizing policy targets `B` buckets per run; rows beyond the
+    /// `B`th boundary belong to the (optional) tail bucket.
+    max_buckets: u32,
+    /// Buckets emitted so far in the current run.
+    emitted: u32,
+    /// Rows spilled since the last boundary.
+    pending: u64,
+    /// Last spilled key (tail-bucket boundary candidate).
+    last_key: Option<K>,
+}
+
+impl<K: SortKey> HistogramBuilder<K> {
+    /// Creates a builder; call [`HistogramBuilder::start_run`] before the
+    /// first row.
+    pub fn new() -> Self {
+        HistogramBuilder { width: 0, max_buckets: 0, emitted: 0, pending: 0, last_key: None }
+    }
+
+    /// Begins a run whose buckets will close every `width` rows, up to
+    /// `max_buckets` of them (0 = unlimited). `width == 0` disables bucket
+    /// creation for this run.
+    pub fn start_run(&mut self, width: u64, max_buckets: u32) {
+        debug_assert_eq!(self.pending, 0, "previous run not finished");
+        self.width = width;
+        self.max_buckets = max_buckets;
+        self.emitted = 0;
+        self.pending = 0;
+        self.last_key = None;
+    }
+
+    /// Records one spilled row; returns a completed bucket when the row
+    /// closes one.
+    pub fn offer(&mut self, key: &K) -> Option<Bucket<K>> {
+        if self.width == 0 {
+            return None;
+        }
+        self.pending += 1;
+        self.last_key = Some(key.clone());
+        let capped = self.max_buckets != 0 && self.emitted >= self.max_buckets;
+        if !capped && self.pending >= self.width {
+            self.pending = 0;
+            self.last_key = None;
+            self.emitted += 1;
+            Some(Bucket::new(key.clone(), self.width))
+        } else {
+            None
+        }
+    }
+
+    /// Ends the run. When `emit_tail` is set, the rows after the last full
+    /// bucket form a final bucket bounded by the run's last key — strictly
+    /// more information than the paper's idealized model, which leaves the
+    /// tail untracked (§3.2.1 tracks only 9 deciles of each 1000-row run).
+    pub fn finish_run(&mut self, emit_tail: bool) -> Option<Bucket<K>> {
+        let pending = std::mem::take(&mut self.pending);
+        let last = self.last_key.take();
+        self.width = 0;
+        if emit_tail && pending > 0 {
+            last.map(|key| Bucket::new(key, pending))
+        } else {
+            None
+        }
+    }
+
+    /// Rows spilled since the last completed bucket.
+    pub fn pending(&self) -> u64 {
+        self.pending
+    }
+}
+
+impl<K: SortKey> Default for HistogramBuilder<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_close_every_width_rows() {
+        let mut b: HistogramBuilder<u64> = HistogramBuilder::new();
+        b.start_run(3, 0);
+        assert_eq!(b.offer(&10), None);
+        assert_eq!(b.offer(&20), None);
+        assert_eq!(b.offer(&30), Some(Bucket::new(30, 3)));
+        assert_eq!(b.offer(&40), None);
+        assert_eq!(b.pending(), 1);
+        assert_eq!(b.finish_run(true), Some(Bucket::new(40, 1)));
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn tail_suppressed_matches_paper_model() {
+        let mut b: HistogramBuilder<u64> = HistogramBuilder::new();
+        b.start_run(2, 0);
+        b.offer(&1);
+        b.offer(&2);
+        b.offer(&3); // pending tail of 1 row
+        assert_eq!(b.finish_run(false), None);
+    }
+
+    #[test]
+    fn width_zero_disables_histogram() {
+        let mut b: HistogramBuilder<u64> = HistogramBuilder::new();
+        b.start_run(0, 0);
+        for k in 0..100u64 {
+            assert_eq!(b.offer(&k), None);
+        }
+        assert_eq!(b.finish_run(true), None);
+    }
+
+    #[test]
+    fn exact_multiple_leaves_no_tail() {
+        let mut b: HistogramBuilder<u64> = HistogramBuilder::new();
+        b.start_run(2, 0);
+        b.offer(&1);
+        assert!(b.offer(&2).is_some());
+        b.offer(&3);
+        assert!(b.offer(&4).is_some());
+        assert_eq!(b.finish_run(true), None);
+    }
+
+    #[test]
+    fn width_one_tracks_every_key() {
+        // The §3.2.1 extreme: "tracks each key value, equivalent to a
+        // histogram with 1,000 buckets" of size 1.
+        let mut b: HistogramBuilder<u64> = HistogramBuilder::new();
+        b.start_run(1, 0);
+        for k in 0..5u64 {
+            assert_eq!(b.offer(&k), Some(Bucket::new(k, 1)));
+        }
+    }
+
+    #[test]
+    fn builder_resets_between_runs() {
+        let mut b: HistogramBuilder<u64> = HistogramBuilder::new();
+        b.start_run(5, 0);
+        b.offer(&1);
+        b.offer(&2);
+        b.finish_run(false);
+        b.start_run(2, 0);
+        assert_eq!(b.offer(&1), None);
+        assert_eq!(b.offer(&2), Some(Bucket::new(2, 2)));
+    }
+
+    #[test]
+    fn bucket_cap_diverts_rows_to_the_tail() {
+        // B = 2 buckets of width 2 over a 7-row run: rows 5..7 are tail.
+        let mut b: HistogramBuilder<u64> = HistogramBuilder::new();
+        b.start_run(2, 2);
+        assert_eq!(b.offer(&1), None);
+        assert_eq!(b.offer(&2), Some(Bucket::new(2, 2)));
+        assert_eq!(b.offer(&3), None);
+        assert_eq!(b.offer(&4), Some(Bucket::new(4, 2)));
+        assert_eq!(b.offer(&5), None); // capped
+        assert_eq!(b.offer(&6), None);
+        assert_eq!(b.offer(&7), None);
+        assert_eq!(b.finish_run(true), Some(Bucket::new(7, 3)));
+    }
+
+    #[test]
+    fn footprint_is_positive_and_tracks_key_heap() {
+        let small = Bucket::new(1u64, 10);
+        assert!(small.footprint() >= std::mem::size_of::<Bucket<u64>>());
+        let big = Bucket::new(histok_types::BytesKey(vec![0; 100]), 10);
+        assert!(big.footprint() > 100);
+    }
+}

@@ -1,0 +1,49 @@
+//! # histok-core
+//!
+//! The paper's contribution and its baselines:
+//!
+//! * [`CutoffFilter`] — the histogram priority queue that models the input
+//!   and derives an ever-sharpening cutoff key (§3.1.2).
+//! * [`HistogramTopK`] — the adaptive top-k operator: in-memory priority
+//!   queue while the output fits, histogram-filtered external merge sort
+//!   beyond (§3.1).
+//! * Baselines: [`InMemoryTopK`] (§2.3), [`TraditionalExternalTopK`]
+//!   (§2.4), [`OptimizedExternalTopK`] (§2.5 / [Graefe'08]).
+//! * Extensions from §4: merge-time offset fast-skipping ([`offset`],
+//!   §4.1), segmented execution over prefix-sorted inputs
+//!   ([`SegmentedTopK`], §4.2), grouped top-k ([`GroupedTopK`], §4.3),
+//!   parallel top-k with a shared filter ([`ParallelTopK`], §4.4) and
+//!   approximate top-k ([`ApproximateTopK`], §4.5). `OFFSET` clauses
+//!   (§2.7) are supported by every operator through
+//!   [`histok_types::SortSpec`]'s `offset`.
+
+#![deny(missing_docs)]
+
+pub mod approximate;
+pub mod config;
+pub mod cutoff;
+pub mod exchange;
+pub mod grouped;
+pub mod histogram;
+pub mod metrics;
+pub mod offset;
+pub mod parallel;
+pub mod segmented;
+pub mod sizing;
+pub mod topk;
+
+pub use approximate::ApproximateTopK;
+pub use config::{RunGenKind, TopKConfig, TopKConfigBuilder};
+pub use cutoff::{CutoffFilter, FilterMetrics, DEFAULT_FILTER_MEMORY};
+pub use exchange::{ExchangeMetrics, ExchangeTopK, Producer};
+pub use grouped::GroupedTopK;
+pub use histogram::{Bucket, HistogramBuilder};
+pub use metrics::OperatorMetrics;
+pub use offset::fast_skip_sources;
+pub use parallel::ParallelTopK;
+pub use segmented::SegmentedTopK;
+pub use sizing::SizingPolicy;
+pub use topk::{
+    HistogramTopK, InMemoryTopK, OptimizedExternalTopK, RowStream, TopKOperator,
+    TraditionalExternalTopK,
+};

@@ -1,0 +1,70 @@
+//! Operator-level metrics: the quantities the paper's evaluation reports.
+
+use histok_storage::IoStatsSnapshot;
+
+use crate::cutoff::FilterMetrics;
+
+/// Everything a top-k operator can report about one execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OperatorMetrics {
+    /// Rows pushed into the operator.
+    pub rows_in: u64,
+    /// Rows eliminated before entering the sort workspace (Algorithm 1
+    /// line 4, plus in-memory priority-queue rejections).
+    pub eliminated_at_input: u64,
+    /// Rows eliminated at spill time (Algorithm 1 line 11).
+    pub eliminated_at_spill: u64,
+    /// Secondary-storage traffic.
+    pub io: IoStatsSnapshot,
+    /// Cutoff-filter activity (zeroed for operators without one).
+    pub filter: FilterMetrics,
+    /// True if the operator left the in-memory mode.
+    pub spilled: bool,
+    /// High-water mark of workspace bytes.
+    pub peak_memory_bytes: usize,
+    /// Early merge steps performed (optimized baseline only).
+    pub early_merges: u64,
+}
+
+impl OperatorMetrics {
+    /// Rows written to secondary storage — the paper's "Rows" column.
+    pub fn rows_spilled(&self) -> u64 {
+        self.io.rows_written
+    }
+
+    /// Runs created — the paper's "Runs" column.
+    pub fn runs(&self) -> u64 {
+        self.io.runs_created
+    }
+
+    /// Fraction of input rows that reached secondary storage (1.0 = spilled
+    /// everything, like the traditional algorithm).
+    pub fn spill_fraction(&self) -> f64 {
+        if self.rows_in == 0 {
+            0.0
+        } else {
+            self.io.rows_written as f64 / self.rows_in as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spill_fraction_handles_empty_input() {
+        let m = OperatorMetrics::default();
+        assert_eq!(m.spill_fraction(), 0.0);
+    }
+
+    #[test]
+    fn derived_columns_read_io_snapshot() {
+        let mut m = OperatorMetrics { rows_in: 100, ..Default::default() };
+        m.io.rows_written = 25;
+        m.io.runs_created = 3;
+        assert_eq!(m.rows_spilled(), 25);
+        assert_eq!(m.runs(), 3);
+        assert!((m.spill_fraction() - 0.25).abs() < 1e-12);
+    }
+}

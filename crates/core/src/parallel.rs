@@ -1,0 +1,433 @@
+//! Parallel top-k with a shared histogram priority queue (§4.4).
+//!
+//! "If the participating threads share an address space, they may share a
+//! histogram priority queue. Such a group of threads retains basically the
+//! same number of input rows as a single thread." Worker threads run
+//! independent run generation; all of them feed one shared [`CutoffFilter`]
+//! behind a mutex, and the current cutoff key is *published* through a
+//! read-write lock so the hot input-elimination test never contends on the
+//! full filter.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use histok_sort::run_gen::{ReplacementSelection, RunGenerator};
+use histok_sort::{merge_sources, plan_merges, MergeSource, SpillObserver};
+use histok_storage::{IoStats, RunCatalog, StorageBackend};
+use histok_types::{Error, Result, Row, SortKey, SortSpec};
+
+use crate::config::TopKConfig;
+use crate::cutoff::CutoffFilter;
+use crate::histogram::HistogramBuilder;
+use crate::metrics::OperatorMetrics;
+use crate::sizing::SizingPolicy;
+use crate::topk::{RowStream, SpecStream, TopKOperator};
+
+/// The shared filter: the real [`CutoffFilter`] behind a mutex plus a
+/// published copy of the cutoff key for cheap reads. Only the *priority
+/// queue* is shared (§4.4); each worker builds its own runs' histograms
+/// locally and inserts finished buckets under the lock.
+struct Shared<K: SortKey> {
+    filter: Mutex<CutoffFilter<K>>,
+    published: RwLock<Option<K>>,
+    eliminated_input: std::sync::atomic::AtomicU64,
+    eliminated_spill: std::sync::atomic::AtomicU64,
+}
+
+impl<K: SortKey> Shared<K> {
+    /// The elimination test against the published cutoff (lock-light).
+    fn eliminate(&self, key: &K, spec: &SortSpec) -> bool {
+        match &*self.published.read() {
+            Some(cut) => spec.order.follows(key, cut),
+            None => false,
+        }
+    }
+
+    /// Inserts a bucket into the shared queue and republishes the cutoff.
+    fn insert_bucket(&self, bucket: crate::histogram::Bucket<K>) {
+        let mut f = self.filter.lock();
+        f.insert_bucket(bucket);
+        let cut = f.cutoff().cloned();
+        drop(f);
+        *self.published.write() = cut;
+    }
+}
+
+/// A worker's view of the shared filter: a private [`HistogramBuilder`]
+/// for its own runs, the shared queue for bucket insertion and cutoff
+/// reads.
+struct SharedObserver<K: SortKey> {
+    shared: Arc<Shared<K>>,
+    builder: HistogramBuilder<K>,
+    policy: SizingPolicy,
+    emit_tail: bool,
+    spec: SortSpec,
+}
+
+impl<K: SortKey> SpillObserver<K> for SharedObserver<K> {
+    fn run_started(&mut self, estimated_rows: u64) {
+        self.builder.start_run(
+            self.policy.width_for_run(estimated_rows.max(1)),
+            self.policy.max_buckets_per_run(),
+        );
+    }
+    fn should_eliminate(&mut self, key: &K) -> bool {
+        let kill = self.shared.eliminate(key, &self.spec);
+        if kill {
+            self.shared.eliminated_spill.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        kill
+    }
+    fn row_spilled(&mut self, key: &K) {
+        if let Some(bucket) = self.builder.offer(key) {
+            self.shared.insert_bucket(bucket);
+        }
+    }
+    fn run_finished(&mut self) {
+        if let Some(tail) = self.builder.finish_run(self.emit_tail) {
+            self.shared.insert_bucket(tail);
+        }
+    }
+}
+
+struct WorkerOutput<K: SortKey> {
+    catalog: Arc<RunCatalog<K>>,
+    residue: Vec<Vec<Row<K>>>,
+}
+
+/// Multi-threaded top-k sharing one histogram filter across workers.
+pub struct ParallelTopK<K: SortKey> {
+    spec: SortSpec,
+    config: TopKConfig,
+    stats: IoStats,
+    shared: Arc<Shared<K>>,
+    senders: Vec<Sender<Row<K>>>,
+    handles: Vec<JoinHandle<Result<WorkerOutput<K>>>>,
+    next_worker: usize,
+    rows_in: u64,
+    finished: bool,
+}
+
+impl<K: SortKey> ParallelTopK<K> {
+    /// Spawns `threads` workers, each with `config.memory_budget` bytes of
+    /// its own workspace, sharing `backend` and one cutoff filter.
+    pub fn new(
+        spec: SortSpec,
+        config: TopKConfig,
+        backend: impl StorageBackend + 'static,
+        threads: usize,
+    ) -> Result<Self> {
+        spec.validate()?;
+        config.validate()?;
+        if threads == 0 {
+            return Err(Error::InvalidConfig("at least one worker thread required".into()));
+        }
+        let backend: Arc<dyn StorageBackend> = Arc::new(backend);
+        let stats = IoStats::new();
+        let filter = CutoffFilter::with_policy(spec.retained(), spec.order, config.sizing)
+            .with_memory_budget(config.histogram_memory)
+            .with_tail_buckets(config.tail_buckets);
+        let shared = Arc::new(Shared {
+            filter: Mutex::new(filter),
+            published: RwLock::new(None),
+            eliminated_input: std::sync::atomic::AtomicU64::new(0),
+            eliminated_spill: std::sync::atomic::AtomicU64::new(0),
+        });
+
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = bounded::<Row<K>>(4096);
+            let catalog = Arc::new(
+                RunCatalog::new(
+                    backend.clone(),
+                    RunCatalog::<K>::unique_prefix("ptopk"),
+                    spec.order,
+                    stats.clone(),
+                )
+                .with_block_bytes(config.block_bytes),
+            );
+            let worker_catalog = catalog.clone();
+            let shared_for_worker = shared.clone();
+            let budget = config.memory_budget;
+            let run_limit = if config.limit_run_size { Some(spec.retained()) } else { None };
+            let residue_policy = config.residue;
+            let worker_spec = spec;
+            let policy = config.sizing;
+            let emit_tail = config.tail_buckets;
+            let handle = std::thread::spawn(move || -> Result<WorkerOutput<K>> {
+                let mut gen = ReplacementSelection::new(worker_catalog.clone(), budget);
+                if let Some(limit) = run_limit {
+                    gen = gen.with_run_limit(limit);
+                }
+                let mut obs = SharedObserver {
+                    shared: shared_for_worker.clone(),
+                    builder: HistogramBuilder::new(),
+                    policy,
+                    emit_tail,
+                    spec: worker_spec,
+                };
+                for row in rx {
+                    // Re-check against the (possibly newer) published
+                    // cutoff; rows were already screened by the pusher but
+                    // the filter may have sharpened in flight.
+                    if shared_for_worker.eliminate(&row.key, &worker_spec) {
+                        shared_for_worker
+                            .eliminated_input
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        continue;
+                    }
+                    gen.push(row, &mut obs)?;
+                }
+                let residue = gen.finish(&mut obs, residue_policy)?;
+                Ok(WorkerOutput { catalog: worker_catalog, residue })
+            });
+            senders.push(tx);
+            handles.push(handle);
+        }
+
+        Ok(ParallelTopK {
+            spec,
+            config,
+            stats,
+            shared,
+            senders,
+            handles,
+            next_worker: 0,
+            rows_in: 0,
+            finished: false,
+        })
+    }
+
+    /// Offers one row (round-robin across workers). Rows past the shared
+    /// cutoff are dropped on the calling thread without a channel hop.
+    pub fn push(&mut self, row: Row<K>) -> Result<()> {
+        if self.finished {
+            return Err(Error::InvalidConfig("push after finish".into()));
+        }
+        self.rows_in += 1;
+        if self.shared.eliminate(&row.key, &self.spec) {
+            self.shared.eliminated_input.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Ok(());
+        }
+        let i = self.next_worker;
+        self.next_worker = (self.next_worker + 1) % self.senders.len();
+        self.senders[i]
+            .send(row)
+            .map_err(|_| Error::InvalidConfig("worker thread terminated early".into()))
+    }
+
+    /// The current shared cutoff key, if established.
+    pub fn cutoff(&self) -> Option<K> {
+        self.shared.published.read().clone()
+    }
+
+    /// Ends the input, joins the workers and merges all their runs and
+    /// residues into the final output stream.
+    pub fn finish(&mut self) -> Result<RowStream<K>> {
+        if self.finished {
+            return Err(Error::InvalidConfig("finish called twice".into()));
+        }
+        self.finished = true;
+        self.senders.clear(); // closes the channels; workers drain and exit
+        let mut outputs = Vec::with_capacity(self.handles.len());
+        for handle in self.handles.drain(..) {
+            let out = handle
+                .join()
+                .map_err(|_| Error::InvalidConfig("worker thread panicked".into()))??;
+            outputs.push(out);
+        }
+        let cutoff = self.shared.filter.lock().cutoff().cloned();
+        let retained = self.spec.retained();
+        let mut sources: Vec<MergeSource<K>> = Vec::new();
+        let mut catalogs = Vec::with_capacity(outputs.len());
+        for out in outputs {
+            let final_runs =
+                plan_merges(&out.catalog, &self.config.merge, Some(retained), cutoff.as_ref())?;
+            for meta in &final_runs {
+                sources.push(MergeSource::Run(out.catalog.open(meta)?));
+            }
+            for seq in out.residue {
+                sources.push(MergeSource::Memory(seq.into_iter()));
+            }
+            catalogs.push(out.catalog);
+        }
+        let tree = merge_sources(sources, self.spec.order)?;
+        struct HoldAll<K: SortKey, I> {
+            _catalogs: Vec<Arc<RunCatalog<K>>>,
+            inner: I,
+        }
+        impl<K: SortKey, I: Iterator<Item = Result<Row<K>>>> Iterator for HoldAll<K, I> {
+            type Item = Result<Row<K>>;
+            fn next(&mut self) -> Option<Self::Item> {
+                self.inner.next()
+            }
+        }
+        Ok(Box::new(HoldAll { _catalogs: catalogs, inner: SpecStream::new(tree, &self.spec) }))
+    }
+
+    /// Aggregated metrics.
+    pub fn metrics(&self) -> OperatorMetrics {
+        let filter = self.shared.filter.lock().metrics();
+        OperatorMetrics {
+            rows_in: self.rows_in,
+            eliminated_at_input: self
+                .shared
+                .eliminated_input
+                .load(std::sync::atomic::Ordering::Relaxed),
+            eliminated_at_spill: self
+                .shared
+                .eliminated_spill
+                .load(std::sync::atomic::Ordering::Relaxed),
+            io: self.stats.snapshot(),
+            filter,
+            spilled: self.stats.snapshot().runs_created > 0,
+            peak_memory_bytes: 0, // per-worker budgets; not aggregated
+            early_merges: 0,
+        }
+    }
+}
+
+impl<K: SortKey> TopKOperator<K> for ParallelTopK<K> {
+    fn push(&mut self, row: Row<K>) -> Result<()> {
+        ParallelTopK::push(self, row)
+    }
+
+    fn finish(&mut self) -> Result<RowStream<K>> {
+        ParallelTopK::finish(self)
+    }
+
+    fn metrics(&self) -> OperatorMetrics {
+        ParallelTopK::metrics(self)
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "parallel-histogram-topk"
+    }
+}
+
+impl<K: SortKey> Drop for ParallelTopK<K> {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histok_storage::MemoryBackend;
+    use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+    fn config(budget: usize) -> TopKConfig {
+        TopKConfig::builder().memory_budget(budget).block_bytes(1024).build().unwrap()
+    }
+
+    fn shuffled(n: u64, seed: u64) -> Vec<u64> {
+        let mut keys: Vec<u64> = (0..n).collect();
+        keys.shuffle(&mut StdRng::seed_from_u64(seed));
+        keys
+    }
+
+    #[test]
+    fn parallel_matches_serial_top_k() {
+        let keys = shuffled(40_000, 20);
+        let row_bytes = histok_sort::row_footprint(&Row::key_only(0u64));
+        let mut op: ParallelTopK<u64> = ParallelTopK::new(
+            SortSpec::ascending(800),
+            config(100 * row_bytes),
+            MemoryBackend::new(),
+            4,
+        )
+        .unwrap();
+        for &k in &keys {
+            op.push(Row::key_only(k)).unwrap();
+        }
+        let out: Vec<u64> = op.finish().unwrap().map(|r| r.unwrap().key).collect();
+        assert_eq!(out, (0..800).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shared_filter_eliminates_across_workers() {
+        let keys = shuffled(60_000, 21);
+        let row_bytes = histok_sort::row_footprint(&Row::key_only(0u64));
+        let mut op: ParallelTopK<u64> = ParallelTopK::new(
+            SortSpec::ascending(1_000),
+            config(150 * row_bytes),
+            MemoryBackend::new(),
+            3,
+        )
+        .unwrap();
+        for &k in &keys {
+            op.push(Row::key_only(k)).unwrap();
+        }
+        let m_before = op.metrics();
+        let out: Vec<u64> = op.finish().unwrap().map(|r| r.unwrap().key).collect();
+        assert_eq!(out.len(), 1_000);
+        assert!(
+            m_before.eliminated_at_input > 20_000,
+            "shared cutoff should kill most input, eliminated {}",
+            m_before.eliminated_at_input
+        );
+        assert!(m_before.io.rows_written < 40_000);
+    }
+
+    #[test]
+    fn single_worker_degenerates_gracefully() {
+        let keys = shuffled(5_000, 22);
+        let mut op: ParallelTopK<u64> =
+            ParallelTopK::new(SortSpec::ascending(100), config(1 << 16), MemoryBackend::new(), 1)
+                .unwrap();
+        for &k in &keys {
+            op.push(Row::key_only(k)).unwrap();
+        }
+        let out: Vec<u64> = op.finish().unwrap().map(|r| r.unwrap().key).collect();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        assert!(ParallelTopK::<u64>::new(
+            SortSpec::ascending(1),
+            config(1024),
+            MemoryBackend::new(),
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn finish_twice_errors_and_drop_joins() {
+        let mut op: ParallelTopK<u64> =
+            ParallelTopK::new(SortSpec::ascending(1), config(1024), MemoryBackend::new(), 2)
+                .unwrap();
+        op.push(Row::key_only(7)).unwrap();
+        let out: Vec<u64> = op.finish().unwrap().map(|r| r.unwrap().key).collect();
+        assert_eq!(out, vec![7]);
+        assert!(op.finish().is_err());
+        drop(op); // must not hang
+    }
+
+    #[test]
+    fn descending_parallel() {
+        let keys = shuffled(10_000, 23);
+        let row_bytes = histok_sort::row_footprint(&Row::key_only(0u64));
+        let mut op: ParallelTopK<u64> = ParallelTopK::new(
+            SortSpec::descending(200),
+            config(80 * row_bytes),
+            MemoryBackend::new(),
+            2,
+        )
+        .unwrap();
+        for &k in &keys {
+            op.push(Row::key_only(k)).unwrap();
+        }
+        let out: Vec<u64> = op.finish().unwrap().map(|r| r.unwrap().key).collect();
+        assert_eq!(out, (9_800..10_000).rev().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,290 @@
+//! Segmented execution for partially sorted inputs (§4.2).
+//!
+//! When the input is already sorted on a *prefix* of the `ORDER BY` clause
+//! (e.g. the table is clustered by day and the query orders by
+//! `day, score`), "we can perform a top-k operation once for each distinct
+//! value of the prefix ... the sort proceeds segment by segment and
+//! ignores subsequent segments once it has produced k rows." Early
+//! segments are needed in their entirety; the histogram optimizations
+//! apply to the last relevant segment.
+
+use std::sync::Arc;
+
+use histok_storage::StorageBackend;
+use histok_types::{Error, Result, Row, SortKey, SortSpec};
+
+use crate::config::TopKConfig;
+use crate::metrics::OperatorMetrics;
+use crate::topk::{HistogramTopK, TopKOperator};
+
+/// Top-k over an input sorted by a segment prefix, unsorted within each
+/// segment. Rows arrive as `(segment, row)` with non-decreasing segments.
+pub struct SegmentedTopK<S, K: SortKey> {
+    spec: SortSpec,
+    config: TopKConfig,
+    backend: Arc<dyn StorageBackend>,
+    /// Output rows from completed segments (already in final order).
+    produced: Vec<Row<K>>,
+    current: Option<(S, HistogramTopK<K>)>,
+    /// Set once `offset + limit` rows exist: all later segments are
+    /// ignored without any processing.
+    satisfied: bool,
+    rows_in: u64,
+    rows_ignored: u64,
+    segments_seen: u64,
+    segments_ignored: u64,
+    /// Last segment counted as ignored (avoids double counting).
+    last_ignored: Option<S>,
+    finished: bool,
+}
+
+impl<S, K> SegmentedTopK<S, K>
+where
+    S: Ord + Clone + Send,
+    K: SortKey,
+{
+    /// Creates the operator. `config` budgets apply to one segment at a
+    /// time (segments run sequentially).
+    pub fn new(
+        spec: SortSpec,
+        config: TopKConfig,
+        backend: impl StorageBackend + 'static,
+    ) -> Result<Self> {
+        spec.validate()?;
+        config.validate()?;
+        Ok(SegmentedTopK {
+            spec,
+            config,
+            backend: Arc::new(backend),
+            produced: Vec::new(),
+            current: None,
+            satisfied: false,
+            rows_in: 0,
+            rows_ignored: 0,
+            segments_seen: 0,
+            segments_ignored: 0,
+            last_ignored: None,
+            finished: false,
+        })
+    }
+
+    /// Rows still needed after the completed segments.
+    fn remaining(&self) -> u64 {
+        self.spec.retained().saturating_sub(self.produced.len() as u64)
+    }
+
+    /// Seals the active segment and collects its output.
+    fn close_current(&mut self) -> Result<()> {
+        if let Some((_, mut op)) = self.current.take() {
+            for row in op.finish()? {
+                self.produced.push(row?);
+            }
+            if self.remaining() == 0 {
+                self.satisfied = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn open_segment(&mut self, segment: S) -> Result<&mut HistogramTopK<K>> {
+        // Each segment only needs to contribute what is still missing.
+        let mut spec = self.spec;
+        spec.offset = 0;
+        spec.limit = self.remaining();
+        let op = HistogramTopK::with_arc(spec, self.config.clone(), self.backend.clone())?;
+        self.current = Some((segment, op));
+        self.segments_seen += 1;
+        Ok(&mut self.current.as_mut().expect("just set").1)
+    }
+
+    /// Offers one row. `segment` values must be non-decreasing (the input
+    /// is sorted on the prefix).
+    pub fn push(&mut self, segment: S, row: Row<K>) -> Result<()> {
+        if self.finished {
+            return Err(Error::InvalidConfig("push after finish".into()));
+        }
+        self.rows_in += 1;
+        if self.satisfied {
+            // §4.2: "subsequent segments can be ignored". Count each new
+            // segment the first time one of its rows arrives.
+            if self.last_ignored.as_ref() != Some(&segment) {
+                self.segments_ignored += 1;
+                self.last_ignored = Some(segment);
+            }
+            self.rows_ignored += 1;
+            return Ok(());
+        }
+        let needs_new = match &self.current {
+            Some((s, _)) => match s.cmp(&segment) {
+                std::cmp::Ordering::Equal => false,
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => {
+                    return Err(Error::InvalidConfig(
+                        "segment values must be non-decreasing (input not prefix-sorted)".into(),
+                    ))
+                }
+            },
+            None => true,
+        };
+        if needs_new {
+            self.close_current()?;
+            if self.satisfied {
+                self.segments_ignored += 1;
+                self.last_ignored = Some(segment);
+                self.rows_ignored += 1;
+                return Ok(());
+            }
+            self.open_segment(segment)?;
+        }
+        self.current.as_mut().expect("segment open").1.push(row)
+    }
+
+    /// Ends the input and returns the top rows across segments, in
+    /// `(segment, key)` order, with the offset applied.
+    pub fn finish(&mut self) -> Result<Vec<Row<K>>> {
+        if self.finished {
+            return Err(Error::InvalidConfig("finish called twice".into()));
+        }
+        self.finished = true;
+        self.close_current()?;
+        let mut rows = std::mem::take(&mut self.produced);
+        let offset = self.spec.offset as usize;
+        if offset > 0 {
+            rows.drain(..offset.min(rows.len()));
+        }
+        rows.truncate(self.spec.limit as usize);
+        Ok(rows)
+    }
+
+    /// Segments actually processed.
+    pub fn segments_seen(&self) -> u64 {
+        self.segments_seen
+    }
+
+    /// Segments that were skipped entirely once the output was satisfied.
+    pub fn segments_ignored(&self) -> u64 {
+        self.segments_ignored
+    }
+
+    /// Rows that were ignored without any processing.
+    pub fn rows_ignored(&self) -> u64 {
+        self.rows_ignored
+    }
+
+    /// Basic counters (rows in/ignored; per-segment operator metrics are
+    /// internal).
+    pub fn metrics(&self) -> OperatorMetrics {
+        OperatorMetrics {
+            rows_in: self.rows_in,
+            eliminated_at_input: self.rows_ignored,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histok_storage::MemoryBackend;
+    use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+    fn config() -> TopKConfig {
+        TopKConfig::builder().memory_budget(64 * 60).block_bytes(512).build().unwrap()
+    }
+
+    /// Input: segments 0..s, each with `n` shuffled keys; global order is
+    /// (segment, key).
+    fn segmented_input(segments: u64, n: u64, seed: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for s in 0..segments {
+            let mut keys: Vec<u64> = (0..n).collect();
+            keys.shuffle(&mut rng);
+            out.extend(keys.into_iter().map(|k| (s, k)));
+        }
+        out
+    }
+
+    fn oracle(input: &[(u64, u64)], k: usize) -> Vec<(u64, u64)> {
+        let mut all = input.to_vec();
+        all.sort_unstable();
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn matches_lexicographic_oracle() {
+        let input = segmented_input(5, 300, 1);
+        let mut op: SegmentedTopK<u64, u64> =
+            SegmentedTopK::new(SortSpec::ascending(700), config(), MemoryBackend::new()).unwrap();
+        for &(s, k) in &input {
+            op.push(s, Row::key_only(k)).unwrap();
+        }
+        let got: Vec<u64> = op.finish().unwrap().into_iter().map(|r| r.key).collect();
+        let expected: Vec<u64> = oracle(&input, 700).into_iter().map(|(_, k)| k).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn later_segments_are_ignored_without_processing() {
+        let input = segmented_input(10, 500, 2);
+        let mut op: SegmentedTopK<u64, u64> =
+            SegmentedTopK::new(SortSpec::ascending(800), config(), MemoryBackend::new()).unwrap();
+        for &(s, k) in &input {
+            op.push(s, Row::key_only(k)).unwrap();
+        }
+        let got = op.finish().unwrap();
+        assert_eq!(got.len(), 800);
+        // 800 rows are satisfied by segments 0 and 1; segments 2..10 are
+        // ignored outright.
+        assert!(op.segments_ignored() >= 7, "ignored {}", op.segments_ignored());
+        assert!(op.rows_ignored() >= 7 * 500, "ignored {} rows", op.rows_ignored());
+    }
+
+    #[test]
+    fn single_segment_behaves_like_plain_topk() {
+        let input = segmented_input(1, 1_000, 3);
+        let mut op: SegmentedTopK<u64, u64> =
+            SegmentedTopK::new(SortSpec::ascending(50), config(), MemoryBackend::new()).unwrap();
+        for &(s, k) in &input {
+            op.push(s, Row::key_only(k)).unwrap();
+        }
+        let got: Vec<u64> = op.finish().unwrap().into_iter().map(|r| r.key).collect();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn decreasing_segments_rejected() {
+        let mut op: SegmentedTopK<u64, u64> =
+            SegmentedTopK::new(SortSpec::ascending(5), config(), MemoryBackend::new()).unwrap();
+        op.push(3, Row::key_only(1)).unwrap();
+        assert!(op.push(2, Row::key_only(1)).is_err());
+    }
+
+    #[test]
+    fn offset_spans_segment_boundaries() {
+        let input = segmented_input(3, 100, 4);
+        let spec = SortSpec::ascending(50).with_offset(150);
+        let mut op: SegmentedTopK<u64, u64> =
+            SegmentedTopK::new(spec, config(), MemoryBackend::new()).unwrap();
+        for &(s, k) in &input {
+            op.push(s, Row::key_only(k)).unwrap();
+        }
+        let got: Vec<u64> = op.finish().unwrap().into_iter().map(|r| r.key).collect();
+        // Global ranks 150..200: segment 1 keys 50..100.
+        assert_eq!(got, (50..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_last_segment() {
+        // k exceeds the whole input.
+        let input = segmented_input(2, 30, 5);
+        let mut op: SegmentedTopK<u64, u64> =
+            SegmentedTopK::new(SortSpec::ascending(500), config(), MemoryBackend::new()).unwrap();
+        for &(s, k) in &input {
+            op.push(s, Row::key_only(k)).unwrap();
+        }
+        let got = op.finish().unwrap();
+        assert_eq!(got.len(), 60);
+    }
+}

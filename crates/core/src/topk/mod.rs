@@ -1,0 +1,281 @@
+//! The top-k operators: the paper's algorithm and the baselines it is
+//! evaluated against.
+//!
+//! | Operator | Paper section | Behaviour beyond memory |
+//! |---|---|---|
+//! | [`HistogramTopK`] | §3 (the contribution) | spills, filtering input with a histogram-derived cutoff |
+//! | [`InMemoryTopK`] | §2.3 | assumes provisioned memory; never spills |
+//! | [`TraditionalExternalTopK`] | §2.4 | externally sorts the *entire* input |
+//! | [`OptimizedExternalTopK`] | §2.5 ([Graefe'08]) | run size ≤ k, kth-key filter, early merge steps |
+//!
+//! All four implement [`TopKOperator`], so experiments drive them through
+//! one interface.
+
+mod histogram_topk;
+mod in_memory;
+mod optimized;
+mod traditional;
+
+pub use histogram_topk::HistogramTopK;
+pub use in_memory::InMemoryTopK;
+pub use optimized::OptimizedExternalTopK;
+pub use traditional::TraditionalExternalTopK;
+
+use histok_sort::{row_footprint, BinaryHeapBy};
+use histok_types::{Error, Result, Row, SortKey, SortOrder, SortSpec};
+
+use crate::metrics::OperatorMetrics;
+
+/// A boxed stream of output rows in the requested order.
+pub type RowStream<K> = Box<dyn Iterator<Item = Result<Row<K>>> + Send>;
+
+/// The uniform push/finish interface of every top-k algorithm.
+pub trait TopKOperator<K: SortKey>: Send {
+    /// Offers one input row.
+    fn push(&mut self, row: Row<K>) -> Result<()>;
+
+    /// Ends the input and returns the output stream (`offset` rows skipped,
+    /// at most `limit` rows). Calling `finish` twice is an error.
+    fn finish(&mut self) -> Result<RowStream<K>>;
+
+    /// Execution counters.
+    fn metrics(&self) -> OperatorMetrics;
+
+    /// A short algorithm name for reports.
+    fn algorithm(&self) -> &'static str;
+}
+
+/// Outcome of offering a row to a [`RetainedHeap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Offer {
+    /// The heap grew by one row.
+    Grew,
+    /// The row replaced a worse one (one candidate eliminated).
+    Displaced,
+    /// The row was rejected (eliminated immediately).
+    Rejected,
+}
+
+/// The classic in-memory top-k structure (§2.3): a priority queue in the
+/// inverse of the output order, capped at `retained` rows. Its top entry is
+/// the worst retained row — the in-memory cutoff key.
+/// Boxed runtime comparator for rows.
+type RowCmp<K> = Box<dyn FnMut(&Row<K>, &Row<K>) -> bool + Send>;
+/// Heap of rows ordered by a boxed runtime comparator.
+type RowHeap<K> = BinaryHeapBy<Row<K>, RowCmp<K>>;
+
+pub(crate) struct RetainedHeap<K: SortKey> {
+    heap: RowHeap<K>,
+    retained: u64,
+    bytes: usize,
+    order: SortOrder,
+}
+
+impl<K: SortKey> RetainedHeap<K> {
+    pub(crate) fn new(retained: u64, order: SortOrder) -> Self {
+        let cmp: RowCmp<K> = Box::new(move |a, b| order.follows(&a.key, &b.key));
+        RetainedHeap { heap: BinaryHeapBy::new(cmp), retained: retained.max(1), bytes: 0, order }
+    }
+
+    pub(crate) fn len(&self) -> u64 {
+        self.heap.len() as u64
+    }
+
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.len() >= self.retained
+    }
+
+    /// The in-memory cutoff: the worst retained key once the heap is full.
+    pub(crate) fn cutoff(&self) -> Option<&K> {
+        if self.is_full() {
+            self.heap.peek().map(|r| &r.key)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn offer(&mut self, row: Row<K>) -> Offer {
+        let fp = row_footprint(&row);
+        if !self.is_full() {
+            self.bytes += fp;
+            self.heap.push(row);
+            return Offer::Grew;
+        }
+        let worst = self.heap.peek().expect("full heap has a top");
+        if self.order.precedes(&row.key, &worst.key) {
+            self.bytes += fp;
+            let old = self.heap.replace_top(row).expect("full heap");
+            self.bytes -= row_footprint(&old);
+            Offer::Displaced
+        } else {
+            Offer::Rejected
+        }
+    }
+
+    /// Removes all rows in unspecified order (used when switching to the
+    /// external mode: the retained rows re-enter through run generation).
+    pub(crate) fn drain_unordered(&mut self) -> Vec<Row<K>> {
+        self.bytes = 0;
+        self.heap.drain_unordered().collect()
+    }
+
+    /// Consumes the heap, returning rows in output order (best first).
+    pub(crate) fn into_sorted(self) -> Vec<Row<K>> {
+        // The heap pops worst-first; reverse for output order.
+        let mut rows = self.heap.drain_sorted();
+        rows.reverse();
+        rows
+    }
+}
+
+/// Applies `OFFSET`/`LIMIT` to a fallible row stream: skips `offset` *rows*
+/// (errors still propagate immediately — unlike `Iterator::skip`, which
+/// would swallow them) and stops after `limit` rows.
+pub(crate) struct SpecStream<K, I> {
+    inner: I,
+    to_skip: u64,
+    remaining: u64,
+    _key: std::marker::PhantomData<K>,
+}
+
+impl<K, I> SpecStream<K, I> {
+    pub(crate) fn new(inner: I, spec: &SortSpec) -> Self {
+        SpecStream {
+            inner,
+            to_skip: spec.offset,
+            remaining: spec.limit,
+            _key: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<K, I: Iterator<Item = Result<Row<K>>>> Iterator for SpecStream<K, I> {
+    type Item = Result<Row<K>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.remaining == 0 {
+                return None;
+            }
+            match self.inner.next() {
+                None => return None,
+                Some(Err(e)) => {
+                    self.remaining = 0;
+                    return Some(Err(e));
+                }
+                Some(Ok(row)) => {
+                    if self.to_skip > 0 {
+                        self.to_skip -= 1;
+                        continue;
+                    }
+                    self.remaining -= 1;
+                    return Some(Ok(row));
+                }
+            }
+        }
+    }
+}
+
+/// Guards against a second `finish` call.
+pub(crate) fn already_finished<T>(what: &str) -> Result<T> {
+    Err(Error::InvalidConfig(format!("{what}: finish() called twice")))
+}
+
+/// Keeps a run catalog (and therefore its spilled objects) alive while the
+/// output stream that reads them is consumed.
+pub(crate) struct HoldCatalog<K: SortKey, I> {
+    pub(crate) _catalog: std::sync::Arc<histok_storage::RunCatalog<K>>,
+    pub(crate) inner: I,
+}
+
+impl<K: SortKey, I: Iterator<Item = Result<Row<K>>>> Iterator for HoldCatalog<K, I> {
+    type Item = Result<Row<K>>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retained_heap_keeps_the_best_k() {
+        let mut h: RetainedHeap<u64> = RetainedHeap::new(3, SortOrder::Ascending);
+        assert_eq!(h.offer(Row::key_only(50)), Offer::Grew);
+        assert_eq!(h.offer(Row::key_only(10)), Offer::Grew);
+        assert_eq!(h.offer(Row::key_only(30)), Offer::Grew);
+        assert!(h.is_full());
+        assert_eq!(h.cutoff(), Some(&50));
+        assert_eq!(h.offer(Row::key_only(99)), Offer::Rejected);
+        assert_eq!(h.offer(Row::key_only(20)), Offer::Displaced);
+        assert_eq!(h.cutoff(), Some(&30));
+        assert_eq!(h.into_sorted().iter().map(|r| r.key).collect::<Vec<_>>(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn retained_heap_descending() {
+        let mut h: RetainedHeap<u64> = RetainedHeap::new(2, SortOrder::Descending);
+        for k in [5u64, 1, 9, 7] {
+            h.offer(Row::key_only(k));
+        }
+        assert_eq!(h.cutoff(), Some(&7));
+        assert_eq!(h.into_sorted().iter().map(|r| r.key).collect::<Vec<_>>(), vec![9, 7]);
+    }
+
+    #[test]
+    fn retained_heap_tracks_bytes() {
+        let mut h: RetainedHeap<u64> = RetainedHeap::new(2, SortOrder::Ascending);
+        h.offer(Row::new(1, vec![0u8; 100]));
+        let one = h.bytes();
+        h.offer(Row::new(2, vec![0u8; 100]));
+        assert_eq!(h.bytes(), 2 * one);
+        h.offer(Row::new(0, vec![0u8; 10])); // displaces key 2
+        assert!(h.bytes() < 2 * one);
+        h.drain_unordered();
+        assert_eq!(h.bytes(), 0);
+    }
+
+    #[test]
+    fn retained_heap_with_duplicates_at_cutoff() {
+        let mut h: RetainedHeap<u64> = RetainedHeap::new(2, SortOrder::Ascending);
+        h.offer(Row::key_only(5));
+        h.offer(Row::key_only(5));
+        // Equal to the cutoff: rejected (heap already holds k candidates at
+        // least as good — matches §2.3's priority-queue semantics).
+        assert_eq!(h.offer(Row::key_only(5)), Offer::Rejected);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn spec_stream_applies_offset_and_limit() {
+        let spec = SortSpec::ascending(3).with_offset(2);
+        let rows: Vec<Result<Row<u64>>> = (0..10).map(|k| Ok(Row::key_only(k))).collect();
+        let got: Vec<u64> =
+            SpecStream::new(rows.into_iter(), &spec).map(|r| r.unwrap().key).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn spec_stream_propagates_errors_in_skipped_region() {
+        let spec = SortSpec::ascending(3).with_offset(5);
+        let rows: Vec<Result<Row<u64>>> =
+            vec![Ok(Row::key_only(1)), Err(Error::Corrupt("mid-skip".into()))];
+        let mut s = SpecStream::new(rows.into_iter(), &spec);
+        assert!(matches!(s.next(), Some(Err(Error::Corrupt(_)))));
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn spec_stream_short_input() {
+        let spec = SortSpec::ascending(10).with_offset(3);
+        let rows: Vec<Result<Row<u64>>> = (0..5).map(|k| Ok(Row::key_only(k))).collect();
+        let got: Vec<u64> =
+            SpecStream::new(rows.into_iter(), &spec).map(|r| r.unwrap().key).collect();
+        assert_eq!(got, vec![3, 4]);
+    }
+}

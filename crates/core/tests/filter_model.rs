@@ -1,0 +1,130 @@
+//! Model-checking the cutoff filter: a deliberately naive reference
+//! implementation of §3.1.2 (a sorted `Vec` of buckets, linear scans, no
+//! consolidation) must agree with the production heap-based filter on
+//! every observable — cutoff value, represented rows, elimination
+//! decisions — for arbitrary bucket sequences.
+
+use proptest::prelude::*;
+
+use histok_core::{Bucket, CutoffFilter};
+use histok_types::SortOrder;
+
+/// The executable specification: keep all buckets sorted descending (for
+/// an ascending query), pop the largest boundary while the rest still
+/// cover k.
+struct ReferenceFilter {
+    k: u64,
+    order: SortOrder,
+    /// Buckets sorted so the *worst* boundary (output-order-last) is at
+    /// the end.
+    buckets: Vec<(u64, u64)>, // (boundary, count)
+    sum: u64,
+    cutoff: Option<u64>,
+}
+
+impl ReferenceFilter {
+    fn new(k: u64, order: SortOrder) -> Self {
+        ReferenceFilter { k: k.max(1), order, buckets: Vec::new(), sum: 0, cutoff: None }
+    }
+
+    fn insert(&mut self, boundary: u64, count: u64) {
+        let pos = self.buckets.partition_point(|(b, _)| {
+            self.order.cmp_keys(b, &boundary) != std::cmp::Ordering::Greater
+        });
+        self.buckets.insert(pos, (boundary, count));
+        self.sum += count;
+        // Pop from the worst end while the remainder still covers k.
+        while let Some(&(_, worst_count)) = self.buckets.last() {
+            if self.sum - worst_count >= self.k {
+                self.buckets.pop();
+                self.sum -= worst_count;
+            } else {
+                break;
+            }
+        }
+        if self.sum >= self.k {
+            self.cutoff = Some(self.buckets.last().expect("nonempty").0);
+        }
+    }
+
+    fn eliminate(&self, key: u64) -> bool {
+        match self.cutoff {
+            Some(cut) => self.order.follows(&key, &cut),
+            None => false,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn heap_filter_matches_reference_spec(
+        k in 1u64..500,
+        inserts in proptest::collection::vec((0u64..10_000, 1u64..50), 1..200),
+        probes in proptest::collection::vec(0u64..10_000, 10),
+        descending in any::<bool>(),
+    ) {
+        let order = if descending { SortOrder::Descending } else { SortOrder::Ascending };
+        // Huge queue budget: consolidation off, so the reference applies.
+        let mut real: CutoffFilter<u64> =
+            CutoffFilter::new(k, order).with_memory_budget(usize::MAX / 2);
+        let mut reference = ReferenceFilter::new(k, order);
+
+        for (i, &(b, count)) in inserts.iter().enumerate() {
+            // Unique boundaries: the §3.1.2 pop rule is deterministic only
+            // up to ties (equal boundaries may pop in any order), so the
+            // model check pins a tie-free state space.
+            let boundary = b * 200 + i as u64;
+            // The real filter requires input filtering upstream: skip
+            // boundaries that would already be eliminated, as the operator
+            // does, keeping both models in the reachable state space.
+            if real.eliminate(&boundary) {
+                prop_assert!(reference.eliminate(boundary), "elimination disagreement");
+                continue;
+            }
+            prop_assert!(!reference.eliminate(boundary));
+            real.insert_bucket(Bucket::new(boundary, count));
+            reference.insert(boundary, count);
+
+            prop_assert_eq!(real.cutoff().copied(), reference.cutoff,
+                "cutoff diverged after inserting ({}, {})", boundary, count);
+            prop_assert_eq!(real.represented_rows(), reference.sum);
+        }
+        let probes: Vec<u64> = probes.iter().map(|&p| p * 200).collect();
+
+        for &probe in probes.iter() {
+            prop_assert_eq!(real.eliminate(&probe), reference.eliminate(probe),
+                "probe {} disagreed", probe);
+        }
+    }
+
+    #[test]
+    fn consolidation_never_loosens_the_reference_cutoff(
+        k in 1u64..200,
+        inserts in proptest::collection::vec((0u64..10_000, 1u64..20), 1..150),
+    ) {
+        // With a tiny queue budget the real filter consolidates; its cutoff
+        // may lag the reference (less resolution) but must never be
+        // *sharper* than correct: every key the consolidated filter
+        // eliminates must also be eliminated by the exact reference.
+        let mut tight: CutoffFilter<u64> =
+            CutoffFilter::new(k, SortOrder::Ascending).with_memory_budget(128);
+        let mut reference = ReferenceFilter::new(k, SortOrder::Ascending);
+        for &(boundary, count) in &inserts {
+            if tight.eliminate(&boundary) {
+                continue;
+            }
+            tight.insert_bucket(Bucket::new(boundary, count));
+            if !reference.eliminate(boundary) {
+                reference.insert(boundary, count);
+            }
+            if let Some(cut) = tight.cutoff() {
+                // Consolidated cutoff must be ≥ the exact cutoff (ascending):
+                // eliminating anything the exact filter would keep is a bug.
+                let exact = reference.cutoff.expect("real established ⇒ reference established");
+                prop_assert!(*cut >= exact, "consolidated cutoff {} sharper than exact {}", cut, exact);
+            }
+        }
+    }
+}

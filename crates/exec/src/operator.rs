@@ -1,0 +1,282 @@
+//! The pull-based operator interface and the built-in operators.
+
+use histok_core::{OperatorMetrics, RowStream, TopKOperator};
+use histok_types::{Error, Result, Row, SortKey};
+
+/// A volcano-style operator: `open`, then `next` until `None`, then
+/// `close`.
+pub trait Operator<K: SortKey>: Send {
+    /// Prepares the operator (and its children) for execution.
+    fn open(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Produces the next row, or `None` at end of stream.
+    fn next(&mut self) -> Result<Option<Row<K>>>;
+
+    /// Releases resources.
+    fn close(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Operator name for plan displays.
+    fn name(&self) -> &'static str;
+}
+
+/// Leaf operator producing rows from any iterator (a table scan, a
+/// workload generator, a test vector).
+pub struct ScanOp<K: SortKey> {
+    source: Box<dyn Iterator<Item = Row<K>> + Send>,
+    produced: u64,
+}
+
+impl<K: SortKey> ScanOp<K> {
+    /// Wraps an iterator as a scan.
+    pub fn new(source: impl Iterator<Item = Row<K>> + Send + 'static) -> Self {
+        ScanOp { source: Box::new(source), produced: 0 }
+    }
+
+    /// Rows produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+impl<K: SortKey> Operator<K> for ScanOp<K> {
+    fn next(&mut self) -> Result<Option<Row<K>>> {
+        let row = self.source.next();
+        if row.is_some() {
+            self.produced += 1;
+        }
+        Ok(row)
+    }
+
+    fn name(&self) -> &'static str {
+        "Scan"
+    }
+}
+
+/// Boxed row predicate.
+type Predicate<K> = Box<dyn FnMut(&Row<K>) -> bool + Send>;
+
+/// A predicate filter on the sort key (the WHERE clause of the paper's
+/// example queries).
+pub struct FilterOp<K: SortKey> {
+    child: Box<dyn Operator<K>>,
+    predicate: Predicate<K>,
+}
+
+impl<K: SortKey> FilterOp<K> {
+    /// Filters `child` by `predicate`.
+    pub fn new(
+        child: Box<dyn Operator<K>>,
+        predicate: impl FnMut(&Row<K>) -> bool + Send + 'static,
+    ) -> Self {
+        FilterOp { child, predicate: Box::new(predicate) }
+    }
+}
+
+impl<K: SortKey> Operator<K> for FilterOp<K> {
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Row<K>>> {
+        while let Some(row) = self.child.next()? {
+            if (self.predicate)(&row) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+
+    fn name(&self) -> &'static str {
+        "Filter"
+    }
+}
+
+/// A plain `LIMIT n` node (useful above a top-k when a consumer wants
+/// fewer rows than the operator produced, e.g. a preview pane).
+pub struct LimitOp<K: SortKey> {
+    child: Box<dyn Operator<K>>,
+    remaining: u64,
+}
+
+impl<K: SortKey> LimitOp<K> {
+    /// Caps `child` at `limit` rows.
+    pub fn new(child: Box<dyn Operator<K>>, limit: u64) -> Self {
+        LimitOp { child, remaining: limit }
+    }
+}
+
+impl<K: SortKey> Operator<K> for LimitOp<K> {
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Row<K>>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.child.next()? {
+            Some(row) => {
+                self.remaining -= 1;
+                Ok(Some(row))
+            }
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+
+    fn name(&self) -> &'static str {
+        "Limit"
+    }
+}
+
+/// The top-k operator node: a blocking operator that drains its child into
+/// any [`TopKOperator`] on `open`, then streams the result.
+pub struct TopKExec<K: SortKey> {
+    child: Box<dyn Operator<K>>,
+    topk: Box<dyn TopKOperator<K>>,
+    output: Option<RowStream<K>>,
+    metrics: Option<OperatorMetrics>,
+}
+
+impl<K: SortKey> TopKExec<K> {
+    /// Plans `topk` over `child`.
+    pub fn new(child: Box<dyn Operator<K>>, topk: Box<dyn TopKOperator<K>>) -> Self {
+        TopKExec { child, topk, output: None, metrics: None }
+    }
+
+    /// The wrapped algorithm's metrics (populated at `open`).
+    pub fn metrics(&self) -> OperatorMetrics {
+        self.metrics.unwrap_or_else(|| self.topk.metrics())
+    }
+
+    /// The wrapped algorithm's name.
+    pub fn algorithm(&self) -> &'static str {
+        self.topk.algorithm()
+    }
+}
+
+impl<K: SortKey> Operator<K> for TopKExec<K> {
+    fn open(&mut self) -> Result<()> {
+        self.child.open()?;
+        while let Some(row) = self.child.next()? {
+            self.topk.push(row)?;
+        }
+        self.child.close()?;
+        self.output = Some(self.topk.finish()?);
+        self.metrics = Some(self.topk.metrics());
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Row<K>>> {
+        let stream = self
+            .output
+            .as_mut()
+            .ok_or_else(|| Error::InvalidConfig("TopKExec::next before open".into()))?;
+        stream.next().transpose()
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.output = None;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "TopK"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histok_core::{HistogramTopK, TopKConfig};
+    use histok_storage::MemoryBackend;
+    use histok_types::SortSpec;
+
+    fn scan_of(keys: Vec<u64>) -> Box<dyn Operator<u64>> {
+        Box::new(ScanOp::new(keys.into_iter().map(Row::key_only)))
+    }
+
+    #[test]
+    fn scan_produces_all_rows() {
+        let mut scan = ScanOp::new((0..5u64).map(Row::key_only));
+        scan.open().unwrap();
+        let mut got = Vec::new();
+        while let Some(row) = scan.next().unwrap() {
+            got.push(row.key);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(scan.produced(), 5);
+        scan.close().unwrap();
+    }
+
+    #[test]
+    fn filter_applies_predicate() {
+        let mut f = FilterOp::new(scan_of((0..10).collect()), |row| row.key % 2 == 0);
+        f.open().unwrap();
+        let mut got = Vec::new();
+        while let Some(row) = f.next().unwrap() {
+            got.push(row.key);
+        }
+        assert_eq!(got, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn limit_caps_the_stream() {
+        let mut l = LimitOp::new(scan_of((0..10).collect()), 3);
+        l.open().unwrap();
+        let mut got = Vec::new();
+        while let Some(row) = l.next().unwrap() {
+            got.push(row.key);
+        }
+        assert_eq!(got, vec![0, 1, 2]);
+        // Fused after exhaustion.
+        assert!(l.next().unwrap().is_none());
+        l.close().unwrap();
+    }
+
+    #[test]
+    fn limit_larger_than_input() {
+        let mut l = LimitOp::new(scan_of(vec![1, 2]), 10);
+        l.open().unwrap();
+        let mut n = 0;
+        while l.next().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn topk_exec_runs_the_operator() {
+        let topk = HistogramTopK::new(
+            SortSpec::ascending(3),
+            TopKConfig::builder().memory_budget(1 << 20).build().unwrap(),
+            MemoryBackend::new(),
+        )
+        .unwrap();
+        let mut node = TopKExec::new(scan_of(vec![9, 2, 7, 4, 1]), Box::new(topk));
+        assert!(node.next().is_err(), "next before open must fail");
+        node.open().unwrap();
+        let mut got = Vec::new();
+        while let Some(row) = node.next().unwrap() {
+            got.push(row.key);
+        }
+        assert_eq!(got, vec![1, 2, 4]);
+        assert_eq!(node.metrics().rows_in, 5);
+        assert_eq!(node.algorithm(), "histogram-topk");
+        node.close().unwrap();
+    }
+}

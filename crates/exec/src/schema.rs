@@ -1,0 +1,349 @@
+//! A minimal typed-record layer: schemas, values and records.
+//!
+//! The paper's evaluation query projects *all* columns of a TPC-H
+//! `lineitem` table and sorts on one of them (§5.1.1). This module gives
+//! the examples and integration tests a faithful way to do exactly that:
+//! build typed [`Record`]s against a [`Schema`], encode them into the row
+//! payload that flows through runs and merges, and decode them back on
+//! output — proving the operator is payload-agnostic end to end.
+
+use histok_types::{Error, Result};
+
+/// Column type of a [`Field`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit float.
+    Float64,
+    /// UTF-8 string.
+    Utf8,
+    /// Days since the epoch.
+    Date,
+}
+
+/// One column of a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type }
+    }
+}
+
+/// An ordered list of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields; names must be unique.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(Error::InvalidConfig(format!("duplicate column name {:?}", f.name)));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Index of the named column.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| Error::InvalidConfig(format!("no column named {name:?}")))
+    }
+
+    /// The TPC-H `lineitem` schema used throughout the paper's evaluation
+    /// (sort column `l_orderkey` first, payload columns after).
+    pub fn lineitem() -> Self {
+        Schema::new(vec![
+            Field::new("l_orderkey", DataType::Int64),
+            Field::new("l_partkey", DataType::Int64),
+            Field::new("l_suppkey", DataType::Int64),
+            Field::new("l_linenumber", DataType::Int64),
+            Field::new("l_quantity", DataType::Float64),
+            Field::new("l_extendedprice", DataType::Float64),
+            Field::new("l_discount", DataType::Float64),
+            Field::new("l_tax", DataType::Float64),
+            Field::new("l_returnflag", DataType::Utf8),
+            Field::new("l_linestatus", DataType::Utf8),
+            Field::new("l_shipdate", DataType::Date),
+            Field::new("l_commitdate", DataType::Date),
+            Field::new("l_receiptdate", DataType::Date),
+            Field::new("l_shipinstruct", DataType::Utf8),
+            Field::new("l_shipmode", DataType::Utf8),
+            Field::new("l_comment", DataType::Utf8),
+        ])
+        .expect("static schema is valid")
+    }
+}
+
+/// A dynamically typed column value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int64(i64),
+    /// 64-bit float.
+    Float64(f64),
+    /// UTF-8 string.
+    Utf8(String),
+    /// Days since the epoch.
+    Date(u32),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int64(_) => DataType::Int64,
+            Value::Float64(_) => DataType::Float64,
+            Value::Utf8(_) => DataType::Utf8,
+            Value::Date(_) => DataType::Date,
+        }
+    }
+
+    /// The integer payload, if this is an `Int64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is a `Float64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Utf8`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Utf8(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Value::Int64(v) => buf.extend_from_slice(&v.to_le_bytes()),
+            Value::Float64(v) => buf.extend_from_slice(&v.to_le_bytes()),
+            Value::Date(v) => buf.extend_from_slice(&v.to_le_bytes()),
+            Value::Utf8(s) => {
+                buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                buf.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    fn decode(data_type: DataType, buf: &mut &[u8]) -> Result<Value> {
+        fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+            if buf.len() < n {
+                return Err(Error::Corrupt("truncated record payload".into()));
+            }
+            let (head, tail) = buf.split_at(n);
+            *buf = tail;
+            Ok(head)
+        }
+        Ok(match data_type {
+            DataType::Int64 => {
+                Value::Int64(i64::from_le_bytes(take(buf, 8)?.try_into().expect("8 bytes")))
+            }
+            DataType::Float64 => {
+                Value::Float64(f64::from_le_bytes(take(buf, 8)?.try_into().expect("8 bytes")))
+            }
+            DataType::Date => {
+                Value::Date(u32::from_le_bytes(take(buf, 4)?.try_into().expect("4 bytes")))
+            }
+            DataType::Utf8 => {
+                let len = u32::from_le_bytes(take(buf, 4)?.try_into().expect("4 bytes")) as usize;
+                let bytes = take(buf, len)?;
+                Value::Utf8(
+                    std::str::from_utf8(bytes)
+                        .map_err(|_| Error::Corrupt("invalid UTF-8 in record".into()))?
+                        .to_string(),
+                )
+            }
+        })
+    }
+}
+
+/// One typed row against a [`Schema`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    values: Vec<Value>,
+}
+
+impl Record {
+    /// Creates a record, checking arity and types against `schema`.
+    pub fn new(schema: &Schema, values: Vec<Value>) -> Result<Self> {
+        if values.len() != schema.fields().len() {
+            return Err(Error::InvalidConfig(format!(
+                "record has {} values, schema has {} fields",
+                values.len(),
+                schema.fields().len()
+            )));
+        }
+        for (v, f) in values.iter().zip(schema.fields()) {
+            if v.data_type() != f.data_type {
+                return Err(Error::InvalidConfig(format!(
+                    "column {:?}: expected {:?}, got {:?}",
+                    f.name,
+                    f.data_type,
+                    v.data_type()
+                )));
+            }
+        }
+        Ok(Record { values })
+    }
+
+    /// The column values in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The value of the named column.
+    pub fn get<'a>(&'a self, schema: &Schema, name: &str) -> Result<&'a Value> {
+        Ok(&self.values[schema.index_of(name)?])
+    }
+
+    /// Serializes the record (schema-less payload; decode requires the
+    /// same schema).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.values.len() * 12);
+        for v in &self.values {
+            v.encode(&mut buf);
+        }
+        buf
+    }
+
+    /// Decodes a record produced by [`Record::encode`] under `schema`.
+    pub fn decode(schema: &Schema, mut buf: &[u8]) -> Result<Record> {
+        let mut values = Vec::with_capacity(schema.fields().len());
+        for field in schema.fields() {
+            values.push(Value::decode(field.data_type, &mut buf)?);
+        }
+        if !buf.is_empty() {
+            return Err(Error::Corrupt("trailing bytes after record".into()));
+        }
+        Ok(Record { values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("score", DataType::Float64),
+            Field::new("name", DataType::Utf8),
+            Field::new("day", DataType::Date),
+        ])
+        .unwrap()
+    }
+
+    fn sample_record(schema: &Schema) -> Record {
+        Record::new(
+            schema,
+            vec![
+                Value::Int64(42),
+                Value::Float64(0.75),
+                Value::Utf8("hello world".into()),
+                Value::Date(19_000),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn record_roundtrips() {
+        let schema = sample_schema();
+        let rec = sample_record(&schema);
+        let buf = rec.encode();
+        let back = Record::decode(&schema, &buf).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.get(&schema, "name").unwrap().as_str(), Some("hello world"));
+        assert_eq!(back.get(&schema, "id").unwrap().as_i64(), Some(42));
+    }
+
+    #[test]
+    fn schema_rejects_duplicates_and_unknown_columns() {
+        assert!(Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Utf8),
+        ])
+        .is_err());
+        let schema = sample_schema();
+        assert!(schema.index_of("nope").is_err());
+        assert_eq!(schema.index_of("score").unwrap(), 1);
+    }
+
+    #[test]
+    fn record_type_checking() {
+        let schema = sample_schema();
+        // Wrong arity.
+        assert!(Record::new(&schema, vec![Value::Int64(1)]).is_err());
+        // Wrong type in column 1.
+        assert!(Record::new(
+            &schema,
+            vec![
+                Value::Int64(1),
+                Value::Utf8("not a float".into()),
+                Value::Utf8("x".into()),
+                Value::Date(1),
+            ],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let schema = sample_schema();
+        let rec = sample_record(&schema);
+        let buf = rec.encode();
+        assert!(Record::decode(&schema, &buf[..buf.len() - 1]).is_err());
+        let mut extra = buf.clone();
+        extra.push(0);
+        assert!(Record::decode(&schema, &extra).is_err());
+        // Invalid UTF-8 inside the string column.
+        let mut bad = buf.clone();
+        bad[20] = 0xFF; // inside "hello world"
+        assert!(Record::decode(&schema, &bad).is_err());
+    }
+
+    #[test]
+    fn lineitem_schema_shape() {
+        let schema = Schema::lineitem();
+        assert_eq!(schema.fields().len(), 16);
+        assert_eq!(schema.index_of("l_orderkey").unwrap(), 0);
+        assert_eq!(schema.fields()[15].name, "l_comment");
+        assert_eq!(schema.fields()[4].data_type, DataType::Float64);
+    }
+
+    #[test]
+    fn empty_string_values() {
+        let schema = Schema::new(vec![Field::new("s", DataType::Utf8)]).unwrap();
+        let rec = Record::new(&schema, vec![Value::Utf8(String::new())]).unwrap();
+        let back = Record::decode(&schema, &rec.encode()).unwrap();
+        assert_eq!(back.get(&schema, "s").unwrap().as_str(), Some(""));
+    }
+}

@@ -1,0 +1,147 @@
+//! Memory budget for an operator's in-memory workspace.
+//!
+//! The paper's setting gives each operator a fixed allocation ("the default
+//! memory allocation for a top-k operator is 1 GB", §5.1.2). [`MemoryBudget`]
+//! tracks bytes charged against that allocation and answers the only
+//! question run generation asks: *is there room for one more row?*
+
+use histok_types::{HeapSize, Row, SortKey};
+
+/// Estimated bookkeeping overhead per buffered row (heap entry, indices).
+const PER_ROW_OVERHEAD: usize = 16;
+
+/// Bytes one buffered row is charged against the budget: its inline size,
+/// its owned heap bytes, and a fixed bookkeeping overhead.
+pub fn row_footprint<K: SortKey>(row: &Row<K>) -> usize {
+    std::mem::size_of::<Row<K>>() + row.heap_size() + PER_ROW_OVERHEAD
+}
+
+/// A simple charge/release byte counter with a hard limit.
+#[derive(Debug, Clone)]
+pub struct MemoryBudget {
+    limit: usize,
+    used: usize,
+    peak: usize,
+    rows: usize,
+    total_charged: u64,
+    lifetime_rows: u64,
+}
+
+impl MemoryBudget {
+    /// Creates a budget of `limit` bytes.
+    pub fn new(limit: usize) -> Self {
+        MemoryBudget { limit, used: 0, peak: 0, rows: 0, total_charged: 0, lifetime_rows: 0 }
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Bytes currently charged.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// High-water mark of charged bytes.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Rows currently charged.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True if charging `bytes` more would exceed the limit.
+    pub fn would_exceed(&self, bytes: usize) -> bool {
+        self.used.saturating_add(bytes) > self.limit
+    }
+
+    /// Charges one row of `bytes`. The caller decides whether to spill
+    /// first; the budget allows a single row to exceed the limit so that
+    /// rows larger than the whole budget can still flow through (the
+    /// robustness concern of §2.3: "if individual rows are unexpectedly
+    /// large ... this algorithm may unexpectedly fail" — ours must not).
+    pub fn charge(&mut self, bytes: usize) {
+        self.used = self.used.saturating_add(bytes);
+        self.rows += 1;
+        self.peak = self.peak.max(self.used);
+        self.total_charged += bytes as u64;
+        self.lifetime_rows += 1;
+    }
+
+    /// Releases one row of `bytes`.
+    pub fn release(&mut self, bytes: usize) {
+        debug_assert!(self.used >= bytes, "releasing more than charged");
+        debug_assert!(self.rows > 0, "releasing a row when none are charged");
+        self.used = self.used.saturating_sub(bytes);
+        self.rows = self.rows.saturating_sub(1);
+    }
+
+    /// Average bytes per charged row over the budget's lifetime; `fallback`
+    /// before any row was seen. Used to estimate memory capacity in rows.
+    pub fn avg_row_bytes(&self, fallback: usize) -> usize {
+        match self.total_charged.checked_div(self.lifetime_rows) {
+            Some(avg) if self.lifetime_rows > 0 => (avg as usize).max(1),
+            _ => fallback.max(1),
+        }
+    }
+
+    /// Estimated capacity of the budget in rows, given what has been
+    /// observed so far.
+    pub fn capacity_rows(&self, fallback_row_bytes: usize) -> u64 {
+        (self.limit / self.avg_row_bytes(fallback_row_bytes)).max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_release_roundtrip() {
+        let mut b = MemoryBudget::new(100);
+        b.charge(40);
+        b.charge(40);
+        assert_eq!(b.used(), 80);
+        assert_eq!(b.rows(), 2);
+        assert!(!b.would_exceed(20));
+        assert!(b.would_exceed(21));
+        b.release(40);
+        assert_eq!(b.used(), 40);
+        assert_eq!(b.rows(), 1);
+        assert_eq!(b.peak(), 80);
+    }
+
+    #[test]
+    fn single_oversized_row_is_allowed() {
+        let mut b = MemoryBudget::new(10);
+        assert!(b.would_exceed(1000));
+        b.charge(1000); // must not panic — robustness over strictness
+        assert_eq!(b.used(), 1000);
+        b.release(1000);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn capacity_rows_adapts_to_observed_sizes() {
+        let mut b = MemoryBudget::new(1000);
+        assert_eq!(b.capacity_rows(100), 10); // fallback: 1000/100
+        for _ in 0..4 {
+            b.charge(50);
+        }
+        // Average observed row is 50 bytes → capacity 20 rows.
+        assert_eq!(b.capacity_rows(100), 20);
+    }
+
+    #[test]
+    fn row_footprint_includes_payload_and_overhead() {
+        let row = histok_types::Row::new(1u64, vec![0u8; 100]);
+        let fp = row_footprint(&row);
+        assert!(fp >= 100 + PER_ROW_OVERHEAD);
+        let empty = histok_types::Row::key_only(1u64);
+        assert!(row_footprint(&empty) >= PER_ROW_OVERHEAD);
+        assert!(fp > row_footprint(&empty));
+    }
+}

@@ -1,0 +1,210 @@
+//! A binary heap ordered by a runtime comparator.
+//!
+//! `std::collections::BinaryHeap` requires `Ord` on the element type, which
+//! cannot capture a runtime [`histok_types::SortOrder`] without wrapping
+//! every element. `BinaryHeapBy` stores the comparator once.
+
+/// A binary min-heap by `before`: `pop` returns the element for which
+/// `before(x, y)` holds against every other element `y`.
+///
+/// To get max-heap behaviour, invert the comparator.
+pub struct BinaryHeapBy<T, F> {
+    items: Vec<T>,
+    before: F,
+}
+
+impl<T, F: FnMut(&T, &T) -> bool> BinaryHeapBy<T, F> {
+    /// Creates an empty heap with comparator `before`.
+    pub fn new(before: F) -> Self {
+        BinaryHeapBy { items: Vec::new(), before }
+    }
+
+    /// Creates an empty heap with space for `cap` elements.
+    pub fn with_capacity(cap: usize, before: F) -> Self {
+        BinaryHeapBy { items: Vec::with_capacity(cap), before }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the heap has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The top element (the minimum under `before`), if any.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.first()
+    }
+
+    /// Inserts an element; O(log n).
+    pub fn push(&mut self, item: T) {
+        self.items.push(item);
+        self.sift_up(self.items.len() - 1);
+    }
+
+    /// Removes and returns the top element; O(log n).
+    pub fn pop(&mut self) -> Option<T> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let last = self.items.len() - 1;
+        self.items.swap(0, last);
+        let top = self.items.pop();
+        if !self.items.is_empty() {
+            self.sift_down(0);
+        }
+        top
+    }
+
+    /// Pops the top and pushes `item` in one rebalance; O(log n) and never
+    /// allocates. Returns the popped top.
+    pub fn replace_top(&mut self, item: T) -> Option<T> {
+        if self.items.is_empty() {
+            self.items.push(item);
+            return None;
+        }
+        let old = std::mem::replace(&mut self.items[0], item);
+        self.sift_down(0);
+        Some(old)
+    }
+
+    /// Drains the heap in heap order (top first).
+    pub fn drain_sorted(mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.items.len());
+        while let Some(x) = self.pop() {
+            out.push(x);
+        }
+        out
+    }
+
+    /// Removes all elements, in unspecified order.
+    pub fn drain_unordered(&mut self) -> std::vec::Drain<'_, T> {
+        self.items.drain(..)
+    }
+
+    /// Iterates the elements in unspecified order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if (self.before)(&self.items[i], &self.items[parent]) {
+                self.items.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.items.len() && (self.before)(&self.items[l], &self.items[best]) {
+                best = l;
+            }
+            if r < self.items.len() && (self.before)(&self.items[r], &self.items[best]) {
+                best = r;
+            }
+            if best == i {
+                return;
+            }
+            self.items.swap(i, best);
+            i = best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn min_heap_pops_ascending() {
+        let mut h = BinaryHeapBy::new(|a: &i32, b: &i32| a < b);
+        for x in [5, 3, 8, 1, 9, 2] {
+            h.push(x);
+        }
+        assert_eq!(h.peek(), Some(&1));
+        let sorted = h.drain_sorted();
+        assert_eq!(sorted, vec![1, 2, 3, 5, 8, 9]);
+    }
+
+    #[test]
+    fn max_heap_via_inverted_comparator() {
+        let mut h = BinaryHeapBy::new(|a: &i32, b: &i32| a > b);
+        for x in [5, 3, 8] {
+            h.push(x);
+        }
+        assert_eq!(h.pop(), Some(8));
+        assert_eq!(h.pop(), Some(5));
+        assert_eq!(h.pop(), Some(3));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn replace_top_keeps_invariant() {
+        let mut h = BinaryHeapBy::new(|a: &i32, b: &i32| a < b);
+        for x in [10, 20, 30] {
+            h.push(x);
+        }
+        assert_eq!(h.replace_top(25), Some(10));
+        assert_eq!(h.peek(), Some(&20));
+        assert_eq!(h.replace_top(5), Some(20));
+        assert_eq!(h.peek(), Some(&5));
+        // Empty-heap replace behaves like push.
+        let mut e = BinaryHeapBy::new(|a: &i32, b: &i32| a < b);
+        assert_eq!(e.replace_top(1), None);
+        assert_eq!(e.peek(), Some(&1));
+    }
+
+    #[test]
+    fn drain_unordered_empties_the_heap() {
+        let mut h = BinaryHeapBy::new(|a: &i32, b: &i32| a < b);
+        for x in 0..10 {
+            h.push(x);
+        }
+        let mut drained: Vec<i32> = h.drain_unordered().collect();
+        drained.sort_unstable();
+        assert_eq!(drained, (0..10).collect::<Vec<_>>());
+        assert!(h.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_heap_sorts_anything(mut xs in proptest::collection::vec(any::<i64>(), 0..200)) {
+            let mut h = BinaryHeapBy::with_capacity(xs.len(), |a: &i64, b: &i64| a < b);
+            for &x in &xs {
+                h.push(x);
+            }
+            let got = h.drain_sorted();
+            xs.sort_unstable();
+            prop_assert_eq!(got, xs);
+        }
+
+        #[test]
+        fn prop_replace_top_equals_pop_then_push(
+            xs in proptest::collection::vec(any::<i32>(), 1..50),
+            y in any::<i32>(),
+        ) {
+            let mut a = BinaryHeapBy::new(|p: &i32, q: &i32| p < q);
+            let mut b = BinaryHeapBy::new(|p: &i32, q: &i32| p < q);
+            for &x in &xs {
+                a.push(x);
+                b.push(x);
+            }
+            let ra = a.replace_top(y);
+            let rb = b.pop();
+            b.push(y);
+            prop_assert_eq!(ra, rb);
+            prop_assert_eq!(a.drain_sorted(), b.drain_sorted());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # histok-sort
+//!
+//! The sorting substrate under the top-k operators:
+//!
+//! * [`MemoryBudget`] — byte accounting for an operator's workspace.
+//! * [`RunGenerator`] implementations — [`ReplacementSelection`] (the
+//!   paper's production choice, §5.1.2: pipelined, no stop-the-world sort,
+//!   runs ~2× memory, optional run-size limit) and [`LoadSortStore`]
+//!   (quicksort runs — what PostgreSQL does, §5.2).
+//! * [`SpillObserver`] — the hook through which the histogram cutoff filter
+//!   of `histok-core` watches and vetoes spills (Algorithm 1 lines 8–13).
+//! * [`LoserTree`] — the classic tournament merge over any number of
+//!   sources, plus multi-level merge planning with the paper's §4.1 top-k
+//!   merge policies (lowest-key runs first, early stop at `k` rows or at
+//!   the cutoff key).
+//! * [`ExternalSorter`] — a complete external merge sort built from those
+//!   parts (the traditional baseline's engine).
+
+#![deny(missing_docs)]
+
+pub mod budget;
+pub mod external;
+pub mod heap;
+pub mod loser_tree;
+pub mod merge;
+pub mod observer;
+pub mod run_gen;
+
+pub use budget::{row_footprint, MemoryBudget};
+pub use external::ExternalSorter;
+pub use heap::BinaryHeapBy;
+pub use loser_tree::LoserTree;
+pub use merge::{
+    merge_runs_to_new, merge_sources, plan_merges, MergeConfig, MergePolicy, MergeSource,
+};
+pub use observer::{NoopObserver, SpillObserver};
+pub use run_gen::{LoadSortStore, ReplacementSelection, ResiduePolicy, RunGenerator};

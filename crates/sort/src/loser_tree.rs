@@ -1,0 +1,291 @@
+//! Tournament (loser-tree) k-way merge.
+//!
+//! The standard structure for merging many sorted runs: each `next()` costs
+//! one leaf-to-root path of ⌈log₂ n⌉ comparisons, independent of how many
+//! sources are exhausted. Sources yield `Result<Row>`; errors propagate and
+//! fuse the tree.
+
+use histok_types::{Result, Row, SortKey, SortOrder};
+
+/// A k-way merging iterator over sorted sources.
+///
+/// Ties between sources break toward the lower source index, making the
+/// merge stable with respect to source order.
+///
+/// ```
+/// use histok_sort::LoserTree;
+/// use histok_types::{Result, Row, SortOrder};
+///
+/// let runs: Vec<Vec<u64>> = vec![vec![1, 4, 7], vec![2, 5, 8], vec![3, 6, 9]];
+/// let sources: Vec<_> = runs
+///     .into_iter()
+///     .map(|r| r.into_iter().map(|k| Ok(Row::key_only(k))).collect::<Vec<Result<_>>>())
+///     .map(Vec::into_iter)
+///     .collect();
+/// let merged: Vec<u64> = LoserTree::new(sources, SortOrder::Ascending)?
+///     .map(|r| r.map(|row| row.key))
+///     .collect::<Result<_>>()?;
+/// assert_eq!(merged, (1..=9).collect::<Vec<_>>());
+/// # Ok::<(), histok_types::Error>(())
+/// ```
+pub struct LoserTree<K: SortKey, S: Iterator<Item = Result<Row<K>>>> {
+    sources: Vec<S>,
+    /// `tree[t]` = loser (source index) parked at internal node `t`;
+    /// nodes `1..n`, node 0 unused.
+    tree: Vec<usize>,
+    /// Head row of each source (`None` = exhausted).
+    heads: Vec<Option<Row<K>>>,
+    winner: usize,
+    order: SortOrder,
+    /// First error from any source; returned once, then the tree is done.
+    pending_error: Option<histok_types::Error>,
+    done: bool,
+}
+
+impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
+    /// Builds a merge over `sources`, each already sorted in `order`.
+    pub fn new(mut sources: Vec<S>, order: SortOrder) -> Result<Self> {
+        let n = sources.len();
+        let mut heads = Vec::with_capacity(n);
+        let mut pending_error = None;
+        for s in sources.iter_mut() {
+            heads.push(match s.next() {
+                Some(Ok(row)) => Some(row),
+                Some(Err(e)) => {
+                    if pending_error.is_none() {
+                        pending_error = Some(e);
+                    }
+                    None
+                }
+                None => None,
+            });
+        }
+        let mut lt = LoserTree {
+            sources,
+            tree: vec![usize::MAX; n.max(1)],
+            heads,
+            winner: 0,
+            order,
+            pending_error,
+            done: n == 0,
+        };
+        if n > 0 {
+            lt.rebuild();
+        }
+        Ok(lt)
+    }
+
+    /// True if source `a`'s head should be emitted before source `b`'s.
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (&self.heads[a], &self.heads[b]) {
+            (Some(ka), Some(kb)) => match self.order.cmp_keys(&ka.key, &kb.key) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => a < b,
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Full bottom-up tournament; O(n).
+    fn rebuild(&mut self) {
+        let n = self.sources.len();
+        if n == 1 {
+            self.winner = 0;
+            return;
+        }
+        // winner_at[t] for internal nodes 1..n; leaves are n..2n.
+        let mut winner_at = vec![usize::MAX; 2 * n];
+        for (i, slot) in winner_at.iter_mut().enumerate().take(2 * n).skip(n) {
+            *slot = i - n;
+        }
+        for t in (1..n).rev() {
+            let a = winner_at[2 * t];
+            let b = winner_at[2 * t + 1];
+            let (w, l) = if self.beats(a, b) { (a, b) } else { (b, a) };
+            winner_at[t] = w;
+            self.tree[t] = l;
+        }
+        self.winner = winner_at[1];
+    }
+
+    /// Replays the tournament along the winner's path after its head
+    /// changed; O(log n).
+    fn adjust(&mut self) {
+        let n = self.sources.len();
+        if n == 1 {
+            return;
+        }
+        let mut s = self.winner;
+        let mut t = (s + n) / 2;
+        while t > 0 {
+            if self.beats(self.tree[t], s) {
+                std::mem::swap(&mut s, &mut self.tree[t]);
+            }
+            t /= 2;
+        }
+        self.winner = s;
+    }
+
+    /// Refills the winner's head from its source.
+    fn refill_winner(&mut self) {
+        let i = self.winner;
+        self.heads[i] = match self.sources[i].next() {
+            Some(Ok(row)) => Some(row),
+            Some(Err(e)) => {
+                if self.pending_error.is_none() {
+                    self.pending_error = Some(e);
+                }
+                None
+            }
+            None => None,
+        };
+        self.adjust();
+    }
+
+    /// Peeks at the key that would be produced next.
+    pub fn peek_key(&self) -> Option<&K> {
+        if self.done {
+            return None;
+        }
+        self.heads[self.winner].as_ref().map(|r| &r.key)
+    }
+}
+
+impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> Iterator for LoserTree<K, S> {
+    type Item = Result<Row<K>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if let Some(e) = self.pending_error.take() {
+            self.done = true;
+            return Some(Err(e));
+        }
+        let Some(row) = self.heads[self.winner].take() else {
+            self.done = true;
+            return None;
+        };
+        self.refill_winner();
+        if self.pending_error.is_some() {
+            // Surface the error on the *next* call so the current row is
+            // not lost; but if callers stop early the error is dropped,
+            // which matches iterator semantics.
+        }
+        Some(Ok(row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histok_types::Error;
+
+    type VecSource = std::vec::IntoIter<Result<Row<u64>>>;
+
+    fn src(keys: &[u64]) -> VecSource {
+        keys.iter().map(|&k| Ok(Row::key_only(k))).collect::<Vec<_>>().into_iter()
+    }
+
+    fn merge_keys(sources: Vec<VecSource>, order: SortOrder) -> Vec<u64> {
+        LoserTree::new(sources, order).unwrap().map(|r| r.unwrap().key).collect()
+    }
+
+    #[test]
+    fn merges_two_sources() {
+        let got = merge_keys(vec![src(&[1, 3, 5]), src(&[2, 4, 6])], SortOrder::Ascending);
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn single_source_passthrough() {
+        let got = merge_keys(vec![src(&[1, 2, 3])], SortOrder::Ascending);
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let got = merge_keys(vec![], SortOrder::Ascending);
+        assert!(got.is_empty());
+        let got = merge_keys(vec![src(&[]), src(&[])], SortOrder::Ascending);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn uneven_sources_and_empties() {
+        let got = merge_keys(
+            vec![src(&[]), src(&[10]), src(&[1, 2, 3, 4, 5, 6, 7]), src(&[]), src(&[4, 8])],
+            SortOrder::Ascending,
+        );
+        assert_eq!(got, vec![1, 2, 3, 4, 4, 5, 6, 7, 8, 10]);
+    }
+
+    #[test]
+    fn descending_merge() {
+        let got = merge_keys(vec![src(&[9, 5, 1]), src(&[8, 4])], SortOrder::Descending);
+        assert_eq!(got, vec![9, 8, 5, 4, 1]);
+    }
+
+    #[test]
+    fn many_sources_power_of_two_and_odd() {
+        for n in [2usize, 3, 4, 5, 7, 8, 15, 16, 17, 33] {
+            let sources: Vec<VecSource> = (0..n)
+                .map(|i| {
+                    let keys: Vec<u64> = (0..20).map(|j| (j * n + i) as u64).collect();
+                    src(&keys)
+                })
+                .collect();
+            let got = merge_keys(sources, SortOrder::Ascending);
+            let expected: Vec<u64> = (0..(20 * n) as u64).collect();
+            assert_eq!(got, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn peek_key_matches_next() {
+        let mut lt = LoserTree::new(vec![src(&[5, 7]), src(&[6])], SortOrder::Ascending).unwrap();
+        assert_eq!(lt.peek_key(), Some(&5));
+        assert_eq!(lt.next().unwrap().unwrap().key, 5);
+        assert_eq!(lt.peek_key(), Some(&6));
+    }
+
+    #[test]
+    fn ties_break_toward_lower_source_index() {
+        let a: Vec<Result<Row<u64>>> = vec![Ok(Row::new(5u64, &b"from-a"[..]))];
+        let b: Vec<Result<Row<u64>>> = vec![Ok(Row::new(5u64, &b"from-b"[..]))];
+        let mut lt =
+            LoserTree::new(vec![a.into_iter(), b.into_iter()], SortOrder::Ascending).unwrap();
+        assert_eq!(lt.next().unwrap().unwrap().payload.as_ref(), b"from-a");
+        assert_eq!(lt.next().unwrap().unwrap().payload.as_ref(), b"from-b");
+    }
+
+    #[test]
+    fn source_error_is_surfaced_and_fuses() {
+        let bad: Vec<Result<Row<u64>>> =
+            vec![Ok(Row::key_only(1)), Err(Error::Corrupt("boom".into()))];
+        let mut lt = LoserTree::new(
+            vec![bad.into_iter(), src(&[100]).collect::<Vec<_>>().into_iter()],
+            SortOrder::Ascending,
+        )
+        .unwrap();
+        assert_eq!(lt.next().unwrap().unwrap().key, 1);
+        // The error surfaces before any further rows.
+        assert!(matches!(lt.next(), Some(Err(Error::Corrupt(_)))));
+        assert!(lt.next().is_none());
+    }
+
+    #[test]
+    fn immediate_error_in_first_rows() {
+        let bad: Vec<Result<Row<u64>>> = vec![Err(Error::Corrupt("early".into()))];
+        let mut lt = LoserTree::new(
+            vec![bad.into_iter(), src(&[1]).collect::<Vec<_>>().into_iter()],
+            SortOrder::Ascending,
+        )
+        .unwrap();
+        assert!(matches!(lt.next(), Some(Err(_))));
+        assert!(lt.next().is_none());
+    }
+}

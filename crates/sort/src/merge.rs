@@ -1,0 +1,368 @@
+//! Merge planning for top-k external sorts.
+//!
+//! When more runs exist than the merge fan-in allows, intermediate merge
+//! steps reduce the run count. Two facts specific to top operations
+//! (paper §4.1) shape the planner:
+//!
+//! * any merge step may stop after `k` rows — a row ranked worse than `k`
+//!   within *any* subset of runs is ranked worse than `k` globally;
+//! * a merge step may stop as soon as the merged key passes the cutoff key;
+//! * for a top operation the best runs to merge first are the ones with the
+//!   lowest keys (the most recently produced), not the traditional smallest
+//!   runs.
+
+use histok_storage::{RunCatalog, RunMeta, RunReader};
+use histok_types::{Error, Result, Row, SortKey, SortOrder};
+
+use crate::loser_tree::LoserTree;
+
+/// A merge input: a spilled run, an in-memory sorted sequence (the run
+/// generator's residue), or a buffered head chained onto a run reader
+/// (produced by offset fast-skipping, which may over-read a block
+/// boundary and must put the extra rows back in front).
+pub enum MergeSource<K: SortKey> {
+    /// Rows streamed from a spilled run.
+    Run(RunReader<K>),
+    /// Rows already in memory, sorted in output order.
+    Memory(std::vec::IntoIter<Row<K>>),
+    /// Buffered rows followed by the rest of a run.
+    Chained {
+        /// Rows to emit before resuming the reader (already sorted).
+        head: std::vec::IntoIter<Row<K>>,
+        /// The remainder of the run.
+        tail: RunReader<K>,
+    },
+}
+
+impl<K: SortKey> Iterator for MergeSource<K> {
+    type Item = Result<Row<K>>;
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            MergeSource::Run(r) => r.next(),
+            MergeSource::Memory(m) => m.next().map(Ok),
+            MergeSource::Chained { head, tail } => match head.next() {
+                Some(row) => Some(Ok(row)),
+                None => tail.next(),
+            },
+        }
+    }
+}
+
+/// Builds a merging iterator over heterogeneous sources.
+pub fn merge_sources<K: SortKey>(
+    sources: Vec<MergeSource<K>>,
+    order: SortOrder,
+) -> Result<LoserTree<K, MergeSource<K>>> {
+    LoserTree::new(sources, order)
+}
+
+/// Which runs an intermediate merge step should pick first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergePolicy {
+    /// Traditional policy: the smallest runs (fewest rows) — minimizes
+    /// re-read volume for full sorts.
+    SmallestFirst,
+    /// Top-k policy (§4.1): the runs whose first keys sort best — usually
+    /// the most recently generated ones.
+    #[default]
+    LowestKeyFirst,
+}
+
+/// Fan-in and policy for multi-level merging.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeConfig {
+    /// Maximum simultaneous merge inputs.
+    pub fan_in: usize,
+    /// Run-selection policy for intermediate steps.
+    pub policy: MergePolicy,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        MergeConfig { fan_in: 16, policy: MergePolicy::default() }
+    }
+}
+
+impl MergeConfig {
+    /// Validates the fan-in.
+    pub fn validate(&self) -> Result<()> {
+        if self.fan_in < 2 {
+            return Err(Error::InvalidConfig("merge fan-in must be at least 2".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Merges the given runs into one new run, truncating at `limit` rows
+/// and/or at the first key that sorts after `cutoff`. The source runs are
+/// deleted; the new run is registered and returned.
+pub fn merge_runs_to_new<K: SortKey>(
+    catalog: &RunCatalog<K>,
+    runs: &[RunMeta<K>],
+    limit: Option<u64>,
+    cutoff: Option<&K>,
+) -> Result<RunMeta<K>> {
+    let order = catalog.order();
+    let mut sources = Vec::with_capacity(runs.len());
+    for meta in runs {
+        sources.push(MergeSource::Run(catalog.open(meta)?));
+    }
+    let mut tree = merge_sources(sources, order)?;
+    let mut writer = catalog.start_run()?;
+    let mut produced = 0u64;
+    while limit.is_none_or(|l| produced < l) {
+        let Some(next) = tree.next() else { break };
+        let row = next?;
+        if let Some(cut) = cutoff {
+            if order.follows(&row.key, cut) {
+                break;
+            }
+        }
+        writer.append(&row)?;
+        produced += 1;
+    }
+    drop(tree); // release readers before deleting their objects
+    let meta = writer.finish()?;
+    for old in runs {
+        catalog.remove(&old.name)?;
+    }
+    catalog.register(meta.clone())?;
+    Ok(meta)
+}
+
+/// Sorts run metas so the best merge candidates (per `policy`) come first.
+fn rank_candidates<K: SortKey>(runs: &mut [RunMeta<K>], policy: MergePolicy, order: SortOrder) {
+    match policy {
+        MergePolicy::SmallestFirst => runs.sort_by_key(|m| m.rows),
+        MergePolicy::LowestKeyFirst => runs.sort_by(|a, b| match (&a.first_key, &b.first_key) {
+            (Some(ka), Some(kb)) => order.cmp_keys(ka, kb).then(a.rows.cmp(&b.rows)),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => std::cmp::Ordering::Equal,
+        }),
+    }
+}
+
+/// Runs intermediate merge steps until at most `config.fan_in` runs remain;
+/// returns the final run set (in no particular order).
+///
+/// `limit`/`cutoff` truncate intermediate outputs — always safe for a top-k
+/// (see module docs), never used for a full sort. Per §4.1, "each merge
+/// step can also reduce the cutoff key": whenever an intermediate merge
+/// produces a full `limit`-row run, its last key proves `limit` rows at or
+/// before it, so later merge steps truncate at that (tighter) key.
+pub fn plan_merges<K: SortKey>(
+    catalog: &RunCatalog<K>,
+    config: &MergeConfig,
+    limit: Option<u64>,
+    cutoff: Option<&K>,
+) -> Result<Vec<RunMeta<K>>> {
+    config.validate()?;
+    let order = catalog.order();
+    let mut cutoff: Option<K> = cutoff.cloned();
+    loop {
+        let mut runs = catalog.runs();
+        if runs.len() <= config.fan_in {
+            return Ok(runs);
+        }
+        rank_candidates(&mut runs, config.policy, order);
+        // Merge just enough runs that the final step can take everything:
+        // classic (F - 1)-sized steps, but never fewer than 2 inputs.
+        let excess = runs.len() - config.fan_in;
+        let step = (excess + 1).clamp(2, config.fan_in).min(runs.len());
+        let merged = merge_runs_to_new(catalog, &runs[..step], limit, cutoff.as_ref())?;
+        if let (Some(lim), Some(last)) = (limit, &merged.last_key) {
+            if merged.rows >= lim {
+                let tighter = cutoff.as_ref().is_none_or(|c| order.precedes(last, c));
+                if tighter {
+                    cutoff = Some(last.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histok_storage::{IoStats, MemoryBackend};
+    use histok_types::Row;
+    use std::sync::Arc;
+
+    fn catalog() -> Arc<RunCatalog<u64>> {
+        Arc::new(RunCatalog::new(
+            Arc::new(MemoryBackend::new()),
+            "m",
+            SortOrder::Ascending,
+            IoStats::new(),
+        ))
+    }
+
+    fn write_run(cat: &RunCatalog<u64>, keys: &[u64]) {
+        let mut w = cat.start_run().unwrap();
+        for &k in keys {
+            w.append(&Row::key_only(k)).unwrap();
+        }
+        cat.register(w.finish().unwrap()).unwrap();
+    }
+
+    fn read_run(cat: &RunCatalog<u64>, meta: &RunMeta<u64>) -> Vec<u64> {
+        cat.open(meta).unwrap().map(|r| r.unwrap().key).collect()
+    }
+
+    #[test]
+    fn merge_sources_combines_runs_and_memory() {
+        let cat = catalog();
+        write_run(&cat, &[2, 4, 6]);
+        let run = cat.runs()[0].clone();
+        let mem: Vec<Row<u64>> = vec![Row::key_only(1), Row::key_only(5)];
+        let sources =
+            vec![MergeSource::Run(cat.open(&run).unwrap()), MergeSource::Memory(mem.into_iter())];
+        let keys: Vec<u64> =
+            merge_sources(sources, SortOrder::Ascending).unwrap().map(|r| r.unwrap().key).collect();
+        assert_eq!(keys, vec![1, 2, 4, 5, 6]);
+    }
+
+    #[test]
+    fn merge_runs_to_new_replaces_inputs() {
+        let cat = catalog();
+        write_run(&cat, &[1, 4, 7]);
+        write_run(&cat, &[2, 5, 8]);
+        write_run(&cat, &[3, 6, 9]);
+        let runs = cat.runs();
+        let merged = merge_runs_to_new(&cat, &runs[..2], None, None).unwrap();
+        assert_eq!(read_run(&cat, &merged), vec![1, 2, 4, 5, 7, 8]);
+        assert_eq!(cat.len(), 2); // merged + untouched third run
+    }
+
+    #[test]
+    fn limit_truncates_merge_output() {
+        let cat = catalog();
+        write_run(&cat, &[1, 3, 5, 7, 9]);
+        write_run(&cat, &[2, 4, 6, 8, 10]);
+        let runs = cat.runs();
+        let merged = merge_runs_to_new(&cat, &runs, Some(4), None).unwrap();
+        assert_eq!(read_run(&cat, &merged), vec![1, 2, 3, 4]);
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn cutoff_truncates_merge_output() {
+        let cat = catalog();
+        write_run(&cat, &[1, 3, 5, 7, 9]);
+        write_run(&cat, &[2, 4, 6, 8, 10]);
+        let runs = cat.runs();
+        // Keys strictly above 6 must not be written (ties survive).
+        let merged = merge_runs_to_new(&cat, &runs, None, Some(&6)).unwrap();
+        assert_eq!(read_run(&cat, &merged), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn plan_merges_reduces_to_fan_in() {
+        let cat = catalog();
+        for i in 0..10u64 {
+            write_run(&cat, &[i, i + 10, i + 20]);
+        }
+        let cfg = MergeConfig { fan_in: 4, policy: MergePolicy::SmallestFirst };
+        let final_runs = plan_merges(&cat, &cfg, None, None).unwrap();
+        assert!(final_runs.len() <= 4);
+        // Contents preserved exactly.
+        let mut all: Vec<u64> = final_runs.iter().flat_map(|m| read_run(&cat, m)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plan_merges_noop_when_under_fan_in() {
+        let cat = catalog();
+        write_run(&cat, &[1]);
+        write_run(&cat, &[2]);
+        let cfg = MergeConfig::default();
+        let runs = plan_merges(&cat, &cfg, None, None).unwrap();
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn lowest_key_policy_merges_best_runs_first() {
+        let cat = catalog();
+        write_run(&cat, &[100, 101, 102]); // early, high keys
+        write_run(&cat, &[50, 51, 52]);
+        write_run(&cat, &[1, 2, 3]); // recent, low keys
+        write_run(&cat, &[60, 61, 62]);
+        let mut runs = cat.runs();
+        rank_candidates(&mut runs, MergePolicy::LowestKeyFirst, SortOrder::Ascending);
+        assert_eq!(runs[0].first_key, Some(1));
+        assert_eq!(runs[1].first_key, Some(50));
+        assert_eq!(runs[3].first_key, Some(100));
+    }
+
+    #[test]
+    fn invalid_fan_in_rejected() {
+        let cfg = MergeConfig { fan_in: 1, policy: MergePolicy::SmallestFirst };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn plan_merges_refines_the_cutoff_between_steps() {
+        // §4.1: once an intermediate merge produces `limit` rows, its last
+        // key truncates every later merge. Under SmallestFirst, the two
+        // low-key runs merge first (they are smallest) and establish a
+        // cutoff ≈ key 59; the high-key merges that follow contain no row
+        // at or before it and must write NOTHING.
+        let cat = catalog();
+        write_run(&cat, &(0..100).step_by(2).collect::<Vec<_>>()); // 50 even low keys
+        write_run(&cat, &(1..100).step_by(2).collect::<Vec<_>>()); // 50 odd low keys
+        for base in 0..4u64 {
+            let keys: Vec<u64> = (0..60).map(|j| 10_000 + j * 4 + base).collect();
+            write_run(&cat, &keys);
+        }
+        let before = cat.stats().snapshot();
+        let cfg = MergeConfig { fan_in: 2, policy: MergePolicy::SmallestFirst };
+        let k = 60;
+        let final_runs = plan_merges(&cat, &cfg, Some(k), None).unwrap();
+        assert!(final_runs.len() <= 2);
+        // Correctness: the global top 60 is exactly 0..59.
+        let mut sources = Vec::new();
+        for m in &final_runs {
+            sources.push(MergeSource::Run(cat.open(m).unwrap()));
+        }
+        let top: Vec<u64> = merge_sources(sources, SortOrder::Ascending)
+            .unwrap()
+            .take(k as usize)
+            .map(|r| r.unwrap().key)
+            .collect();
+        assert_eq!(top, (0..k).collect::<Vec<_>>());
+        // Savings: only the low-key merge wrote rows; without refinement
+        // each high-key pair merge would have written `limit` rows too.
+        let rewritten = cat.stats().snapshot().since(&before).rows_written;
+        assert!(
+            rewritten <= 70,
+            "high-key merges were not truncated by the refined cutoff: {rewritten} rows"
+        );
+    }
+
+    #[test]
+    fn multi_level_merge_preserves_order_with_limit() {
+        // Truncating intermediate merges at k must still produce the exact
+        // global top-k at the end.
+        let cat = catalog();
+        for i in 0..12u64 {
+            let keys: Vec<u64> = (0..50).map(|j| j * 12 + i).collect();
+            write_run(&cat, &keys);
+        }
+        let k = 25;
+        let cfg = MergeConfig { fan_in: 3, policy: MergePolicy::LowestKeyFirst };
+        let final_runs = plan_merges(&cat, &cfg, Some(k), None).unwrap();
+        assert!(final_runs.len() <= 3);
+        let mut sources = Vec::new();
+        for m in &final_runs {
+            sources.push(MergeSource::Run(cat.open(m).unwrap()));
+        }
+        let top: Vec<u64> = merge_sources(sources, SortOrder::Ascending)
+            .unwrap()
+            .take(k as usize)
+            .map(|r| r.unwrap().key)
+            .collect();
+        assert_eq!(top, (0..k).collect::<Vec<_>>());
+    }
+}

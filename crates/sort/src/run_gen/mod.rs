@@ -1,0 +1,62 @@
+//! Run generation: turning an unsorted stream into sorted runs on storage.
+//!
+//! Two strategies are provided, matching the paper's discussion:
+//!
+//! * [`ReplacementSelection`] — the production choice (§5.1.2). A selection
+//!   heap keeps consuming input while it writes: rows that can still extend
+//!   the current run go out immediately; rows that sort before the last
+//!   written key are deferred to the next run. Runs average twice the
+//!   memory size on random input and can be capped at `k` rows (one of the
+//!   optimizations of [Graefe'08] the paper builds on).
+//! * [`LoadSortStore`] — fill memory, quicksort, write, repeat. This is what
+//!   "vanilla" engines such as PostgreSQL do (§5.2) and what the paper's
+//!   §3.2 analysis assumes "for simplicity".
+//!
+//! Both re-check every row against the [`SpillObserver`] at spill time
+//! (Algorithm 1 line 11) and report every surviving spilled row to it
+//! (line 13), which is where the histogram model is built.
+
+mod load_sort_store;
+mod replacement_selection;
+
+pub use load_sort_store::LoadSortStore;
+pub use replacement_selection::ReplacementSelection;
+
+use histok_types::{Result, Row, SortKey};
+
+use crate::observer::SpillObserver;
+
+/// What to do with rows still buffered in memory when input ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResiduePolicy {
+    /// Keep the residue in memory and hand it to the final merge directly —
+    /// avoids one write+read round trip for up to a memory-full of rows.
+    #[default]
+    KeepInMemory,
+    /// Spill the residue to runs like any other data. This matches the
+    /// accounting of the paper's §3.2 analysis, where every surviving input
+    /// row is written to a run.
+    SpillToRuns,
+}
+
+/// A strategy for converting buffered rows into sorted runs under a memory
+/// budget.
+pub trait RunGenerator<K: SortKey>: Send {
+    /// Accepts one input row, spilling as needed to stay within budget.
+    fn push(&mut self, row: Row<K>, obs: &mut dyn SpillObserver<K>) -> Result<()>;
+
+    /// Ends the input. Depending on `residue`, the still-buffered rows are
+    /// either spilled or returned as sorted in-memory sequences (each inner
+    /// `Vec` is sorted in output order).
+    fn finish(
+        &mut self,
+        obs: &mut dyn SpillObserver<K>,
+        residue: ResiduePolicy,
+    ) -> Result<Vec<Vec<Row<K>>>>;
+
+    /// Rows currently buffered in memory.
+    fn buffered_rows(&self) -> usize;
+
+    /// Bytes currently charged against the memory budget.
+    fn buffered_bytes(&self) -> usize;
+}

@@ -1,0 +1,452 @@
+//! Replacement selection — pipelined run generation.
+//!
+//! The classic tournament method (Knuth TAOCP vol. 3, §5.4.1): a selection
+//! heap holds the memory workspace. The smallest buffered row (in output
+//! order) that can still extend the current run is written next; incoming
+//! rows smaller than the last written key are tagged for the *next* run.
+//! Consumption of input never pauses for a sort — the property the paper
+//! calls out as the reason F1 uses it ("does not require stopping the
+//! consumption of the input", §3.1.3).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use histok_storage::{RunCatalog, RunWriter};
+use histok_types::{Result, Row, SortKey, SortOrder};
+
+use crate::budget::{row_footprint, MemoryBudget};
+use crate::observer::SpillObserver;
+use crate::run_gen::{ResiduePolicy, RunGenerator};
+
+/// Fallback bytes-per-row estimate before any row has been observed.
+const FALLBACK_ROW_BYTES: usize = 64;
+
+/// One buffered row plus its run tag and arrival sequence (for stability).
+struct Entry<K> {
+    run: u64,
+    key: K,
+    seq: u64,
+    row: Row<K>,
+    footprint: usize,
+}
+
+/// A minimal binary min-heap ordered by `(run, key in output order, seq)`.
+///
+/// Implemented locally because the ordering depends on a runtime
+/// [`SortOrder`], which `std::collections::BinaryHeap` cannot capture
+/// without allocating comparator wrappers per entry.
+struct SelectionHeap<K: SortKey> {
+    items: Vec<Entry<K>>,
+    order: SortOrder,
+}
+
+impl<K: SortKey> SelectionHeap<K> {
+    fn new(order: SortOrder) -> Self {
+        SelectionHeap { items: Vec::new(), order }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True if `a` should be popped before `b`.
+    fn before(&self, a: &Entry<K>, b: &Entry<K>) -> bool {
+        match a.run.cmp(&b.run) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => match self.order.cmp_keys(&a.key, &b.key) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => a.seq < b.seq,
+            },
+        }
+    }
+
+    fn push(&mut self, entry: Entry<K>) {
+        self.items.push(entry);
+        let mut i = self.items.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.before(&self.items[i], &self.items[parent]) {
+                self.items.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry<K>> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let last = self.items.len() - 1;
+        self.items.swap(0, last);
+        let top = self.items.pop();
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.items.len() && self.before(&self.items[l], &self.items[best]) {
+                best = l;
+            }
+            if r < self.items.len() && self.before(&self.items[r], &self.items[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.items.swap(i, best);
+            i = best;
+        }
+        top
+    }
+
+    fn peek(&self) -> Option<&Entry<K>> {
+        self.items.first()
+    }
+}
+
+/// Pipelined run generation by replacement selection.
+pub struct ReplacementSelection<K: SortKey> {
+    catalog: Arc<RunCatalog<K>>,
+    heap: SelectionHeap<K>,
+    budget: MemoryBudget,
+    order: SortOrder,
+    /// Run tag currently being written.
+    current_tag: u64,
+    /// Last key written to the open physical run (run-extension test).
+    last_written: Option<K>,
+    writer: Option<RunWriter<K>>,
+    rows_in_run: u64,
+    /// Optional cap on physical run length ("limit run size to k").
+    run_limit: Option<u64>,
+    seq: u64,
+}
+
+impl<K: SortKey> ReplacementSelection<K> {
+    /// Creates a generator writing runs through `catalog` under a budget of
+    /// `budget_bytes`.
+    pub fn new(catalog: Arc<RunCatalog<K>>, budget_bytes: usize) -> Self {
+        let order = catalog.order();
+        ReplacementSelection {
+            catalog,
+            heap: SelectionHeap::new(order),
+            budget: MemoryBudget::new(budget_bytes),
+            order,
+            current_tag: 0,
+            last_written: None,
+            writer: None,
+            rows_in_run: 0,
+            run_limit: None,
+            seq: 0,
+        }
+    }
+
+    /// Caps each physical run at `limit` rows (the [Graefe'08] optimization:
+    /// no run needs to be longer than the requested output).
+    pub fn with_run_limit(mut self, limit: u64) -> Self {
+        self.run_limit = Some(limit.max(1));
+        self
+    }
+
+    /// The generator's estimate of the next run's length in rows:
+    /// replacement selection produces runs ~2× the memory capacity on
+    /// random input (Knuth), capped by the run limit.
+    fn estimated_run_rows(&self) -> u64 {
+        let cap = 2 * self.budget.capacity_rows(FALLBACK_ROW_BYTES);
+        self.run_limit.map_or(cap, |l| l.min(cap)).max(1)
+    }
+
+    fn close_run(&mut self, obs: &mut dyn SpillObserver<K>) -> Result<()> {
+        if let Some(writer) = self.writer.take() {
+            let meta = writer.finish()?;
+            self.catalog.register(meta)?;
+            obs.run_finished();
+        }
+        self.last_written = None;
+        self.rows_in_run = 0;
+        Ok(())
+    }
+
+    /// Pops and disposes of exactly one heap entry (write or eliminate).
+    fn spill_one(&mut self, obs: &mut dyn SpillObserver<K>) -> Result<()> {
+        let entry = self.heap.pop().expect("spill_one on empty heap");
+        self.budget.release(entry.footprint);
+        if entry.run != self.current_tag {
+            debug_assert!(entry.run > self.current_tag);
+            self.close_run(obs)?;
+            self.current_tag = entry.run;
+        }
+        // Algorithm 1 line 11: the cutoff may have sharpened since this row
+        // was admitted — check again before paying for the write.
+        if obs.should_eliminate(&entry.key) {
+            return Ok(());
+        }
+        if self.writer.is_none() {
+            self.writer = Some(self.catalog.start_run()?);
+            obs.run_started(self.estimated_run_rows());
+        }
+        let writer = self.writer.as_mut().expect("writer just ensured");
+        writer.append(&entry.row)?;
+        obs.row_spilled(&entry.key);
+        self.last_written = Some(entry.key);
+        self.rows_in_run += 1;
+        if self.run_limit.is_some_and(|l| self.rows_in_run >= l) {
+            // Physical cap reached: seal this run; the same selection run
+            // continues into a fresh file.
+            self.close_run(obs)?;
+        }
+        Ok(())
+    }
+}
+
+impl<K: SortKey> RunGenerator<K> for ReplacementSelection<K> {
+    fn push(&mut self, row: Row<K>, obs: &mut dyn SpillObserver<K>) -> Result<()> {
+        let footprint = row_footprint(&row);
+        // Deferment: a row that cannot extend the current run goes to the
+        // next one.
+        let tag = match &self.last_written {
+            Some(last) if self.order.precedes(&row.key, last) => self.current_tag + 1,
+            _ => self.current_tag,
+        };
+        let key = row.key.clone();
+        self.heap.push(Entry { run: tag, key, seq: self.seq, row, footprint });
+        self.seq += 1;
+        self.budget.charge(footprint);
+        while self.budget.used() > self.budget.limit() && self.heap.len() > 1 {
+            self.spill_one(obs)?;
+        }
+        Ok(())
+    }
+
+    fn finish(
+        &mut self,
+        obs: &mut dyn SpillObserver<K>,
+        residue: ResiduePolicy,
+    ) -> Result<Vec<Vec<Row<K>>>> {
+        match residue {
+            ResiduePolicy::SpillToRuns => {
+                while !self.heap.is_empty() {
+                    self.spill_one(obs)?;
+                }
+                self.close_run(obs)?;
+                Ok(Vec::new())
+            }
+            ResiduePolicy::KeepInMemory => {
+                // Drain by tag: each tag's pops come out in output order.
+                let mut by_tag: BTreeMap<u64, Vec<Row<K>>> = BTreeMap::new();
+                while let Some(entry) = {
+                    let _ = self.heap.peek();
+                    self.heap.pop()
+                } {
+                    self.budget.release(entry.footprint);
+                    if obs.should_eliminate(&entry.key) {
+                        continue;
+                    }
+                    by_tag.entry(entry.run).or_default().push(entry.row);
+                }
+                self.close_run(obs)?;
+                Ok(by_tag.into_values().filter(|v| !v.is_empty()).collect())
+            }
+        }
+    }
+
+    fn buffered_rows(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn buffered_bytes(&self) -> usize {
+        self.budget.used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NoopObserver;
+    use histok_storage::{IoStats, MemoryBackend};
+
+    fn catalog(order: SortOrder) -> (MemoryBackend, Arc<RunCatalog<u64>>) {
+        let be = MemoryBackend::new();
+        let cat = Arc::new(RunCatalog::new(Arc::new(be.clone()), "rs", order, IoStats::new()));
+        (be, cat)
+    }
+
+    fn read_all(cat: &RunCatalog<u64>) -> Vec<Vec<u64>> {
+        cat.runs().iter().map(|m| cat.open(m).unwrap().map(|r| r.unwrap().key).collect()).collect()
+    }
+
+    #[test]
+    fn sorted_input_yields_one_long_run() {
+        let (_be, cat) = catalog(SortOrder::Ascending);
+        // Budget for ~10 rows; 100 pre-sorted rows should produce ONE run —
+        // the signature behaviour of replacement selection.
+        let mut gen = ReplacementSelection::new(cat.clone(), 10 * 60);
+        let mut obs = NoopObserver;
+        for k in 0..100u64 {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        let runs = read_all(&cat);
+        assert_eq!(runs.len(), 1, "sorted input must form a single run");
+        assert_eq!(runs[0], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reverse_input_yields_memory_sized_runs() {
+        let (_be, cat) = catalog(SortOrder::Ascending);
+        let mut gen = ReplacementSelection::new(cat.clone(), 10 * 60);
+        let mut obs = NoopObserver;
+        for k in (0..100u64).rev() {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        let runs = read_all(&cat);
+        // Reverse input defeats replacement selection: every arrival is
+        // smaller than the last write, so runs are ~memory-sized.
+        assert!(runs.len() >= 5, "expected many runs, got {}", runs.len());
+        // Each run individually sorted; union == input.
+        let mut all: Vec<u64> = runs.iter().flatten().copied().collect();
+        for run in &runs {
+            assert!(run.windows(2).all(|w| w[0] <= w[1]));
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_input_runs_average_about_twice_memory() {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let (_be, cat) = catalog(SortOrder::Ascending);
+        let mut keys: Vec<u64> = (0..4000).collect();
+        keys.shuffle(&mut StdRng::seed_from_u64(7));
+        // Budget ≈ 100 rows.
+        let row_bytes = row_footprint(&Row::key_only(0u64));
+        let mut gen = ReplacementSelection::new(cat.clone(), 100 * row_bytes);
+        let mut obs = NoopObserver;
+        for k in keys {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        let runs = read_all(&cat);
+        let avg = 4000.0 / runs.len() as f64;
+        assert!(
+            (140.0..260.0).contains(&avg),
+            "expected ~2x memory (200) rows per run, got {avg:.0} over {} runs",
+            runs.len()
+        );
+    }
+
+    #[test]
+    fn run_limit_caps_physical_runs() {
+        let (_be, cat) = catalog(SortOrder::Ascending);
+        let mut gen = ReplacementSelection::new(cat.clone(), 10 * 60).with_run_limit(8);
+        let mut obs = NoopObserver;
+        for k in 0..100u64 {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        for run in read_all(&cat) {
+            assert!(run.len() <= 8, "run of {} rows exceeds limit", run.len());
+        }
+    }
+
+    #[test]
+    fn keep_in_memory_returns_sorted_residue() {
+        let (_be, cat) = catalog(SortOrder::Ascending);
+        // Large budget: nothing spills.
+        let mut gen = ReplacementSelection::new(cat.clone(), 1 << 20);
+        let mut obs = NoopObserver;
+        for k in [5u64, 1, 9, 3, 7] {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        let residue = gen.finish(&mut obs, ResiduePolicy::KeepInMemory).unwrap();
+        assert!(cat.is_empty(), "no runs expected");
+        assert_eq!(residue.len(), 1);
+        assert_eq!(residue[0].iter().map(|r| r.key).collect::<Vec<_>>(), vec![1, 3, 5, 7, 9]);
+        assert_eq!(gen.buffered_rows(), 0);
+        assert_eq!(gen.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn residue_may_span_two_selection_runs() {
+        let (_be, cat) = catalog(SortOrder::Ascending);
+        let row_bytes = row_footprint(&Row::key_only(0u64));
+        let mut gen = ReplacementSelection::new(cat.clone(), 4 * row_bytes);
+        let mut obs = NoopObserver;
+        // Force some spills, then feed keys below the last written key so
+        // next-run entries exist at finish time.
+        for k in [10u64, 20, 30, 40, 50, 60, 2, 1] {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        let residue = gen.finish(&mut obs, ResiduePolicy::KeepInMemory).unwrap();
+        for seq in &residue {
+            let keys: Vec<u64> = seq.iter().map(|r| r.key).collect();
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "residue {keys:?} unsorted");
+        }
+        // All 8 keys are either in runs or residue, exactly once.
+        let mut all: Vec<u64> = read_all(&cat).into_iter().flatten().collect::<Vec<_>>();
+        all.extend(residue.iter().flatten().map(|r| r.key));
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn observer_eliminates_rows_at_spill_time() {
+        use crate::observer::SpillObserver;
+        struct CutAbove(u64, Vec<u64>);
+        impl SpillObserver<u64> for CutAbove {
+            fn should_eliminate(&mut self, key: &u64) -> bool {
+                *key > self.0
+            }
+            fn row_spilled(&mut self, key: &u64) {
+                self.1.push(*key);
+            }
+        }
+        let (_be, cat) = catalog(SortOrder::Ascending);
+        let mut gen = ReplacementSelection::new(cat.clone(), 5 * 60);
+        let mut obs = CutAbove(49, Vec::new());
+        for k in (0..100u64).rev() {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        let spilled: Vec<u64> = read_all(&cat).into_iter().flatten().collect();
+        assert!(spilled.iter().all(|&k| k <= 49), "eliminated row was spilled");
+        assert_eq!(obs.1.len(), spilled.len());
+    }
+
+    #[test]
+    fn descending_order_runs_descend() {
+        let be = MemoryBackend::new();
+        let cat: Arc<RunCatalog<u64>> =
+            Arc::new(RunCatalog::new(Arc::new(be), "d", SortOrder::Descending, IoStats::new()));
+        let mut gen = ReplacementSelection::new(cat.clone(), 5 * 60);
+        let mut obs = NoopObserver;
+        for k in [3u64, 9, 1, 7, 5, 2, 8, 4, 6, 0, 10, 12, 11] {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        for m in cat.runs() {
+            let keys: Vec<u64> = cat.open(&m).unwrap().map(|r| r.unwrap().key).collect();
+            assert!(keys.windows(2).all(|w| w[0] >= w[1]), "run {keys:?} not descending");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_all_preserved() {
+        let (_be, cat) = catalog(SortOrder::Ascending);
+        let mut gen = ReplacementSelection::new(cat.clone(), 5 * 60);
+        let mut obs = NoopObserver;
+        for _ in 0..50 {
+            gen.push(Row::key_only(7u64), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        let total: usize = read_all(&cat).iter().map(Vec::len).sum();
+        assert_eq!(total, 50);
+    }
+}

@@ -1,0 +1,95 @@
+//! The pluggable byte-storage abstraction under run files.
+//!
+//! A backend is deliberately dumb: it hands out sequential writers and
+//! sequential readers for named spill objects. All structure (blocks, rows,
+//! checksums, metadata) lives in [`crate::run`]. This mirrors the paper's
+//! storage service: an opaque remote endpoint that is only efficient for
+//! sequential access (§2.1).
+
+use histok_types::Result;
+
+/// A sequential writer for one spill object.
+///
+/// `finish` must be called to make the object durable and readable; dropping
+/// a writer without finishing discards the object (matching how a failed
+/// query abandons its half-written runs).
+pub trait SpillWriter: Send {
+    /// Appends bytes to the object.
+    fn write_all(&mut self, data: &[u8]) -> Result<()>;
+
+    /// Flushes and seals the object, returning its total size in bytes.
+    fn finish(&mut self) -> Result<u64>;
+}
+
+/// A sequential reader over a finished spill object.
+pub trait SpillReader: Send {
+    /// Reads exactly `buf.len()` bytes, erroring on EOF-in-the-middle.
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<()>;
+
+    /// Skips `n` bytes. The default implementation reads and discards;
+    /// seekable backends override it.
+    fn skip(&mut self, mut n: u64) -> Result<()> {
+        let mut scratch = [0u8; 4096];
+        while n > 0 {
+            let take = scratch.len().min(n as usize);
+            self.read_exact(&mut scratch[..take])?;
+            n -= take as u64;
+        }
+        Ok(())
+    }
+}
+
+/// Where spilled bytes live.
+///
+/// Object names are chosen by the caller ([`crate::catalog::RunCatalog`]
+/// generates unique ones). Backends must allow concurrent writers to
+/// *different* names and concurrent readers of finished objects.
+pub trait StorageBackend: Send + Sync {
+    /// Creates (or truncates) the named object and returns its writer.
+    fn create(&self, name: &str) -> Result<Box<dyn SpillWriter>>;
+
+    /// Opens a finished object for sequential reading.
+    fn open(&self, name: &str) -> Result<Box<dyn SpillReader>>;
+
+    /// Deletes the named object; deleting a missing object is not an error
+    /// (idempotent cleanup).
+    fn delete(&self, name: &str) -> Result<()>;
+
+    /// Returns the size in bytes of a finished object.
+    fn size_of(&self, name: &str) -> Result<u64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SliceReader<'a>(&'a [u8]);
+    impl SpillReader for SliceReader<'_> {
+        fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+            if self.0.len() < buf.len() {
+                return Err(histok_types::Error::Corrupt("eof".into()));
+            }
+            let (head, tail) = self.0.split_at(buf.len());
+            buf.copy_from_slice(head);
+            self.0 = tail;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn default_skip_discards_bytes() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut r = SliceReader(&data);
+        r.skip(9_000).unwrap();
+        let mut buf = [0u8; 4];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, &data[9_000..9_004]);
+    }
+
+    #[test]
+    fn skip_past_end_errors() {
+        let data = [0u8; 10];
+        let mut r = SliceReader(&data);
+        assert!(r.skip(11).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! CRC-32 (IEEE 802.3) used to checksum run-file blocks.
+//!
+//! Implemented locally (table-driven, generated at compile time) to keep the
+//! dependency set to the approved crates. Run files are written once and
+//! read back within the same query, but checksums still catch backend bugs,
+//! torn writes in fault-injection tests, and block-boundary mistakes.
+
+/// The standard CRC-32 polynomial (reflected form).
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Computes the CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 ("crc32b") test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let a = crc32(b"hello world");
+        let b = crc32(b"hello worle");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sensitive_to_reordering() {
+        assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+}

@@ -1,0 +1,218 @@
+//! File-backed storage backend.
+//!
+//! Spill objects are plain files inside a spill directory, written through
+//! `BufWriter` and read through `BufReader` — the buffered sequential I/O
+//! the perf guidance calls for and the access pattern the paper's storage
+//! service is optimized for. The directory is created on demand and (when
+//! the backend owns it) removed on drop.
+
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use histok_types::{Error, Result};
+
+use crate::backend::{SpillReader, SpillWriter, StorageBackend};
+
+/// Capacity of the read/write buffers (256 KiB — large sequential chunks).
+const IO_BUF_BYTES: usize = 256 * 1024;
+
+/// A [`StorageBackend`] storing each spill object as a file.
+#[derive(Debug, Clone)]
+pub struct FileBackend {
+    dir: Arc<DirHandle>,
+}
+
+#[derive(Debug)]
+struct DirHandle {
+    path: PathBuf,
+    owned: bool,
+}
+
+impl Drop for DirHandle {
+    fn drop(&mut self) {
+        if self.owned {
+            // Best-effort cleanup of the temp spill directory.
+            let _ = fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl FileBackend {
+    /// Uses (and creates if needed) the given directory. The directory is
+    /// *not* removed on drop.
+    pub fn at(dir: impl AsRef<Path>) -> Result<Self> {
+        let path = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&path)?;
+        Ok(FileBackend { dir: Arc::new(DirHandle { path, owned: false }) })
+    }
+
+    /// Creates a unique spill directory under the system temp dir, removed
+    /// when the last clone of the backend is dropped.
+    pub fn temp() -> Result<Self> {
+        let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("histok-spill-{}-{}", std::process::id(), n));
+        fs::create_dir_all(&path)?;
+        Ok(FileBackend { dir: Arc::new(DirHandle { path, owned: true }) })
+    }
+
+    /// The directory holding the spill files.
+    pub fn dir(&self) -> &Path {
+        &self.dir.path
+    }
+
+    fn path_of(&self, name: &str) -> Result<PathBuf> {
+        // Reject path traversal: names are opaque identifiers, not paths.
+        if name.is_empty() || name.contains(['/', '\\']) || name == "." || name == ".." {
+            return Err(Error::InvalidConfig(format!("invalid spill object name: {name:?}")));
+        }
+        Ok(self.dir.path.join(name))
+    }
+}
+
+struct FileWriter {
+    writer: BufWriter<File>,
+    bytes: u64,
+}
+
+impl SpillWriter for FileWriter {
+    fn write_all(&mut self, data: &[u8]) -> Result<()> {
+        self.writer.write_all(data)?;
+        self.bytes += data.len() as u64;
+        Ok(())
+    }
+    fn finish(&mut self) -> Result<u64> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data().ok(); // durability is best-effort for spills
+        Ok(self.bytes)
+    }
+}
+
+struct FileReader {
+    reader: BufReader<File>,
+}
+
+impl SpillReader for FileReader {
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        self.reader.read_exact(buf)?;
+        Ok(())
+    }
+    fn skip(&mut self, n: u64) -> Result<()> {
+        // BufReader::seek_relative keeps the buffer when possible.
+        self.reader
+            .seek_relative(n as i64)
+            .or_else(|_| self.reader.seek(SeekFrom::Current(n as i64)).map(|_| ()))?;
+        Ok(())
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn create(&self, name: &str) -> Result<Box<dyn SpillWriter>> {
+        let path = self.path_of(name)?;
+        let file = File::create(path)?;
+        Ok(Box::new(FileWriter { writer: BufWriter::with_capacity(IO_BUF_BYTES, file), bytes: 0 }))
+    }
+
+    fn open(&self, name: &str) -> Result<Box<dyn SpillReader>> {
+        let path = self.path_of(name)?;
+        let file = File::open(path)?;
+        Ok(Box::new(FileReader { reader: BufReader::with_capacity(IO_BUF_BYTES, file) }))
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        let path = self.path_of(name)?;
+        match fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn size_of(&self, name: &str) -> Result<u64> {
+        Ok(fs::metadata(self.path_of(name)?)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_size() {
+        let be = FileBackend::temp().unwrap();
+        let mut w = be.create("run-1").unwrap();
+        w.write_all(b"0123456789").unwrap();
+        assert_eq!(w.finish().unwrap(), 10);
+        assert_eq!(be.size_of("run-1").unwrap(), 10);
+        let mut r = be.open("run-1").unwrap();
+        let mut buf = [0u8; 10];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"0123456789");
+    }
+
+    #[test]
+    fn skip_uses_seek() {
+        let be = FileBackend::temp().unwrap();
+        let mut w = be.create("r").unwrap();
+        let data: Vec<u8> = (0..200u8).collect();
+        w.write_all(&data).unwrap();
+        w.finish().unwrap();
+        let mut r = be.open("r").unwrap();
+        r.skip(100).unwrap();
+        let mut b = [0u8; 2];
+        r.read_exact(&mut b).unwrap();
+        assert_eq!(b, [100, 101]);
+    }
+
+    #[test]
+    fn temp_dir_is_removed_on_drop() {
+        let dir;
+        {
+            let be = FileBackend::temp().unwrap();
+            dir = be.dir().to_path_buf();
+            let mut w = be.create("x").unwrap();
+            w.write_all(b"abc").unwrap();
+            w.finish().unwrap();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn at_directory_persists_after_drop() {
+        let parent = std::env::temp_dir().join(format!("histok-at-{}", std::process::id()));
+        {
+            let be = FileBackend::at(&parent).unwrap();
+            let mut w = be.create("keep").unwrap();
+            w.write_all(b"z").unwrap();
+            w.finish().unwrap();
+        }
+        assert!(parent.join("keep").exists());
+        fs::remove_dir_all(parent).unwrap();
+    }
+
+    #[test]
+    fn rejects_path_traversal_names() {
+        let be = FileBackend::temp().unwrap();
+        assert!(be.create("../evil").is_err());
+        assert!(be.create("a/b").is_err());
+        assert!(be.create("").is_err());
+        assert!(be.create("..").is_err());
+    }
+
+    #[test]
+    fn delete_missing_is_ok() {
+        let be = FileBackend::temp().unwrap();
+        be.delete("never-existed").unwrap();
+    }
+
+    #[test]
+    fn open_missing_is_error() {
+        let be = FileBackend::temp().unwrap();
+        assert!(be.open("ghost").is_err());
+    }
+}

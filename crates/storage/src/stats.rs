@@ -1,0 +1,182 @@
+//! I/O accounting — the paper's principal metric.
+//!
+//! "With input and output sizes fixed, the size of the required secondary
+//! storage determines overall performance and is the principal metric to
+//! optimize" (§1). Every run writer/reader increments a shared [`IoStats`],
+//! so an experiment can report exactly the quantities of the paper's tables
+//! and figures: rows spilled, runs created, bytes moved.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe I/O counters for one operator or experiment.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same counters.
+#[derive(Debug, Clone, Default)]
+pub struct IoStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    runs_created: AtomicU64,
+    rows_written: AtomicU64,
+    bytes_written: AtomicU64,
+    rows_read: AtomicU64,
+    bytes_read: AtomicU64,
+    write_ops: AtomicU64,
+    read_ops: AtomicU64,
+}
+
+/// A point-in-time copy of the counters, safe to diff and print.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStatsSnapshot {
+    /// Number of sorted runs created (the paper's "Runs" column).
+    pub runs_created: u64,
+    /// Rows written to secondary storage (the paper's "Rows" column).
+    pub rows_written: u64,
+    /// Bytes written to secondary storage.
+    pub bytes_written: u64,
+    /// Rows read back during merging.
+    pub rows_read: u64,
+    /// Bytes read back during merging.
+    pub bytes_read: u64,
+    /// Count of block-level write requests (network round trips in the
+    /// disaggregated-storage model).
+    pub write_ops: u64,
+    /// Count of block-level read requests.
+    pub read_ops: u64,
+}
+
+impl IoStats {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the creation of one sorted run.
+    pub fn record_run_created(&self) {
+        self.inner.runs_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a block write of `rows` rows totalling `bytes` bytes.
+    pub fn record_write(&self, rows: u64, bytes: u64) {
+        self.inner.rows_written.fetch_add(rows, Ordering::Relaxed);
+        self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.inner.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a block read of `rows` rows totalling `bytes` bytes.
+    pub fn record_read(&self, rows: u64, bytes: u64) {
+        self.inner.rows_read.fetch_add(rows, Ordering::Relaxed);
+        self.inner.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.inner.read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            runs_created: self.inner.runs_created.load(Ordering::Relaxed),
+            rows_written: self.inner.rows_written.load(Ordering::Relaxed),
+            bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
+            rows_read: self.inner.rows_read.load(Ordering::Relaxed),
+            bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
+            write_ops: self.inner.write_ops.load(Ordering::Relaxed),
+            read_ops: self.inner.read_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Shorthand for `snapshot().rows_written`.
+    pub fn rows_written(&self) -> u64 {
+        self.inner.rows_written.load(Ordering::Relaxed)
+    }
+
+    /// Shorthand for `snapshot().runs_created`.
+    pub fn runs_created(&self) -> u64 {
+        self.inner.runs_created.load(Ordering::Relaxed)
+    }
+}
+
+impl IoStatsSnapshot {
+    /// Counter-wise difference `self - earlier`; saturates at zero so a
+    /// stale snapshot cannot underflow.
+    pub fn since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            runs_created: self.runs_created.saturating_sub(earlier.runs_created),
+            rows_written: self.rows_written.saturating_sub(earlier.rows_written),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            rows_read: self.rows_read.saturating_sub(earlier.rows_read),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            write_ops: self.write_ops.saturating_sub(earlier.write_ops),
+            read_ops: self.read_ops.saturating_sub(earlier.read_ops),
+        }
+    }
+
+    /// Total secondary-storage traffic in bytes (written + read).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_written + self.bytes_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_run_created();
+        s.record_write(100, 4096);
+        s.record_write(50, 2048);
+        s.record_read(10, 512);
+        let snap = s.snapshot();
+        assert_eq!(snap.runs_created, 1);
+        assert_eq!(snap.rows_written, 150);
+        assert_eq!(snap.bytes_written, 6144);
+        assert_eq!(snap.write_ops, 2);
+        assert_eq!(snap.rows_read, 10);
+        assert_eq!(snap.read_ops, 1);
+        assert_eq!(snap.total_bytes(), 6144 + 512);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let a = IoStats::new();
+        let b = a.clone();
+        a.record_write(1, 10);
+        b.record_write(2, 20);
+        assert_eq!(a.snapshot().rows_written, 3);
+        assert_eq!(b.snapshot().bytes_written, 30);
+    }
+
+    #[test]
+    fn snapshot_diff_saturates() {
+        let s = IoStats::new();
+        s.record_write(5, 50);
+        let early = s.snapshot();
+        s.record_write(5, 50);
+        let late = s.snapshot();
+        let d = late.since(&early);
+        assert_eq!(d.rows_written, 5);
+        // Reversed diff saturates to zero instead of wrapping.
+        let rev = early.since(&late);
+        assert_eq!(rev.rows_written, 0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let s = IoStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_write(1, 8);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.snapshot().rows_written, 4000);
+        assert_eq!(s.snapshot().write_ops, 4000);
+    }
+}

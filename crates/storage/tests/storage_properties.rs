@@ -1,0 +1,115 @@
+//! Property tests of the run-file layer: arbitrary rows, payload sizes and
+//! block sizes must round-trip bit-exactly through both backends, and
+//! `skip_rows` must land exactly where sequential reading would.
+
+use proptest::prelude::*;
+
+use histok_storage::{FileBackend, IoStats, MemoryBackend, RunReader, RunWriter, StorageBackend};
+use histok_types::{Row, SortOrder};
+
+fn write_rows(
+    backend: &dyn StorageBackend,
+    rows: &[(u64, Vec<u8>)],
+    block_bytes: usize,
+) -> histok_storage::RunMeta<u64> {
+    let mut w = RunWriter::with_block_bytes(
+        backend,
+        "prop-run",
+        SortOrder::Ascending,
+        IoStats::new(),
+        block_bytes,
+    )
+    .unwrap();
+    for (key, payload) in rows {
+        w.append(&Row::new(*key, payload.clone())).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+fn sorted_rows(raw: Vec<(u64, Vec<u8>)>) -> Vec<(u64, Vec<u8>)> {
+    let mut rows = raw;
+    rows.sort_by_key(|(k, _)| *k);
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn runs_roundtrip_through_memory(
+        raw in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            0..300,
+        ),
+        block_bytes in 32usize..4096,
+    ) {
+        let rows = sorted_rows(raw);
+        let be = MemoryBackend::new();
+        let meta = write_rows(&be, &rows, block_bytes);
+        prop_assert_eq!(meta.rows, rows.len() as u64);
+        prop_assert_eq!(
+            meta.blocks.iter().map(|b| u64::from(b.rows)).sum::<u64>(),
+            rows.len() as u64
+        );
+        let reader: RunReader<u64> = RunReader::open(&be, &meta, IoStats::new()).unwrap();
+        let back: Vec<(u64, Vec<u8>)> =
+            reader.map(|r| r.map(|row| (row.key, row.payload.to_vec()))).collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn runs_roundtrip_through_files(
+        raw in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..32)),
+            0..120,
+        ),
+        block_bytes in 32usize..1024,
+    ) {
+        let rows = sorted_rows(raw);
+        let be = FileBackend::temp().unwrap();
+        let meta = write_rows(&be, &rows, block_bytes);
+        let reader: RunReader<u64> = RunReader::open(&be, &meta, IoStats::new()).unwrap();
+        let back: Vec<(u64, Vec<u8>)> =
+            reader.map(|r| r.map(|row| (row.key, row.payload.to_vec()))).collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn skip_rows_equals_sequential_read(
+        raw in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..16)),
+            1..300,
+        ),
+        block_bytes in 32usize..512,
+        skip_fraction in 0.0f64..1.0,
+    ) {
+        let rows = sorted_rows(raw);
+        let be = MemoryBackend::new();
+        let meta = write_rows(&be, &rows, block_bytes);
+        let skip = ((rows.len() as f64) * skip_fraction) as u64;
+
+        let mut skipping: RunReader<u64> = RunReader::open(&be, &meta, IoStats::new()).unwrap();
+        skipping.skip_rows(skip).unwrap();
+        let tail: Vec<u64> =
+            skipping.map(|r| r.map(|row| row.key)).collect::<Result<_, _>>().unwrap();
+
+        let expected: Vec<u64> = rows.iter().skip(skip as usize).map(|(k, _)| *k).collect();
+        prop_assert_eq!(tail, expected);
+    }
+
+    #[test]
+    fn block_metadata_is_faithful(
+        raw in proptest::collection::vec((any::<u64>(), Just(Vec::new())), 1..500),
+        block_bytes in 32usize..256,
+    ) {
+        let rows = sorted_rows(raw);
+        let be = MemoryBackend::new();
+        let meta = write_rows(&be, &rows, block_bytes);
+        // Block last-keys are non-decreasing and the final one equals the
+        // run's last key (the §4.1 fast-skip machinery depends on both).
+        let boundaries: Vec<u64> = meta.blocks.iter().map(|b| b.last_key).collect();
+        prop_assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(boundaries.last().copied(), meta.last_key);
+        prop_assert_eq!(meta.first_key, rows.first().map(|(k, _)| *k));
+    }
+}

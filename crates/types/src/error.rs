@@ -1,0 +1,93 @@
+//! Crate-wide error type.
+//!
+//! A single enum covers the failure modes of the whole stack: storage I/O,
+//! corrupt run files, configuration mistakes, and memory-budget violations.
+//! Keeping one error type avoids a mesh of `From` conversions between the
+//! substrate crates.
+
+use std::fmt;
+
+/// The error type used across all `histok` crates.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O operation failed (file-backed storage).
+    Io(std::io::Error),
+    /// A run file or block failed validation while being decoded.
+    Corrupt(String),
+    /// An operator or builder was configured inconsistently
+    /// (e.g. `k == 0`, zero memory budget, fan-in < 2).
+    InvalidConfig(String),
+    /// A memory budget was exceeded where the implementation cannot spill
+    /// (e.g. the purely in-memory baseline asked to hold more than its
+    /// allocation).
+    MemoryExceeded {
+        /// Bytes the operation needed.
+        needed: usize,
+        /// Bytes the budget allows.
+        budget: usize,
+    },
+    /// A fault injected by a test backend (failure-injection harness).
+    Injected(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Corrupt(msg) => write!(f, "corrupt run data: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::MemoryExceeded { needed, budget } => {
+                write!(f, "memory budget exceeded: needed {needed} bytes, budget {budget} bytes")
+            }
+            Error::Injected(msg) => write!(f, "injected fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias used across all `histok` crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = Error::Corrupt("bad magic".into());
+        assert_eq!(e.to_string(), "corrupt run data: bad magic");
+        let e = Error::MemoryExceeded { needed: 10, budget: 5 };
+        assert!(e.to_string().contains("needed 10"));
+        assert!(e.to_string().contains("budget 5"));
+        let e = Error::InvalidConfig("k must be > 0".into());
+        assert!(e.to_string().contains("k must be > 0"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::other("disk on fire");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        let e = Error::Injected("boom".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,305 @@
+//! Sort-key trait and the key types shipped with `histok`.
+//!
+//! A [`SortKey`] is the value of the query's sort expression for one row.
+//! The top-k machinery only ever needs three things from it: a total order
+//! (`Ord`), a stable binary encoding (so keys can live in spilled runs), and
+//! a heap-size estimate (so the memory budget can account for it).
+//!
+//! Keys are encoded with a self-describing length so run files can be
+//! decoded without external schema information.
+
+use bytes::{Buf, BufMut};
+use std::cmp::Ordering;
+use std::fmt::Debug;
+
+use crate::error::{Error, Result};
+use crate::memsize::HeapSize;
+
+/// A value of the sort expression, as required by every `histok` operator.
+///
+/// The trait bundles the total order with a binary codec. The codec writes a
+/// key to a growable buffer and reads it back from a [`Buf`]; implementations
+/// must round-trip exactly (`decode(encode(k)) == k`).
+pub trait SortKey: Clone + Ord + Debug + Send + Sync + HeapSize + 'static {
+    /// Number of bytes [`SortKey::encode`] will append for `self`.
+    fn encoded_len(&self) -> usize;
+
+    /// Appends the binary representation of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes one key from the front of `buf`, consuming its bytes.
+    ///
+    /// Returns [`Error::Corrupt`] if the buffer is too short or the payload
+    /// is malformed.
+    fn decode(buf: &mut impl Buf) -> Result<Self>;
+}
+
+/// Checks that `buf` has at least `n` readable bytes before a fixed-width
+/// decode.
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<()> {
+    if buf.remaining() < n {
+        return Err(Error::Corrupt(format!(
+            "truncated key: need {n} bytes for {what}, have {}",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+macro_rules! int_sort_key {
+    ($t:ty, $get:ident, $put:ident, $len:expr) => {
+        impl SortKey for $t {
+            fn encoded_len(&self) -> usize {
+                $len
+            }
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.$put(*self);
+            }
+            fn decode(buf: &mut impl Buf) -> Result<Self> {
+                need(buf, $len, stringify!($t))?;
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+int_sort_key!(u32, get_u32_le, put_u32_le, 4);
+int_sort_key!(u64, get_u64_le, put_u64_le, 8);
+int_sort_key!(i32, get_i32_le, put_i32_le, 4);
+int_sort_key!(i64, get_i64_le, put_i64_le, 8);
+
+/// An `f64` sort key with a *total* order.
+///
+/// IEEE-754 comparison is partial (`NaN` compares to nothing), which rules
+/// out raw `f64` as a sort key. `F64Key` uses [`f64::total_cmp`], placing
+/// `-NaN < -inf < ... < -0.0 < 0.0 < ... < inf < NaN`. The paper's analysis
+/// (§3.2) works on uniformly distributed `[0, 1]` floats, so this is the key
+/// type used by the analytical model and the uniform-float workloads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct F64Key(pub f64);
+
+impl F64Key {
+    /// Returns the wrapped float.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for F64Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for F64Key {}
+impl PartialOrd for F64Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64Key {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl From<f64> for F64Key {
+    fn from(v: f64) -> Self {
+        F64Key(v)
+    }
+}
+
+impl SortKey for F64Key {
+    fn encoded_len(&self) -> usize {
+        8
+    }
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_f64_le(self.0);
+    }
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        need(buf, 8, "F64Key")?;
+        Ok(F64Key(buf.get_f64_le()))
+    }
+}
+
+/// A variable-length byte-string sort key (lexicographic order).
+///
+/// Useful for string sort columns; the encoding is a `u32` length prefix
+/// followed by the bytes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct BytesKey(pub Vec<u8>);
+
+impl BytesKey {
+    /// Creates a key from anything byte-like.
+    pub fn new(bytes: impl Into<Vec<u8>>) -> Self {
+        BytesKey(bytes.into())
+    }
+    /// The raw bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<&str> for BytesKey {
+    fn from(s: &str) -> Self {
+        BytesKey(s.as_bytes().to_vec())
+    }
+}
+
+impl SortKey for BytesKey {
+    fn encoded_len(&self) -> usize {
+        4 + self.0.len()
+    }
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u32_le(self.0.len() as u32);
+        buf.extend_from_slice(&self.0);
+    }
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        need(buf, 4, "BytesKey length")?;
+        let len = buf.get_u32_le() as usize;
+        need(buf, len, "BytesKey payload")?;
+        let mut v = vec![0u8; len];
+        buf.copy_to_slice(&mut v);
+        Ok(BytesKey(v))
+    }
+}
+
+/// A composite key of two sort columns, ordered lexicographically.
+///
+/// Multi-column `ORDER BY a, b` clauses map to `KeyPair<A, B>`; deeper
+/// nesting (`KeyPair<A, KeyPair<B, C>>`) covers arbitrary arity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct KeyPair<A, B>(pub A, pub B);
+
+impl<A: SortKey, B: SortKey> SortKey for KeyPair<A, B> {
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        let a = A::decode(buf)?;
+        let b = B::decode(buf)?;
+        Ok(KeyPair(a, b))
+    }
+}
+
+impl<A: HeapSize, B: HeapSize> HeapSize for KeyPair<A, B> {
+    fn heap_size(&self) -> usize {
+        self.0.heap_size() + self.1.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip<K: SortKey>(k: &K) -> K {
+        let mut buf = Vec::new();
+        k.encode(&mut buf);
+        assert_eq!(buf.len(), k.encoded_len(), "encoded_len must match encode");
+        let mut slice = &buf[..];
+        let back = K::decode(&mut slice).expect("decode");
+        assert_eq!(slice.len(), 0, "decode must consume exactly encoded_len");
+        back
+    }
+
+    #[test]
+    fn integer_keys_roundtrip() {
+        assert_eq!(roundtrip(&42u64), 42u64);
+        assert_eq!(roundtrip(&u64::MAX), u64::MAX);
+        assert_eq!(roundtrip(&-7i64), -7i64);
+        assert_eq!(roundtrip(&7u32), 7u32);
+        assert_eq!(roundtrip(&i32::MIN), i32::MIN);
+    }
+
+    #[test]
+    fn f64_key_total_order_handles_nan_and_zero() {
+        let nan = F64Key(f64::NAN);
+        let inf = F64Key(f64::INFINITY);
+        let one = F64Key(1.0);
+        assert!(one < inf);
+        assert!(inf < nan);
+        assert_eq!(nan, nan); // total order: NaN equals itself
+        assert!(F64Key(-0.0) < F64Key(0.0)); // total_cmp distinguishes zeros
+    }
+
+    #[test]
+    fn f64_key_roundtrips_special_values() {
+        for v in [0.0, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, f64::INFINITY] {
+            assert_eq!(roundtrip(&F64Key(v)), F64Key(v));
+        }
+        // NaN round-trips bit-exactly under total order equality.
+        assert_eq!(roundtrip(&F64Key(f64::NAN)), F64Key(f64::NAN));
+    }
+
+    #[test]
+    fn bytes_key_orders_lexicographically() {
+        let a = BytesKey::from("apple");
+        let b = BytesKey::from("banana");
+        let ab = BytesKey::from("apple2");
+        assert!(a < b);
+        assert!(a < ab);
+        assert_eq!(roundtrip(&a), a);
+        assert_eq!(roundtrip(&BytesKey::new(Vec::new())), BytesKey::new(Vec::new()));
+    }
+
+    #[test]
+    fn key_pair_orders_by_first_then_second() {
+        let k1 = KeyPair(1u64, F64Key(9.0));
+        let k2 = KeyPair(1u64, F64Key(10.0));
+        let k3 = KeyPair(2u64, F64Key(0.0));
+        assert!(k1 < k2);
+        assert!(k2 < k3);
+        assert_eq!(roundtrip(&k1), k1);
+    }
+
+    #[test]
+    fn truncated_buffers_yield_corrupt_errors() {
+        let mut buf = Vec::new();
+        42u64.encode(&mut buf);
+        let mut short = &buf[..4];
+        assert!(matches!(u64::decode(&mut short), Err(Error::Corrupt(_))));
+
+        let mut buf = Vec::new();
+        BytesKey::from("hello").encode(&mut buf);
+        let mut short = &buf[..6]; // length says 5, only 2 payload bytes present
+        assert!(matches!(BytesKey::decode(&mut short), Err(Error::Corrupt(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_roundtrip(v in any::<u64>()) {
+            prop_assert_eq!(roundtrip(&v), v);
+        }
+
+        #[test]
+        fn prop_f64_roundtrip(v in any::<f64>()) {
+            let k = F64Key(v);
+            prop_assert_eq!(roundtrip(&k), k);
+        }
+
+        #[test]
+        fn prop_bytes_roundtrip(v in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let k = BytesKey(v);
+            prop_assert_eq!(roundtrip(&k), k.clone());
+        }
+
+        #[test]
+        fn prop_f64_order_matches_float_order(a in -1.0e9..1.0e9f64, b in -1.0e9..1.0e9f64) {
+            let (ka, kb) = (F64Key(a), F64Key(b));
+            prop_assert_eq!(ka < kb, a < b);
+        }
+
+        #[test]
+        fn prop_pair_order_is_lexicographic(a1 in any::<u32>(), b1 in any::<u32>(),
+                                            a2 in any::<u32>(), b2 in any::<u32>()) {
+            let k1 = KeyPair(a1, b1);
+            let k2 = KeyPair(a2, b2);
+            prop_assert_eq!(k1.cmp(&k2), (a1, b1).cmp(&(a2, b2)));
+        }
+    }
+}

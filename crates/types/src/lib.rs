@@ -1,0 +1,30 @@
+//! # histok-types
+//!
+//! Foundational value types shared by every `histok` crate:
+//!
+//! * [`SortKey`] — the trait a sort-column value must implement to flow
+//!   through run generation, histograms and merging. Implementations are
+//!   provided for the integer types, a total-ordered `f64` wrapper
+//!   ([`F64Key`]), byte strings ([`BytesKey`]) and pairs of keys.
+//! * [`Row`] — a sort key plus an opaque payload, the unit of data the
+//!   top-k operators consume and produce.
+//! * [`SortOrder`] / [`SortSpec`] — the direction requested by the query's
+//!   `ORDER BY ... LIMIT k` clause. All operators are direction-agnostic;
+//!   comparisons always go through [`SortOrder::cmp_keys`].
+//! * [`Error`] / [`Result`] — the crate-wide error type.
+//! * [`HeapSize`] — byte-level memory accounting used by the operators'
+//!   memory budgets.
+
+#![deny(missing_docs)]
+
+pub mod error;
+pub mod key;
+pub mod memsize;
+pub mod order;
+pub mod row;
+
+pub use error::{Error, Result};
+pub use key::{BytesKey, F64Key, KeyPair, SortKey};
+pub use memsize::HeapSize;
+pub use order::{SortOrder, SortSpec};
+pub use row::Row;

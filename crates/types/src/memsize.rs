@@ -1,0 +1,114 @@
+//! Byte-level memory accounting.
+//!
+//! Operators in `histok` run under an explicit memory budget, mirroring the
+//! paper's setting where "each thread is only allocated a small fraction of
+//! the total main memory" (§2.1, Resource Provisioning). [`HeapSize`]
+//! reports the *owned heap* bytes of a value — the bytes that would be freed
+//! if the value were dropped — excluding the inline `size_of` portion, which
+//! callers add themselves where relevant.
+
+/// Reports how many heap bytes a value owns.
+pub trait HeapSize {
+    /// Owned heap bytes (excluding `std::mem::size_of::<Self>()`).
+    fn heap_size(&self) -> usize;
+
+    /// Total footprint: inline size plus owned heap bytes.
+    fn total_size(&self) -> usize
+    where
+        Self: Sized,
+    {
+        std::mem::size_of::<Self>() + self.heap_size()
+    }
+}
+
+macro_rules! zero_heap {
+    ($($t:ty),* $(,)?) => {
+        $(impl HeapSize for $t {
+            #[inline]
+            fn heap_size(&self) -> usize { 0 }
+        })*
+    };
+}
+
+zero_heap!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char);
+
+impl HeapSize for crate::key::F64Key {
+    #[inline]
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+impl HeapSize for crate::key::BytesKey {
+    #[inline]
+    fn heap_size(&self) -> usize {
+        self.0.capacity()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Vec<T> {
+    fn heap_size(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+            + self.iter().map(HeapSize::heap_size).sum::<usize>()
+    }
+}
+
+impl HeapSize for String {
+    fn heap_size(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Option<T> {
+    fn heap_size(&self) -> usize {
+        self.as_ref().map_or(0, HeapSize::heap_size)
+    }
+}
+
+impl HeapSize for bytes::Bytes {
+    /// `Bytes` may share its allocation; we attribute the full length to
+    /// each handle, which is conservative (over-counts sharing) and
+    /// therefore safe for budget enforcement.
+    fn heap_size(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_have_no_heap() {
+        assert_eq!(42u64.heap_size(), 0);
+        assert_eq!(42u64.total_size(), 8);
+        assert_eq!(1.5f64.heap_size(), 0);
+    }
+
+    #[test]
+    fn vec_counts_capacity_not_len() {
+        let mut v: Vec<u64> = Vec::with_capacity(16);
+        v.push(1);
+        assert_eq!(v.heap_size(), 16 * 8);
+    }
+
+    #[test]
+    fn nested_vec_counts_inner_heap() {
+        let v: Vec<String> = vec![String::from("hello")];
+        assert!(v.heap_size() >= std::mem::size_of::<String>() + 5);
+    }
+
+    #[test]
+    fn option_delegates() {
+        let some: Option<String> = Some("abcde".into());
+        assert_eq!(some.heap_size(), 5);
+        let none: Option<String> = None;
+        assert_eq!(none.heap_size(), 0);
+    }
+
+    #[test]
+    fn bytes_reports_len() {
+        let b = bytes::Bytes::from(vec![0u8; 100]);
+        assert_eq!(b.heap_size(), 100);
+    }
+}

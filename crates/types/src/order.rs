@@ -1,0 +1,195 @@
+//! Sort direction and the top-k clause specification.
+//!
+//! The paper's `SortInfo` ("sorting columns and direction", Algorithm 1) maps
+//! to [`SortOrder`]; the full `ORDER BY … LIMIT k OFFSET o` clause maps to
+//! [`SortSpec`]. Every comparison in the code base goes through
+//! [`SortOrder::cmp_keys`] so each algorithm is written once and works for
+//! both ascending ("bottom-k") and descending ("top-k largest") queries.
+
+use std::cmp::Ordering;
+
+use crate::error::{Error, Result};
+
+/// Direction of the query's `ORDER BY` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SortOrder {
+    /// Smallest keys first — the paper's running example
+    /// (`ORDER BY l_orderkey LIMIT k`).
+    #[default]
+    Ascending,
+    /// Largest keys first.
+    Descending,
+}
+
+impl SortOrder {
+    /// Compares two keys in *output order*: `Less` means `a` is produced
+    /// before `b` (i.e. `a` is "better" and survives a cutoff that `b` may
+    /// not).
+    #[inline]
+    pub fn cmp_keys<K: Ord>(&self, a: &K, b: &K) -> Ordering {
+        match self {
+            SortOrder::Ascending => a.cmp(b),
+            SortOrder::Descending => b.cmp(a),
+        }
+    }
+
+    /// True if `a` sorts strictly before `b` in output order.
+    #[inline]
+    pub fn precedes<K: Ord>(&self, a: &K, b: &K) -> bool {
+        self.cmp_keys(a, b) == Ordering::Less
+    }
+
+    /// True if `a` sorts strictly after `b` in output order — the test the
+    /// cutoff filter uses to eliminate rows (`key` strictly after `cutoff`).
+    #[inline]
+    pub fn follows<K: Ord>(&self, a: &K, b: &K) -> bool {
+        self.cmp_keys(a, b) == Ordering::Greater
+    }
+
+    /// The opposite direction. The histogram priority queue "sorts in the
+    /// inverse direction compared to the requested output" (§3.1.2); it is
+    /// built with `order.reverse()`.
+    #[inline]
+    pub fn reverse(&self) -> SortOrder {
+        match self {
+            SortOrder::Ascending => SortOrder::Descending,
+            SortOrder::Descending => SortOrder::Ascending,
+        }
+    }
+
+    /// Of two keys, the one that sorts first in output order.
+    #[inline]
+    pub fn better<'a, K: Ord>(&self, a: &'a K, b: &'a K) -> &'a K {
+        if self.precedes(a, b) {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Of two keys, the one that sorts last in output order.
+    #[inline]
+    pub fn worse<'a, K: Ord>(&self, a: &'a K, b: &'a K) -> &'a K {
+        if self.follows(a, b) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+/// The complete top-k clause: direction, limit and optional offset.
+///
+/// This is the paper's `(k, SortInfo)` pair extended with the `OFFSET`
+/// support of §2.7 ("pause-and-resume" result paging): the operator must
+/// internally retain `offset + limit` rows and skip the first `offset` of
+/// them when producing output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortSpec {
+    /// Sort direction.
+    pub order: SortOrder,
+    /// `LIMIT k` — number of output rows requested.
+    pub limit: u64,
+    /// `OFFSET` — rows to skip before producing output (0 = plain top-k).
+    pub offset: u64,
+}
+
+impl SortSpec {
+    /// Ascending top-k with no offset — the common case.
+    pub fn ascending(limit: u64) -> Self {
+        SortSpec { order: SortOrder::Ascending, limit, offset: 0 }
+    }
+
+    /// Descending top-k with no offset.
+    pub fn descending(limit: u64) -> Self {
+        SortSpec { order: SortOrder::Descending, limit, offset: 0 }
+    }
+
+    /// Adds an `OFFSET` clause.
+    pub fn with_offset(mut self, offset: u64) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Total rows the operator must track: `offset + limit`.
+    ///
+    /// Every internal `k` in the algorithms is this value; the offset rows
+    /// are discarded only at output time.
+    #[inline]
+    pub fn retained(&self) -> u64 {
+        self.offset.saturating_add(self.limit)
+    }
+
+    /// Validates the clause (`limit` must be positive and `offset + limit`
+    /// must not overflow).
+    pub fn validate(&self) -> Result<()> {
+        if self.limit == 0 {
+            return Err(Error::InvalidConfig("LIMIT must be at least 1".into()));
+        }
+        if self.offset.checked_add(self.limit).is_none() {
+            return Err(Error::InvalidConfig("OFFSET + LIMIT overflows u64".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_cmp_matches_ord() {
+        let o = SortOrder::Ascending;
+        assert_eq!(o.cmp_keys(&1, &2), Ordering::Less);
+        assert!(o.precedes(&1, &2));
+        assert!(o.follows(&2, &1));
+        assert!(!o.follows(&2, &2));
+    }
+
+    #[test]
+    fn descending_cmp_reverses_ord() {
+        let o = SortOrder::Descending;
+        assert_eq!(o.cmp_keys(&1, &2), Ordering::Greater);
+        assert!(o.precedes(&2, &1));
+        assert!(o.follows(&1, &2));
+    }
+
+    #[test]
+    fn reverse_is_involutive() {
+        assert_eq!(SortOrder::Ascending.reverse(), SortOrder::Descending);
+        assert_eq!(SortOrder::Ascending.reverse().reverse(), SortOrder::Ascending);
+    }
+
+    #[test]
+    fn better_and_worse_pick_ends() {
+        let o = SortOrder::Ascending;
+        assert_eq!(*o.better(&3, &5), 3);
+        assert_eq!(*o.worse(&3, &5), 5);
+        let d = SortOrder::Descending;
+        assert_eq!(*d.better(&3, &5), 5);
+        assert_eq!(*d.worse(&3, &5), 3);
+    }
+
+    #[test]
+    fn ties_prefer_second_argument_consistency() {
+        // `better` on equal keys returns the second (not-preceding) one;
+        // all that matters is the value equality.
+        let o = SortOrder::Ascending;
+        assert_eq!(*o.better(&4, &4), 4);
+    }
+
+    #[test]
+    fn spec_retained_adds_offset() {
+        let s = SortSpec::ascending(100).with_offset(20);
+        assert_eq!(s.retained(), 120);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn spec_rejects_zero_limit_and_overflow() {
+        assert!(SortSpec::ascending(0).validate().is_err());
+        let s = SortSpec::ascending(u64::MAX).with_offset(1);
+        assert!(s.validate().is_err());
+        assert_eq!(s.retained(), u64::MAX); // saturates rather than panicking
+    }
+}

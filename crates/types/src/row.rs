@@ -1,0 +1,128 @@
+//! The row type flowing through operators, runs and merges.
+
+use bytes::{Buf, Bytes};
+
+use crate::error::{Error, Result};
+use crate::key::SortKey;
+use crate::memsize::HeapSize;
+
+/// One input/output row: the sort key plus an opaque payload.
+///
+/// The evaluation queries project *all* columns of the table (§5.1.1), so a
+/// row is "key + everything else". `histok` never interprets the payload; it
+/// is carried as [`Bytes`] so cloning a row while it sits in a priority
+/// queue or merge buffer is cheap (refcount bump), matching how a columnar
+/// engine would pass row references around.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row<K> {
+    /// Value of the sort expression for this row.
+    pub key: K,
+    /// The remaining columns, already serialized by the producer.
+    pub payload: Bytes,
+}
+
+impl<K: SortKey> Row<K> {
+    /// Creates a row from a key and payload bytes.
+    pub fn new(key: K, payload: impl Into<Bytes>) -> Self {
+        Row { key, payload: payload.into() }
+    }
+
+    /// A row with an empty payload — handy in tests and analysis where only
+    /// keys matter.
+    pub fn key_only(key: K) -> Self {
+        Row { key, payload: Bytes::new() }
+    }
+
+    /// Bytes this row occupies in a run file: key encoding plus a `u32`
+    /// payload-length prefix plus the payload.
+    pub fn encoded_len(&self) -> usize {
+        self.key.encoded_len() + 4 + self.payload.len()
+    }
+
+    /// Appends the run-file encoding of this row to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        self.key.encode(buf);
+        buf.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+    }
+
+    /// Decodes one row from the front of `buf`.
+    pub fn decode(buf: &mut impl Buf) -> Result<Self> {
+        let key = K::decode(buf)?;
+        if buf.remaining() < 4 {
+            return Err(Error::Corrupt("truncated row: missing payload length".into()));
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return Err(Error::Corrupt(format!(
+                "truncated row: payload claims {len} bytes, {} available",
+                buf.remaining()
+            )));
+        }
+        let payload = buf.copy_to_bytes(len);
+        Ok(Row { key, payload })
+    }
+}
+
+impl<K: HeapSize> HeapSize for Row<K> {
+    fn heap_size(&self) -> usize {
+        self.key.heap_size() + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::F64Key;
+
+    #[test]
+    fn row_roundtrips_through_encoding() {
+        let row = Row::new(42u64, vec![1u8, 2, 3]);
+        let mut buf = Vec::new();
+        row.encode(&mut buf);
+        assert_eq!(buf.len(), row.encoded_len());
+        let mut slice = &buf[..];
+        let back: Row<u64> = Row::decode(&mut slice).unwrap();
+        assert_eq!(back, row);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn key_only_row_has_empty_payload() {
+        let row = Row::key_only(F64Key(0.5));
+        assert!(row.payload.is_empty());
+        assert_eq!(row.encoded_len(), 8 + 4);
+    }
+
+    #[test]
+    fn multiple_rows_decode_sequentially() {
+        let rows: Vec<Row<u64>> = (0..10).map(|i| Row::new(i, vec![i as u8; i as usize])).collect();
+        let mut buf = Vec::new();
+        for r in &rows {
+            r.encode(&mut buf);
+        }
+        let mut slice = &buf[..];
+        for expected in &rows {
+            let got: Row<u64> = Row::decode(&mut slice).unwrap();
+            assert_eq!(&got, expected);
+        }
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn truncated_payload_is_corrupt() {
+        let row = Row::new(7u64, vec![9u8; 16]);
+        let mut buf = Vec::new();
+        row.encode(&mut buf);
+        let mut short = &buf[..buf.len() - 1];
+        assert!(matches!(Row::<u64>::decode(&mut short), Err(Error::Corrupt(_))));
+        let mut no_len = &buf[..10]; // key present, length prefix truncated
+        assert!(matches!(Row::<u64>::decode(&mut no_len), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn heap_size_counts_payload() {
+        let row = Row::new(1u64, vec![0u8; 100]);
+        assert_eq!(row.heap_size(), 100);
+    }
+}

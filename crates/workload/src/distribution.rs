@@ -1,0 +1,102 @@
+//! Key distributions of the paper's evaluation (§5.1.4).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+#[cfg(test)]
+use rand::SeedableRng;
+
+/// A key distribution for a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Shuffled distinct keys `1..=N` (the `L_ORDERKEY` column of an
+    /// unsorted `lineitem` table) — the paper's *uniform* dataset.
+    Uniform,
+    /// The Faloutsos/Jagadish generator: `value(rank) = N / rank^shape`,
+    /// each rank once, arrival order random. The paper uses shapes
+    /// 0.5, 1.05, 1.25 and 1.5.
+    Fal {
+        /// The shape parameter `z` controlling skew (0 = uniform values,
+        /// larger = more hyperbolic).
+        shape: f64,
+    },
+    /// I.i.d. samples from `exp(μ + σ·N(0,1))`; the paper uses μ = 0,
+    /// σ = 2.
+    Lognormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Strictly improving keys (descending for an ascending top-k):
+    /// every row beats all previous rows, so a cutoff filter keeps
+    /// sharpening but never eliminates anything — the §5.5 adversarial
+    /// overhead workload.
+    Adversarial,
+    /// Ascending keys with bounded local disorder: each key sits within
+    /// `disorder` positions of its sorted position. Replacement selection
+    /// turns such inputs into very few, very long runs (§2.5) — the
+    /// workload that separates it from load-sort-store.
+    NearlySorted {
+        /// Maximum displacement of a key from its sorted position.
+        disorder: u64,
+    },
+}
+
+impl Distribution {
+    /// The paper's lognormal parameterization (μ = 0, σ = 2).
+    pub fn lognormal_default() -> Self {
+        Distribution::Lognormal { mu: 0.0, sigma: 2.0 }
+    }
+
+    /// A short label for reports ("uniform", "fal-1.25", …).
+    pub fn label(&self) -> String {
+        match self {
+            Distribution::Uniform => "uniform".to_string(),
+            Distribution::Fal { shape } => format!("fal-{shape}"),
+            Distribution::Lognormal { .. } => "lognormal".to_string(),
+            Distribution::Adversarial => "adversarial".to_string(),
+            Distribution::NearlySorted { disorder } => format!("nearly-sorted-{disorder}"),
+        }
+    }
+}
+
+/// Samples one standard normal via the Box–Muller transform.
+pub(crate) fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Draw u1 from (0, 1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Distribution::Uniform.label(), "uniform");
+        assert_eq!(Distribution::Fal { shape: 1.25 }.label(), "fal-1.25");
+        assert_eq!(Distribution::lognormal_default().label(), "lognormal");
+        assert_eq!(Distribution::Adversarial.label(), "adversarial");
+    }
+
+    #[test]
+    fn box_muller_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn box_muller_never_yields_nan_or_inf() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100_000 {
+            let x = standard_normal(&mut rng);
+            assert!(x.is_finite());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! TPC-H `lineitem`-shaped payloads.
+//!
+//! The paper's experiments use "the schema of the *Lineitem* table from the
+//! TPC-H benchmark, we sort on the `L_ORDERKEY` column, the remaining
+//! columns serve as a payload" (§5.1.1). This module synthesizes those
+//! remaining columns so generated rows carry a realistic, wide payload.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Encoded size of one [`Lineitem`] payload in bytes (fixed-width fields
+/// plus the 27-byte comment).
+pub const LINEITEM_PAYLOAD_BYTES: usize = 4 + 4 + 1 + 8 + 8 + 8 + 8 + 1 + 1 + 4 + 4 + 4 + 27;
+
+/// The non-key columns of one lineitem row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lineitem {
+    /// `L_PARTKEY`.
+    pub partkey: u32,
+    /// `L_SUPPKEY`.
+    pub suppkey: u32,
+    /// `L_LINENUMBER` (1–7).
+    pub linenumber: u8,
+    /// `L_QUANTITY` (1–50).
+    pub quantity: f64,
+    /// `L_EXTENDEDPRICE`.
+    pub extendedprice: f64,
+    /// `L_DISCOUNT` (0.00–0.10).
+    pub discount: f64,
+    /// `L_TAX` (0.00–0.08).
+    pub tax: f64,
+    /// `L_RETURNFLAG` (`R`, `A` or `N`).
+    pub returnflag: u8,
+    /// `L_LINESTATUS` (`O` or `F`).
+    pub linestatus: u8,
+    /// `L_SHIPDATE` as days since epoch.
+    pub shipdate: u32,
+    /// `L_COMMITDATE` as days since epoch.
+    pub commitdate: u32,
+    /// `L_RECEIPTDATE` as days since epoch.
+    pub receiptdate: u32,
+    /// `L_COMMENT`, fixed 27 ASCII bytes.
+    pub comment: [u8; 27],
+}
+
+impl Lineitem {
+    /// Generates a plausible lineitem for `orderkey`.
+    pub fn generate(rng: &mut StdRng, orderkey: u64) -> Self {
+        let quantity = f64::from(rng.gen_range(1u32..=50));
+        let price_per_unit = f64::from(rng.gen_range(90_000u32..=200_000)) / 100.0;
+        let shipdate = rng.gen_range(8_766u32..=10_957); // 1994-01-01 .. 1999-12-31
+        let mut comment = [b' '; 27];
+        const WORDS: &[&str] = &["quick", "final", "pending", "bold", "ironic", "express"];
+        let text = format!(
+            "{} deposits {} #{}",
+            WORDS[rng.gen_range(0..WORDS.len())],
+            WORDS[rng.gen_range(0..WORDS.len())],
+            orderkey % 1000
+        );
+        let n = text.len().min(27);
+        comment[..n].copy_from_slice(&text.as_bytes()[..n]);
+        Lineitem {
+            partkey: rng.gen_range(1..=200_000),
+            suppkey: rng.gen_range(1..=10_000),
+            linenumber: rng.gen_range(1..=7),
+            quantity,
+            extendedprice: quantity * price_per_unit,
+            discount: f64::from(rng.gen_range(0u32..=10)) / 100.0,
+            tax: f64::from(rng.gen_range(0u32..=8)) / 100.0,
+            returnflag: *[b'R', b'A', b'N'].get(rng.gen_range(0..3)).expect("index < 3"),
+            linestatus: if rng.gen_bool(0.5) { b'O' } else { b'F' },
+            shipdate,
+            commitdate: shipdate + rng.gen_range(1..=60),
+            receiptdate: shipdate + rng.gen_range(1..=30),
+            comment,
+        }
+    }
+
+    /// Serializes the payload (fixed width, [`LINEITEM_PAYLOAD_BYTES`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(LINEITEM_PAYLOAD_BYTES);
+        buf.extend_from_slice(&self.partkey.to_le_bytes());
+        buf.extend_from_slice(&self.suppkey.to_le_bytes());
+        buf.push(self.linenumber);
+        buf.extend_from_slice(&self.quantity.to_le_bytes());
+        buf.extend_from_slice(&self.extendedprice.to_le_bytes());
+        buf.extend_from_slice(&self.discount.to_le_bytes());
+        buf.extend_from_slice(&self.tax.to_le_bytes());
+        buf.push(self.returnflag);
+        buf.push(self.linestatus);
+        buf.extend_from_slice(&self.shipdate.to_le_bytes());
+        buf.extend_from_slice(&self.commitdate.to_le_bytes());
+        buf.extend_from_slice(&self.receiptdate.to_le_bytes());
+        buf.extend_from_slice(&self.comment);
+        debug_assert_eq!(buf.len(), LINEITEM_PAYLOAD_BYTES);
+        buf
+    }
+
+    /// Decodes a payload produced by [`Lineitem::encode`].
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < LINEITEM_PAYLOAD_BYTES {
+            return None;
+        }
+        let u32_at = |i: usize| u32::from_le_bytes(buf[i..i + 4].try_into().ok().unwrap());
+        let f64_at = |i: usize| f64::from_le_bytes(buf[i..i + 8].try_into().ok().unwrap());
+        let mut comment = [0u8; 27];
+        comment.copy_from_slice(&buf[55..82]);
+        Some(Lineitem {
+            partkey: u32_at(0),
+            suppkey: u32_at(4),
+            linenumber: buf[8],
+            quantity: f64_at(9),
+            extendedprice: f64_at(17),
+            discount: f64_at(25),
+            tax: f64_at(33),
+            returnflag: buf[41],
+            linestatus: buf[42],
+            shipdate: u32_at(43),
+            commitdate: u32_at(47),
+            receiptdate: u32_at(51),
+            comment,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for orderkey in 0..100u64 {
+            let item = Lineitem::generate(&mut rng, orderkey);
+            let buf = item.encode();
+            assert_eq!(buf.len(), LINEITEM_PAYLOAD_BYTES);
+            let back = Lineitem::decode(&buf).unwrap();
+            assert_eq!(back, item);
+        }
+    }
+
+    #[test]
+    fn fields_within_tpch_domains() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for orderkey in 0..1_000u64 {
+            let item = Lineitem::generate(&mut rng, orderkey);
+            assert!((1..=7).contains(&item.linenumber));
+            assert!((1.0..=50.0).contains(&item.quantity));
+            assert!((0.0..=0.10).contains(&item.discount));
+            assert!((0.0..=0.08).contains(&item.tax));
+            assert!(matches!(item.returnflag, b'R' | b'A' | b'N'));
+            assert!(matches!(item.linestatus, b'O' | b'F'));
+            assert!(item.commitdate > item.shipdate);
+            assert!(item.receiptdate > item.shipdate);
+            assert!(item.extendedprice >= item.quantity * 900.0);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_short_buffers() {
+        assert!(Lineitem::decode(&[0u8; 10]).is_none());
+    }
+}

@@ -1,0 +1,317 @@
+//! Row-stream generation: a [`Workload`] describes a dataset, and
+//! [`Workload::rows`] streams it deterministically from the seed.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use histok_types::{F64Key, Row};
+
+use crate::distribution::{standard_normal, Distribution};
+use crate::lineitem::Lineitem;
+
+/// A reproducible dataset description.
+///
+/// ```
+/// use histok_workload::{Distribution, Workload};
+///
+/// let w = Workload::uniform(1_000, 42)
+///     .with_distribution(Distribution::Fal { shape: 1.25 })
+///     .with_payload_bytes(32);
+/// let rows: Vec<_> = w.rows().collect();
+/// assert_eq!(rows.len(), 1_000);
+/// assert_eq!(rows[0].payload.len(), 32);
+/// // Same seed, same data:
+/// assert_eq!(w.keys().next(), w.keys().next());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Number of rows.
+    pub rows: u64,
+    /// Sort-key distribution.
+    pub distribution: Distribution,
+    /// Payload bytes per row (0 = key-only rows; otherwise a
+    /// `lineitem`-shaped payload truncated/padded to this size).
+    pub payload_bytes: usize,
+    /// RNG seed: identical workloads produce identical row streams.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// A uniform workload of `rows` rows with key-only payloads.
+    pub fn uniform(rows: u64, seed: u64) -> Self {
+        Workload { rows, distribution: Distribution::Uniform, payload_bytes: 0, seed }
+    }
+
+    /// Sets the payload size per row.
+    pub fn with_payload_bytes(mut self, bytes: usize) -> Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Sets the distribution.
+    pub fn with_distribution(mut self, d: Distribution) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    /// The stream of sort keys (no payload materialization).
+    pub fn keys(&self) -> KeyStream {
+        KeyStream::new(self)
+    }
+
+    /// The stream of full rows. The iterator owns its state, so it can be
+    /// handed to operators and threads (`Send + 'static`).
+    pub fn rows(&self) -> impl Iterator<Item = Row<F64Key>> + Send + 'static {
+        let payload_bytes = self.payload_bytes;
+        let mut payload_rng = StdRng::seed_from_u64(self.seed ^ 0x9E37_79B9_7F4A_7C15);
+        self.keys().map(move |key| {
+            if payload_bytes == 0 {
+                Row::key_only(key)
+            } else {
+                let item = Lineitem::generate(&mut payload_rng, key.get() as u64);
+                let mut payload = item.encode();
+                payload.resize(payload_bytes, 0);
+                Row::new(key, Bytes::from(payload))
+            }
+        })
+    }
+
+    /// The true top-k keys of this workload in the given order — the
+    /// oracle the tests compare operator output against. Materializes all
+    /// keys; intended for test-sized workloads.
+    pub fn expected_top_k(&self, k: usize, ascending: bool) -> Vec<f64> {
+        let mut keys: Vec<f64> = self.keys().map(|k| k.get()).collect();
+        keys.sort_unstable_by(|a, b| a.total_cmp(b));
+        if !ascending {
+            keys.reverse();
+        }
+        keys.truncate(k);
+        keys
+    }
+}
+
+/// Streaming key generator for one [`Workload`].
+pub struct KeyStream {
+    remaining: u64,
+    rows: u64,
+    kind: StreamKind,
+}
+
+enum StreamKind {
+    /// Pre-shuffled distinct values (uniform and fal need a permutation so
+    /// each rank appears exactly once in random arrival order).
+    Shuffled { values: std::vec::IntoIter<f64> },
+    /// I.i.d. lognormal sampling (RNG boxed: `StdRng` is much larger than
+    /// the other variants).
+    Lognormal { rng: Box<StdRng>, mu: f64, sigma: f64 },
+    /// Deterministic strictly improving sequence.
+    Adversarial { next: f64, step: f64 },
+}
+
+impl KeyStream {
+    fn new(w: &Workload) -> Self {
+        let kind = match w.distribution {
+            Distribution::Uniform => {
+                let mut rng = StdRng::seed_from_u64(w.seed);
+                // Distinct orderkey-style values 1..=N, shuffled; scaled to
+                // floats so every distribution shares a key type.
+                let mut values: Vec<f64> = (1..=w.rows).map(|i| i as f64).collect();
+                values.shuffle(&mut rng);
+                StreamKind::Shuffled { values: values.into_iter() }
+            }
+            Distribution::Fal { shape } => {
+                let mut rng = StdRng::seed_from_u64(w.seed);
+                let n = w.rows as f64;
+                let mut values: Vec<f64> =
+                    (1..=w.rows).map(|rank| n / (rank as f64).powf(shape)).collect();
+                values.shuffle(&mut rng);
+                StreamKind::Shuffled { values: values.into_iter() }
+            }
+            Distribution::Lognormal { mu, sigma } => {
+                StreamKind::Lognormal { rng: Box::new(StdRng::seed_from_u64(w.seed)), mu, sigma }
+            }
+            Distribution::Adversarial => StreamKind::Adversarial { next: w.rows as f64, step: 1.0 },
+            Distribution::NearlySorted { disorder } => {
+                let mut rng = StdRng::seed_from_u64(w.seed);
+                // Shuffle independent blocks of `disorder` keys: every key
+                // stays within `disorder` positions of its sorted place.
+                let mut values: Vec<f64> = (1..=w.rows).map(|i| i as f64).collect();
+                let d = (disorder as usize).max(1);
+                for block in values.chunks_mut(d) {
+                    block.shuffle(&mut rng);
+                }
+                StreamKind::Shuffled { values: values.into_iter() }
+            }
+        };
+        KeyStream { remaining: w.rows, rows: w.rows, kind }
+    }
+
+    /// Total rows this stream will yield.
+    pub fn len(&self) -> u64 {
+        self.rows
+    }
+
+    /// True for an empty workload.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+}
+
+impl Iterator for KeyStream {
+    type Item = F64Key;
+
+    fn next(&mut self) -> Option<F64Key> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let key = match &mut self.kind {
+            StreamKind::Shuffled { values } => values.next().expect("sized to rows"),
+            StreamKind::Lognormal { rng, mu, sigma } => (*mu + *sigma * standard_normal(rng)).exp(),
+            StreamKind::Adversarial { next, step } => {
+                let k = *next;
+                *next -= *step;
+                k
+            }
+        };
+        Some(F64Key(key))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        for d in [
+            Distribution::Uniform,
+            Distribution::Fal { shape: 1.25 },
+            Distribution::lognormal_default(),
+            Distribution::Adversarial,
+        ] {
+            let w = Workload::uniform(1_000, 42).with_distribution(d);
+            let a: Vec<f64> = w.keys().map(|k| k.get()).collect();
+            let b: Vec<f64> = w.keys().map(|k| k.get()).collect();
+            assert_eq!(a, b, "{}", d.label());
+            let w2 = Workload::uniform(1_000, 43).with_distribution(d);
+            let c: Vec<f64> = w2.keys().map(|k| k.get()).collect();
+            if d != Distribution::Adversarial {
+                assert_ne!(a, c, "{} should differ across seeds", d.label());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_a_permutation() {
+        let w = Workload::uniform(10_000, 1);
+        let mut keys: Vec<f64> = w.keys().map(|k| k.get()).collect();
+        keys.sort_unstable_by(|a, b| a.total_cmp(b));
+        let expected: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn uniform_is_actually_shuffled() {
+        let w = Workload::uniform(10_000, 1);
+        let keys: Vec<f64> = w.keys().map(|k| k.get()).collect();
+        let ascending_prefix = keys.windows(2).take(100).filter(|p| p[0] < p[1]).count();
+        assert!(ascending_prefix < 80, "input looks sorted");
+    }
+
+    #[test]
+    fn fal_values_follow_the_formula() {
+        let n = 1_000u64;
+        let shape = 1.25;
+        let w = Workload::uniform(n, 5).with_distribution(Distribution::Fal { shape });
+        let mut keys: Vec<f64> = w.keys().map(|k| k.get()).collect();
+        keys.sort_unstable_by(|a, b| b.total_cmp(a)); // descending = rank order
+        for (i, &v) in keys.iter().enumerate().take(50) {
+            let rank = (i + 1) as f64;
+            let expected = n as f64 / rank.powf(shape);
+            assert!((v - expected).abs() < 1e-9, "rank {rank}: {v} vs {expected}");
+        }
+        // Skew sanity: the top value dwarfs the median.
+        assert!(keys[0] / keys[n as usize / 2] > 100.0);
+    }
+
+    #[test]
+    fn fal_shape_controls_skew() {
+        let top_ratio = |shape: f64| {
+            let w = Workload::uniform(10_000, 5).with_distribution(Distribution::Fal { shape });
+            let mut keys: Vec<f64> = w.keys().map(|k| k.get()).collect();
+            keys.sort_unstable_by(|a, b| b.total_cmp(a));
+            keys[0] / keys[100]
+        };
+        assert!(top_ratio(1.5) > top_ratio(0.5));
+    }
+
+    #[test]
+    fn lognormal_median_near_one() {
+        let w = Workload::uniform(50_000, 9).with_distribution(Distribution::lognormal_default());
+        let mut keys: Vec<f64> = w.keys().map(|k| k.get()).collect();
+        keys.sort_unstable_by(|a, b| a.total_cmp(b));
+        let median = keys[keys.len() / 2];
+        // Median of Lognormal(0, σ) is e^0 = 1.
+        assert!((0.9..1.1).contains(&median), "median {median}");
+        assert!(keys.iter().all(|&k| k > 0.0));
+    }
+
+    #[test]
+    fn nearly_sorted_has_bounded_displacement() {
+        let d = 10u64;
+        let w = Workload::uniform(2_000, 6)
+            .with_distribution(Distribution::NearlySorted { disorder: d });
+        let keys: Vec<f64> = w.keys().map(|k| k.get()).collect();
+        // Permutation of 1..=n...
+        let mut sorted = keys.clone();
+        sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+        assert_eq!(sorted, (1..=2_000).map(|i| i as f64).collect::<Vec<_>>());
+        // ...with every key within d of its sorted position.
+        for (pos, &k) in keys.iter().enumerate() {
+            let displacement = (k - 1.0 - pos as f64).abs();
+            assert!(displacement < d as f64, "key {k} at position {pos}");
+        }
+        // And not fully sorted.
+        assert!(keys.windows(2).any(|p| p[0] > p[1]));
+    }
+
+    #[test]
+    fn adversarial_strictly_improves() {
+        let w = Workload::uniform(1_000, 0).with_distribution(Distribution::Adversarial);
+        let keys: Vec<f64> = w.keys().map(|k| k.get()).collect();
+        assert!(keys.windows(2).all(|p| p[1] < p[0]));
+    }
+
+    #[test]
+    fn payloads_have_requested_size() {
+        let w = Workload::uniform(100, 3).with_payload_bytes(64);
+        for row in w.rows() {
+            assert_eq!(row.payload.len(), 64);
+        }
+        let w0 = Workload::uniform(100, 3);
+        assert!(w0.rows().all(|r| r.payload.is_empty()));
+    }
+
+    #[test]
+    fn expected_top_k_oracle() {
+        let w = Workload::uniform(1_000, 11);
+        assert_eq!(w.expected_top_k(3, true), vec![1.0, 2.0, 3.0]);
+        assert_eq!(w.expected_top_k(2, false), vec![1000.0, 999.0]);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let w = Workload::uniform(123, 0);
+        let s = w.keys();
+        assert_eq!(s.len(), 123);
+        assert_eq!(s.size_hint(), (123, Some(123)));
+        assert_eq!(w.keys().count(), 123);
+    }
+}

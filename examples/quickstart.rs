@@ -1,0 +1,40 @@
+//! Quickstart: the histogram top-k operator on a shuffled input whose
+//! requested output is larger than the operator's memory budget.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use histok::prelude::*;
+
+fn main() -> Result<()> {
+    // Top 10,000 smallest keys out of 1,000,000 shuffled keys...
+    let spec = SortSpec::ascending(10_000);
+    // ...with memory for only ~2,000 rows: the output cannot fit, so the
+    // operator must use secondary storage.
+    let config = TopKConfig::builder().memory_budget(2_000 * 64).build()?;
+
+    let workload = Workload::uniform(1_000_000, 7);
+    let mut op = HistogramTopK::new(spec, config, MemoryBackend::new())?;
+    for row in workload.rows() {
+        op.push(row)?;
+    }
+
+    let output: Vec<f64> =
+        op.finish()?.map(|row| row.map(|r| r.key.get())).collect::<Result<_>>()?;
+    assert_eq!(output.len(), 10_000);
+    assert_eq!(output.first(), Some(&1.0));
+    assert_eq!(output.last(), Some(&10_000.0));
+
+    let m = op.metrics();
+    println!("top {} of {} rows with memory for ~2,000:", output.len(), m.rows_in);
+    println!("  eliminated at input : {:>9} rows", m.eliminated_at_input);
+    println!("  eliminated at spill : {:>9} rows", m.eliminated_at_spill);
+    println!("  written to storage  : {:>9} rows in {} runs", m.rows_spilled(), m.runs());
+    println!("  cutoff refinements  : {:>9}", m.filter.refinements);
+    println!(
+        "  spilled {:.1}% of the input — a traditional external sort spills 100%",
+        m.spill_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: every algorithm, every backend, payload
+//! integrity, and the full query pipeline.
+
+use histok::core::{
+    HistogramTopK, InMemoryTopK, OptimizedExternalTopK, RunGenKind, TopKConfig, TopKOperator,
+    TraditionalExternalTopK,
+};
+use histok::exec::{Algorithm, Query};
+use histok::storage::{FileBackend, MemoryBackend};
+use histok::types::{F64Key, Result, Row, SortSpec};
+use histok::workload::{Distribution, Lineitem, Workload, LINEITEM_PAYLOAD_BYTES};
+
+fn config(mem_rows: usize, payload: usize) -> TopKConfig {
+    TopKConfig::builder().memory_budget(mem_rows * (64 + payload)).build().unwrap()
+}
+
+fn drive<O: TopKOperator<F64Key>>(op: &mut O, w: &Workload) -> Vec<f64> {
+    for row in w.rows() {
+        op.push(row).unwrap();
+    }
+    op.finish().unwrap().map(|r| r.unwrap().key.get()).collect()
+}
+
+#[test]
+fn four_algorithms_agree_across_distributions() {
+    for dist in [
+        Distribution::Uniform,
+        Distribution::Fal { shape: 1.05 },
+        Distribution::lognormal_default(),
+    ] {
+        let w = Workload::uniform(30_000, 5).with_distribution(dist);
+        let expected = w.expected_top_k(700, true);
+        let spec = SortSpec::ascending(700);
+
+        let mut hist = HistogramTopK::new(spec, config(150, 0), MemoryBackend::new()).unwrap();
+        let mut opt =
+            OptimizedExternalTopK::new(spec, config(150, 0), MemoryBackend::new()).unwrap();
+        let mut trad = TraditionalExternalTopK::new(spec, 150 * 64, MemoryBackend::new()).unwrap();
+        let mut inmem = InMemoryTopK::new(spec).unwrap();
+
+        assert_eq!(drive(&mut hist, &w), expected, "{} histogram", dist.label());
+        assert_eq!(drive(&mut opt, &w), expected, "{} optimized", dist.label());
+        assert_eq!(drive(&mut trad, &w), expected, "{} traditional", dist.label());
+        assert_eq!(drive(&mut inmem, &w), expected, "{} in-memory", dist.label());
+    }
+}
+
+#[test]
+fn file_backend_matches_memory_backend() {
+    let w = Workload::uniform(25_000, 6).with_payload_bytes(24);
+    let spec = SortSpec::ascending(600);
+    let mut on_mem = HistogramTopK::new(spec, config(120, 24), MemoryBackend::new()).unwrap();
+    let mut on_file =
+        HistogramTopK::new(spec, config(120, 24), FileBackend::temp().unwrap()).unwrap();
+    let a = drive(&mut on_mem, &w);
+    let b = drive(&mut on_file, &w);
+    assert_eq!(a, b);
+    assert!(on_file.metrics().spilled, "must actually have used the files");
+}
+
+#[test]
+fn lineitem_payloads_survive_spilling_intact() {
+    // The paper's query projects all columns: payload bytes must round-trip
+    // through runs and merges untouched.
+    let w = Workload::uniform(20_000, 7).with_payload_bytes(LINEITEM_PAYLOAD_BYTES);
+    let spec = SortSpec::ascending(500);
+    let mut op =
+        HistogramTopK::new(spec, config(100, LINEITEM_PAYLOAD_BYTES), FileBackend::temp().unwrap())
+            .unwrap();
+    for row in w.rows() {
+        op.push(row).unwrap();
+    }
+    let rows: Vec<Row<F64Key>> = op.finish().unwrap().collect::<Result<_>>().unwrap();
+    assert_eq!(rows.len(), 500);
+    assert!(op.metrics().spilled);
+    for row in &rows {
+        let item = Lineitem::decode(&row.payload).expect("decodable payload");
+        assert!((1..=7).contains(&item.linenumber));
+        assert!(matches!(item.returnflag, b'R' | b'A' | b'N'));
+    }
+}
+
+#[test]
+fn run_generation_strategies_agree() {
+    let w = Workload::uniform(40_000, 8);
+    let expected = w.expected_top_k(900, true);
+    let spec = SortSpec::ascending(900);
+    for kind in [RunGenKind::ReplacementSelection, RunGenKind::LoadSortStore] {
+        let cfg =
+            TopKConfig::builder().memory_budget(150 * 64).run_generation(kind).build().unwrap();
+        let mut op = HistogramTopK::new(spec, cfg, MemoryBackend::new()).unwrap();
+        assert_eq!(drive(&mut op, &w), expected, "{kind:?}");
+    }
+}
+
+#[test]
+fn query_pipeline_with_filter_and_offset() {
+    let w = Workload::uniform(10_000, 9);
+    let result = Query::scan(w.rows(), SortSpec::ascending(10).with_offset(5))
+        .filter(|row| row.key.get() % 3.0 == 0.0)
+        .algorithm(Algorithm::Histogram)
+        .execute(MemoryBackend::new())
+        .unwrap();
+    let keys: Vec<f64> = result.rows.iter().map(|r| r.key.get()).collect();
+    // Multiples of 3, skipping the first five (3,6,9,12,15).
+    assert_eq!(keys, vec![18.0, 21.0, 24.0, 27.0, 30.0, 33.0, 36.0, 39.0, 42.0, 45.0]);
+}
+
+#[test]
+fn huge_k_relative_to_input_degrades_gracefully() {
+    // k = 90% of the input: nearly nothing can be eliminated, but the
+    // answer must stay exact (the paper: "not very effective for input
+    // sizes only slightly larger than the desired output").
+    let w = Workload::uniform(10_000, 10);
+    let expected = w.expected_top_k(9_000, true);
+    let spec = SortSpec::ascending(9_000);
+    let mut op = HistogramTopK::new(spec, config(200, 0), MemoryBackend::new()).unwrap();
+    assert_eq!(drive(&mut op, &w), expected);
+}
+
+#[test]
+fn single_row_and_tiny_inputs() {
+    for n in [1u64, 2, 5] {
+        let w = Workload::uniform(n, 11);
+        let spec = SortSpec::ascending(10);
+        let mut op = HistogramTopK::new(spec, config(1, 0), MemoryBackend::new()).unwrap();
+        let got = drive(&mut op, &w);
+        assert_eq!(got.len() as u64, n);
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
+
+#[test]
+fn descending_with_ties_across_the_cutoff() {
+    // Heavy duplication around the boundary exercises the "ties survive"
+    // rule end to end.
+    let keys: Vec<f64> = (0..5_000).map(|i| f64::from(i % 50)).collect();
+    let spec = SortSpec::descending(250);
+    let cfg = config(80, 0);
+    let mut op: HistogramTopK<F64Key> =
+        HistogramTopK::new(spec, cfg, MemoryBackend::new()).unwrap();
+    for &k in &keys {
+        op.push(Row::key_only(F64Key(k))).unwrap();
+    }
+    let got: Vec<f64> = op.finish().unwrap().map(|r| r.unwrap().key.get()).collect();
+    let mut expected = keys;
+    expected.sort_unstable_by(|a, b| b.total_cmp(a));
+    expected.truncate(250);
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn typed_records_flow_through_the_operator() {
+    // The paper's full-projection query over typed records (§5.1.1): sort
+    // key from one column, all 16 columns as payload, decoded after the
+    // merge.
+    use histok::exec::{Record, Schema, Value};
+    let schema = Schema::lineitem();
+    let mut op: HistogramTopK<i64> =
+        HistogramTopK::new(SortSpec::ascending(50), config(40, 128), MemoryBackend::new()).unwrap();
+    for orderkey in (1..=2_000i64).rev() {
+        let record = Record::new(
+            &schema,
+            vec![
+                Value::Int64(orderkey),
+                Value::Int64(orderkey % 100),
+                Value::Int64(orderkey % 10),
+                Value::Int64(1),
+                Value::Float64(2.0),
+                Value::Float64(199.0),
+                Value::Float64(0.04),
+                Value::Float64(0.02),
+                Value::Utf8("N".into()),
+                Value::Utf8("O".into()),
+                Value::Date(9_000),
+                Value::Date(9_030),
+                Value::Date(9_015),
+                Value::Utf8("NONE".into()),
+                Value::Utf8("TRUCK".into()),
+                Value::Utf8(format!("comment {orderkey}")),
+            ],
+        )
+        .unwrap();
+        op.push(Row::new(orderkey, record.encode())).unwrap();
+    }
+    let rows: Vec<Row<i64>> = op.finish().unwrap().collect::<Result<_>>().unwrap();
+    assert_eq!(rows.len(), 50);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.key, i as i64 + 1);
+        let record = Record::decode(&schema, &row.payload).unwrap();
+        assert_eq!(record.get(&schema, "l_orderkey").unwrap().as_i64(), Some(row.key));
+        assert_eq!(
+            record.get(&schema, "l_comment").unwrap().as_str(),
+            Some(format!("comment {}", row.key).as_str())
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Failure injection: storage faults must surface as clean errors — never
+//! panics, hangs, or silently wrong results.
+
+use histok::core::{
+    HistogramTopK, ParallelTopK, TopKConfig, TopKOperator, TraditionalExternalTopK,
+};
+use histok::storage::{FaultBackend, FaultPlan, MemoryBackend};
+use histok::types::{Error, SortSpec};
+use histok::workload::Workload;
+
+fn spilling_config() -> TopKConfig {
+    TopKConfig::builder().memory_budget(50 * 64).block_bytes(512).build().unwrap()
+}
+
+/// Pushes the workload, tolerating an error; returns the first error seen
+/// during push or finish/drain.
+fn run_to_first_error(backend: FaultBackend<MemoryBackend>) -> Option<Error> {
+    let w = Workload::uniform(20_000, 1);
+    let mut op = match HistogramTopK::new(SortSpec::ascending(400), spilling_config(), backend) {
+        Ok(op) => op,
+        Err(e) => return Some(e),
+    };
+    for row in w.rows() {
+        if let Err(e) = op.push(row) {
+            return Some(e);
+        }
+    }
+    match op.finish() {
+        Err(e) => Some(e),
+        Ok(stream) => {
+            for row in stream {
+                if let Err(e) = row {
+                    return Some(e);
+                }
+            }
+            None
+        }
+    }
+}
+
+#[test]
+fn create_failure_surfaces_at_first_spill() {
+    let be = FaultBackend::new(
+        MemoryBackend::new(),
+        FaultPlan { fail_create: true, ..FaultPlan::none() },
+    );
+    let err = run_to_first_error(be.clone()).expect("must fail");
+    assert!(matches!(err, Error::Injected(_)), "got {err}");
+    assert!(be.fault_fired());
+}
+
+#[test]
+fn write_budget_exhaustion_fails_cleanly() {
+    let be = FaultBackend::new(
+        MemoryBackend::new(),
+        FaultPlan { fail_write_after_bytes: Some(20_000), ..FaultPlan::none() },
+    );
+    let err = run_to_first_error(be).expect("must fail");
+    assert!(matches!(err, Error::Injected(_)), "got {err}");
+}
+
+#[test]
+fn read_failure_during_merge_fails_cleanly() {
+    // Writes succeed; reads run out of budget during the final merge.
+    let be = FaultBackend::new(
+        MemoryBackend::new(),
+        FaultPlan { fail_read_after_bytes: Some(4_096), ..FaultPlan::none() },
+    );
+    let err = run_to_first_error(be).expect("must fail");
+    assert!(matches!(err, Error::Injected(_)), "got {err}");
+}
+
+#[test]
+fn silent_corruption_is_caught_by_checksums() {
+    // Corrupt one byte inside the first run's first block — a block the
+    // final merge is guaranteed to read when it initializes its loser
+    // tree. The CRC check must turn it into an explicit error rather than
+    // a wrong answer. (Blocks the early-stopping merge never reads are
+    // legitimately never verified.)
+    let be = FaultBackend::new(
+        MemoryBackend::new(),
+        FaultPlan { corrupt_write_byte_at: Some(100), ..FaultPlan::none() },
+    );
+    let err = run_to_first_error(be.clone());
+    match err {
+        Some(Error::Corrupt(_)) => {} // detected at merge time
+        Some(other) => panic!("expected Corrupt, got {other}"),
+        None => panic!("corruption went unnoticed"),
+    }
+}
+
+#[test]
+fn traditional_baseline_propagates_faults_too() {
+    let be = FaultBackend::new(
+        MemoryBackend::new(),
+        FaultPlan { fail_write_after_bytes: Some(10_000), ..FaultPlan::none() },
+    );
+    let mut op: TraditionalExternalTopK<histok::types::F64Key> =
+        TraditionalExternalTopK::new(SortSpec::ascending(100), 50 * 64, be).unwrap();
+    let mut failed = false;
+    for row in Workload::uniform(20_000, 2).rows() {
+        if op.push(row).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    if !failed {
+        failed = op.finish().is_err();
+    }
+    assert!(failed, "fault never surfaced");
+}
+
+#[test]
+fn operator_unusable_after_storage_error_but_does_not_panic() {
+    let be = FaultBackend::new(
+        MemoryBackend::new(),
+        FaultPlan { fail_create: true, ..FaultPlan::none() },
+    );
+    let mut op = HistogramTopK::new(SortSpec::ascending(400), spilling_config(), be).unwrap();
+    let mut first_error = None;
+    for row in Workload::uniform(10_000, 3).rows() {
+        match op.push(row) {
+            Ok(()) => {}
+            Err(e) => {
+                first_error = Some(e);
+                break;
+            }
+        }
+    }
+    assert!(first_error.is_some());
+    // Subsequent metric reads must still work (for error reporting paths).
+    let _ = op.metrics();
+}
+
+#[test]
+fn no_faults_means_no_errors() {
+    let be = FaultBackend::new(MemoryBackend::new(), FaultPlan::none());
+    assert!(run_to_first_error(be).is_none());
+}
+
+#[test]
+fn in_memory_only_queries_never_touch_faulty_storage() {
+    // If k fits in memory, even a backend that always fails is never used.
+    let be = FaultBackend::new(
+        MemoryBackend::new(),
+        FaultPlan { fail_create: true, ..FaultPlan::none() },
+    );
+    let config = TopKConfig::builder().memory_budget(1 << 20).build().unwrap();
+    let mut op = HistogramTopK::new(SortSpec::ascending(10), config, be.clone()).unwrap();
+    for row in Workload::uniform(1_000, 4).rows() {
+        op.push(row).unwrap();
+    }
+    let out: Vec<_> = op.finish().unwrap().map(|r| r.unwrap()).collect();
+    assert_eq!(out.len(), 10);
+    assert!(!be.fault_fired());
+}
+
+#[test]
+fn parallel_workers_surface_storage_faults() {
+    let be = FaultBackend::new(
+        MemoryBackend::new(),
+        FaultPlan { fail_write_after_bytes: Some(8_192), ..FaultPlan::none() },
+    );
+    let mut op: ParallelTopK<histok::types::F64Key> =
+        ParallelTopK::new(SortSpec::ascending(400), spilling_config(), be, 3).unwrap();
+    let mut failed = false;
+    for row in Workload::uniform(50_000, 5).rows() {
+        if op.push(row).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    if !failed {
+        failed = op.finish().is_err();
+    }
+    assert!(failed, "worker fault never reached the caller");
+    drop(op); // drop must join the dead workers without hanging
+}
+
+#[test]
+fn parallel_without_faults_still_clean() {
+    let be = FaultBackend::new(MemoryBackend::new(), FaultPlan::none());
+    let mut op: ParallelTopK<histok::types::F64Key> =
+        ParallelTopK::new(SortSpec::ascending(200), spilling_config(), be, 2).unwrap();
+    for row in Workload::uniform(10_000, 6).rows() {
+        op.push(row).unwrap();
+    }
+    let n = op.finish().unwrap().map(|r| r.unwrap()).fold(0usize, |acc, _| acc + 1);
+    assert_eq!(n, 200);
+}

@@ -1,0 +1,160 @@
+//! Property-based integration tests: for arbitrary inputs, budgets and
+//! policies, the operators must return exactly the true top-k, never lose
+//! duplicates, and never spill more than the traditional baseline.
+
+use proptest::prelude::*;
+
+use histok::core::{HistogramTopK, OptimizedExternalTopK, SizingPolicy, TopKConfig, TopKOperator};
+use histok::sort::run_gen::ResiduePolicy;
+use histok::storage::MemoryBackend;
+use histok::types::{Row, SortOrder, SortSpec};
+
+fn exact_top_k(keys: &[u64], k: usize, order: SortOrder) -> Vec<u64> {
+    let mut sorted = keys.to_vec();
+    match order {
+        SortOrder::Ascending => sorted.sort_unstable(),
+        SortOrder::Descending => sorted.sort_unstable_by(|a, b| b.cmp(a)),
+    }
+    sorted.truncate(k);
+    sorted
+}
+
+fn run_histogram(
+    keys: &[u64],
+    spec: SortSpec,
+    mem_rows: usize,
+    sizing: SizingPolicy,
+    residue: ResiduePolicy,
+) -> (Vec<u64>, u64) {
+    let config = TopKConfig::builder()
+        .memory_budget(mem_rows * 60)
+        .sizing(sizing)
+        .residue(residue)
+        .block_bytes(512)
+        .build()
+        .unwrap();
+    let mut op = HistogramTopK::new(spec, config, MemoryBackend::new()).unwrap();
+    for &k in keys {
+        op.push(Row::key_only(k)).unwrap();
+    }
+    let out: Vec<u64> = op.finish().unwrap().map(|r| r.unwrap().key).collect();
+    (out, op.metrics().rows_spilled())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline invariant: for ANY input, k, memory size, sizing
+    /// policy and residue policy, the histogram operator returns exactly
+    /// the true top-k (as a multiset, in order).
+    #[test]
+    fn histogram_topk_is_always_exact(
+        keys in proptest::collection::vec(0u64..10_000, 1..3_000),
+        k in 1usize..500,
+        mem_rows in 4usize..200,
+        buckets in prop_oneof![Just(0u32), Just(1), Just(5), Just(50)],
+        ascending in any::<bool>(),
+        keep_residue in any::<bool>(),
+    ) {
+        let order = if ascending { SortOrder::Ascending } else { SortOrder::Descending };
+        let spec = SortSpec { order, limit: k as u64, offset: 0 };
+        let sizing = if buckets == 0 {
+            SizingPolicy::Disabled
+        } else {
+            SizingPolicy::TargetBuckets(buckets)
+        };
+        let residue = if keep_residue {
+            ResiduePolicy::KeepInMemory
+        } else {
+            ResiduePolicy::SpillToRuns
+        };
+        let (got, _) = run_histogram(&keys, spec, mem_rows, sizing, residue);
+        let expected = exact_top_k(&keys, k, order);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Offsets never lose or duplicate rows: page p starts where page p-1
+    /// ended.
+    #[test]
+    fn offset_pages_partition_the_prefix(
+        keys in proptest::collection::vec(0u64..100_000, 50..1_000),
+        page_size in 1u64..50,
+        pages in 1u64..5,
+        mem_rows in 4usize..64,
+    ) {
+        let mut all_pages = Vec::new();
+        for p in 0..pages {
+            let spec = SortSpec::ascending(page_size).with_offset(p * page_size);
+            let (page, _) = run_histogram(
+                &keys, spec, mem_rows, SizingPolicy::default(), ResiduePolicy::KeepInMemory,
+            );
+            all_pages.extend(page);
+        }
+        let expected = exact_top_k(&keys, (pages * page_size) as usize, SortOrder::Ascending);
+        prop_assert_eq!(all_pages, expected);
+    }
+
+    /// The filter only ever helps: rows spilled by the histogram operator
+    /// never exceed the rows the input itself would force out (input size),
+    /// and with the filter disabled the spill volume can only grow.
+    #[test]
+    fn filtering_never_increases_spill(
+        keys in proptest::collection::vec(0u64..50_000, 200..2_000),
+        k in 1u64..200,
+        mem_rows in 8usize..64,
+    ) {
+        let spec = SortSpec::ascending(k);
+        let (out_on, spilled_on) = run_histogram(
+            &keys, spec, mem_rows, SizingPolicy::default(), ResiduePolicy::SpillToRuns,
+        );
+        let (out_off, spilled_off) = run_histogram(
+            &keys, spec, mem_rows, SizingPolicy::Disabled, ResiduePolicy::SpillToRuns,
+        );
+        prop_assert_eq!(out_on, out_off);
+        prop_assert!(spilled_on <= spilled_off,
+            "filter made spilling worse: {} vs {}", spilled_on, spilled_off);
+    }
+
+    /// The optimized baseline is exact too (it shares almost no code path
+    /// with the histogram operator beyond run storage).
+    #[test]
+    fn optimized_baseline_is_always_exact(
+        keys in proptest::collection::vec(0u64..10_000, 1..2_000),
+        k in 1usize..300,
+        mem_rows in 4usize..100,
+    ) {
+        let spec = SortSpec::ascending(k as u64);
+        let config = TopKConfig::builder()
+            .memory_budget(mem_rows * 60)
+            .block_bytes(512)
+            .build()
+            .unwrap();
+        let mut op = OptimizedExternalTopK::new(spec, config, MemoryBackend::new()).unwrap();
+        for &key in &keys {
+            op.push(Row::key_only(key)).unwrap();
+        }
+        let got: Vec<u64> = op.finish().unwrap().map(|r| r.unwrap().key).collect();
+        prop_assert_eq!(got, exact_top_k(&keys, k, SortOrder::Ascending));
+    }
+
+    /// Duplicate-heavy inputs: the count of each key in the output matches
+    /// the true top-k multiset exactly (no tie is dropped or double-kept).
+    #[test]
+    fn duplicates_are_counted_exactly(
+        n_distinct in 1u64..20,
+        copies in 1usize..200,
+        k in 1usize..300,
+        mem_rows in 4usize..32,
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let mut keys: Vec<u64> =
+            (0..n_distinct).flat_map(|d| std::iter::repeat_n(d, copies)).collect();
+        keys.shuffle(&mut StdRng::seed_from_u64(seed));
+        let spec = SortSpec::ascending(k as u64);
+        let (got, _) = run_histogram(
+            &keys, spec, mem_rows, SizingPolicy::TargetBuckets(10), ResiduePolicy::KeepInMemory,
+        );
+        prop_assert_eq!(got, exact_top_k(&keys, k, SortOrder::Ascending));
+    }
+}

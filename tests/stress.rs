@@ -1,0 +1,91 @@
+//! Large-scale stress tests, `#[ignore]`d by default (run with
+//! `cargo test --release --test stress -- --ignored`). They push the
+//! operators to multi-million-row inputs — closer to the paper's regime —
+//! and assert exactness and the expected asymptotic I/O behaviour.
+
+use histok::core::{HistogramTopK, TopKConfig, TopKOperator};
+use histok::storage::{FileBackend, MemoryBackend};
+use histok::types::SortSpec;
+use histok::workload::{Distribution, Workload};
+
+fn config(mem_rows: usize) -> TopKConfig {
+    TopKConfig::builder().memory_budget(mem_rows * 64).build().unwrap()
+}
+
+#[test]
+#[ignore = "multi-million-row stress run; use --release"]
+fn ten_million_rows_exact_topk() {
+    let rows = 10_000_000u64;
+    let k = 100_000u64;
+    let w = Workload::uniform(rows, 1);
+    let mut op =
+        HistogramTopK::new(SortSpec::ascending(k), config(50_000), MemoryBackend::new()).unwrap();
+    for row in w.rows() {
+        op.push(row).unwrap();
+    }
+    let mut expected = 1.0;
+    let mut n = 0u64;
+    for row in op.finish().unwrap() {
+        assert_eq!(row.unwrap().key.get(), expected);
+        expected += 1.0;
+        n += 1;
+    }
+    assert_eq!(n, k);
+    let m = op.metrics();
+    // At input/k = 100, filtering should keep spill under 10% of the input.
+    assert!(m.spill_fraction() < 0.10, "spilled {:.1}% of 10M rows", m.spill_fraction() * 100.0);
+}
+
+#[test]
+#[ignore = "multi-million-row stress run on real files; use --release"]
+fn file_backed_five_million_rows() {
+    let rows = 5_000_000u64;
+    let k = 50_000u64;
+    let w = Workload::uniform(rows, 2).with_payload_bytes(32);
+    let backend = FileBackend::temp().unwrap();
+    let mut op = HistogramTopK::new(
+        SortSpec::ascending(k),
+        TopKConfig::builder().memory_budget(30_000 * 96).build().unwrap(),
+        backend,
+    )
+    .unwrap();
+    for row in w.rows() {
+        op.push(row).unwrap();
+    }
+    let n = op.finish().unwrap().map(|r| r.unwrap()).fold(0u64, |acc, _| acc + 1);
+    assert_eq!(n, k);
+}
+
+#[test]
+#[ignore = "long-tail distribution stress; use --release"]
+fn lognormal_three_million_descending() {
+    let rows = 3_000_000u64;
+    let k = 60_000u64;
+    let w = Workload::uniform(rows, 3).with_distribution(Distribution::lognormal_default());
+    let mut op =
+        HistogramTopK::new(SortSpec::descending(k), config(20_000), MemoryBackend::new()).unwrap();
+    for row in w.rows() {
+        op.push(row).unwrap();
+    }
+    let out: Vec<f64> = op.finish().unwrap().map(|r| r.unwrap().key.get()).collect();
+    assert_eq!(out.len() as u64, k);
+    assert!(out.windows(2).all(|p| p[0] >= p[1]));
+    assert!(op.metrics().spill_fraction() < 0.15);
+}
+
+#[test]
+#[ignore = "adversarial stress (nothing filterable); use --release"]
+fn adversarial_two_million_rows() {
+    let rows = 2_000_000u64;
+    let k = 40_000u64;
+    let w = Workload::uniform(rows, 0).with_distribution(Distribution::Adversarial);
+    let mut op =
+        HistogramTopK::new(SortSpec::ascending(k), config(20_000), MemoryBackend::new()).unwrap();
+    for row in w.rows() {
+        op.push(row).unwrap();
+    }
+    let out_len = op.finish().unwrap().count() as u64;
+    assert_eq!(out_len, k);
+    let m = op.metrics();
+    assert_eq!(m.eliminated_at_input + m.eliminated_at_spill, 0);
+}

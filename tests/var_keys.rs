@@ -1,0 +1,116 @@
+//! Variable-length and composite sort keys through the full stack: byte
+//! strings and `(primary, secondary)` pairs must flow through run files,
+//! histograms, consolidation and merging exactly like fixed-width keys.
+
+use histok::core::{HistogramTopK, TopKConfig, TopKOperator};
+use histok::storage::MemoryBackend;
+use histok::types::{BytesKey, F64Key, KeyPair, Row, SortSpec};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+fn config(mem_rows: usize, row_bytes: usize) -> TopKConfig {
+    TopKConfig::builder().memory_budget(mem_rows * row_bytes).block_bytes(2048).build().unwrap()
+}
+
+#[test]
+fn bytes_keys_spill_and_filter() {
+    // 30,000 random words; top 500 lexicographically smallest.
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut words: Vec<String> = (0..30_000u32)
+        .map(|_| {
+            let len = rng.gen_range(3..20);
+            (0..len).map(|_| (b'a' + rng.gen_range(0..26)) as char).collect()
+        })
+        .collect();
+    let mut expected = words.clone();
+    expected.sort();
+    expected.truncate(500);
+
+    words.shuffle(&mut rng);
+    let mut op: HistogramTopK<BytesKey> =
+        HistogramTopK::new(SortSpec::ascending(500), config(200, 96), MemoryBackend::new())
+            .unwrap();
+    for w in &words {
+        op.push(Row::key_only(BytesKey::from(w.as_str()))).unwrap();
+    }
+    let got: Vec<String> =
+        op.finish().unwrap().map(|r| String::from_utf8(r.unwrap().key.0).unwrap()).collect();
+    assert_eq!(got, expected);
+    let m = op.metrics();
+    assert!(m.spilled);
+    assert!(
+        m.rows_spilled() < 15_000,
+        "variable-length keys should filter too: spilled {}",
+        m.rows_spilled()
+    );
+}
+
+#[test]
+fn bytes_keys_survive_consolidation() {
+    // A tiny histogram queue forces consolidation with heap-allocated
+    // boundary keys; correctness must hold.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut words: Vec<String> =
+        (0..20_000u32).map(|i| format!("{:08}-{}", rng.gen_range(0..1_000_000u32), i)).collect();
+    let mut expected = words.clone();
+    expected.sort();
+    expected.truncate(300);
+    words.shuffle(&mut rng);
+
+    let cfg = TopKConfig::builder()
+        .memory_budget(150 * 96)
+        .histogram_memory(512) // a handful of buckets, then consolidate
+        .block_bytes(2048)
+        .build()
+        .unwrap();
+    let mut op: HistogramTopK<BytesKey> =
+        HistogramTopK::new(SortSpec::ascending(300), cfg, MemoryBackend::new()).unwrap();
+    for w in &words {
+        op.push(Row::key_only(BytesKey::from(w.as_str()))).unwrap();
+    }
+    let got: Vec<String> =
+        op.finish().unwrap().map(|r| String::from_utf8(r.unwrap().key.0).unwrap()).collect();
+    assert_eq!(got, expected);
+    assert!(op.metrics().filter.consolidations > 0, "consolidation never triggered");
+}
+
+#[test]
+fn composite_keys_order_lexicographically_end_to_end() {
+    // ORDER BY category ASC, score ASC — KeyPair<u32, F64Key>.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut rows: Vec<(u32, f64)> =
+        (0..25_000).map(|_| (rng.gen_range(0..8u32), rng.gen_range(0.0..1.0))).collect();
+    let mut expected = rows.clone();
+    expected.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    expected.truncate(400);
+    rows.shuffle(&mut rng);
+
+    let mut op: HistogramTopK<KeyPair<u32, F64Key>> =
+        HistogramTopK::new(SortSpec::ascending(400), config(150, 80), MemoryBackend::new())
+            .unwrap();
+    for &(cat, score) in &rows {
+        op.push(Row::key_only(KeyPair(cat, F64Key(score)))).unwrap();
+    }
+    let got: Vec<(u32, f64)> = op
+        .finish()
+        .unwrap()
+        .map(|r| {
+            let KeyPair(cat, score) = r.unwrap().key;
+            (cat, score.get())
+        })
+        .collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn descending_bytes_keys() {
+    let words = ["pear", "apple", "quince", "fig", "mango", "banana", "kiwi"];
+    let mut op: HistogramTopK<BytesKey> =
+        HistogramTopK::new(SortSpec::descending(3), config(100, 64), MemoryBackend::new()).unwrap();
+    for w in words {
+        op.push(Row::key_only(BytesKey::from(w))).unwrap();
+    }
+    let got: Vec<String> =
+        op.finish().unwrap().map(|r| String::from_utf8(r.unwrap().key.0).unwrap()).collect();
+    assert_eq!(got, vec!["quince", "pear", "mango"]);
+}
