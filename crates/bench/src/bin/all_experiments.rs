@@ -1,6 +1,8 @@
 //! Runs every experiment binary in sequence — the one-command
 //! reproduction of the paper's evaluation. Each child's stdout is teed to
-//! `results/<name>.txt` (relative to the current directory).
+//! `results/<name>.txt` (relative to the current directory); each child
+//! also writes its own machine-readable `results/<name>.json`, and this
+//! driver summarizes the whole batch in `results/all_experiments.json`.
 //!
 //! ```sh
 //! cargo run --release -p histok-bench --bin all_experiments
@@ -10,6 +12,9 @@ use std::fs;
 use std::path::Path;
 use std::process::{Command, ExitCode};
 use std::time::Instant;
+
+use histok_bench::MetricsReport;
+use histok_types::JsonValue;
 
 const EXPERIMENTS: [&str; 12] = [
     "table1",
@@ -38,6 +43,7 @@ fn main() -> ExitCode {
         .expect("current_exe has a parent directory");
 
     let total = Instant::now();
+    let mut summary = MetricsReport::new("all_experiments");
     for name in EXPERIMENTS.iter().take(EXPERIMENTS.len() - 1) {
         let bin = exe_dir.join(name);
         if !bin.exists() {
@@ -45,6 +51,10 @@ fn main() -> ExitCode {
                 "skipping {name}: {} not built (run `cargo build --release -p histok-bench --bins`)",
                 bin.display()
             );
+            summary.push_row(JsonValue::obj([
+                ("experiment", JsonValue::from(*name)),
+                ("status", JsonValue::from("skipped")),
+            ]));
             continue;
         }
         let start = Instant::now();
@@ -59,6 +69,21 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 println!("ok in {:.1}s → {}", start.elapsed().as_secs_f64(), path.display());
+                let json = out_dir.join(format!("{name}.json"));
+                summary.push_row(JsonValue::obj([
+                    ("experiment", JsonValue::from(*name)),
+                    ("status", JsonValue::from("ok")),
+                    ("elapsed_s", JsonValue::from(start.elapsed().as_secs_f64())),
+                    ("text_output", JsonValue::from(path.display().to_string())),
+                    (
+                        "json_output",
+                        if json.exists() {
+                            JsonValue::from(json.display().to_string())
+                        } else {
+                            JsonValue::Null
+                        },
+                    ),
+                ]));
             }
             Ok(output) => {
                 eprintln!("FAILED ({})", output.status);
@@ -71,11 +96,13 @@ fn main() -> ExitCode {
             }
         }
     }
+    summary.param("total_s", total.elapsed().as_secs_f64());
     println!(
         "\nall experiments done in {:.1}s; outputs in {}/",
         total.elapsed().as_secs_f64(),
         out_dir.display()
     );
     println!("compare against the paper with EXPERIMENTS.md");
+    summary.write();
     ExitCode::SUCCESS
 }

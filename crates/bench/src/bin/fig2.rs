@@ -9,10 +9,11 @@
 
 use histok_analysis::{simulate, ModelParams};
 use histok_bench::{
-    banner, env_u64, env_usize, figure_config, fmt_count, run_topk, BackendKind, RunOutcome,
+    banner, env_u64, env_usize, figure_config, fmt_count, run_topk, BackendKind, MetricsReport,
+    RunOutcome,
 };
 use histok_exec::Algorithm;
-use histok_types::SortSpec;
+use histok_types::{JsonValue, SortSpec};
 use histok_workload::{Distribution, Workload};
 
 fn main() {
@@ -20,6 +21,12 @@ fn main() {
     let mem_rows = env_u64("HISTOK_MEM_ROWS", 14_000);
     let payload = env_usize("HISTOK_PAYLOAD", 0);
     let backend = BackendKind::from_env();
+    let mut report = MetricsReport::new("fig2");
+    report
+        .param("input_rows", input)
+        .param("mem_rows", mem_rows)
+        .param("payload_bytes", payload)
+        .param("backend", format!("{backend:?}"));
     banner(
         "Figure 2 — varying output size",
         &format!(
@@ -76,6 +83,14 @@ fn main() {
                 memory_rows: mem_rows,
                 buckets_per_run: 50,
             });
+            report.push_outcomes(
+                &[
+                    ("distribution", JsonValue::from(dist.label())),
+                    ("k", JsonValue::from(k)),
+                    ("model_rows_spilled", JsonValue::from(model.rows_spilled)),
+                ],
+                &[("histogram", &hist), ("optimized", &base)],
+            );
             println!(
                 "{:>10} {:>7.2} | {:>10} {:>10} {:>10} {:>7.1}x | {:>10} {:>10} {:>7.1}x",
                 fmt_count(k),
@@ -94,4 +109,5 @@ fn main() {
     println!("spill (it has no in-memory phase, so it over-predicts when k fits memory).");
     println!("\npaper shape: speedup ~1x while k fits memory, rising to ~11x, then");
     println!("declining as k approaches the input size; identical across distributions.");
+    report.write();
 }

@@ -4,9 +4,11 @@
 //! 1.25, 1.5). `k` is fixed at ~4.3× the memory capacity, like the paper's
 //! k = 30 M over a 7 M-row memory.
 
-use histok_bench::{banner, env_u64, env_usize, figure_config, fmt_count, run_topk, BackendKind};
+use histok_bench::{
+    banner, env_u64, env_usize, figure_config, fmt_count, run_topk, BackendKind, MetricsReport,
+};
 use histok_exec::Algorithm;
-use histok_types::SortSpec;
+use histok_types::{JsonValue, SortSpec};
 use histok_workload::{Distribution, Workload};
 
 fn main() {
@@ -15,6 +17,12 @@ fn main() {
     let base_input = env_u64("HISTOK_INPUT_ROWS", 4_000_000);
     let payload = env_usize("HISTOK_PAYLOAD", 0);
     let backend = BackendKind::from_env();
+    let mut report = MetricsReport::new("fig3");
+    report
+        .param("k", k)
+        .param("mem_rows", mem_rows)
+        .param("payload_bytes", payload)
+        .param("backend", format!("{backend:?}"));
     banner(
         "Figure 3 — varying input size, multiple distributions",
         &format!(
@@ -51,6 +59,13 @@ fn main() {
                 run_topk(Algorithm::Histogram, &w, spec, config.clone(), backend).expect("hist");
             let base = run_topk(Algorithm::Optimized, &w, spec, config, backend).expect("base");
             assert_eq!(hist.checksum, base.checksum, "{} n={input}", dist.label());
+            report.push_outcomes(
+                &[
+                    ("distribution", JsonValue::from(dist.label())),
+                    ("input_rows", JsonValue::from(input)),
+                ],
+                &[("histogram", &hist), ("optimized", &base)],
+            );
             println!(
                 "{:>11} {:>10} | {:>10} {:>10} {:>7.1}x {:>7.1}x",
                 dist.label(),
@@ -64,4 +79,5 @@ fn main() {
     }
     println!("\npaper shape: small benefit near input ≈ k, rising with input size to ~11x;");
     println!("curves for all six distributions nearly identical.");
+    report.write();
 }

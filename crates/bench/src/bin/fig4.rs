@@ -2,9 +2,11 @@
 //! with histograms of 1, 5 and 50 buckets per run (the paper's
 //! `uniform-size-1`, `uniform-size-5` and `uniform` lines).
 
-use histok_bench::{banner, env_u64, env_usize, figure_config, fmt_count, run_topk, BackendKind};
+use histok_bench::{
+    banner, env_u64, env_usize, figure_config, fmt_count, run_topk, BackendKind, MetricsReport,
+};
 use histok_exec::Algorithm;
-use histok_types::SortSpec;
+use histok_types::{JsonValue, SortSpec};
 use histok_workload::Workload;
 
 fn main() {
@@ -13,6 +15,12 @@ fn main() {
     let base_input = env_u64("HISTOK_INPUT_ROWS", 4_000_000);
     let payload = env_usize("HISTOK_PAYLOAD", 0);
     let backend = BackendKind::from_env();
+    let mut report = MetricsReport::new("fig4");
+    report
+        .param("k", k)
+        .param("mem_rows", mem_rows)
+        .param("payload_bytes", payload)
+        .param("backend", format!("{backend:?}"));
     banner(
         "Figure 4 — varying input size with histogram sizes 1 / 5 / 50",
         &format!("k = {}, memory {} rows, uniform keys", fmt_count(k), fmt_count(mem_rows)),
@@ -36,6 +44,7 @@ fn main() {
             run_topk(Algorithm::Optimized, &w, spec, figure_config(mem_rows, payload, 50), backend)
                 .expect("baseline");
         let mut cells = Vec::new();
+        let mut hists = Vec::new();
         for buckets in [1u32, 5, 50] {
             let hist = run_topk(
                 Algorithm::Histogram,
@@ -50,7 +59,11 @@ fn main() {
                 base.metrics.rows_spilled() as f64 / hist.metrics.rows_spilled().max(1) as f64,
                 base.total_time().as_secs_f64() / hist.total_time().as_secs_f64(),
             ));
+            hists.push((format!("histogram_b{buckets}"), hist));
         }
+        let mut named: Vec<(&str, &histok_bench::RunOutcome)> = vec![("optimized", &base)];
+        named.extend(hists.iter().map(|(name, o)| (name.as_str(), o)));
+        report.push_outcomes(&[("input_rows", JsonValue::from(input))], &named);
         println!(
             "{:>10} | {:>5.1}x {:>6.1}x {:>5.1}x {:>6.1}x {:>5.1}x {:>6.1}x",
             fmt_count(input),
@@ -64,4 +77,5 @@ fn main() {
     }
     println!("\npaper shape: even 1-bucket histograms reach ~6.6x; 5 buckets close most of");
     println!("the gap to the 50-bucket default.");
+    report.write();
 }

@@ -2,9 +2,11 @@
 //! varied from 0 (no filtering) to 100 buckets per run, at a fixed input
 //! size and k.
 
-use histok_bench::{banner, env_u64, env_usize, figure_config, fmt_count, run_topk, BackendKind};
+use histok_bench::{
+    banner, env_u64, env_usize, figure_config, fmt_count, run_topk, BackendKind, MetricsReport,
+};
 use histok_exec::Algorithm;
-use histok_types::SortSpec;
+use histok_types::{JsonValue, SortSpec};
 use histok_workload::Workload;
 
 fn main() {
@@ -13,6 +15,13 @@ fn main() {
     let input = env_u64("HISTOK_INPUT_ROWS", 4_000_000);
     let payload = env_usize("HISTOK_PAYLOAD", 0);
     let backend = BackendKind::from_env();
+    let mut report = MetricsReport::new("fig5");
+    report
+        .param("input_rows", input)
+        .param("k", k)
+        .param("mem_rows", mem_rows)
+        .param("payload_bytes", payload)
+        .param("backend", format!("{backend:?}"));
     banner(
         "Figure 5 — varying histogram size",
         &format!(
@@ -47,6 +56,10 @@ fn main() {
         )
         .expect("histogram");
         assert_eq!(hist.checksum, base.checksum, "B={buckets}");
+        report.push_outcomes(
+            &[("buckets", JsonValue::from(buckets))],
+            &[("histogram", &hist), ("optimized", &base)],
+        );
         println!(
             "{:>9} | {:>10} {:>7.1}x {:>7.1}x | {:>10} {:>8}",
             buckets,
@@ -59,4 +72,5 @@ fn main() {
     }
     println!("\npaper shape: size 0 eliminates nothing; benefit grows quickly with the first");
     println!("few buckets and saturates — 50 → 100 buckets adds < 0.1x.");
+    report.write();
 }

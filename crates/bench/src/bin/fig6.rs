@@ -4,9 +4,11 @@
 //! output). Cost is `memory bytes × execution time`, the pay-as-you-go
 //! model of the paper.
 
-use histok_bench::{banner, env_u64, env_usize, figure_config, fmt_count, run_topk, BackendKind};
+use histok_bench::{
+    banner, env_u64, env_usize, figure_config, fmt_count, run_topk, BackendKind, MetricsReport,
+};
 use histok_exec::Algorithm;
-use histok_types::SortSpec;
+use histok_types::{JsonValue, SortSpec};
 use histok_workload::Workload;
 
 fn main() {
@@ -15,6 +17,12 @@ fn main() {
     let base_input = env_u64("HISTOK_INPUT_ROWS", 4_000_000);
     let payload = env_usize("HISTOK_PAYLOAD", 0);
     let backend = BackendKind::from_env();
+    let mut report = MetricsReport::new("fig6");
+    report
+        .param("k", k)
+        .param("mem_rows", mem_rows)
+        .param("payload_bytes", payload)
+        .param("backend", format!("{backend:?}"));
     banner(
         "Figure 6 — resource cost vs the in-memory top-k",
         &format!(
@@ -50,6 +58,14 @@ fn main() {
         let cost_h = budget as f64 / 1e6 * hist.total_time().as_secs_f64();
         let cost_m =
             inmem.metrics.peak_memory_bytes as f64 / 1e6 * inmem.total_time().as_secs_f64();
+        report.push_outcomes(
+            &[
+                ("input_rows", JsonValue::from(input)),
+                ("cost_histogram_mbs", JsonValue::from(cost_h)),
+                ("cost_in_memory_mbs", JsonValue::from(cost_m)),
+            ],
+            &[("histogram", &hist), ("in_memory", &inmem)],
+        );
         println!(
             "{:>10} | {:>9} {:>10.2}MBs | {:>9} {:>10.2}MBs | {:>9.2}x {:>9.2}x",
             fmt_count(input),
@@ -63,4 +79,5 @@ fn main() {
     }
     println!("\npaper shape: the in-memory algorithm is up to ~4x faster but up to ~3x more");
     println!("expensive; the gap narrows with input size (1.59x slower at 2B rows).");
+    report.write();
 }

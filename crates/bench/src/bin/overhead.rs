@@ -4,10 +4,10 @@
 //! operator is compared against itself with the cutoff logic disabled;
 //! the paper measured a 3 % overhead.
 
-use histok_bench::{banner, env_u64, env_usize, fmt_count, run_topk, BackendKind};
+use histok_bench::{banner, env_u64, env_usize, fmt_count, run_topk, BackendKind, MetricsReport};
 use histok_core::TopKConfig;
 use histok_exec::Algorithm;
-use histok_types::SortSpec;
+use histok_types::{JsonValue, SortSpec};
 use histok_workload::{Distribution, Workload};
 
 fn main() {
@@ -41,10 +41,18 @@ fn main() {
             .expect("valid config")
     };
 
+    let mut report = MetricsReport::new("overhead");
+    report
+        .param("input_rows", input)
+        .param("k", k)
+        .param("mem_rows", mem_rows)
+        .param("payload_bytes", payload)
+        .param("repeats", repeats)
+        .param("backend", format!("{backend:?}"));
     let mut best_on = f64::MAX;
     let mut best_off = f64::MAX;
     let mut spilled = (0, 0);
-    for _ in 0..repeats {
+    for repeat in 0..repeats {
         let on = run_topk(Algorithm::Histogram, &w, spec, config(true), backend).expect("on");
         let off = run_topk(Algorithm::Histogram, &w, spec, config(false), backend).expect("off");
         assert_eq!(on.checksum, off.checksum);
@@ -54,10 +62,19 @@ fn main() {
         best_on = best_on.min(on.total_time().as_secs_f64());
         best_off = best_off.min(off.total_time().as_secs_f64());
         spilled = (on.metrics.rows_spilled(), off.metrics.rows_spilled());
+        report.push_outcomes(
+            &[("repeat", JsonValue::from(repeat))],
+            &[("filter_on", &on), ("filter_off", &off)],
+        );
     }
 
     println!("\nfilter ON : best {:>8.3}s, spilled {} rows", best_on, fmt_count(spilled.0));
     println!("filter OFF: best {:>8.3}s, spilled {} rows", best_off, fmt_count(spilled.1));
     let overhead = (best_on / best_off - 1.0) * 100.0;
     println!("\ncutoff-filter overhead: {overhead:+.1}%  (paper: ~3%)");
+    report
+        .param("best_on_s", best_on)
+        .param("best_off_s", best_off)
+        .param("overhead_pct", overhead);
+    report.write();
 }

@@ -4,17 +4,19 @@
 //! and the quantile keys with the paper's empty cells for eliminated rows.
 
 use histok_analysis::table1;
-use histok_bench::{banner, fmt_count};
-use histok_core::{HistogramTopK, RunGenKind, SizingPolicy, TopKConfig, TopKOperator};
+use histok_bench::{banner, fmt_count, metrics_to_json, MetricsReport};
+use histok_core::{
+    HistogramTopK, OperatorMetrics, RunGenKind, SizingPolicy, TopKConfig, TopKOperator,
+};
 use histok_sort::run_gen::ResiduePolicy;
 use histok_storage::MemoryBackend;
-use histok_types::SortSpec;
+use histok_types::{JsonValue, SortSpec};
 use histok_workload::Workload;
 
 /// Runs the production operator with the model's exact setup (1,000-row
 /// memory, load-sort-store, 9 deciles, no tail buckets, residue spilled)
 /// on real shuffled keys.
-fn real_operator_check() -> (u64, u64) {
+fn real_operator_check() -> OperatorMetrics {
     let config = TopKConfig::builder()
         .memory_budget(1_000 * 56) // key-only rows ≈ 56 bytes charged
         .sizing(SizingPolicy::TargetBuckets(9))
@@ -30,7 +32,7 @@ fn real_operator_check() -> (u64, u64) {
     }
     let produced = op.finish().expect("finish").count() as u64;
     assert_eq!(produced, 5_000);
-    (op.metrics().runs(), op.metrics().rows_spilled())
+    op.metrics()
 }
 
 fn main() {
@@ -74,12 +76,32 @@ fn main() {
         result.ratio.unwrap_or(f64::NAN)
     );
     println!("\ncross-check: production operator on real shuffled keys (same setup)...");
-    let (runs, rows) = real_operator_check();
+    let measured = real_operator_check();
     println!(
         "  measured {} runs, {} rows spilled vs model {} runs, {} rows",
-        runs,
-        fmt_count(rows),
+        measured.runs(),
+        fmt_count(measured.rows_spilled()),
         result.runs,
         fmt_count(result.rows_spilled)
     );
+
+    let mut report = MetricsReport::new("table1");
+    report
+        .param("input_rows", 1_000_000u64)
+        .param("k", 5_000u64)
+        .param("mem_rows", 1_000u64)
+        .param("buckets_per_run", 9u64)
+        .param("model_runs", result.runs)
+        .param("model_rows_spilled", result.rows_spilled)
+        .param("model_ideal_cutoff", result.ideal_cutoff);
+    let opt_f64 = |v: Option<f64>| v.map(JsonValue::from).unwrap_or(JsonValue::Null);
+    for t in &result.trace {
+        report.push_row(JsonValue::obj([
+            ("remaining_before", JsonValue::from(t.remaining_before)),
+            ("cutoff_before", opt_f64(t.cutoff_before)),
+            ("deciles", JsonValue::Arr(t.deciles.iter().map(|&d| opt_f64(d)).collect())),
+        ]));
+    }
+    report.push_row(JsonValue::obj([("measured_operator", metrics_to_json(&measured))]));
+    report.write();
 }

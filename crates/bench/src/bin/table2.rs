@@ -4,7 +4,8 @@
 //! printed alongside.
 
 use histok_analysis::table2;
-use histok_bench::{banner, fmt_count};
+use histok_bench::{banner, fmt_count, MetricsReport};
+use histok_types::JsonValue;
 
 /// Paper values: (#buckets, runs, rows, cutoff, ratio).
 const PAPER: [(u32, u64, u64, &str, &str); 8] = [
@@ -53,4 +54,18 @@ fn main() {
         "  100 buckets/run spill {}x less than the traditional sort (paper: 30x)",
         1_000_000 / spilled(100)
     );
+
+    let mut report = MetricsReport::new("table2");
+    report.param("input_rows", 1_000_000u64).param("k", 5_000u64).param("mem_rows", 1_000u64);
+    let opt_f64 = |v: Option<f64>| v.map(JsonValue::from).unwrap_or(JsonValue::Null);
+    for row in table2() {
+        report.push_row(JsonValue::obj([
+            ("buckets", JsonValue::from(row.buckets)),
+            ("runs", JsonValue::from(row.result.runs)),
+            ("rows_spilled", JsonValue::from(row.result.rows_spilled)),
+            ("final_cutoff", opt_f64(row.result.final_cutoff)),
+            ("ratio", opt_f64(row.result.ratio)),
+        ]));
+    }
+    report.write();
 }

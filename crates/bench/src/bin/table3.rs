@@ -3,7 +3,8 @@
 //! experiment runs thrice with 10, 100 and 1,000 buckets per run.
 
 use histok_analysis::table3;
-use histok_bench::{banner, fmt_count};
+use histok_bench::{banner, fmt_count, MetricsReport};
+use histok_types::JsonValue;
 
 /// Paper values: (k, buckets, runs, rows).
 const PAPER: [(u64, u32, u64, u64); 7] = [
@@ -40,4 +41,19 @@ fn main() {
             fmt_count(p_rows),
         );
     }
+
+    let mut report = MetricsReport::new("table3");
+    report.param("input_rows", 1_000_000u64).param("mem_rows", 1_000u64);
+    let opt_f64 = |v: Option<f64>| v.map(JsonValue::from).unwrap_or(JsonValue::Null);
+    for row in table3() {
+        report.push_row(JsonValue::obj([
+            ("k", JsonValue::from(row.k)),
+            ("buckets", JsonValue::from(row.buckets)),
+            ("runs", JsonValue::from(row.result.runs)),
+            ("rows_spilled", JsonValue::from(row.result.rows_spilled)),
+            ("final_cutoff", opt_f64(row.result.final_cutoff)),
+            ("ratio", opt_f64(row.result.ratio)),
+        ]));
+    }
+    report.write();
 }

@@ -2,7 +2,8 @@
 //! 100,000,000 rows (k = 5,000, memory 1,000 rows, 10 buckets per run).
 
 use histok_analysis::table4;
-use histok_bench::{banner, fmt_count};
+use histok_bench::{banner, fmt_count, MetricsReport};
+use histok_types::JsonValue;
 
 /// Paper values: (input, runs, rows).
 const PAPER: [(u64, u64, u64); 15] = [
@@ -47,4 +48,19 @@ fn main() {
             fmt_count(p_rows),
         );
     }
+
+    let mut report = MetricsReport::new("table4");
+    report.param("k", 5_000u64).param("mem_rows", 1_000u64).param("buckets_per_run", 10u64);
+    let opt_f64 = |v: Option<f64>| v.map(JsonValue::from).unwrap_or(JsonValue::Null);
+    for row in table4() {
+        report.push_row(JsonValue::obj([
+            ("input_rows", JsonValue::from(row.input)),
+            ("runs", JsonValue::from(row.result.runs)),
+            ("rows_spilled", JsonValue::from(row.result.rows_spilled)),
+            ("final_cutoff", opt_f64(row.result.final_cutoff)),
+            ("ideal_cutoff", JsonValue::from(row.result.ideal_cutoff)),
+            ("ratio", opt_f64(row.result.ratio)),
+        ]));
+    }
+    report.write();
 }

@@ -3,7 +3,8 @@
 //! (k = 5,000, memory 1,000 rows).
 
 use histok_analysis::table5;
-use histok_bench::{banner, fmt_count};
+use histok_bench::{banner, fmt_count, MetricsReport};
+use histok_types::JsonValue;
 
 /// Paper values: (input, runs, rows).
 const PAPER: [(u64, u64, u64); 15] = [
@@ -55,4 +56,19 @@ fn main() {
         "largest input spills {:.3}% of its rows (paper: 1/8 % = 0.125%)",
         largest.rows_spilled as f64 / 1e8 * 100.0
     );
+
+    let mut report = MetricsReport::new("table5");
+    report.param("k", 5_000u64).param("mem_rows", 1_000u64).param("buckets_per_run", 1u64);
+    let opt_f64 = |v: Option<f64>| v.map(JsonValue::from).unwrap_or(JsonValue::Null);
+    for row in rows {
+        report.push_row(JsonValue::obj([
+            ("input_rows", JsonValue::from(row.input)),
+            ("runs", JsonValue::from(row.result.runs)),
+            ("rows_spilled", JsonValue::from(row.result.rows_spilled)),
+            ("final_cutoff", opt_f64(row.result.final_cutoff)),
+            ("ideal_cutoff", JsonValue::from(row.result.ideal_cutoff)),
+            ("ratio", opt_f64(row.result.ratio)),
+        ]));
+    }
+    report.write();
 }

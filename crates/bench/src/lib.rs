@@ -24,6 +24,10 @@
 
 #![deny(missing_docs)]
 
+pub mod report;
+
+pub use report::{metrics_to_json, outcome_to_json, MetricsReport};
+
 use std::time::Duration;
 
 use histok_core::{OperatorMetrics, SizingPolicy, TopKConfig};

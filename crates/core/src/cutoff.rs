@@ -38,6 +38,41 @@ pub struct FilterMetrics {
     pub eliminated_at_spill: u64,
 }
 
+impl FilterMetrics {
+    /// Counter-wise sum with `other` (aggregating sub-operator filters).
+    pub fn merged(&self, other: &FilterMetrics) -> FilterMetrics {
+        FilterMetrics {
+            buckets_inserted: self.buckets_inserted.saturating_add(other.buckets_inserted),
+            buckets_popped: self.buckets_popped.saturating_add(other.buckets_popped),
+            refinements: self.refinements.saturating_add(other.refinements),
+            consolidations: self.consolidations.saturating_add(other.consolidations),
+            eliminated_at_spill: self.eliminated_at_spill.saturating_add(other.eliminated_at_spill),
+        }
+    }
+}
+
+/// Builds a [`CutoffFilter`] honoring every relevant config knob. Shared by
+/// [`crate::HistogramTopK`] and [`crate::ParallelTopK`] so the serial and
+/// parallel operators cannot drift apart:
+///
+/// * `filter_enabled: false` disables histogram sizing entirely (no buckets
+///   are ever built, matching a plain external sort);
+/// * approximation slack ε targets ⌈k(1−ε)⌉ rows (§4.5), so the filter
+///   establishes and sharpens its cutoff earlier, trading the tail of the
+///   result for less I/O;
+/// * `spill_filter` gates spill-time elimination (Algorithm 1 line 11).
+pub(crate) fn filter_from_config<K: SortKey>(
+    spec: &histok_types::SortSpec,
+    config: &crate::config::TopKConfig,
+) -> CutoffFilter<K> {
+    let sizing = if config.filter_enabled { config.sizing } else { SizingPolicy::Disabled };
+    let filter_k = ((spec.retained() as f64) * (1.0 - config.approx_slack)).ceil() as u64;
+    CutoffFilter::with_policy(filter_k.max(1), spec.order, sizing)
+        .with_memory_budget(config.histogram_memory)
+        .with_tail_buckets(config.tail_buckets)
+        .with_spill_elimination(config.filter_enabled && config.spill_filter)
+}
+
 /// Boxed runtime comparator for buckets.
 type BucketCmp<K> = Box<dyn FnMut(&Bucket<K>, &Bucket<K>) -> bool + Send>;
 type BucketHeap<K> = BinaryHeapBy<Bucket<K>, BucketCmp<K>>;

@@ -84,8 +84,9 @@ impl<K: SortKey> Producer<K> {
 }
 
 /// What the consumer thread hands back at the end: the output stream and
-/// the operator's metrics.
-type ConsumerResult<K> = Result<(RowStream<K>, OperatorMetrics)>;
+/// the operator itself (metrics are read only after the stream is drained,
+/// so the final-merge I/O and timing are included).
+type ConsumerResult<K> = Result<(RowStream<K>, HistogramTopK<K>)>;
 
 /// §4.4's producer/consumer exchange: one consumer top-k, producer-side
 /// pre-filtering driven by flow-control cutoff packets.
@@ -125,7 +126,7 @@ impl<K: SortKey> ExchangeTopK<K> {
                 *consumer_flow.cutoff.write() = cutoff;
             }
             let stream = op.finish()?;
-            Ok((stream, op.metrics()))
+            Ok((stream, op))
         });
         Ok(ExchangeTopK { flow, tx: Some(tx), consumer: Some(consumer), spec })
     }
@@ -147,14 +148,21 @@ impl<K: SortKey> ExchangeTopK<K> {
 
     /// Closes the exchange (all producers must have finished) and returns
     /// the output stream plus the consumer's metrics.
+    ///
+    /// The output (at most `offset + limit` rows) is materialized here so
+    /// the metrics can cover the consumer's final merge; a lazily-merged
+    /// stream would be snapshotted with the merge phase still pending.
     pub fn finish(mut self) -> Result<(RowStream<K>, ExchangeMetrics)> {
         drop(self.tx.take()); // close the channel once producers are done
         let handle = self
             .consumer
             .take()
             .ok_or_else(|| Error::InvalidConfig("finish called twice".into()))?;
-        let (stream, operator) =
+        let (stream, op) =
             handle.join().map_err(|_| Error::InvalidConfig("consumer panicked".into()))??;
+        let rows = stream.collect::<Result<Vec<_>>>()?;
+        let operator = op.metrics();
+        let stream: RowStream<K> = Box::new(rows.into_iter().map(Ok));
         Ok((
             stream,
             ExchangeMetrics {
@@ -225,6 +233,16 @@ mod tests {
         assert_eq!(out[1_999], 2_000.0);
         assert!(out.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(metrics.operator.rows_in, metrics.rows_shipped);
+    }
+
+    #[test]
+    fn consumer_metrics_cover_the_final_merge() {
+        let (out, metrics) = run_exchange(2, 60_000, 4_000);
+        assert_eq!(out.len(), 4_000);
+        assert!(metrics.operator.spilled, "workload must spill to exercise the merge");
+        assert!(metrics.operator.io.rows_read > 0, "merge reads missing");
+        assert!(metrics.operator.phases.final_merge_ns > 0, "merge phase time missing");
+        assert!(metrics.operator.phases.run_generation_ns > 0);
     }
 
     #[test]

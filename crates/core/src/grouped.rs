@@ -86,22 +86,17 @@ where
         Ok(out)
     }
 
-    /// Aggregated metrics across every group.
+    /// Aggregated metrics across every group. Group workspaces coexist in
+    /// memory, so peak bytes are summed rather than maxed.
     pub fn metrics(&self) -> OperatorMetrics {
         let mut total = OperatorMetrics::default();
+        let mut peak_sum = 0usize;
         for op in self.groups.values() {
             let m = op.metrics();
-            total.rows_in += m.rows_in;
-            total.eliminated_at_input += m.eliminated_at_input;
-            total.eliminated_at_spill += m.eliminated_at_spill;
-            total.io.rows_written += m.io.rows_written;
-            total.io.bytes_written += m.io.bytes_written;
-            total.io.rows_read += m.io.rows_read;
-            total.io.bytes_read += m.io.bytes_read;
-            total.io.runs_created += m.io.runs_created;
-            total.spilled |= m.spilled;
-            total.peak_memory_bytes += m.peak_memory_bytes;
+            peak_sum += m.peak_memory_bytes;
+            total = total.merged(&m);
         }
+        total.peak_memory_bytes = peak_sum;
         total
     }
 }
@@ -166,6 +161,31 @@ mod tests {
                 (0..100).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn metrics_sum_io_and_peaks_across_groups() {
+        let row_bytes = histok_sort::row_footprint(&Row::key_only(0u64));
+        let mut op: GroupedTopK<u32, u64> = GroupedTopK::new(
+            SortSpec::ascending(100),
+            config(40 * row_bytes),
+            MemoryBackend::new(),
+        )
+        .unwrap();
+        for g in 0..3u32 {
+            for k in 0..2000u64 {
+                op.push(g, Row::key_only(k)).unwrap();
+            }
+        }
+        let m = op.metrics();
+        assert_eq!(m.rows_in, 6_000);
+        assert!(m.spilled);
+        assert!(m.io.write_ops > 0);
+        assert_eq!(m.io.write_latency.count, m.io.write_ops, "latency histograms not merged");
+        assert!(m.phases.run_generation_ns > 0, "phase timings not merged");
+        // Workspaces coexist: aggregate peak covers all three groups.
+        assert!(m.peak_memory_bytes >= 3 * 30 * row_bytes, "peak {}", m.peak_memory_bytes);
+        let _ = op.finish().unwrap();
     }
 
     #[test]

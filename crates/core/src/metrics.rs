@@ -1,6 +1,7 @@
 //! Operator-level metrics: the quantities the paper's evaluation reports.
 
 use histok_storage::IoStatsSnapshot;
+use histok_types::PhaseTotals;
 
 use crate::cutoff::FilterMetrics;
 
@@ -24,9 +25,32 @@ pub struct OperatorMetrics {
     pub peak_memory_bytes: usize,
     /// Early merge steps performed (optimized baseline only).
     pub early_merges: u64,
+    /// Wall-clock breakdown by execution phase (in-memory accumulation, run
+    /// generation including spill writes, final merge). Timed with one
+    /// `Instant` pair per phase transition — never per row.
+    pub phases: PhaseTotals,
 }
 
 impl OperatorMetrics {
+    /// Aggregates this execution with another (a segment, a group, a
+    /// worker): counters and phase/latency histograms sum, `spilled` ORs.
+    /// `peak_memory_bytes` takes the max — right for sub-operators that run
+    /// one at a time; aggregations whose workspaces coexist (e.g. grouped
+    /// execution) should sum the peaks themselves.
+    pub fn merged(&self, other: &OperatorMetrics) -> OperatorMetrics {
+        OperatorMetrics {
+            rows_in: self.rows_in.saturating_add(other.rows_in),
+            eliminated_at_input: self.eliminated_at_input.saturating_add(other.eliminated_at_input),
+            eliminated_at_spill: self.eliminated_at_spill.saturating_add(other.eliminated_at_spill),
+            io: self.io.merged(&other.io),
+            filter: self.filter.merged(&other.filter),
+            spilled: self.spilled || other.spilled,
+            peak_memory_bytes: self.peak_memory_bytes.max(other.peak_memory_bytes),
+            early_merges: self.early_merges.saturating_add(other.early_merges),
+            phases: self.phases.merged(&other.phases),
+        }
+    }
+
     /// Rows written to secondary storage — the paper's "Rows" column.
     pub fn rows_spilled(&self) -> u64 {
         self.io.rows_written

@@ -8,6 +8,7 @@
 //! read-write lock so the hot input-elimination test never contends on the
 //! full filter.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -17,14 +18,14 @@ use parking_lot::{Mutex, RwLock};
 use histok_sort::run_gen::{ReplacementSelection, RunGenerator};
 use histok_sort::{merge_sources, plan_merges, MergeSource, SpillObserver};
 use histok_storage::{IoStats, RunCatalog, StorageBackend};
-use histok_types::{Error, Result, Row, SortKey, SortSpec};
+use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
 use crate::config::TopKConfig;
-use crate::cutoff::CutoffFilter;
+use crate::cutoff::{filter_from_config, CutoffFilter};
 use crate::histogram::HistogramBuilder;
 use crate::metrics::OperatorMetrics;
 use crate::sizing::SizingPolicy;
-use crate::topk::{RowStream, SpecStream, TopKOperator};
+use crate::topk::{RowStream, SpecStream, TimedStream, TopKOperator};
 
 /// The shared filter: the real [`CutoffFilter`] behind a mutex plus a
 /// published copy of the cutoff key for cheap reads. Only the *priority
@@ -65,6 +66,9 @@ struct SharedObserver<K: SortKey> {
     policy: SizingPolicy,
     emit_tail: bool,
     spec: SortSpec,
+    /// Gates spill-time elimination (Algorithm 1 line 11); mirrors
+    /// `filter_enabled && spill_filter` of the serial operator.
+    spill_filter: bool,
 }
 
 impl<K: SortKey> SpillObserver<K> for SharedObserver<K> {
@@ -75,6 +79,9 @@ impl<K: SortKey> SpillObserver<K> for SharedObserver<K> {
         );
     }
     fn should_eliminate(&mut self, key: &K) -> bool {
+        if !self.spill_filter {
+            return false;
+        }
         let kill = self.shared.eliminate(key, &self.spec);
         if kill {
             self.shared.eliminated_spill.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -96,12 +103,15 @@ impl<K: SortKey> SpillObserver<K> for SharedObserver<K> {
 struct WorkerOutput<K: SortKey> {
     catalog: Arc<RunCatalog<K>>,
     residue: Vec<Vec<Row<K>>>,
+    /// High-water mark of this worker's run-generation workspace.
+    peak_bytes: usize,
 }
 
 /// Multi-threaded top-k sharing one histogram filter across workers.
 pub struct ParallelTopK<K: SortKey> {
     spec: SortSpec,
     config: TopKConfig,
+    backend: Arc<dyn StorageBackend>,
     stats: IoStats,
     shared: Arc<Shared<K>>,
     senders: Vec<Sender<Row<K>>>,
@@ -109,6 +119,12 @@ pub struct ParallelTopK<K: SortKey> {
     next_worker: usize,
     rows_in: u64,
     finished: bool,
+    /// `filter_enabled && input_filter`: gates Algorithm 1 line 4.
+    input_filter: bool,
+    /// Summed per-worker workspace high-water marks, known after `finish`.
+    peak_bytes: usize,
+    timer: PhaseTimer,
+    final_merge_ns: Arc<AtomicU64>,
 }
 
 impl<K: SortKey> ParallelTopK<K> {
@@ -127,15 +143,20 @@ impl<K: SortKey> ParallelTopK<K> {
         }
         let backend: Arc<dyn StorageBackend> = Arc::new(backend);
         let stats = IoStats::new();
-        let filter = CutoffFilter::with_policy(spec.retained(), spec.order, config.sizing)
-            .with_memory_budget(config.histogram_memory)
-            .with_tail_buckets(config.tail_buckets);
+        // The same construction as the serial operator: honors
+        // filter_enabled, approx_slack, spill_filter, sizing, tail buckets.
+        let filter: CutoffFilter<K> = filter_from_config(&spec, &config);
         let shared = Arc::new(Shared {
             filter: Mutex::new(filter),
             published: RwLock::new(None),
             eliminated_input: std::sync::atomic::AtomicU64::new(0),
             eliminated_spill: std::sync::atomic::AtomicU64::new(0),
         });
+
+        let input_filter = config.filter_enabled && config.input_filter;
+        let spill_filter = config.filter_enabled && config.spill_filter;
+        let effective_sizing =
+            if config.filter_enabled { config.sizing } else { SizingPolicy::Disabled };
 
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
@@ -156,7 +177,7 @@ impl<K: SortKey> ParallelTopK<K> {
             let run_limit = if config.limit_run_size { Some(spec.retained()) } else { None };
             let residue_policy = config.residue;
             let worker_spec = spec;
-            let policy = config.sizing;
+            let policy = effective_sizing;
             let emit_tail = config.tail_buckets;
             let handle = std::thread::spawn(move || -> Result<WorkerOutput<K>> {
                 let mut gen = ReplacementSelection::new(worker_catalog.clone(), budget);
@@ -169,21 +190,24 @@ impl<K: SortKey> ParallelTopK<K> {
                     policy,
                     emit_tail,
                     spec: worker_spec,
+                    spill_filter,
                 };
+                let mut peak_bytes = 0usize;
                 for row in rx {
                     // Re-check against the (possibly newer) published
                     // cutoff; rows were already screened by the pusher but
                     // the filter may have sharpened in flight.
-                    if shared_for_worker.eliminate(&row.key, &worker_spec) {
+                    if input_filter && shared_for_worker.eliminate(&row.key, &worker_spec) {
                         shared_for_worker
                             .eliminated_input
                             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         continue;
                     }
                     gen.push(row, &mut obs)?;
+                    peak_bytes = peak_bytes.max(gen.buffered_bytes());
                 }
                 let residue = gen.finish(&mut obs, residue_policy)?;
-                Ok(WorkerOutput { catalog: worker_catalog, residue })
+                Ok(WorkerOutput { catalog: worker_catalog, residue, peak_bytes })
             });
             senders.push(tx);
             handles.push(handle);
@@ -192,6 +216,7 @@ impl<K: SortKey> ParallelTopK<K> {
         Ok(ParallelTopK {
             spec,
             config,
+            backend,
             stats,
             shared,
             senders,
@@ -199,6 +224,10 @@ impl<K: SortKey> ParallelTopK<K> {
             next_worker: 0,
             rows_in: 0,
             finished: false,
+            input_filter,
+            peak_bytes: 0,
+            timer: PhaseTimer::started(Phase::RunGeneration),
+            final_merge_ns: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -209,7 +238,7 @@ impl<K: SortKey> ParallelTopK<K> {
             return Err(Error::InvalidConfig("push after finish".into()));
         }
         self.rows_in += 1;
-        if self.shared.eliminate(&row.key, &self.spec) {
+        if self.input_filter && self.shared.eliminate(&row.key, &self.spec) {
             self.shared.eliminated_input.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return Ok(());
         }
@@ -238,6 +267,7 @@ impl<K: SortKey> ParallelTopK<K> {
             let out = handle
                 .join()
                 .map_err(|_| Error::InvalidConfig("worker thread panicked".into()))??;
+            self.peak_bytes += out.peak_bytes;
             outputs.push(out);
         }
         let cutoff = self.shared.filter.lock().cutoff().cloned();
@@ -266,12 +296,21 @@ impl<K: SortKey> ParallelTopK<K> {
                 self.inner.next()
             }
         }
-        Ok(Box::new(HoldAll { _catalogs: catalogs, inner: SpecStream::new(tree, &self.spec) }))
+        self.timer.stop();
+        Ok(Box::new(TimedStream::new(
+            HoldAll { _catalogs: catalogs, inner: SpecStream::new(tree, &self.spec) },
+            self.final_merge_ns.clone(),
+        )))
     }
 
     /// Aggregated metrics.
     pub fn metrics(&self) -> OperatorMetrics {
         let filter = self.shared.filter.lock().metrics();
+        let mut io = self.stats.snapshot();
+        io.modelled_io_ns = io.modelled_io_ns.max(self.backend.modelled_io_ns());
+        let mut phases = self.timer.snapshot();
+        phases.spill_write_ns = io.write_latency.total_ns;
+        phases.final_merge_ns += self.final_merge_ns.load(Ordering::Relaxed);
         OperatorMetrics {
             rows_in: self.rows_in,
             eliminated_at_input: self
@@ -282,11 +321,12 @@ impl<K: SortKey> ParallelTopK<K> {
                 .shared
                 .eliminated_spill
                 .load(std::sync::atomic::Ordering::Relaxed),
-            io: self.stats.snapshot(),
+            io,
             filter,
-            spilled: self.stats.snapshot().runs_created > 0,
-            peak_memory_bytes: 0, // per-worker budgets; not aggregated
+            spilled: io.runs_created > 0,
+            peak_memory_bytes: self.peak_bytes,
             early_merges: 0,
+            phases,
         }
     }
 }
@@ -411,6 +451,95 @@ mod tests {
         assert_eq!(out, vec![7]);
         assert!(op.finish().is_err());
         drop(op); // must not hang
+    }
+
+    #[test]
+    fn filter_disabled_spills_like_a_plain_sort() {
+        let keys = shuffled(20_000, 24);
+        let row_bytes = histok_sort::row_footprint(&Row::key_only(0u64));
+        let cfg = TopKConfig::builder()
+            .memory_budget(100 * row_bytes)
+            .filter_enabled(false)
+            .block_bytes(1024)
+            .build()
+            .unwrap();
+        let mut op: ParallelTopK<u64> =
+            ParallelTopK::new(SortSpec::ascending(500), cfg, MemoryBackend::new(), 3).unwrap();
+        for &k in &keys {
+            op.push(Row::key_only(k)).unwrap();
+        }
+        let out: Vec<u64> = op.finish().unwrap().map(|r| r.unwrap().key).collect();
+        assert_eq!(out, (0..500).collect::<Vec<_>>());
+        let m = op.metrics();
+        // With the filter off, (almost) every input row reaches storage —
+        // before this was honored, the shared cutoff eliminated rows anyway.
+        assert!(
+            m.rows_spilled() > 18_000,
+            "filter_enabled(false) must spill like a plain sort, spilled {}",
+            m.rows_spilled()
+        );
+        assert_eq!(m.eliminated_at_input, 0);
+        assert_eq!(m.eliminated_at_spill, 0);
+        assert_eq!(m.filter.buckets_inserted, 0);
+    }
+
+    #[test]
+    fn approx_slack_establishes_the_cutoff_earlier() {
+        // With slack ε the shared filter targets ⌈k(1−ε)⌉ rows, so fewer
+        // buckets are needed before a cutoff exists and it sits tighter:
+        // strictly fewer rows reach storage than in the exact run.
+        let keys = shuffled(60_000, 25);
+        let row_bytes = histok_sort::row_footprint(&Row::key_only(0u64));
+        let spilled = |slack: f64| -> u64 {
+            let cfg = TopKConfig::builder()
+                .memory_budget(150 * row_bytes)
+                .approx_slack(slack)
+                .block_bytes(1024)
+                .build()
+                .unwrap();
+            let mut op: ParallelTopK<u64> =
+                ParallelTopK::new(SortSpec::ascending(2_000), cfg, MemoryBackend::new(), 1)
+                    .unwrap();
+            for &k in &keys {
+                op.push(Row::key_only(k)).unwrap();
+            }
+            let out: Vec<u64> = op.finish().unwrap().map(|r| r.unwrap().key).collect();
+            assert_eq!(out.len(), 2_000);
+            op.metrics().rows_spilled()
+        };
+        let exact = spilled(0.0);
+        let approx = spilled(0.25);
+        assert!(
+            approx < exact,
+            "slack 0.25 should spill fewer rows than exact ({approx} vs {exact})"
+        );
+    }
+
+    #[test]
+    fn peak_memory_aggregates_worker_workspaces() {
+        let keys = shuffled(30_000, 26);
+        let row_bytes = histok_sort::row_footprint(&Row::key_only(0u64));
+        let mut op: ParallelTopK<u64> = ParallelTopK::new(
+            SortSpec::ascending(500),
+            config(100 * row_bytes),
+            MemoryBackend::new(),
+            3,
+        )
+        .unwrap();
+        for &k in &keys {
+            op.push(Row::key_only(k)).unwrap();
+        }
+        let _out: Vec<u64> = op.finish().unwrap().map(|r| r.unwrap().key).collect();
+        let m = op.metrics();
+        assert!(m.peak_memory_bytes > 0, "per-worker peaks must be aggregated");
+        // Each worker respects its own budget; the sum cannot exceed
+        // threads × (budget + one oversized row of headroom).
+        assert!(m.peak_memory_bytes <= 3 * (100 * row_bytes + row_bytes));
+        // Phase accounting: everything before finish is run generation.
+        assert!(m.phases.run_generation_ns > 0);
+        assert!(m.phases.final_merge_ns > 0);
+        assert_eq!(m.phases.in_memory_ns, 0);
+        assert_eq!(m.phases.spill_write_ns, m.io.write_latency.total_ns);
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub struct SegmentedTopK<S, K: SortKey> {
     segments_ignored: u64,
     /// Last segment counted as ignored (avoids double counting).
     last_ignored: Option<S>,
+    /// Aggregate of every sealed segment's operator metrics.
+    completed: OperatorMetrics,
     finished: bool,
 }
 
@@ -64,6 +66,7 @@ where
             segments_seen: 0,
             segments_ignored: 0,
             last_ignored: None,
+            completed: OperatorMetrics::default(),
             finished: false,
         })
     }
@@ -79,6 +82,9 @@ where
             for row in op.finish()? {
                 self.produced.push(row?);
             }
+            // The loop dropped the stream, so the segment's final-merge
+            // phase is fully booked before this snapshot.
+            self.completed = self.completed.merged(&op.metrics());
             if self.remaining() == 0 {
                 self.satisfied = true;
             }
@@ -171,14 +177,17 @@ where
         self.rows_ignored
     }
 
-    /// Basic counters (rows in/ignored; per-segment operator metrics are
-    /// internal).
+    /// Aggregate over every sealed segment plus the active one. Segments
+    /// run one at a time, so peak memory is the max across segments; rows
+    /// ignored after satisfaction count as input-time eliminations.
     pub fn metrics(&self) -> OperatorMetrics {
-        OperatorMetrics {
-            rows_in: self.rows_in,
-            eliminated_at_input: self.rows_ignored,
-            ..Default::default()
+        let mut total = self.completed;
+        if let Some((_, op)) = &self.current {
+            total = total.merged(&op.metrics());
         }
+        total.rows_in = self.rows_in;
+        total.eliminated_at_input = total.eliminated_at_input.saturating_add(self.rows_ignored);
+        total
     }
 }
 
@@ -223,6 +232,29 @@ mod tests {
         let got: Vec<u64> = op.finish().unwrap().into_iter().map(|r| r.key).collect();
         let expected: Vec<u64> = oracle(&input, 700).into_iter().map(|(_, k)| k).collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn metrics_aggregate_across_sealed_segments() {
+        // Budget of 60 rows vs 300-row segments: every processed segment
+        // spills, and the aggregate must carry the per-segment I/O,
+        // latency, and phase time that used to be discarded.
+        let input = segmented_input(3, 300, 4);
+        let mut op: SegmentedTopK<u64, u64> =
+            SegmentedTopK::new(SortSpec::ascending(700), config(), MemoryBackend::new()).unwrap();
+        for &(s, k) in &input {
+            op.push(s, Row::key_only(k)).unwrap();
+        }
+        let _ = op.finish().unwrap();
+        let m = op.metrics();
+        assert_eq!(m.rows_in, 900);
+        assert!(m.spilled);
+        assert!(m.io.rows_written > 0, "spill writes missing from aggregate");
+        assert!(m.io.rows_read > 0, "merge reads missing from aggregate");
+        assert_eq!(m.io.write_latency.count, m.io.write_ops);
+        assert!(m.phases.run_generation_ns > 0);
+        assert!(m.phases.final_merge_ns > 0, "final merge time missing from aggregate");
+        assert!(m.peak_memory_bytes > 0);
     }
 
     #[test]

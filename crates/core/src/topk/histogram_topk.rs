@@ -9,6 +9,7 @@
 //! spill time (line 11) — so most of the input never reaches secondary
 //! storage even though `k` exceeds memory.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 #[cfg(test)]
@@ -16,13 +17,14 @@ use histok_sort::run_gen::ResiduePolicy;
 use histok_sort::run_gen::{LoadSortStore, ReplacementSelection, RunGenerator};
 use histok_sort::{merge_sources, plan_merges, LoserTree, MergeSource};
 use histok_storage::{IoStats, RunCatalog, StorageBackend};
-use histok_types::{Error, Result, Row, SortKey, SortSpec};
+use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
 use crate::config::{RunGenKind, TopKConfig};
 use crate::cutoff::{CutoffFilter, FilterMetrics};
 use crate::metrics::OperatorMetrics;
-use crate::sizing::SizingPolicy;
-use crate::topk::{already_finished, Offer, RetainedHeap, RowStream, SpecStream, TopKOperator};
+use crate::topk::{
+    already_finished, Offer, RetainedHeap, RowStream, SpecStream, TimedStream, TopKOperator,
+};
 
 /// The histogram-guided adaptive top-k operator (the paper's contribution).
 ///
@@ -55,6 +57,11 @@ pub struct HistogramTopK<K: SortKey> {
     /// Filter metrics frozen at finish time.
     final_filter: Option<FilterMetrics>,
     spilled: bool,
+    /// Phase clock: one `Instant` pair per phase transition.
+    timer: PhaseTimer,
+    /// Final-merge nanoseconds, filled in by the [`TimedStream`] wrapper
+    /// when the output stream is dropped.
+    final_merge_ns: Arc<AtomicU64>,
 }
 
 enum State<K: SortKey> {
@@ -101,6 +108,8 @@ impl<K: SortKey> HistogramTopK<K> {
             peak_bytes: 0,
             final_filter: None,
             spilled: false,
+            timer: PhaseTimer::started(Phase::InMemory),
+            final_merge_ns: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -125,17 +134,7 @@ impl<K: SortKey> HistogramTopK<K> {
     }
 
     fn build_filter(&self) -> CutoffFilter<K> {
-        let sizing =
-            if self.config.filter_enabled { self.config.sizing } else { SizingPolicy::Disabled };
-        // §4.5: with approximation slack ε the filter targets ⌈k(1−ε)⌉
-        // rows — it establishes and sharpens its cutoff earlier, trading
-        // the tail of the result for less I/O.
-        let filter_k =
-            ((self.spec.retained() as f64) * (1.0 - self.config.approx_slack)).ceil() as u64;
-        CutoffFilter::with_policy(filter_k.max(1), self.spec.order, sizing)
-            .with_memory_budget(self.config.histogram_memory)
-            .with_tail_buckets(self.config.tail_buckets)
-            .with_spill_elimination(self.config.filter_enabled && self.config.spill_filter)
+        crate::cutoff::filter_from_config(&self.spec, &self.config)
     }
 
     fn build_generator(&self, catalog: Arc<RunCatalog<K>>) -> Box<dyn RunGenerator<K>> {
@@ -155,6 +154,7 @@ impl<K: SortKey> HistogramTopK<K> {
 
     /// Leaves phase 1: every retained row re-enters through run generation.
     fn switch_to_external(&mut self, heap_rows: Vec<Row<K>>) -> Result<()> {
+        self.timer.enter(Phase::RunGeneration);
         let catalog = Arc::new(
             RunCatalog::new(
                 self.backend.clone(),
@@ -225,7 +225,11 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
         match std::mem::replace(&mut self.state, State::Finished) {
             State::InMemory(heap) => {
                 let rows = heap.into_sorted();
-                Ok(Box::new(SpecStream::new(rows.into_iter().map(Ok), &self.spec)))
+                self.timer.stop();
+                Ok(Box::new(TimedStream::new(
+                    SpecStream::new(rows.into_iter().map(Ok), &self.spec),
+                    self.final_merge_ns.clone(),
+                )))
             }
             State::External(mut ext) => {
                 let residue = ext.gen.finish(&mut ext.filter, self.config.residue)?;
@@ -250,10 +254,14 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
                 spec.offset -= skipped.skipped;
                 let tree: LoserTree<K, MergeSource<K>> =
                     merge_sources(skipped.sources, self.spec.order)?;
-                Ok(Box::new(HoldCatalog {
-                    _catalog: ext.catalog,
-                    inner: SpecStream::new(tree, &spec),
-                }))
+                // Residue spilling in `gen.finish` above still counted as
+                // run generation; everything from here until the stream is
+                // dropped is the final merge.
+                self.timer.stop();
+                Ok(Box::new(TimedStream::new(
+                    HoldCatalog { _catalog: ext.catalog, inner: SpecStream::new(tree, &spec) },
+                    self.final_merge_ns.clone(),
+                )))
             }
             State::Finished => already_finished("HistogramTopK"),
         }
@@ -265,15 +273,21 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
             (_, Some(m)) => m,
             _ => FilterMetrics::default(),
         };
+        let mut io = self.stats.snapshot();
+        io.modelled_io_ns = io.modelled_io_ns.max(self.backend.modelled_io_ns());
+        let mut phases = self.timer.snapshot();
+        phases.spill_write_ns = io.write_latency.total_ns;
+        phases.final_merge_ns += self.final_merge_ns.load(Ordering::Relaxed);
         OperatorMetrics {
             rows_in: self.rows_in,
             eliminated_at_input: self.eliminated_at_input,
             eliminated_at_spill: filter.eliminated_at_spill,
-            io: self.stats.snapshot(),
+            io,
             filter,
             spilled: self.spilled,
             peak_memory_bytes: self.peak_bytes,
             early_merges: 0,
+            phases,
         }
     }
 
@@ -487,6 +501,43 @@ mod tests {
         let (out, m) = run_op(SortSpec::ascending(10), config(1024), &[]);
         assert!(out.is_empty());
         assert_eq!(m.rows_in, 0);
+    }
+
+    #[test]
+    fn phase_timings_cover_all_three_phases() {
+        let keys = shuffled(20_000, 13);
+        let row_bytes = histok_sort::row_footprint(&Row::key_only(0u64));
+        let mut op = HistogramTopK::new(
+            SortSpec::ascending(500),
+            config(100 * row_bytes),
+            MemoryBackend::new(),
+        )
+        .unwrap();
+        for &k in &keys {
+            op.push(Row::key_only(k)).unwrap();
+        }
+        {
+            let stream = op.finish().unwrap();
+            let out: Vec<u64> = stream.map(|r| r.unwrap().key).collect();
+            assert_eq!(out, (0..500).collect::<Vec<_>>());
+        } // stream dropped: final-merge time recorded
+        let m = op.metrics();
+        assert!(m.phases.in_memory_ns > 0, "in-memory phase not timed");
+        assert!(m.phases.run_generation_ns > 0, "run generation not timed");
+        assert!(m.phases.final_merge_ns > 0, "final merge not timed");
+        // Spill writes were timed request-by-request.
+        assert_eq!(m.io.write_latency.count, m.io.write_ops);
+        assert!(m.io.read_latency.count > 0);
+        assert_eq!(m.phases.spill_write_ns, m.io.write_latency.total_ns);
+    }
+
+    #[test]
+    fn in_memory_runs_report_no_external_phases() {
+        let keys = shuffled(5_000, 14);
+        let (_, m) = run_op(SortSpec::ascending(100), config(1 << 20), &keys);
+        assert!(m.phases.in_memory_ns > 0);
+        assert_eq!(m.phases.run_generation_ns, 0);
+        assert_eq!(m.phases.spill_write_ns, 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! assumption holds, impossible to rely on in a shared production system —
 //! which is the paper's motivation.
 
-use histok_types::{Result, Row, SortKey, SortSpec};
+use histok_types::{Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
 use crate::metrics::OperatorMetrics;
 use crate::topk::{already_finished, Offer, RetainedHeap, RowStream, SpecStream, TopKOperator};
@@ -18,6 +18,7 @@ pub struct InMemoryTopK<K: SortKey> {
     rows_in: u64,
     eliminated: u64,
     peak_bytes: usize,
+    timer: PhaseTimer,
 }
 
 impl<K: SortKey> InMemoryTopK<K> {
@@ -30,6 +31,7 @@ impl<K: SortKey> InMemoryTopK<K> {
             rows_in: 0,
             eliminated: 0,
             peak_bytes: 0,
+            timer: PhaseTimer::started(Phase::InMemory),
         })
     }
 
@@ -60,6 +62,7 @@ impl<K: SortKey> TopKOperator<K> for InMemoryTopK<K> {
             return already_finished("InMemoryTopK");
         };
         let rows = heap.into_sorted();
+        self.timer.stop();
         Ok(Box::new(SpecStream::new(rows.into_iter().map(Ok), &self.spec)))
     }
 
@@ -68,6 +71,7 @@ impl<K: SortKey> TopKOperator<K> for InMemoryTopK<K> {
             rows_in: self.rows_in,
             eliminated_at_input: self.eliminated,
             peak_memory_bytes: self.peak_bytes,
+            phases: self.timer.snapshot(),
             ..Default::default()
         }
     }

@@ -185,6 +185,36 @@ pub(crate) fn already_finished<T>(what: &str) -> Result<T> {
     Err(Error::InvalidConfig(format!("{what}: finish() called twice")))
 }
 
+/// Wraps an output stream so the wall-clock time between `finish()` and the
+/// stream being dropped is charged to the final-merge phase: one `Instant`
+/// pair for the whole stream, nothing per row. The total lands in a shared
+/// atomic so `metrics()` can read it after the stream is gone.
+pub(crate) struct TimedStream<I> {
+    pub(crate) inner: I,
+    started: std::time::Instant,
+    sink_ns: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl<I> TimedStream<I> {
+    pub(crate) fn new(inner: I, sink_ns: std::sync::Arc<std::sync::atomic::AtomicU64>) -> Self {
+        TimedStream { inner, started: std::time::Instant::now(), sink_ns }
+    }
+}
+
+impl<I: Iterator> Iterator for TimedStream<I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+impl<I> Drop for TimedStream<I> {
+    fn drop(&mut self) {
+        let ns = self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.sink_ns.fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
 /// Keeps a run catalog (and therefore its spilled objects) alive while the
 /// output stream that reads them is consumed.
 pub(crate) struct HoldCatalog<K: SortKey, I> {

@@ -16,17 +16,19 @@
 //! quantifies ("our algorithm will write 12× less input rows compared to
 //! the optimized external merge sort").
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use histok_sort::run_gen::{ReplacementSelection, ResiduePolicy, RunGenerator};
 use histok_sort::{merge_runs_to_new, merge_sources, plan_merges, MergeSource, SpillObserver};
 use histok_storage::{IoStats, RunCatalog, StorageBackend};
-use histok_types::{Error, Result, Row, SortKey, SortOrder, SortSpec};
+use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortOrder, SortSpec};
 
 use crate::config::TopKConfig;
 use crate::metrics::OperatorMetrics;
 use crate::topk::{
-    already_finished, HoldCatalog, Offer, RetainedHeap, RowStream, SpecStream, TopKOperator,
+    already_finished, HoldCatalog, Offer, RetainedHeap, RowStream, SpecStream, TimedStream,
+    TopKOperator,
 };
 
 /// Spill observer for the optimized baseline: kth-key sharpening plus
@@ -113,6 +115,8 @@ pub struct OptimizedExternalTopK<K: SortKey> {
     /// have spilled; `None` (the default, per [Graefe'08]) merges once.
     resharpen_every: Option<u64>,
     spilled_at_last_merge: u64,
+    timer: PhaseTimer,
+    final_merge_ns: Arc<AtomicU64>,
 }
 
 impl<K: SortKey> OptimizedExternalTopK<K> {
@@ -147,6 +151,8 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
             early_merges: 0,
             resharpen_every: None,
             spilled_at_last_merge: 0,
+            timer: PhaseTimer::started(Phase::InMemory),
+            final_merge_ns: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -168,6 +174,7 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
     }
 
     fn switch_to_external(&mut self, rows: Vec<Row<K>>) -> Result<()> {
+        self.timer.enter(Phase::RunGeneration);
         let catalog = Arc::new(
             RunCatalog::new(
                 self.backend.clone(),
@@ -270,7 +277,11 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
         match std::mem::replace(&mut self.state, State::Finished) {
             State::InMemory(heap) => {
                 let rows = heap.into_sorted();
-                Ok(Box::new(SpecStream::new(rows.into_iter().map(Ok), &self.spec)))
+                self.timer.stop();
+                Ok(Box::new(TimedStream::new(
+                    SpecStream::new(rows.into_iter().map(Ok), &self.spec),
+                    self.final_merge_ns.clone(),
+                )))
             }
             State::External(ext) => {
                 let External { catalog, mut gen, mut obs } = *ext;
@@ -291,10 +302,11 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
                     sources.push(MergeSource::Memory(seq.into_iter()));
                 }
                 let tree = merge_sources(sources, self.spec.order)?;
-                Ok(Box::new(HoldCatalog {
-                    _catalog: catalog,
-                    inner: SpecStream::new(tree, &self.spec),
-                }))
+                self.timer.stop();
+                Ok(Box::new(TimedStream::new(
+                    HoldCatalog { _catalog: catalog, inner: SpecStream::new(tree, &self.spec) },
+                    self.final_merge_ns.clone(),
+                )))
             }
             State::Finished => already_finished("OptimizedExternalTopK"),
         }
@@ -305,15 +317,21 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
             State::External(ext) => ext.obs.eliminated_at_spill,
             _ => self.eliminated_at_spill_final,
         };
+        let mut io = self.stats.snapshot();
+        io.modelled_io_ns = io.modelled_io_ns.max(self.backend.modelled_io_ns());
+        let mut phases = self.timer.snapshot();
+        phases.spill_write_ns = io.write_latency.total_ns;
+        phases.final_merge_ns += self.final_merge_ns.load(Ordering::Relaxed);
         OperatorMetrics {
             rows_in: self.rows_in,
             eliminated_at_input: self.eliminated_at_input,
             eliminated_at_spill,
-            io: self.stats.snapshot(),
+            io,
             filter: Default::default(),
             spilled: self.spilled,
             peak_memory_bytes: self.peak_bytes,
             early_merges: self.early_merges,
+            phases,
         }
     }
 

@@ -6,23 +6,29 @@
 //! limit, quicksort runs — the PostgreSQL behaviour whose order-of-magnitude
 //! performance cliff §5.2 demonstrates.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use histok_sort::ExternalSorter;
 use histok_storage::{IoStats, StorageBackend};
-use histok_types::{Error, Result, Row, SortKey, SortSpec};
+use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
 use crate::metrics::OperatorMetrics;
-use crate::topk::{already_finished, RowStream, SpecStream, TopKOperator};
+use crate::topk::{already_finished, RowStream, SpecStream, TimedStream, TopKOperator};
 
 /// Top-k by fully sorting the input externally, then taking `k` rows.
 pub struct TraditionalExternalTopK<K: SortKey> {
     spec: SortSpec,
     sorter: Option<ExternalSorter<K>>,
+    backend: Arc<dyn StorageBackend>,
     stats: IoStats,
     rows_in: u64,
     peak_bytes: usize,
     budget: usize,
+    /// The whole consume stage is run generation: there is no filtering
+    /// in-memory phase to account separately.
+    timer: PhaseTimer,
+    final_merge_ns: Arc<AtomicU64>,
 }
 
 impl<K: SortKey> TraditionalExternalTopK<K> {
@@ -46,14 +52,17 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
             return Err(Error::InvalidConfig("memory budget must be positive".into()));
         }
         let stats = IoStats::new();
-        let sorter = ExternalSorter::new(backend, spec.order, budget_bytes, stats.clone());
+        let sorter = ExternalSorter::new(backend.clone(), spec.order, budget_bytes, stats.clone());
         Ok(TraditionalExternalTopK {
             spec,
             sorter: Some(sorter),
+            backend,
             stats,
             rows_in: 0,
             peak_bytes: 0,
             budget: budget_bytes,
+            timer: PhaseTimer::started(Phase::RunGeneration),
+            final_merge_ns: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -77,15 +86,25 @@ impl<K: SortKey> TopKOperator<K> for TraditionalExternalTopK<K> {
         };
         self.peak_bytes = self.budget; // uses its whole workspace
         let stream = sorter.finish()?;
-        Ok(Box::new(SpecStream::new(stream, &self.spec)))
+        self.timer.stop();
+        Ok(Box::new(TimedStream::new(
+            SpecStream::new(stream, &self.spec),
+            self.final_merge_ns.clone(),
+        )))
     }
 
     fn metrics(&self) -> OperatorMetrics {
+        let mut io = self.stats.snapshot();
+        io.modelled_io_ns = io.modelled_io_ns.max(self.backend.modelled_io_ns());
+        let mut phases = self.timer.snapshot();
+        phases.spill_write_ns = io.write_latency.total_ns;
+        phases.final_merge_ns += self.final_merge_ns.load(Ordering::Relaxed);
         OperatorMetrics {
             rows_in: self.rows_in,
-            io: self.stats.snapshot(),
-            spilled: self.stats.snapshot().runs_created > 0,
+            io,
+            spilled: io.runs_created > 0,
             peak_memory_bytes: self.peak_bytes,
+            phases,
             ..Default::default()
         }
     }

@@ -158,7 +158,10 @@ impl<K: SortKey> TopKExec<K> {
         TopKExec { child, topk, output: None, metrics: None }
     }
 
-    /// The wrapped algorithm's metrics (populated at `open`).
+    /// The wrapped algorithm's metrics. Live until `close`; the snapshot
+    /// cached at `close` afterwards. Final-merge reads happen while the
+    /// output streams, so only the post-`close` view includes the full
+    /// merge-phase I/O and timing.
     pub fn metrics(&self) -> OperatorMetrics {
         self.metrics.unwrap_or_else(|| self.topk.metrics())
     }
@@ -177,7 +180,6 @@ impl<K: SortKey> Operator<K> for TopKExec<K> {
         }
         self.child.close()?;
         self.output = Some(self.topk.finish()?);
-        self.metrics = Some(self.topk.metrics());
         Ok(())
     }
 
@@ -190,7 +192,10 @@ impl<K: SortKey> Operator<K> for TopKExec<K> {
     }
 
     fn close(&mut self) -> Result<()> {
+        // Drop the stream first: its drop guard books the merge-phase time
+        // into the operator before the snapshot below.
         self.output = None;
+        self.metrics = Some(self.topk.metrics());
         Ok(())
     }
 

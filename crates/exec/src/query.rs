@@ -132,9 +132,11 @@ impl<K: SortKey> Query<K> {
             rows.push(row);
         }
         let elapsed = start.elapsed();
-        let metrics = root.metrics();
         let algorithm = root.algorithm();
+        // Close before snapshotting: the final-merge stream's reads and
+        // timing are only booked once the output stream is released.
         root.close()?;
+        let metrics = root.metrics();
         Ok(QueryResult { rows, metrics, elapsed, algorithm })
     }
 }
@@ -194,6 +196,25 @@ mod tests {
             "histogram {} vs traditional {}",
             hist.metrics.rows_spilled(),
             trad.metrics.rows_spilled()
+        );
+    }
+
+    #[test]
+    fn reported_metrics_include_the_final_merge() {
+        // Regression: metrics used to be snapshotted at `open`, before the
+        // output stream was drained, losing all merge-phase reads/timing.
+        let w = Workload::uniform(50_000, 81);
+        let result = Query::scan(w.rows(), SortSpec::ascending(1_000))
+            .config(cfg(150 * 64))
+            .algorithm(Algorithm::Histogram)
+            .execute(MemoryBackend::new())
+            .unwrap();
+        assert!(result.metrics.spilled);
+        assert!(result.metrics.io.rows_read > 0, "merge reads missing from metrics");
+        assert!(result.metrics.io.read_ops > 0);
+        assert!(
+            result.metrics.phases.final_merge_ns > 0,
+            "final-merge phase time missing from metrics"
         );
     }
 

@@ -50,6 +50,11 @@ impl<K: SortKey> LoadSortStore<K> {
             return Ok(());
         }
         self.sort_buffer();
+        // The run length is known here: it is the buffer being flushed
+        // (minus any spill-time eliminations). Reporting the actual row
+        // count — not a fallback-byte guess — keeps histogram bucket widths
+        // honest for wide payload rows.
+        let estimated_rows = self.buffer.len() as u64;
         let mut writer = None;
         for row in self.buffer.drain(..) {
             let fp = row_footprint(&row);
@@ -61,7 +66,7 @@ impl<K: SortKey> LoadSortStore<K> {
                 Some(w) => w,
                 None => {
                     writer = Some(self.catalog.start_run()?);
-                    obs.run_started(self.budget.capacity_rows(64));
+                    obs.run_started(estimated_rows.max(1));
                     writer.as_mut().expect("writer just set")
                 }
             };
@@ -230,6 +235,39 @@ mod tests {
         let residue = gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
         assert!(residue.is_empty());
         assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn run_estimate_matches_buffer_for_wide_payload_rows() {
+        struct Estimates(Vec<u64>, Vec<u64>, u64);
+        impl SpillObserver<u64> for Estimates {
+            fn run_started(&mut self, estimated_rows: u64) {
+                self.0.push(estimated_rows);
+                self.2 = 0;
+            }
+            fn row_spilled(&mut self, _key: &u64) {
+                self.2 += 1;
+            }
+            fn run_finished(&mut self) {
+                self.1.push(self.2);
+            }
+        }
+        let cat = catalog();
+        let payload = 400usize;
+        let row_bytes = row_footprint(&Row::new(0u64, vec![0u8; payload]));
+        let mut gen = LoadSortStore::new(cat.clone(), 40 * row_bytes);
+        let mut obs = Estimates(Vec::new(), Vec::new(), 0);
+        for k in 0..500u64 {
+            gen.push(Row::new(k, vec![0u8; payload]), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        assert_eq!(obs.0.len(), obs.1.len());
+        for (est, actual) in obs.0.iter().zip(&obs.1) {
+            assert!(
+                *est <= 2 * actual && *est >= actual / 2,
+                "estimate {est} not within 2x of actual run length {actual}"
+            );
+        }
     }
 
     #[test]

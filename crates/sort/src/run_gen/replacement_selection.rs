@@ -438,6 +438,60 @@ mod tests {
     }
 
     #[test]
+    fn run_estimate_adapts_to_wide_payload_rows() {
+        use crate::observer::SpillObserver;
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+        /// Records every `run_started` estimate and the actual length of
+        /// each finished run.
+        #[derive(Default)]
+        struct RunSizes {
+            estimates: Vec<u64>,
+            lengths: Vec<u64>,
+            current: u64,
+        }
+        impl SpillObserver<u64> for RunSizes {
+            fn run_started(&mut self, estimated_rows: u64) {
+                self.estimates.push(estimated_rows);
+                self.current = 0;
+            }
+            fn row_spilled(&mut self, _key: &u64) {
+                self.current += 1;
+            }
+            fn run_finished(&mut self) {
+                self.lengths.push(self.current);
+            }
+        }
+
+        let (_be, cat) = catalog(SortOrder::Ascending);
+        let payload = 400usize;
+        let row_bytes = row_footprint(&Row::new(0u64, vec![0u8; payload]));
+        // Budget for ~50 of these wide rows. A non-adaptive 64-byte
+        // estimate would claim ~2 × budget/64 ≈ 14 × the real capacity.
+        let mut gen = ReplacementSelection::new(cat.clone(), 50 * row_bytes);
+        let mut obs = RunSizes::default();
+        let mut keys: Vec<u64> = (0..3_000).collect();
+        keys.shuffle(&mut StdRng::seed_from_u64(17));
+        for k in keys {
+            gen.push(Row::new(k, vec![0u8; payload]), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+
+        assert!(obs.lengths.len() >= 5, "expected several runs");
+        // Truth: average length of the full runs (the final run is
+        // truncated by end-of-input).
+        let full = &obs.lengths[..obs.lengths.len() - 1];
+        let truth = full.iter().sum::<u64>() as f64 / full.len() as f64;
+        for (i, &est) in obs.estimates.iter().enumerate() {
+            assert!(
+                (est as f64) <= 2.0 * truth && (est as f64) >= truth / 2.0,
+                "estimate {est} for run {i} is not within 2x of observed \
+                 average run length {truth:.0}",
+            );
+        }
+    }
+
+    #[test]
     fn duplicate_keys_are_all_preserved() {
         let (_be, cat) = catalog(SortOrder::Ascending);
         let mut gen = ReplacementSelection::new(cat.clone(), 5 * 60);

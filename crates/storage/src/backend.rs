@@ -57,6 +57,15 @@ pub trait StorageBackend: Send + Sync {
 
     /// Returns the size in bytes of a finished object.
     fn size_of(&self, name: &str) -> Result<u64>;
+
+    /// Total modelled I/O nanoseconds accumulated by this backend's cost
+    /// model. Plain backends have no model and return 0; decorators that
+    /// simulate disaggregated storage (see [`crate::ThrottledBackend`])
+    /// override this so operators can surface virtual I/O time in their
+    /// metrics without knowing the concrete backend type.
+    fn modelled_io_ns(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

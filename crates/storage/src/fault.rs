@@ -147,6 +147,10 @@ impl<B: StorageBackend> StorageBackend for FaultBackend<B> {
     fn size_of(&self, name: &str) -> Result<u64> {
         self.inner.size_of(name)
     }
+
+    fn modelled_io_ns(&self) -> u64 {
+        self.inner.modelled_io_ns()
+    }
 }
 
 #[cfg(test)]

@@ -168,11 +168,14 @@ impl<K: SortKey> RunWriter<K> {
         header[4..8].copy_from_slice(&self.rows_in_block.to_le_bytes());
         header[8..12].copy_from_slice(&payload_len.to_le_bytes());
         header[12..16].copy_from_slice(&crc.to_le_bytes());
+        // One Instant pair around the whole block request — never per row.
+        let started = std::time::Instant::now();
         self.writer.write_all(&header)?;
         self.writer.write_all(&self.block_buf)?;
+        let elapsed = started.elapsed();
         let block_bytes = BLOCK_HEADER_BYTES as u64 + payload_len as u64;
         self.bytes += block_bytes;
-        self.stats.record_write(self.rows_in_block as u64, block_bytes);
+        self.stats.record_write_timed(self.rows_in_block as u64, block_bytes, elapsed);
         self.blocks.push(BlockMeta {
             rows: self.rows_in_block,
             payload_bytes: payload_len,
@@ -282,11 +285,18 @@ impl<K: SortKey> RunReader<K> {
             return Ok(false);
         };
         let mut payload = vec![0u8; payload_len as usize];
+        // One Instant pair around the whole block request — never per row.
+        let started = std::time::Instant::now();
         self.reader.read_exact(&mut payload)?;
+        let elapsed = started.elapsed();
         if crc32(&payload) != crc {
             return Err(Error::Corrupt("block CRC mismatch".into()));
         }
-        self.stats.record_read(rows as u64, BLOCK_HEADER_BYTES as u64 + payload_len as u64);
+        self.stats.record_read_timed(
+            rows as u64,
+            BLOCK_HEADER_BYTES as u64 + payload_len as u64,
+            elapsed,
+        );
         let mut slice = &payload[..];
         self.current.reserve(rows as usize);
         for _ in 0..rows {
@@ -323,11 +333,17 @@ impl<K: SortKey> RunReader<K> {
             } else {
                 // Partially-skipped block: decode it.
                 let mut payload = vec![0u8; payload_len as usize];
+                let started = std::time::Instant::now();
                 self.reader.read_exact(&mut payload)?;
+                let elapsed = started.elapsed();
                 if crc32(&payload) != crc {
                     return Err(Error::Corrupt("block CRC mismatch".into()));
                 }
-                self.stats.record_read(rows as u64, BLOCK_HEADER_BYTES as u64 + payload_len as u64);
+                self.stats.record_read_timed(
+                    rows as u64,
+                    BLOCK_HEADER_BYTES as u64 + payload_len as u64,
+                    elapsed,
+                );
                 let mut slice = &payload[..];
                 for _ in 0..rows {
                     self.current.push_back(Row::decode(&mut slice)?);

@@ -8,6 +8,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+use histok_types::{LatencyHistogram, LatencySnapshot};
 
 /// Shared, thread-safe I/O counters for one operator or experiment.
 ///
@@ -26,6 +29,11 @@ struct Counters {
     bytes_read: AtomicU64,
     write_ops: AtomicU64,
     read_ops: AtomicU64,
+    /// Modelled (virtual-clock) I/O nanoseconds reported by a throttled
+    /// backend, surfaced through the same snapshot as the real counters.
+    modelled_io_ns: AtomicU64,
+    write_latency: LatencyHistogram,
+    read_latency: LatencyHistogram,
 }
 
 /// A point-in-time copy of the counters, safe to diff and print.
@@ -46,6 +54,14 @@ pub struct IoStatsSnapshot {
     pub write_ops: u64,
     /// Count of block-level read requests.
     pub read_ops: u64,
+    /// Modelled I/O time in nanoseconds under the disaggregated-storage
+    /// cost model (0 unless a throttled backend reported its virtual
+    /// clock into these stats).
+    pub modelled_io_ns: u64,
+    /// Observed per-request write latencies.
+    pub write_latency: LatencySnapshot,
+    /// Observed per-request read latencies.
+    pub read_latency: LatencySnapshot,
 }
 
 impl IoStats {
@@ -73,6 +89,34 @@ impl IoStats {
         self.inner.read_ops.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// As [`IoStats::record_write`], also recording the request's observed
+    /// latency. Callers time one `Instant` pair around the whole block
+    /// request — never per row.
+    pub fn record_write_timed(&self, rows: u64, bytes: u64, latency: Duration) {
+        self.record_write(rows, bytes);
+        self.inner.write_latency.record(latency);
+    }
+
+    /// As [`IoStats::record_read`], also recording the request's observed
+    /// latency.
+    pub fn record_read_timed(&self, rows: u64, bytes: u64, latency: Duration) {
+        self.record_read(rows, bytes);
+        self.inner.read_latency.record(latency);
+    }
+
+    /// Adds modelled (virtual-clock) I/O time, as charged by a throttled
+    /// backend's cost model.
+    pub fn record_modelled_io(&self, modelled: Duration) {
+        let ns = modelled.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.inner.modelled_io_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Overwrites the modelled I/O total (used when an operator copies a
+    /// backend's virtual clock into its own stats at snapshot time).
+    pub fn set_modelled_io_ns(&self, ns: u64) {
+        self.inner.modelled_io_ns.store(ns, Ordering::Relaxed);
+    }
+
     /// Current counter values.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -83,6 +127,9 @@ impl IoStats {
             bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
             write_ops: self.inner.write_ops.load(Ordering::Relaxed),
             read_ops: self.inner.read_ops.load(Ordering::Relaxed),
+            modelled_io_ns: self.inner.modelled_io_ns.load(Ordering::Relaxed),
+            write_latency: self.inner.write_latency.snapshot(),
+            read_latency: self.inner.read_latency.snapshot(),
         }
     }
 
@@ -109,6 +156,26 @@ impl IoStatsSnapshot {
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             write_ops: self.write_ops.saturating_sub(earlier.write_ops),
             read_ops: self.read_ops.saturating_sub(earlier.read_ops),
+            modelled_io_ns: self.modelled_io_ns.saturating_sub(earlier.modelled_io_ns),
+            write_latency: self.write_latency.since(&earlier.write_latency),
+            read_latency: self.read_latency.since(&earlier.read_latency),
+        }
+    }
+
+    /// Counter-wise sum with `other`, used when aggregating the traffic of
+    /// several sub-operators (segments, groups) that each own their stats.
+    pub fn merged(&self, other: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            runs_created: self.runs_created.saturating_add(other.runs_created),
+            rows_written: self.rows_written.saturating_add(other.rows_written),
+            bytes_written: self.bytes_written.saturating_add(other.bytes_written),
+            rows_read: self.rows_read.saturating_add(other.rows_read),
+            bytes_read: self.bytes_read.saturating_add(other.bytes_read),
+            write_ops: self.write_ops.saturating_add(other.write_ops),
+            read_ops: self.read_ops.saturating_add(other.read_ops),
+            modelled_io_ns: self.modelled_io_ns.saturating_add(other.modelled_io_ns),
+            write_latency: self.write_latency.merged(&other.write_latency),
+            read_latency: self.read_latency.merged(&other.read_latency),
         }
     }
 
@@ -161,6 +228,49 @@ mod tests {
         // Reversed diff saturates to zero instead of wrapping.
         let rev = early.since(&late);
         assert_eq!(rev.rows_written, 0);
+    }
+
+    #[test]
+    fn timed_records_feed_latency_histograms() {
+        let s = IoStats::new();
+        s.record_write_timed(10, 4096, Duration::from_micros(100));
+        s.record_write_timed(10, 4096, Duration::from_micros(300));
+        s.record_read_timed(5, 2048, Duration::from_micros(50));
+        let snap = s.snapshot();
+        // The plain counters advance exactly as with the untimed calls.
+        assert_eq!(snap.rows_written, 20);
+        assert_eq!(snap.write_ops, 2);
+        assert_eq!(snap.rows_read, 5);
+        // And the histograms saw each request once.
+        assert_eq!(snap.write_latency.count, 2);
+        assert_eq!(snap.write_latency.total_ns, 400_000);
+        assert_eq!(snap.write_latency.max_ns, 300_000);
+        assert_eq!(snap.read_latency.count, 1);
+        assert!(snap.write_latency.p95_ns() >= snap.write_latency.p50_ns());
+    }
+
+    #[test]
+    fn modelled_io_accumulates_and_overwrites() {
+        let s = IoStats::new();
+        s.record_modelled_io(Duration::from_millis(2));
+        s.record_modelled_io(Duration::from_millis(3));
+        assert_eq!(s.snapshot().modelled_io_ns, 5_000_000);
+        s.set_modelled_io_ns(42);
+        assert_eq!(s.snapshot().modelled_io_ns, 42);
+    }
+
+    #[test]
+    fn since_diffs_latency_and_modelled_io() {
+        let s = IoStats::new();
+        s.record_write_timed(1, 8, Duration::from_micros(10));
+        s.record_modelled_io(Duration::from_nanos(100));
+        let early = s.snapshot();
+        s.record_write_timed(1, 8, Duration::from_micros(20));
+        s.record_modelled_io(Duration::from_nanos(50));
+        let d = s.snapshot().since(&early);
+        assert_eq!(d.write_latency.count, 1);
+        assert_eq!(d.write_latency.total_ns, 20_000);
+        assert_eq!(d.modelled_io_ns, 50);
     }
 
     #[test]

@@ -57,7 +57,14 @@ impl ThrottleModel {
     }
 
     fn cost(&self, bytes: usize) -> Duration {
-        self.per_op + self.per_byte.saturating_mul(bytes as u32)
+        // Computed in u128 nanoseconds: `Duration::saturating_mul` takes a
+        // u32 factor, so `bytes as u32` would silently truncate requests of
+        // 4 GiB and beyond (the paper's experiments move hundreds of GiB).
+        let byte_ns = self.per_byte.as_nanos() * bytes as u128;
+        let total_ns = self.per_op.as_nanos().saturating_add(byte_ns);
+        let secs = (total_ns / 1_000_000_000) as u64;
+        let nanos = (total_ns % 1_000_000_000) as u32;
+        Duration::new(secs, nanos)
     }
 }
 
@@ -109,7 +116,7 @@ impl<B: StorageBackend> ThrottledBackend<B> {
 
 fn charge(clock: &AtomicU64, model: &ThrottleModel, bytes: usize) {
     let cost = model.cost(bytes);
-    clock.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+    clock.fetch_add(cost.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
     if model.sleep && !cost.is_zero() {
         std::thread::sleep(cost);
     }
@@ -178,6 +185,10 @@ impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
     fn size_of(&self, name: &str) -> Result<u64> {
         self.inner.size_of(name)
     }
+
+    fn modelled_io_ns(&self) -> u64 {
+        self.virtual_ns.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +252,32 @@ mod tests {
         assert_eq!(&rest, b"ef");
         be.delete("data").unwrap();
         assert!(be.open("data").is_err());
+    }
+
+    #[test]
+    fn cost_of_requests_beyond_4gib_does_not_truncate() {
+        // 5 GiB at 5 ns/byte is ~26.8 s of bandwidth cost. The old
+        // `bytes as u32` truncation would have charged for just 1 GiB.
+        let model = ThrottleModel::disaggregated();
+        let five_gib: usize = 5 * (1 << 30);
+        let cost = model.cost(five_gib);
+        let expected_byte_ns = 5u128 * five_gib as u128;
+        assert_eq!(
+            cost,
+            Duration::from_micros(2_000) + Duration::from_nanos(expected_byte_ns as u64)
+        );
+        assert!(cost > Duration::from_secs(25), "truncated cost: {cost:?}");
+    }
+
+    #[test]
+    fn modelled_io_is_exposed_through_the_backend_trait() {
+        let be = ThrottledBackend::new(MemoryBackend::new(), ThrottleModel::disaggregated());
+        let mut w = be.create("m").unwrap();
+        w.write_all(&[0u8; 4096]).unwrap();
+        w.finish().unwrap();
+        let via_trait = (&be as &dyn StorageBackend).modelled_io_ns();
+        assert_eq!(Duration::from_nanos(via_trait), be.virtual_io_time());
+        assert!(via_trait > 0);
     }
 
     #[test]

@@ -1,0 +1,549 @@
+//! A tiny dependency-free JSON value, serializer and parser.
+//!
+//! The build environment cannot fetch serde, and the metrics reports only
+//! need a small, predictable subset of JSON: objects with ordered keys,
+//! arrays, strings, booleans, null, and numbers (kept as `u64`/`i64` where
+//! possible so byte counters above 2⁵³ survive a round trip exactly).
+//!
+//! [`JsonValue::to_json`] always emits valid JSON; [`JsonValue::parse`]
+//! accepts anything the serializer emits (plus ordinary whitespace), which
+//! is exactly the round-trip contract the metrics pipeline tests.
+
+use crate::error::{Error, Result};
+
+/// A JSON document fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (serialized without decimal point).
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number. Non-finite values serialize as `null`
+    /// (JSON has no NaN/Infinity).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; insertion order is preserved on serialization.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            JsonValue::U64(v as u64)
+        } else {
+            JsonValue::I64(v)
+        }
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_owned())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        JsonValue::Arr(v)
+    }
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<I, K, V>(pairs: I) -> JsonValue
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<JsonValue>,
+    {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr<I, V>(items: I) -> JsonValue
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<JsonValue>,
+    {
+        JsonValue::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Looks up a key in an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if numeric (integers convert losslessly where
+    /// `f64` permits).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::F64(v) => Some(*v),
+            JsonValue::U64(v) => Some(*v as f64),
+            JsonValue::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with newlines and `indent`-space indentation.
+    pub fn to_json_pretty(&self, indent: usize) -> String {
+        let mut out = String::with_capacity(256);
+        self.write(&mut out, Some(indent.max(1)), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::U64(v) => {
+                out.push_str(&v.to_string());
+            }
+            JsonValue::I64(v) => {
+                out.push_str(&v.to_string());
+            }
+            JsonValue::F64(v) => {
+                if v.is_finite() {
+                    // `{:?}` keeps a decimal point or exponent, so the
+                    // value re-parses as F64 rather than an integer.
+                    out.push_str(&format!("{v:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (the subset this module emits, plus ordinary
+    /// whitespace). Trailing garbage is an error.
+    pub fn parse(text: &str) -> Result<JsonValue> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::Corrupt(format!("trailing JSON at byte {}", p.pos)));
+        }
+        Ok(value)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::Corrupt(format!("expected {:?} at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::Corrupt(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(Error::Corrupt(format!("unexpected JSON at byte {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a maximal run of plain bytes in one go.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::Corrupt("invalid UTF-8 in JSON string".into()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc =
+                        self.peek().ok_or_else(|| Error::Corrupt("truncated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(Error::Corrupt("truncated \\u escape".into()));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error::Corrupt("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::Corrupt("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::Corrupt("bad \\u escape".into()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::Corrupt(format!(
+                                "unknown escape \\{}",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(Error::Corrupt("unterminated JSON string".into())),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if float {
+            text.parse::<f64>()
+                .map(JsonValue::F64)
+                .map_err(|_| Error::Corrupt(format!("bad number {text:?}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(JsonValue::I64)
+                .map_err(|_| Error::Corrupt(format!("bad number {text:?}")))
+        } else {
+            text.parse::<u64>()
+                .map(JsonValue::U64)
+                .map_err(|_| Error::Corrupt(format!("bad number {text:?}")))
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(Error::Corrupt("expected ',' or ']' in array".into())),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(Error::Corrupt("expected ',' or '}' in object".into())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JsonValue {
+        JsonValue::obj([
+            ("algorithm", JsonValue::from("histogram-topk")),
+            ("rows_in", JsonValue::from(1_000_000u64)),
+            ("big", JsonValue::U64(u64::MAX)),
+            ("neg", JsonValue::I64(-42)),
+            ("frac", JsonValue::F64(0.25)),
+            ("spilled", JsonValue::from(true)),
+            ("nothing", JsonValue::Null),
+            ("name with \"quotes\"\n", JsonValue::from("tab\there")),
+            ("empty_arr", JsonValue::Arr(vec![])),
+            ("empty_obj", JsonValue::Obj(vec![])),
+            (
+                "nested",
+                JsonValue::arr([
+                    JsonValue::obj([("p50_ns", JsonValue::from(1024u64))]),
+                    JsonValue::from(3.5f64),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_compact() {
+        let v = sample();
+        let text = v.to_json();
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn roundtrip_pretty() {
+        let v = sample();
+        let text = v.to_json_pretty(2);
+        assert!(text.contains('\n'));
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn u64_max_survives_exactly() {
+        let text = JsonValue::U64(u64::MAX).to_json();
+        assert_eq!(text, u64::MAX.to_string());
+        assert_eq!(JsonValue::parse(&text).unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_marker() {
+        let text = JsonValue::F64(2.0).to_json();
+        assert_eq!(text, "2.0");
+        assert_eq!(JsonValue::parse(&text).unwrap(), JsonValue::F64(2.0));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::F64(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::F64(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let v = sample();
+        assert_eq!(v.get("algorithm").and_then(JsonValue::as_str), Some("histogram-topk"));
+        assert_eq!(v.get("rows_in").and_then(JsonValue::as_u64), Some(1_000_000));
+        assert_eq!(v.get("frac").and_then(JsonValue::as_f64), Some(0.25));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(JsonValue::parse("").is_err());
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("123 junk").is_err());
+        assert!(JsonValue::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace() {
+        let v = JsonValue::parse(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(v, JsonValue::obj([("a", JsonValue::arr([1u64, 2])), ("b", JsonValue::Null),]));
+    }
+
+    #[test]
+    fn unicode_roundtrips() {
+        let v = JsonValue::from("κεραυνός ⚡ \u{1}");
+        let back = JsonValue::parse(&v.to_json()).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -14,17 +14,26 @@
 //! * [`Error`] / [`Result`] — the crate-wide error type.
 //! * [`HeapSize`] — byte-level memory accounting used by the operators'
 //!   memory budgets.
+//! * [`PhaseTimer`] / [`LatencyHistogram`] — std-only observability
+//!   primitives: per-phase wall-clock attribution and log₂-bucketed I/O
+//!   latency histograms, shared by the storage and operator layers.
+//! * [`JsonValue`] — a dependency-free JSON value used by the benchmark
+//!   harness to emit machine-readable metrics reports.
 
 #![deny(missing_docs)]
 
 pub mod error;
+pub mod json;
 pub mod key;
 pub mod memsize;
 pub mod order;
 pub mod row;
+pub mod timing;
 
 pub use error::{Error, Result};
+pub use json::JsonValue;
 pub use key::{BytesKey, F64Key, KeyPair, SortKey};
 pub use memsize::HeapSize;
 pub use order::{SortOrder, SortSpec};
 pub use row::Row;
+pub use timing::{LatencyHistogram, LatencySnapshot, Phase, PhaseTimer, PhaseTotals};

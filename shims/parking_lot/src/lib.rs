@@ -1,0 +1,105 @@
+//! Minimal std-only stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` locks with the `parking_lot` calling convention:
+//! `lock()`/`read()`/`write()` return guards directly (no `Result`).
+//! Poisoning is ignored — a panic while holding a lock propagates the inner
+//! value to subsequent lockers, which matches `parking_lot`'s behaviour of
+//! not poisoning.
+
+use std::sync::{self, MutexGuard as StdMutexGuard};
+use std::sync::{RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard};
+
+/// A mutual-exclusion lock; `lock()` never returns `Err`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`].
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock; `read()`/`write()` never return `Err`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+/// Shared-read guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = StdReadGuard<'a, T>;
+/// Exclusive-write guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = StdWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquires the exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+        assert_eq!(l.into_inner(), 7);
+    }
+}

@@ -1,0 +1,338 @@
+//! Minimal std-only stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the subset of `rand`
+//! 0.8's API that histok uses is implemented here: [`rngs::StdRng`] (a
+//! deterministic xoshiro256++ seeded via SplitMix64), the [`Rng`] extension
+//! methods `gen`, `gen_range` and `gen_bool`, [`SeedableRng::seed_from_u64`]
+//! and [`seq::SliceRandom::shuffle`]. Streams are deterministic per seed but
+//! do **not** bit-match the real `rand` crate; tests in this repository only
+//! rely on seeded determinism and distribution shape, never on exact
+//! sequences.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The shipped generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The default deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state,
+            // as recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: histok never needs a distinct small generator.
+    pub type SmallRng = StdRng;
+}
+
+/// Types that can be drawn uniformly from the generator's full output.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value from the range (panics if empty).
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps a random word onto `[0, span)` with a 128-bit multiply-shift
+/// (Lemire); bias is < 2⁻⁶⁴·span, irrelevant at test scales.
+fn index(rng: &mut (impl RngCore + ?Sized), span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// Element types `gen_range` can draw uniformly.
+///
+/// The two `SampleRange` impls below are blanket impls over this trait —
+/// one impl per range *shape*, not per element type — so an unannotated
+/// integer literal like `gen_range(1..=30)` infers its type from the use
+/// site instead of falling back to `i32` (mirrors real rand's structure).
+pub trait SampleUniform: Sized {
+    /// Draws from `[low, high)` (`inclusive = false`) or `[low, high]`.
+    fn sample_between<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),+) => {
+        $(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(low: $t, high: $t, inclusive: bool, rng: &mut R) -> $t {
+                    let span = high.wrapping_sub(low) as u64;
+                    if inclusive {
+                        assert!(low <= high, "gen_range: empty range");
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        low.wrapping_add(index(rng, span + 1) as $t)
+                    } else {
+                        assert!(low < high, "gen_range: empty range");
+                        low.wrapping_add(index(rng, span) as $t)
+                    }
+                }
+            }
+        )+
+    };
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(
+        low: f64,
+        high: f64,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> f64 {
+        assert!(low < high, "gen_range: empty range");
+        low + (high - low) * f64::sample(rng)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: RngCore + ?Sized>(
+        low: f32,
+        high: f32,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> f32 {
+        assert!(low < high, "gen_range: empty range");
+        low + (high - low) * f32::sample(rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// Extension methods over any [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of an inferable type uniformly at random.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// A biased coin: true with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Slice helpers (mirrors `rand::seq`).
+pub mod seq {
+    use super::{index, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = index(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[index(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.gen_range(0u64..1_000_000)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen_range(0u64..1_000_000)).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.gen_range(0u64..1_000_000)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(1u32..=50);
+            assert!((1..=50).contains(&w));
+            let x = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&x));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_f64_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_moves_things() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..1_000).collect();
+        v.shuffle(&mut rng);
+        let moved = v.iter().enumerate().filter(|(i, &x)| *i as u32 != x).count();
+        assert!(moved > 900, "only {moved} elements moved");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn choose_covers_the_slice() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = [1u8, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(*v.choose(&mut rng).unwrap() - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
