@@ -1,0 +1,108 @@
+//! Offset-value coding benchmarks: the same merge and run-generation
+//! workloads with OVC duels on and off, so the hot-path win (and any
+//! regression in the fallback rate) is directly measurable.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use histok_sort::run_gen::{ReplacementSelection, ResiduePolicy, RunGenerator};
+use histok_sort::{LoserTree, NoopObserver};
+use histok_storage::{IoStats, MemoryBackend, RunCatalog};
+use histok_types::{BytesKey, Result, Row, SortKey, SortOrder};
+
+const TOTAL_ROWS: u64 = 100_000;
+const FAN_IN: u64 = 64;
+
+type VecSource<K> = std::vec::IntoIter<Result<Row<K>>>;
+
+fn sources<K: SortKey>(n: u64, key: impl Fn(u64) -> K) -> Vec<VecSource<K>> {
+    (0..n)
+        .map(|i| {
+            let rows: Vec<Result<Row<K>>> =
+                (0..TOTAL_ROWS / n).map(|j| Ok(Row::key_only(key(j * n + i)))).collect();
+            rows.into_iter()
+        })
+        .collect()
+}
+
+fn bench_merge<K: SortKey>(c: &mut Criterion, group: &str, key: impl Fn(u64) -> K + Copy) {
+    let mut g = c.benchmark_group(group);
+    g.throughput(Throughput::Elements(TOTAL_ROWS));
+    g.sample_size(20);
+    for (label, ovc) in [("ovc", true), ("full_cmp", false)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let tree =
+                    LoserTree::with_ovc(sources(FAN_IN, key), SortOrder::Ascending, ovc, None)
+                        .unwrap();
+                let mut count = 0u64;
+                for row in tree {
+                    black_box(row.unwrap());
+                    count += 1;
+                }
+                assert_eq!(count, TOTAL_ROWS / FAN_IN * FAN_IN);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge_u64(c: &mut Criterion) {
+    bench_merge(c, "ovc/merge_u64", |k| k);
+}
+
+fn bench_merge_bytes(c: &mut Criterion) {
+    // Shared 13-byte prefix: full comparisons must scan it, OVC duels skip
+    // it entirely — the workload the coding exists for.
+    bench_merge(c, "ovc/merge_bytes", |k| BytesKey::new(format!("shared-prefix-{k:012}")));
+}
+
+fn bench_merge_duplicates(c: &mut Criterion) {
+    // Heavy duplicates: most duels tie on Ovc::EQUAL and resolve by source
+    // index without touching the keys.
+    bench_merge(c, "ovc/merge_duplicate_heavy", |k| k % 64);
+}
+
+fn bench_run_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ovc/run_generation_bytes");
+    g.throughput(Throughput::Elements(20_000));
+    g.sample_size(10);
+    let keys: Vec<BytesKey> = {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        (0..20_000u64)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                BytesKey::new(format!("shared-prefix-{:012}", state % 100_000))
+            })
+            .collect()
+    };
+    for (label, ovc) in [("ovc", true), ("full_cmp", false)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let catalog = Arc::new(RunCatalog::new(
+                    Arc::new(MemoryBackend::new()),
+                    RunCatalog::<BytesKey>::unique_prefix("ovcbench"),
+                    SortOrder::Ascending,
+                    IoStats::new(),
+                ));
+                let mut gen = ReplacementSelection::new(catalog, 64 * 1024).with_ovc(ovc, None);
+                for key in &keys {
+                    gen.push(Row::key_only(key.clone()), &mut NoopObserver).unwrap();
+                }
+                gen.finish(&mut NoopObserver, ResiduePolicy::SpillToRuns).unwrap();
+                black_box(gen.cmp_counts())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge_u64,
+    bench_merge_bytes,
+    bench_merge_duplicates,
+    bench_run_generation
+);
+criterion_main!(benches);

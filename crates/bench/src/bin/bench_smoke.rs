@@ -1,0 +1,216 @@
+//! `bench_smoke`: a fast release-mode sanity benchmark for the sort hot
+//! path, suitable as a CI step.
+//!
+//! Runs the loser-tree merge and replacement-selection run generation over
+//! fixed workloads twice — offset-value coding on and off — and records
+//! wall-clock throughput plus the comparison counters (`ovc_cmps` /
+//! `full_cmps`) for each. The result is written to `BENCH_<n>.json` (the
+//! first unused index, or `$BENCH_INDEX`), so successive CI runs do not
+//! overwrite history.
+//!
+//! The process exits non-zero if offset-value coding fails to cut the
+//! loser-tree's *full* key comparisons by at least 2× on the byte-key
+//! merge workload — the regression the counters exist to catch.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use histok_sort::run_gen::{ReplacementSelection, ResiduePolicy, RunGenerator};
+use histok_sort::{CmpStats, LoserTree, NoopObserver};
+use histok_storage::{IoStats, MemoryBackend, RunCatalog};
+use histok_types::{BytesKey, JsonValue, Result, Row, SortKey, SortOrder};
+
+const MERGE_ROWS: u64 = 200_000;
+const FAN_IN: u64 = 64;
+const RUN_GEN_ROWS: u64 = 50_000;
+const REQUIRED_REDUCTION: f64 = 2.0;
+
+struct CaseResult {
+    rows: u64,
+    wall_ns: u64,
+    ovc_cmps: u64,
+    full_cmps: u64,
+}
+
+impl CaseResult {
+    fn rows_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.rows as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("rows".to_owned(), JsonValue::from(self.rows)),
+            ("wall_ns".to_owned(), JsonValue::from(self.wall_ns)),
+            ("rows_per_sec".to_owned(), JsonValue::from(self.rows_per_sec())),
+            ("ovc_cmps".to_owned(), JsonValue::from(self.ovc_cmps)),
+            ("full_cmps".to_owned(), JsonValue::from(self.full_cmps)),
+        ])
+    }
+}
+
+fn sources<K: SortKey>(key: &impl Fn(u64) -> K) -> Vec<std::vec::IntoIter<Result<Row<K>>>> {
+    (0..FAN_IN)
+        .map(|i| {
+            let rows: Vec<Result<Row<K>>> =
+                (0..MERGE_ROWS / FAN_IN).map(|j| Ok(Row::key_only(key(j * FAN_IN + i)))).collect();
+            rows.into_iter()
+        })
+        .collect()
+}
+
+fn merge_case<K: SortKey>(ovc: bool, key: &impl Fn(u64) -> K) -> CaseResult {
+    let stats = CmpStats::new();
+    let input = sources(key);
+    let started = Instant::now();
+    let tree = LoserTree::with_ovc(input, SortOrder::Ascending, ovc, Some(stats.clone()))
+        .expect("merge tree");
+    let mut rows = 0u64;
+    for row in tree {
+        row.expect("merge row");
+        rows += 1;
+    }
+    let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let snap = stats.snapshot();
+    CaseResult { rows, wall_ns, ovc_cmps: snap.ovc_cmps, full_cmps: snap.full_cmps }
+}
+
+fn run_gen_case(ovc: bool, keys: &[BytesKey]) -> CaseResult {
+    let stats = CmpStats::new();
+    let catalog = Arc::new(RunCatalog::new(
+        Arc::new(MemoryBackend::new()),
+        RunCatalog::<BytesKey>::unique_prefix("benchsmoke"),
+        SortOrder::Ascending,
+        IoStats::new(),
+    ));
+    let started = Instant::now();
+    let mut gen = ReplacementSelection::new(catalog, 256 * 1024).with_ovc(ovc, Some(stats.clone()));
+    for key in keys {
+        gen.push(Row::key_only(key.clone()), &mut NoopObserver).expect("push");
+    }
+    gen.finish(&mut NoopObserver, ResiduePolicy::SpillToRuns).expect("finish");
+    let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    drop(gen); // flush the heap's locally-buffered counters
+    let snap = stats.snapshot();
+    CaseResult {
+        rows: keys.len() as u64,
+        wall_ns,
+        ovc_cmps: snap.ovc_cmps,
+        full_cmps: snap.full_cmps,
+    }
+}
+
+/// One workload measured with OVC on and off, plus the headline ratio:
+/// how many times fewer *full* key comparisons the coded run needed.
+fn case_json(name: &str, with_ovc: &CaseResult, without: &CaseResult) -> (f64, JsonValue) {
+    let reduction = if with_ovc.full_cmps == 0 {
+        f64::INFINITY
+    } else {
+        without.full_cmps as f64 / with_ovc.full_cmps as f64
+    };
+    let json = JsonValue::Obj(vec![
+        ("name".to_owned(), JsonValue::from(name)),
+        ("ovc".to_owned(), with_ovc.to_json()),
+        ("full_cmp".to_owned(), without.to_json()),
+        (
+            "full_cmp_reduction".to_owned(),
+            JsonValue::from(if reduction.is_finite() { reduction } else { f64::MAX }),
+        ),
+    ]);
+    (reduction, json)
+}
+
+fn output_path() -> PathBuf {
+    if let Ok(n) = std::env::var("BENCH_INDEX") {
+        return PathBuf::from(format!("BENCH_{n}.json"));
+    }
+    let mut n = 1u32;
+    loop {
+        let path = PathBuf::from(format!("BENCH_{n}.json"));
+        if !path.exists() {
+            return path;
+        }
+        n += 1;
+    }
+}
+
+fn main() {
+    let byte_key = |k: u64| BytesKey::new(format!("shared-prefix-{k:012}"));
+    // Run-generation keys vary within their first 8 bytes so the selection
+    // heap's normalized-prefix fast path gets a chance to fire (the heap
+    // compares prefixes, not full offset-value codes — see DESIGN.md).
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let run_gen_keys: Vec<BytesKey> = (0..RUN_GEN_ROWS)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            BytesKey::new(format!("{:08}-suffix", state % 100_000_000))
+        })
+        .collect();
+
+    let cases: Vec<(&str, CaseResult, CaseResult)> = vec![
+        ("merge_u64", merge_case(true, &|k| k), merge_case(false, &|k| k)),
+        ("merge_bytes", merge_case(true, &byte_key), merge_case(false, &byte_key)),
+        ("merge_duplicate_heavy", merge_case(true, &|k| k % 64), merge_case(false, &|k| k % 64)),
+        (
+            "run_generation_bytes",
+            run_gen_case(true, &run_gen_keys),
+            run_gen_case(false, &run_gen_keys),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut byte_merge_reduction = 0.0f64;
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "case", "ovc rows/s", "base rows/s", "ovc full", "base full", "reduction"
+    );
+    for (name, with_ovc, without) in &cases {
+        let (reduction, json) = case_json(name, with_ovc, without);
+        if *name == "merge_bytes" {
+            byte_merge_reduction = reduction;
+        }
+        println!(
+            "{:<24} {:>12.0} {:>12.0} {:>12} {:>12} {:>9.1}x",
+            name,
+            with_ovc.rows_per_sec(),
+            without.rows_per_sec(),
+            with_ovc.full_cmps,
+            without.full_cmps,
+            reduction
+        );
+        rows.push(json);
+    }
+
+    let report = JsonValue::Obj(vec![
+        ("experiment".to_owned(), JsonValue::from("bench_smoke")),
+        (
+            "params".to_owned(),
+            JsonValue::Obj(vec![
+                ("merge_rows".to_owned(), JsonValue::from(MERGE_ROWS)),
+                ("fan_in".to_owned(), JsonValue::from(FAN_IN)),
+                ("run_gen_rows".to_owned(), JsonValue::from(RUN_GEN_ROWS)),
+                ("required_reduction".to_owned(), JsonValue::from(REQUIRED_REDUCTION)),
+            ]),
+        ),
+        ("cases".to_owned(), JsonValue::Arr(rows)),
+    ]);
+    let path = output_path();
+    std::fs::write(&path, report.to_json_pretty(2)).expect("write BENCH json");
+    println!("\nreport: {}", path.display());
+
+    if byte_merge_reduction < REQUIRED_REDUCTION {
+        eprintln!(
+            "FAIL: byte-key merge full comparisons reduced only {byte_merge_reduction:.2}x \
+             (required {REQUIRED_REDUCTION}x)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: byte-key merge full comparisons reduced {byte_merge_reduction:.1}x \
+         (required {REQUIRED_REDUCTION}x)"
+    );
+}

@@ -135,6 +135,14 @@ pub fn metrics_to_json(m: &OperatorMetrics) -> JsonValue {
         ("peak_memory_bytes".to_owned(), JsonValue::from(m.peak_memory_bytes)),
         ("early_merges".to_owned(), JsonValue::from(m.early_merges)),
         (
+            "cmp".to_owned(),
+            JsonValue::Obj(vec![
+                ("ovc_cmps".to_owned(), JsonValue::from(m.cmp.ovc_cmps)),
+                ("full_cmps".to_owned(), JsonValue::from(m.cmp.full_cmps)),
+                ("total".to_owned(), JsonValue::from(m.cmp.total())),
+            ]),
+        ),
+        (
             "filter".to_owned(),
             JsonValue::Obj(vec![
                 ("buckets_inserted".to_owned(), JsonValue::from(m.filter.buckets_inserted)),
@@ -236,6 +244,11 @@ mod tests {
         }
         let phases = metrics.get("phases").expect("phases object");
         assert!(phases.get("run_generation_ns").and_then(JsonValue::as_u64).unwrap() > 0);
+        let cmp = metrics.get("cmp").expect("cmp object");
+        let ovc = cmp.get("ovc_cmps").and_then(JsonValue::as_u64).unwrap();
+        let full = cmp.get("full_cmps").and_then(JsonValue::as_u64).unwrap();
+        assert!(ovc > 0, "a spilling run must resolve duels on codes");
+        assert_eq!(cmp.get("total").and_then(JsonValue::as_u64), Some(ovc + full));
         assert_eq!(
             phases.get("spill_write_ns").and_then(JsonValue::as_u64),
             io.get("write_latency").and_then(|l| l.get("total_ns")).and_then(JsonValue::as_u64),

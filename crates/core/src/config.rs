@@ -56,6 +56,10 @@ pub struct TopKConfig {
     /// positions are best-effort and the row count may fall short of `k`.
     /// 0.0 (the default) = exact.
     pub approx_slack: f64,
+    /// Offset-value coding on the sort hot path (loser-tree duels,
+    /// selection-heap sifts, cutoff prefix checks). On by default; off
+    /// forces full key comparisons everywhere (differential baseline).
+    pub ovc_enabled: bool,
 }
 
 impl Default for TopKConfig {
@@ -78,6 +82,7 @@ impl Default for TopKConfig {
             spill_filter: true,
             block_bytes: histok_storage::DEFAULT_BLOCK_BYTES,
             approx_slack: 0.0,
+            ovc_enabled: true,
         }
     }
 }
@@ -193,6 +198,12 @@ impl TopKConfigBuilder {
     /// Approximation slack (§4.5); see [`TopKConfig::approx_slack`].
     pub fn approx_slack(mut self, slack: f64) -> Self {
         self.config.approx_slack = slack;
+        self
+    }
+
+    /// Offset-value coding switch; see [`TopKConfig::ovc_enabled`].
+    pub fn ovc_enabled(mut self, on: bool) -> Self {
+        self.config.ovc_enabled = on;
         self
     }
 

@@ -71,6 +71,7 @@ pub(crate) fn filter_from_config<K: SortKey>(
         .with_memory_budget(config.histogram_memory)
         .with_tail_buckets(config.tail_buckets)
         .with_spill_elimination(config.filter_enabled && config.spill_filter)
+        .with_norm_prefix(config.ovc_enabled)
 }
 
 /// Boxed runtime comparator for buckets.
@@ -105,6 +106,11 @@ pub struct CutoffFilter<K: SortKey> {
     /// Total rows represented by the queued buckets.
     sum: u64,
     cutoff: Option<K>,
+    /// Normalized 8-byte prefix of the cutoff key, cached so the per-row
+    /// elimination check is one integer compare in the common case.
+    cutoff_prefix: u64,
+    /// Gates the prefix fast path (off = always full comparisons).
+    norm_prefix_enabled: bool,
     builder: HistogramBuilder<K>,
     policy: SizingPolicy,
     emit_tail: bool,
@@ -132,6 +138,8 @@ impl<K: SortKey> CutoffFilter<K> {
             heap: BinaryHeapBy::new(cmp),
             sum: 0,
             cutoff: None,
+            cutoff_prefix: 0,
+            norm_prefix_enabled: true,
             builder: HistogramBuilder::new(),
             policy,
             emit_tail: true,
@@ -180,13 +188,49 @@ impl<K: SortKey> CutoffFilter<K> {
         self.cutoff.is_some()
     }
 
+    /// Controls the cached normalized-prefix fast path in
+    /// [`CutoffFilter::eliminate`] (on by default).
+    pub fn with_norm_prefix(mut self, enabled: bool) -> Self {
+        self.norm_prefix_enabled = enabled;
+        self
+    }
+
+    /// Installs a new cutoff key and refreshes its cached normalized
+    /// prefix. All cutoff updates funnel through here.
+    fn set_cutoff(&mut self, key: K) {
+        if self.norm_prefix_enabled {
+            self.cutoff_prefix = key.norm_prefix();
+        }
+        self.cutoff = Some(key);
+        self.metrics.refinements += 1;
+    }
+
     /// The paper's `eliminate(row)`: true iff a cutoff exists and `key`
     /// sorts strictly after it. Rows equal to the cutoff are kept so that
     /// duplicate keys around the kth position are never lost.
+    ///
+    /// With the prefix fast path on, a differing normalized 8-byte prefix
+    /// decides the check with one integer compare; only keys matching the
+    /// cutoff's prefix (and wider than 8 normalized bytes) pay a full
+    /// comparison.
     #[inline]
     pub fn eliminate(&self, key: &K) -> bool {
         match &self.cutoff {
-            Some(cut) => self.order.follows(key, cut),
+            Some(cut) => {
+                if self.norm_prefix_enabled {
+                    let p = key.norm_prefix();
+                    if p != self.cutoff_prefix {
+                        return match self.order {
+                            SortOrder::Ascending => p > self.cutoff_prefix,
+                            SortOrder::Descending => p < self.cutoff_prefix,
+                        };
+                    }
+                    if K::norm_prefix_is_exact() {
+                        return false; // equal keys: ties survive
+                    }
+                }
+                self.order.follows(key, cut)
+            }
             None => false,
         }
     }
@@ -226,8 +270,8 @@ impl<K: SortKey> CutoffFilter<K> {
             if tightened {
                 // The cutoff is monotone: input filtering guarantees no new
                 // boundary sorts after the current cutoff.
-                self.cutoff = Some(top.boundary.clone());
-                self.metrics.refinements += 1;
+                let boundary = top.boundary.clone();
+                self.set_cutoff(boundary);
             }
         }
     }
@@ -254,8 +298,7 @@ impl<K: SortKey> CutoffFilter<K> {
             None => true,
         };
         if tighter {
-            self.cutoff = Some(key.clone());
-            self.metrics.refinements += 1;
+            self.set_cutoff(key.clone());
         }
     }
 
@@ -524,6 +567,60 @@ mod tests {
     fn k_of_zero_is_clamped() {
         let f: CutoffFilter<u64> = CutoffFilter::new(0, SortOrder::Ascending);
         assert_eq!(f.k(), 1);
+    }
+
+    #[test]
+    fn prefix_fast_path_agrees_with_full_comparison() {
+        use histok_types::BytesKey;
+        // Byte keys sharing 8+ byte prefixes with the cutoff force the
+        // full-comparison fallback; everything else must be decided by the
+        // prefix with the same verdict as the slow path.
+        for order in [SortOrder::Ascending, SortOrder::Descending] {
+            let cut = BytesKey::from("prefix-prefix-m");
+            let mk = |fast: bool| {
+                let mut f: CutoffFilter<BytesKey> =
+                    CutoffFilter::new(2, order).with_norm_prefix(fast);
+                f.insert_bucket(Bucket::new(cut.clone(), 2));
+                f
+            };
+            let (fast, slow) = (mk(true), mk(false));
+            let probes = [
+                "prefix-prefix-a",
+                "prefix-prefix-m",
+                "prefix-prefix-mm", // extends the cutoff
+                "prefix-prefix-z",
+                "prefix",
+                "a",
+                "z",
+                "",
+                "prefix-prefix-m\u{0}", // embedded NUL past the cutoff
+            ];
+            for p in probes {
+                let key = BytesKey::from(p);
+                assert_eq!(
+                    fast.eliminate(&key),
+                    slow.eliminate(&key),
+                    "probe {p:?}, order {order:?}"
+                );
+            }
+        }
+        // Exact-prefix keys (u64) never fall back and still agree.
+        let mut fast: CutoffFilter<u64> = CutoffFilter::new(2, SortOrder::Ascending);
+        fast.insert_bucket(Bucket::new(100, 2));
+        assert!(fast.eliminate(&101));
+        assert!(!fast.eliminate(&100));
+        assert!(!fast.eliminate(&99));
+    }
+
+    #[test]
+    fn tighten_refreshes_the_cached_prefix() {
+        let mut f: CutoffFilter<u64> = CutoffFilter::new(2, SortOrder::Ascending);
+        f.insert_bucket(Bucket::new(50, 2));
+        assert!(f.eliminate(&51));
+        f.tighten(&40);
+        // The fast path must see the new cutoff, not the stale prefix.
+        assert!(f.eliminate(&41));
+        assert!(!f.eliminate(&40));
     }
 
     #[test]

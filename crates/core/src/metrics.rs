@@ -1,5 +1,6 @@
 //! Operator-level metrics: the quantities the paper's evaluation reports.
 
+use histok_sort::CmpSnapshot;
 use histok_storage::IoStatsSnapshot;
 use histok_types::PhaseTotals;
 
@@ -25,6 +26,9 @@ pub struct OperatorMetrics {
     pub peak_memory_bytes: usize,
     /// Early merge steps performed (optimized baseline only).
     pub early_merges: u64,
+    /// Sort-path comparison counts: duels decided on offset-value codes /
+    /// normalized prefixes vs. full key comparisons.
+    pub cmp: CmpSnapshot,
     /// Wall-clock breakdown by execution phase (in-memory accumulation, run
     /// generation including spill writes, final merge). Timed with one
     /// `Instant` pair per phase transition — never per row.
@@ -47,6 +51,7 @@ impl OperatorMetrics {
             spilled: self.spilled || other.spilled,
             peak_memory_bytes: self.peak_memory_bytes.max(other.peak_memory_bytes),
             early_merges: self.early_merges.saturating_add(other.early_merges),
+            cmp: self.cmp.merged(&other.cmp),
             phases: self.phases.merged(&other.phases),
         }
     }

@@ -16,7 +16,9 @@ use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Mutex, RwLock};
 
 use histok_sort::run_gen::{ReplacementSelection, RunGenerator};
-use histok_sort::{merge_sources, plan_merges, MergeSource, SpillObserver};
+use histok_sort::{
+    merge_sources_tuned, plan_merges_tuned, CmpStats, MergeSource, MergeTuning, SpillObserver,
+};
 use histok_storage::{IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
@@ -125,6 +127,9 @@ pub struct ParallelTopK<K: SortKey> {
     peak_bytes: usize,
     timer: PhaseTimer,
     final_merge_ns: Arc<AtomicU64>,
+    /// Shared comparison counters: every worker's selection heap and the
+    /// final merge flush into the same handle.
+    cmp_stats: CmpStats,
 }
 
 impl<K: SortKey> ParallelTopK<K> {
@@ -153,6 +158,7 @@ impl<K: SortKey> ParallelTopK<K> {
             eliminated_spill: std::sync::atomic::AtomicU64::new(0),
         });
 
+        let cmp_stats = CmpStats::new();
         let input_filter = config.filter_enabled && config.input_filter;
         let spill_filter = config.filter_enabled && config.spill_filter;
         let effective_sizing =
@@ -179,8 +185,11 @@ impl<K: SortKey> ParallelTopK<K> {
             let worker_spec = spec;
             let policy = effective_sizing;
             let emit_tail = config.tail_buckets;
+            let worker_ovc = config.ovc_enabled;
+            let worker_cmp_stats = cmp_stats.clone();
             let handle = std::thread::spawn(move || -> Result<WorkerOutput<K>> {
-                let mut gen = ReplacementSelection::new(worker_catalog.clone(), budget);
+                let mut gen = ReplacementSelection::new(worker_catalog.clone(), budget)
+                    .with_ovc(worker_ovc, Some(worker_cmp_stats));
                 if let Some(limit) = run_limit {
                     gen = gen.with_run_limit(limit);
                 }
@@ -228,7 +237,12 @@ impl<K: SortKey> ParallelTopK<K> {
             peak_bytes: 0,
             timer: PhaseTimer::started(Phase::RunGeneration),
             final_merge_ns: Arc::new(AtomicU64::new(0)),
+            cmp_stats,
         })
+    }
+
+    fn merge_tuning(&self) -> MergeTuning {
+        MergeTuning { ovc: self.config.ovc_enabled, stats: Some(self.cmp_stats.clone()) }
     }
 
     /// Offers one row (round-robin across workers). Rows past the shared
@@ -275,8 +289,13 @@ impl<K: SortKey> ParallelTopK<K> {
         let mut sources: Vec<MergeSource<K>> = Vec::new();
         let mut catalogs = Vec::with_capacity(outputs.len());
         for out in outputs {
-            let final_runs =
-                plan_merges(&out.catalog, &self.config.merge, Some(retained), cutoff.as_ref())?;
+            let final_runs = plan_merges_tuned(
+                &out.catalog,
+                &self.config.merge,
+                Some(retained),
+                cutoff.as_ref(),
+                &self.merge_tuning(),
+            )?;
             for meta in &final_runs {
                 sources.push(MergeSource::Run(out.catalog.open(meta)?));
             }
@@ -285,7 +304,7 @@ impl<K: SortKey> ParallelTopK<K> {
             }
             catalogs.push(out.catalog);
         }
-        let tree = merge_sources(sources, self.spec.order)?;
+        let tree = merge_sources_tuned(sources, self.spec.order, &self.merge_tuning())?;
         struct HoldAll<K: SortKey, I> {
             _catalogs: Vec<Arc<RunCatalog<K>>>,
             inner: I,
@@ -326,6 +345,7 @@ impl<K: SortKey> ParallelTopK<K> {
             spilled: io.runs_created > 0,
             peak_memory_bytes: self.peak_bytes,
             early_merges: 0,
+            cmp: self.cmp_stats.snapshot(),
             phases,
         }
     }

@@ -15,7 +15,9 @@ use std::sync::Arc;
 #[cfg(test)]
 use histok_sort::run_gen::ResiduePolicy;
 use histok_sort::run_gen::{LoadSortStore, ReplacementSelection, RunGenerator};
-use histok_sort::{merge_sources, plan_merges, LoserTree, MergeSource};
+use histok_sort::{
+    merge_sources_tuned, plan_merges_tuned, CmpStats, LoserTree, MergeSource, MergeTuning,
+};
 use histok_storage::{IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
@@ -62,6 +64,8 @@ pub struct HistogramTopK<K: SortKey> {
     /// Final-merge nanoseconds, filled in by the [`TimedStream`] wrapper
     /// when the output stream is dropped.
     final_merge_ns: Arc<AtomicU64>,
+    /// Shared comparison counters the sort structures flush into.
+    cmp_stats: CmpStats,
 }
 
 enum State<K: SortKey> {
@@ -110,6 +114,7 @@ impl<K: SortKey> HistogramTopK<K> {
             spilled: false,
             timer: PhaseTimer::started(Phase::InMemory),
             final_merge_ns: Arc::new(AtomicU64::new(0)),
+            cmp_stats: CmpStats::new(),
         })
     }
 
@@ -137,10 +142,15 @@ impl<K: SortKey> HistogramTopK<K> {
         crate::cutoff::filter_from_config(&self.spec, &self.config)
     }
 
+    fn merge_tuning(&self) -> MergeTuning {
+        MergeTuning { ovc: self.config.ovc_enabled, stats: Some(self.cmp_stats.clone()) }
+    }
+
     fn build_generator(&self, catalog: Arc<RunCatalog<K>>) -> Box<dyn RunGenerator<K>> {
         match self.config.run_generation {
             RunGenKind::ReplacementSelection => {
-                let mut gen = ReplacementSelection::new(catalog, self.config.memory_budget);
+                let mut gen = ReplacementSelection::new(catalog, self.config.memory_budget)
+                    .with_ovc(self.config.ovc_enabled, Some(self.cmp_stats.clone()));
                 if self.config.limit_run_size {
                     gen = gen.with_run_limit(self.spec.retained());
                 }
@@ -235,11 +245,12 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
                 let residue = ext.gen.finish(&mut ext.filter, self.config.residue)?;
                 let cutoff = ext.filter.cutoff().cloned();
                 self.final_filter = Some(ext.filter.metrics());
-                let final_runs = plan_merges(
+                let final_runs = plan_merges_tuned(
                     &ext.catalog,
                     &self.config.merge,
                     Some(self.spec.retained()),
                     cutoff.as_ref(),
+                    &self.merge_tuning(),
                 )?;
                 // §4.1: an OFFSET clause lets the merge start partway in —
                 // the block indexes prove whole blocks irrelevant and skip
@@ -253,7 +264,7 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
                 let mut spec = self.spec;
                 spec.offset -= skipped.skipped;
                 let tree: LoserTree<K, MergeSource<K>> =
-                    merge_sources(skipped.sources, self.spec.order)?;
+                    merge_sources_tuned(skipped.sources, self.spec.order, &self.merge_tuning())?;
                 // Residue spilling in `gen.finish` above still counted as
                 // run generation; everything from here until the stream is
                 // dropped is the final merge.
@@ -287,6 +298,7 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
             spilled: self.spilled,
             peak_memory_bytes: self.peak_bytes,
             early_merges: 0,
+            cmp: self.cmp_stats.snapshot(),
             phases,
         }
     }

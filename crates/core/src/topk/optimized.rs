@@ -20,7 +20,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use histok_sort::run_gen::{ReplacementSelection, ResiduePolicy, RunGenerator};
-use histok_sort::{merge_runs_to_new, merge_sources, plan_merges, MergeSource, SpillObserver};
+use histok_sort::{
+    merge_runs_to_new_tuned, merge_sources_tuned, plan_merges_tuned, CmpStats, MergeSource,
+    MergeTuning, SpillObserver,
+};
 use histok_storage::{IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortOrder, SortSpec};
 
@@ -117,6 +120,8 @@ pub struct OptimizedExternalTopK<K: SortKey> {
     spilled_at_last_merge: u64,
     timer: PhaseTimer,
     final_merge_ns: Arc<AtomicU64>,
+    /// Shared comparison counters the sort structures flush into.
+    cmp_stats: CmpStats,
 }
 
 impl<K: SortKey> OptimizedExternalTopK<K> {
@@ -153,7 +158,12 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
             spilled_at_last_merge: 0,
             timer: PhaseTimer::started(Phase::InMemory),
             final_merge_ns: Arc::new(AtomicU64::new(0)),
+            cmp_stats: CmpStats::new(),
         })
+    }
+
+    fn merge_tuning(&self) -> MergeTuning {
+        MergeTuning { ovc: self.config.ovc_enabled, stats: Some(self.cmp_stats.clone()) }
     }
 
     /// Enables periodic re-merging: after the first early merge, merge
@@ -184,7 +194,8 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
             )
             .with_block_bytes(self.config.block_bytes),
         );
-        let mut gen = ReplacementSelection::new(catalog.clone(), self.config.memory_budget);
+        let mut gen = ReplacementSelection::new(catalog.clone(), self.config.memory_budget)
+            .with_ovc(self.config.ovc_enabled, Some(self.cmp_stats.clone()));
         if self.config.limit_run_size {
             gen = gen.with_run_limit(self.spec.retained());
         }
@@ -214,6 +225,7 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
     /// ("merging 10 initial runs [10 × 1000 rows, k = 5000] establishes a
     /// cutoff key able to eliminate ½ of the remaining input").
     fn maybe_early_merge(&mut self) -> Result<()> {
+        let tuning = self.merge_tuning();
         let State::External(ext) = &mut self.state else { return Ok(()) };
         let External { catalog, obs, .. } = ext.as_mut();
         let k = self.spec.retained();
@@ -228,7 +240,8 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
             return Ok(());
         }
         let runs = catalog.runs();
-        let merged = merge_runs_to_new(catalog, &runs, Some(k), obs.cutoff.as_ref())?;
+        let merged =
+            merge_runs_to_new_tuned(catalog, &runs, Some(k), obs.cutoff.as_ref(), &tuning)?;
         if merged.rows >= k {
             if let Some(last) = &merged.last_key {
                 obs.tighten(last);
@@ -287,11 +300,12 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
                 let External { catalog, mut gen, mut obs } = *ext;
                 let residue = gen.finish(&mut obs, ResiduePolicy::KeepInMemory)?;
                 self.eliminated_at_spill_final = obs.eliminated_at_spill;
-                let final_runs = plan_merges(
+                let final_runs = plan_merges_tuned(
                     &catalog,
                     &self.config.merge,
                     Some(self.spec.retained()),
                     obs.cutoff.as_ref(),
+                    &self.merge_tuning(),
                 )?;
                 let mut sources: Vec<MergeSource<K>> =
                     Vec::with_capacity(final_runs.len() + residue.len());
@@ -301,7 +315,7 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
                 for seq in residue {
                     sources.push(MergeSource::Memory(seq.into_iter()));
                 }
-                let tree = merge_sources(sources, self.spec.order)?;
+                let tree = merge_sources_tuned(sources, self.spec.order, &self.merge_tuning())?;
                 self.timer.stop();
                 Ok(Box::new(TimedStream::new(
                     HoldCatalog { _catalog: catalog, inner: SpecStream::new(tree, &self.spec) },
@@ -331,6 +345,7 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
             spilled: self.spilled,
             peak_memory_bytes: self.peak_bytes,
             early_merges: self.early_merges,
+            cmp: self.cmp_stats.snapshot(),
             phases,
         }
     }

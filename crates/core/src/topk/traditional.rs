@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use histok_sort::ExternalSorter;
+use histok_sort::{CmpStats, ExternalSorter, MergeTuning};
 use histok_storage::{IoStats, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
@@ -29,6 +29,8 @@ pub struct TraditionalExternalTopK<K: SortKey> {
     /// in-memory phase to account separately.
     timer: PhaseTimer,
     final_merge_ns: Arc<AtomicU64>,
+    /// Shared comparison counters the final merge flushes into.
+    cmp_stats: CmpStats,
 }
 
 impl<K: SortKey> TraditionalExternalTopK<K> {
@@ -52,7 +54,9 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
             return Err(Error::InvalidConfig("memory budget must be positive".into()));
         }
         let stats = IoStats::new();
-        let sorter = ExternalSorter::new(backend.clone(), spec.order, budget_bytes, stats.clone());
+        let cmp_stats = CmpStats::new();
+        let sorter = ExternalSorter::new(backend.clone(), spec.order, budget_bytes, stats.clone())
+            .with_tuning(MergeTuning { ovc: true, stats: Some(cmp_stats.clone()) });
         Ok(TraditionalExternalTopK {
             spec,
             sorter: Some(sorter),
@@ -63,6 +67,7 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
             budget: budget_bytes,
             timer: PhaseTimer::started(Phase::RunGeneration),
             final_merge_ns: Arc::new(AtomicU64::new(0)),
+            cmp_stats,
         })
     }
 
@@ -104,6 +109,7 @@ impl<K: SortKey> TopKOperator<K> for TraditionalExternalTopK<K> {
             io,
             spilled: io.runs_created > 0,
             peak_memory_bytes: self.peak_bytes,
+            cmp: self.cmp_stats.snapshot(),
             phases,
             ..Default::default()
         }

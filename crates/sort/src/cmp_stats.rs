@@ -1,0 +1,109 @@
+//! Comparison accounting for the offset-value-coding hot path.
+//!
+//! Offset-value codes replace most full key comparisons in the tournament
+//! structures with a single `u64` compare. To make that win observable —
+//! and to catch regressions where the fallback fires more often than it
+//! should — every OVC-aware component counts how many duels it resolved on
+//! codes alone (`ovc_cmps`) versus how many had to decode and compare full
+//! keys (`full_cmps`). The counters follow the [`histok-storage` `IoStats`]
+//! idiom: a cheaply cloneable shared handle, all clones observing the same
+//! atomics, read through an immutable snapshot.
+//!
+//! Hot loops do not touch the atomics per duel; they keep plain `u64`
+//! locals and flush them into the shared handle when the structure drains
+//! or drops.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe comparison counters for one operator or experiment.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same counters.
+#[derive(Debug, Clone, Default)]
+pub struct CmpStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    ovc_cmps: AtomicU64,
+    full_cmps: AtomicU64,
+}
+
+/// A point-in-time copy of the comparison counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CmpSnapshot {
+    /// Duels decided by comparing two offset-value codes (or normalized
+    /// key prefixes) — one integer compare, no key decoding.
+    pub ovc_cmps: u64,
+    /// Duels that fell back to a full key comparison because the codes
+    /// tied (equal keys, or keys equal through the coded prefix).
+    pub full_cmps: u64,
+}
+
+impl CmpStats {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a batch of locally-accumulated counts. Hot loops call this
+    /// once per drain/drop, not per comparison.
+    pub fn record(&self, ovc_cmps: u64, full_cmps: u64) {
+        if ovc_cmps > 0 {
+            self.inner.ovc_cmps.fetch_add(ovc_cmps, Ordering::Relaxed);
+        }
+        if full_cmps > 0 {
+            self.inner.full_cmps.fetch_add(full_cmps, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> CmpSnapshot {
+        CmpSnapshot {
+            ovc_cmps: self.inner.ovc_cmps.load(Ordering::Relaxed),
+            full_cmps: self.inner.full_cmps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CmpSnapshot {
+    /// Counter-wise sum with `other`, for aggregating sub-operators that
+    /// each own their stats.
+    pub fn merged(&self, other: &CmpSnapshot) -> CmpSnapshot {
+        CmpSnapshot {
+            ovc_cmps: self.ovc_cmps.saturating_add(other.ovc_cmps),
+            full_cmps: self.full_cmps.saturating_add(other.full_cmps),
+        }
+    }
+
+    /// Total duels, regardless of how they were decided.
+    pub fn total(&self) -> u64 {
+        self.ovc_cmps.saturating_add(self.full_cmps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_clones_share() {
+        let a = CmpStats::new();
+        let b = a.clone();
+        a.record(10, 2);
+        b.record(5, 1);
+        let snap = a.snapshot();
+        assert_eq!(snap.ovc_cmps, 15);
+        assert_eq!(snap.full_cmps, 3);
+        assert_eq!(snap.total(), 18);
+    }
+
+    #[test]
+    fn merged_sums_counterwise() {
+        let a = CmpSnapshot { ovc_cmps: 3, full_cmps: 1 };
+        let b = CmpSnapshot { ovc_cmps: 4, full_cmps: 2 };
+        let m = a.merged(&b);
+        assert_eq!(m, CmpSnapshot { ovc_cmps: 7, full_cmps: 3 });
+    }
+}

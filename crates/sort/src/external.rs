@@ -12,7 +12,9 @@ use histok_storage::{IoStats, RunCatalog, StorageBackend};
 use histok_types::{Result, Row, SortKey, SortOrder};
 
 use crate::loser_tree::LoserTree;
-use crate::merge::{merge_sources, plan_merges, MergeConfig, MergePolicy, MergeSource};
+use crate::merge::{
+    merge_sources_tuned, plan_merges_tuned, MergeConfig, MergePolicy, MergeSource, MergeTuning,
+};
 use crate::observer::NoopObserver;
 use crate::run_gen::{LoadSortStore, ResiduePolicy, RunGenerator};
 
@@ -42,6 +44,7 @@ pub struct ExternalSorter<K: SortKey> {
     catalog: Arc<RunCatalog<K>>,
     generator: LoadSortStore<K>,
     merge: MergeConfig,
+    tuning: MergeTuning,
     order: SortOrder,
     rows_in: u64,
 }
@@ -66,6 +69,7 @@ impl<K: SortKey> ExternalSorter<K> {
             catalog,
             generator,
             merge: MergeConfig { fan_in: 512, policy: MergePolicy::SmallestFirst },
+            tuning: MergeTuning::default(),
             order,
             rows_in: 0,
         }
@@ -74,6 +78,13 @@ impl<K: SortKey> ExternalSorter<K> {
     /// Overrides the merge fan-in.
     pub fn with_fan_in(mut self, fan_in: usize) -> Self {
         self.merge.fan_in = fan_in;
+        self
+    }
+
+    /// Overrides the merge tuning (offset-value coding switch, comparison
+    /// counters).
+    pub fn with_tuning(mut self, tuning: MergeTuning) -> Self {
+        self.tuning = tuning;
         self
     }
 
@@ -95,12 +106,12 @@ impl<K: SortKey> ExternalSorter<K> {
     /// baseline.
     pub fn finish(mut self) -> Result<SortedStream<K>> {
         self.generator.finish(&mut NoopObserver, ResiduePolicy::SpillToRuns)?;
-        let final_runs = plan_merges(&self.catalog, &self.merge, None, None)?;
+        let final_runs = plan_merges_tuned(&self.catalog, &self.merge, None, None, &self.tuning)?;
         let mut sources = Vec::with_capacity(final_runs.len());
         for meta in &final_runs {
             sources.push(MergeSource::Run(self.catalog.open(meta)?));
         }
-        let tree = merge_sources(sources, self.order)?;
+        let tree = merge_sources_tuned(sources, self.order, &self.tuning)?;
         Ok(SortedStream { _catalog: self.catalog, tree })
     }
 }

@@ -19,6 +19,7 @@
 #![deny(missing_docs)]
 
 pub mod budget;
+pub mod cmp_stats;
 pub mod external;
 pub mod heap;
 pub mod loser_tree;
@@ -27,11 +28,13 @@ pub mod observer;
 pub mod run_gen;
 
 pub use budget::{row_footprint, MemoryBudget};
+pub use cmp_stats::{CmpSnapshot, CmpStats};
 pub use external::ExternalSorter;
 pub use heap::BinaryHeapBy;
 pub use loser_tree::LoserTree;
 pub use merge::{
-    merge_runs_to_new, merge_sources, plan_merges, MergeConfig, MergePolicy, MergeSource,
+    merge_runs_to_new, merge_runs_to_new_tuned, merge_sources, merge_sources_tuned, plan_merges,
+    plan_merges_tuned, MergeConfig, MergePolicy, MergeSource, MergeTuning,
 };
 pub use observer::{NoopObserver, SpillObserver};
 pub use run_gen::{LoadSortStore, ReplacementSelection, ResiduePolicy, RunGenerator};

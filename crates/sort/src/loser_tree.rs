@@ -1,11 +1,25 @@
-//! Tournament (loser-tree) k-way merge.
+//! Tournament (loser-tree) k-way merge with offset-value coding.
 //!
 //! The standard structure for merging many sorted runs: each `next()` costs
 //! one leaf-to-root path of ⌈log₂ n⌉ comparisons, independent of how many
 //! sources are exhausted. Sources yield `Result<Row>`; errors propagate and
 //! fuse the tree.
+//!
+//! With offset-value coding enabled (the default), each source's head row
+//! carries its normalized key bytes plus an [`Ovc`] relative to the key it
+//! last lost a duel to. The invariant that makes single-integer duels
+//! sound: along the winner's leaf-to-root path, every parked loser's code
+//! is relative to the departing winner — exactly the base the refilled
+//! head's fresh code is taken against. When two codes differ, the smaller
+//! sorts earlier and the loser's existing code is already correct relative
+//! to the new winner (the classic OVC theorem); only equal codes fall back
+//! to comparing the normalized suffixes beyond the shared offset. Duels
+//! decided on codes alone count into `ovc_cmps`; fallbacks and refill code
+//! derivations count into `full_cmps`.
 
-use histok_types::{Result, Row, SortKey, SortOrder};
+use histok_types::{norm_cmp, ovc_resolve, Ovc, Result, Row, SortKey, SortOrder};
+
+use crate::cmp_stats::CmpStats;
 
 /// A k-way merging iterator over sorted sources.
 ///
@@ -35,16 +49,41 @@ pub struct LoserTree<K: SortKey, S: Iterator<Item = Result<Row<K>>>> {
     tree: Vec<usize>,
     /// Head row of each source (`None` = exhausted).
     heads: Vec<Option<Row<K>>>,
+    /// Normalized bytes of each source's head (stale when head is `None`).
+    norms: Vec<Vec<u8>>,
+    /// Each head's code relative to the key it last lost to.
+    ovcs: Vec<Ovc>,
+    /// Scratch for encoding a refilled head before swapping into `norms`.
+    scratch: Vec<u8>,
     winner: usize,
     order: SortOrder,
+    ovc_enabled: bool,
+    /// Duels decided by comparing two codes (one integer compare).
+    ovc_cmps: u64,
+    /// Full key comparisons: duel fallbacks plus refill code derivations.
+    full_cmps: u64,
+    /// Shared sink the local counters flush into on drop.
+    stats: Option<CmpStats>,
     /// First error from any source; returned once, then the tree is done.
     pending_error: Option<histok_types::Error>,
     done: bool,
 }
 
 impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
-    /// Builds a merge over `sources`, each already sorted in `order`.
-    pub fn new(mut sources: Vec<S>, order: SortOrder) -> Result<Self> {
+    /// Builds a merge over `sources`, each already sorted in `order`, with
+    /// offset-value coding enabled and no stats sink.
+    pub fn new(sources: Vec<S>, order: SortOrder) -> Result<Self> {
+        Self::with_ovc(sources, order, true, None)
+    }
+
+    /// Builds a merge with explicit control over offset-value coding and
+    /// an optional shared comparison-counter sink (flushed on drop).
+    pub fn with_ovc(
+        mut sources: Vec<S>,
+        order: SortOrder,
+        ovc_enabled: bool,
+        stats: Option<CmpStats>,
+    ) -> Result<Self> {
         let n = sources.len();
         let mut heads = Vec::with_capacity(n);
         let mut pending_error = None;
@@ -60,12 +99,27 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
                 None => None,
             });
         }
+        let mut norms = vec![Vec::new(); n];
+        if ovc_enabled {
+            for (i, head) in heads.iter().enumerate() {
+                if let Some(row) = head {
+                    row.key.norm_encode(&mut norms[i]);
+                }
+            }
+        }
         let mut lt = LoserTree {
             sources,
             tree: vec![usize::MAX; n.max(1)],
             heads,
+            norms,
+            ovcs: vec![Ovc::EQUAL; n],
+            scratch: Vec::new(),
             winner: 0,
             order,
+            ovc_enabled,
+            ovc_cmps: 0,
+            full_cmps: 0,
+            stats,
             pending_error,
             done: n == 0,
         };
@@ -75,21 +129,86 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
         Ok(lt)
     }
 
-    /// True if source `a`'s head should be emitted before source `b`'s.
-    fn beats(&self, a: usize, b: usize) -> bool {
+    /// Comparison counts so far as `(ovc_cmps, full_cmps)`.
+    pub fn cmp_counts(&self) -> (u64, u64) {
+        (self.ovc_cmps, self.full_cmps)
+    }
+
+    /// Decides a duel between sources `a` and `b`, returning the winner
+    /// (the source whose head is emitted first) and reseating the loser's
+    /// code relative to the winner when a full comparison was needed.
+    ///
+    /// `fresh` requests an unconditional full resolution — used while
+    /// (re)building the tournament, when the two heads' codes are not yet
+    /// relative to a common base.
+    fn duel(&mut self, a: usize, b: usize, fresh: bool) -> usize {
         match (&self.heads[a], &self.heads[b]) {
-            (Some(ka), Some(kb)) => match self.order.cmp_keys(&ka.key, &kb.key) {
-                std::cmp::Ordering::Less => true,
-                std::cmp::Ordering::Greater => false,
-                std::cmp::Ordering::Equal => a < b,
-            },
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (None, None) => a < b,
+            (Some(ra), Some(rb)) => {
+                if !self.ovc_enabled {
+                    self.full_cmps += 1;
+                    return match self.order.cmp_keys(&ra.key, &rb.key) {
+                        std::cmp::Ordering::Less => a,
+                        std::cmp::Ordering::Greater => b,
+                        std::cmp::Ordering::Equal => a.min(b),
+                    };
+                }
+                if !fresh {
+                    let (ca, cb) = (self.ovcs[a], self.ovcs[b]);
+                    if ca != cb {
+                        // Codes against a common base differ: the smaller
+                        // sorts earlier, and the loser's code is already
+                        // correct relative to the new winner.
+                        self.ovc_cmps += 1;
+                        return if ca < cb { a } else { b };
+                    }
+                    if ca == Ovc::EQUAL {
+                        // Both heads equal the common base, hence each
+                        // other: stable tie-break, codes stay EQUAL.
+                        self.ovc_cmps += 1;
+                        return a.min(b);
+                    }
+                    // Tied non-trivial codes: the heads agree through the
+                    // coded offset; resolve on the suffixes.
+                    let from = self.ovcs[a].offset().map_or(0, |o| o + 1);
+                    return self.duel_resolve(a, b, from);
+                }
+                self.duel_resolve(a, b, 0)
+            }
+            (Some(_), None) => a,
+            (None, Some(_)) => b,
+            (None, None) => a.min(b),
         }
     }
 
-    /// Full bottom-up tournament; O(n).
+    /// Full comparison of `a`'s and `b`'s normalized heads from byte
+    /// `from`, reseating the loser's code relative to the winner.
+    fn duel_resolve(&mut self, a: usize, b: usize, from: usize) -> usize {
+        self.full_cmps += 1;
+        let res = ovc_resolve(&self.norms[a], &self.norms[b], from, self.order);
+        match res.ordering {
+            std::cmp::Ordering::Less => {
+                self.ovcs[b] = res.loser_ovc;
+                a
+            }
+            std::cmp::Ordering::Greater => {
+                self.ovcs[a] = res.loser_ovc;
+                b
+            }
+            std::cmp::Ordering::Equal => {
+                // Equal keys: the loser is byte-identical to the winner,
+                // so its code against the winner is EQUAL. The winner
+                // keeps its code (still relative to its previous base) —
+                // overwriting it would make it claim equality with that
+                // base and win duels it should lose.
+                let (w, l) = if a < b { (a, b) } else { (b, a) };
+                self.ovcs[l] = Ovc::EQUAL;
+                w
+            }
+        }
+    }
+
+    /// Full bottom-up tournament; O(n). Every duel resolves fully so each
+    /// parked loser's code ends up relative to the winner it lost to.
     fn rebuild(&mut self) {
         let n = self.sources.len();
         if n == 1 {
@@ -104,15 +223,17 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
         for t in (1..n).rev() {
             let a = winner_at[2 * t];
             let b = winner_at[2 * t + 1];
-            let (w, l) = if self.beats(a, b) { (a, b) } else { (b, a) };
+            let w = self.duel(a, b, true);
             winner_at[t] = w;
-            self.tree[t] = l;
+            self.tree[t] = if w == a { b } else { a };
         }
         self.winner = winner_at[1];
     }
 
     /// Replays the tournament along the winner's path after its head
-    /// changed; O(log n).
+    /// changed; O(log n). Parked losers along this path last lost to the
+    /// departed winner — the same base the climber's code was derived
+    /// against — so code-only duels are sound.
     fn adjust(&mut self) {
         let n = self.sources.len();
         if n == 1 {
@@ -121,7 +242,8 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
         let mut s = self.winner;
         let mut t = (s + n) / 2;
         while t > 0 {
-            if self.beats(self.tree[t], s) {
+            let w = self.duel(self.tree[t], s, false);
+            if w == self.tree[t] {
                 std::mem::swap(&mut s, &mut self.tree[t]);
             }
             t /= 2;
@@ -129,7 +251,8 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
         self.winner = s;
     }
 
-    /// Refills the winner's head from its source.
+    /// Refills the winner's head from its source, deriving the new head's
+    /// code against the just-departed row (its run predecessor).
     fn refill_winner(&mut self) {
         let i = self.winner;
         self.heads[i] = match self.sources[i].next() {
@@ -142,6 +265,22 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
             }
             None => None,
         };
+        if self.ovc_enabled {
+            if let Some(row) = &self.heads[i] {
+                self.scratch.clear();
+                row.key.norm_encode(&mut self.scratch);
+                debug_assert!(
+                    norm_cmp(&self.norms[i], &self.scratch, self.order)
+                        != std::cmp::Ordering::Greater,
+                    "source not sorted in the requested order"
+                );
+                // One full pass over the shared prefix per refill — the
+                // price that buys code-only duels on the whole path up.
+                self.full_cmps += 1;
+                self.ovcs[i] = ovc_resolve(&self.norms[i], &self.scratch, 0, self.order).loser_ovc;
+                std::mem::swap(&mut self.norms[i], &mut self.scratch);
+            }
+        }
         self.adjust();
     }
 
@@ -154,6 +293,14 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
     }
 }
 
+impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> Drop for LoserTree<K, S> {
+    fn drop(&mut self) {
+        if let Some(stats) = &self.stats {
+            stats.record(self.ovc_cmps, self.full_cmps);
+        }
+    }
+}
+
 impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> Iterator for LoserTree<K, S> {
     type Item = Result<Row<K>>;
 
@@ -161,28 +308,35 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> Iterator for LoserTree<K, S
         if self.done {
             return None;
         }
+        // Deferred-error protocol: an error parked by construction or by a
+        // previous call's refill surfaces here, before any further rows,
+        // and fuses the tree.
         if let Some(e) = self.pending_error.take() {
             self.done = true;
             return Some(Err(e));
         }
-        let Some(row) = self.heads[self.winner].take() else {
-            self.done = true;
-            return None;
-        };
-        self.refill_winner();
-        if self.pending_error.is_some() {
-            // Surface the error on the *next* call so the current row is
-            // not lost; but if callers stop early the error is dropped,
-            // which matches iterator semantics.
+        match self.heads[self.winner].take() {
+            Some(row) => {
+                // A source error hit during this refill is parked in
+                // `pending_error`, not returned: the row in hand is valid
+                // and must not be lost. The next call emits the error (or
+                // drops it if the caller stops early — standard iterator
+                // semantics).
+                self.refill_winner();
+                Some(Ok(row))
+            }
+            None => {
+                self.done = true;
+                None
+            }
         }
-        Some(Ok(row))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use histok_types::Error;
+    use histok_types::{BytesKey, Error};
 
     type VecSource = std::vec::IntoIter<Result<Row<u64>>>;
 
@@ -245,6 +399,157 @@ mod tests {
     }
 
     #[test]
+    fn ovc_disabled_merges_identically() {
+        for n in [2usize, 3, 7, 16] {
+            for order in [SortOrder::Ascending, SortOrder::Descending] {
+                let make = || -> Vec<VecSource> {
+                    (0..n)
+                        .map(|i| {
+                            let mut keys: Vec<u64> =
+                                (0..30).map(|j| ((j * n + i) as u64 * 7) % 50).collect();
+                            keys.sort_unstable();
+                            if order == SortOrder::Descending {
+                                keys.reverse();
+                            }
+                            src(&keys)
+                        })
+                        .collect()
+                };
+                let on: Vec<u64> = LoserTree::with_ovc(make(), order, true, None)
+                    .unwrap()
+                    .map(|r| r.unwrap().key)
+                    .collect();
+                let off: Vec<u64> = LoserTree::with_ovc(make(), order, false, None)
+                    .unwrap()
+                    .map(|r| r.unwrap().key)
+                    .collect();
+                assert_eq!(on, off, "n = {n}, order = {order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ovc_duels_dominate_on_disjoint_ranges() {
+        // Interleaved unique keys: every adjust-path duel should resolve
+        // on codes after the first refill derivation.
+        let n = 8usize;
+        let sources: Vec<VecSource> = (0..n)
+            .map(|i| {
+                let keys: Vec<u64> = (0..100).map(|j| (j * n + i) as u64).collect();
+                src(&keys)
+            })
+            .collect();
+        let stats = CmpStats::new();
+        let mut lt =
+            LoserTree::with_ovc(sources, SortOrder::Ascending, true, Some(stats.clone())).unwrap();
+        let mut count = 0u64;
+        for r in &mut lt {
+            r.unwrap();
+            count += 1;
+        }
+        let (ovc, full) = lt.cmp_counts();
+        assert_eq!(count, 800);
+        // log2(8) = 3 duels per output; roughly 1 full per output (the
+        // refill derivation, plus rare code-tie resolves), so code-only
+        // duels must be the clear majority.
+        assert!(ovc > full, "ovc = {ovc}, full = {full}");
+        assert!(full <= count + count / 10 + n as u64, "full = {full}");
+        drop(lt);
+        let snap = stats.snapshot();
+        assert_eq!((snap.ovc_cmps, snap.full_cmps), (ovc, full));
+    }
+
+    #[test]
+    fn duplicate_heavy_all_equal_keys_stay_stable() {
+        // Many sources, every key identical: output must drain sources in
+        // index order (ties break toward the lower source), with each
+        // source's payloads in their original sequence.
+        for ovc in [true, false] {
+            let n = 6usize;
+            let rows_per = 5usize;
+            let sources: Vec<_> = (0..n)
+                .map(|i| {
+                    (0..rows_per)
+                        .map(|j| Ok(Row::new(42u64, format!("s{i}r{j}").into_bytes())))
+                        .collect::<Vec<Result<Row<u64>>>>()
+                        .into_iter()
+                })
+                .collect();
+            let got: Vec<String> = LoserTree::with_ovc(sources, SortOrder::Ascending, ovc, None)
+                .unwrap()
+                .map(|r| String::from_utf8(r.unwrap().payload.to_vec()).unwrap())
+                .collect();
+            let expected: Vec<String> =
+                (0..n).flat_map(|i| (0..rows_per).map(move |j| format!("s{i}r{j}"))).collect();
+            assert_eq!(got, expected, "ovc = {ovc}");
+        }
+    }
+
+    #[test]
+    fn duplicate_runs_interleave_stably() {
+        // Duplicates spanning sources: each tie group must list source 0's
+        // rows before source 1's.
+        for ovc in [true, false] {
+            let a: Vec<Result<Row<u64>>> = vec![
+                Ok(Row::new(1u64, &b"a0"[..])),
+                Ok(Row::new(1u64, &b"a1"[..])),
+                Ok(Row::new(2u64, &b"a2"[..])),
+            ];
+            let b: Vec<Result<Row<u64>>> = vec![
+                Ok(Row::new(1u64, &b"b0"[..])),
+                Ok(Row::new(2u64, &b"b1"[..])),
+                Ok(Row::new(2u64, &b"b2"[..])),
+            ];
+            let got: Vec<(u64, Vec<u8>)> = LoserTree::with_ovc(
+                vec![a.into_iter(), b.into_iter()],
+                SortOrder::Ascending,
+                ovc,
+                None,
+            )
+            .unwrap()
+            .map(|r| r.map(|row| (row.key, row.payload.to_vec())).unwrap())
+            .collect();
+            let expected: Vec<(u64, Vec<u8>)> = vec![
+                (1, b"a0".to_vec()),
+                (1, b"a1".to_vec()),
+                (1, b"b0".to_vec()),
+                (2, b"a2".to_vec()),
+                (2, b"b1".to_vec()),
+                (2, b"b2".to_vec()),
+            ];
+            assert_eq!(got, expected, "ovc = {ovc}");
+        }
+    }
+
+    #[test]
+    fn byte_keys_with_shared_prefixes_merge_correctly() {
+        for order in [SortOrder::Ascending, SortOrder::Descending] {
+            let make = |words: &[&str]| -> std::vec::IntoIter<Result<Row<BytesKey>>> {
+                let mut keys: Vec<BytesKey> = words.iter().map(|w| BytesKey::from(*w)).collect();
+                keys.sort();
+                if order == SortOrder::Descending {
+                    keys.reverse();
+                }
+                keys.into_iter().map(|k| Ok(Row::key_only(k))).collect::<Vec<_>>().into_iter()
+            };
+            let sources = vec![
+                make(&["aaa", "aab", "aba", "abc"]),
+                make(&["aab", "aac", "ab", "b"]),
+                make(&["", "a", "aa", "aaa"]),
+            ];
+            let got: Vec<BytesKey> =
+                LoserTree::new(sources, order).unwrap().map(|r| r.unwrap().key).collect();
+            let mut expected = got.clone();
+            expected.sort();
+            if order == SortOrder::Descending {
+                expected.reverse();
+            }
+            assert_eq!(got, expected, "order = {order:?}");
+            assert_eq!(got.len(), 12);
+        }
+    }
+
+    #[test]
     fn peek_key_matches_next() {
         let mut lt = LoserTree::new(vec![src(&[5, 7]), src(&[6])], SortOrder::Ascending).unwrap();
         assert_eq!(lt.peek_key(), Some(&5));
@@ -286,6 +591,33 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(lt.next(), Some(Err(_))));
+        assert!(lt.next().is_none());
+    }
+
+    #[test]
+    fn error_after_final_good_row_is_not_lost() {
+        // The error arrives from the refill triggered by the last good
+        // row: that row must still be emitted, the error next, then fused.
+        let bad: Vec<Result<Row<u64>>> =
+            vec![Ok(Row::key_only(7)), Err(Error::Corrupt("tail".into()))];
+        let mut lt = LoserTree::new(vec![bad.into_iter()], SortOrder::Ascending).unwrap();
+        assert_eq!(lt.next().unwrap().unwrap().key, 7);
+        assert!(matches!(lt.next(), Some(Err(Error::Corrupt(_)))));
+        assert!(lt.next().is_none());
+        assert!(lt.next().is_none());
+
+        // Same, but the erroring source outlives every other source.
+        let bad: Vec<Result<Row<u64>>> =
+            vec![Ok(Row::key_only(9)), Err(Error::Corrupt("tail".into()))];
+        let mut lt = LoserTree::new(
+            vec![src(&[1, 2]).collect::<Vec<_>>().into_iter(), bad.into_iter()],
+            SortOrder::Ascending,
+        )
+        .unwrap();
+        assert_eq!(lt.next().unwrap().unwrap().key, 1);
+        assert_eq!(lt.next().unwrap().unwrap().key, 2);
+        assert_eq!(lt.next().unwrap().unwrap().key, 9);
+        assert!(matches!(lt.next(), Some(Err(Error::Corrupt(_)))));
         assert!(lt.next().is_none());
     }
 }

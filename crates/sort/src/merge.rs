@@ -14,7 +14,33 @@
 use histok_storage::{RunCatalog, RunMeta, RunReader};
 use histok_types::{Error, Result, Row, SortKey, SortOrder};
 
+use crate::cmp_stats::CmpStats;
 use crate::loser_tree::LoserTree;
+
+/// Knobs an operator threads into every merge step it triggers: whether
+/// the loser tree uses offset-value coding, and an optional shared
+/// comparison-counter sink the trees flush into.
+#[derive(Debug, Clone)]
+pub struct MergeTuning {
+    /// Resolve tournament duels on offset-value codes (default on).
+    pub ovc: bool,
+    /// Shared comparison counters; `None` skips the accounting.
+    pub stats: Option<CmpStats>,
+}
+
+impl Default for MergeTuning {
+    fn default() -> Self {
+        MergeTuning { ovc: true, stats: None }
+    }
+}
+
+impl MergeTuning {
+    /// Tuning with offset-value coding switched off (full comparisons
+    /// everywhere) — the differential-testing baseline.
+    pub fn without_ovc() -> Self {
+        MergeTuning { ovc: false, stats: None }
+    }
+}
 
 /// A merge input: a spilled run, an in-memory sorted sequence (the run
 /// generator's residue), or a buffered head chained onto a run reader
@@ -48,12 +74,23 @@ impl<K: SortKey> Iterator for MergeSource<K> {
     }
 }
 
-/// Builds a merging iterator over heterogeneous sources.
+/// Builds a merging iterator over heterogeneous sources with default
+/// tuning (offset-value coding on, no counter sink).
 pub fn merge_sources<K: SortKey>(
     sources: Vec<MergeSource<K>>,
     order: SortOrder,
 ) -> Result<LoserTree<K, MergeSource<K>>> {
-    LoserTree::new(sources, order)
+    merge_sources_tuned(sources, order, &MergeTuning::default())
+}
+
+/// Builds a merging iterator over heterogeneous sources with explicit
+/// [`MergeTuning`].
+pub fn merge_sources_tuned<K: SortKey>(
+    sources: Vec<MergeSource<K>>,
+    order: SortOrder,
+    tuning: &MergeTuning,
+) -> Result<LoserTree<K, MergeSource<K>>> {
+    LoserTree::with_ovc(sources, order, tuning.ovc, tuning.stats.clone())
 }
 
 /// Which runs an intermediate merge step should pick first.
@@ -95,19 +132,30 @@ impl MergeConfig {
 
 /// Merges the given runs into one new run, truncating at `limit` rows
 /// and/or at the first key that sorts after `cutoff`. The source runs are
-/// deleted; the new run is registered and returned.
+/// deleted; the new run is registered and returned. Default tuning.
 pub fn merge_runs_to_new<K: SortKey>(
     catalog: &RunCatalog<K>,
     runs: &[RunMeta<K>],
     limit: Option<u64>,
     cutoff: Option<&K>,
 ) -> Result<RunMeta<K>> {
+    merge_runs_to_new_tuned(catalog, runs, limit, cutoff, &MergeTuning::default())
+}
+
+/// As [`merge_runs_to_new`], with explicit [`MergeTuning`].
+pub fn merge_runs_to_new_tuned<K: SortKey>(
+    catalog: &RunCatalog<K>,
+    runs: &[RunMeta<K>],
+    limit: Option<u64>,
+    cutoff: Option<&K>,
+    tuning: &MergeTuning,
+) -> Result<RunMeta<K>> {
     let order = catalog.order();
     let mut sources = Vec::with_capacity(runs.len());
     for meta in runs {
         sources.push(MergeSource::Run(catalog.open(meta)?));
     }
-    let mut tree = merge_sources(sources, order)?;
+    let mut tree = merge_sources_tuned(sources, order, tuning)?;
     let mut writer = catalog.start_run()?;
     let mut produced = 0u64;
     while limit.is_none_or(|l| produced < l) {
@@ -157,6 +205,18 @@ pub fn plan_merges<K: SortKey>(
     limit: Option<u64>,
     cutoff: Option<&K>,
 ) -> Result<Vec<RunMeta<K>>> {
+    plan_merges_tuned(catalog, config, limit, cutoff, &MergeTuning::default())
+}
+
+/// As [`plan_merges`], with explicit [`MergeTuning`] applied to every
+/// intermediate merge step.
+pub fn plan_merges_tuned<K: SortKey>(
+    catalog: &RunCatalog<K>,
+    config: &MergeConfig,
+    limit: Option<u64>,
+    cutoff: Option<&K>,
+    tuning: &MergeTuning,
+) -> Result<Vec<RunMeta<K>>> {
     config.validate()?;
     let order = catalog.order();
     let mut cutoff: Option<K> = cutoff.cloned();
@@ -170,7 +230,8 @@ pub fn plan_merges<K: SortKey>(
         // classic (F - 1)-sized steps, but never fewer than 2 inputs.
         let excess = runs.len() - config.fan_in;
         let step = (excess + 1).clamp(2, config.fan_in).min(runs.len());
-        let merged = merge_runs_to_new(catalog, &runs[..step], limit, cutoff.as_ref())?;
+        let merged =
+            merge_runs_to_new_tuned(catalog, &runs[..step], limit, cutoff.as_ref(), tuning)?;
         if let (Some(lim), Some(last)) = (limit, &merged.last_key) {
             if merged.rows >= lim {
                 let tighter = cutoff.as_ref().is_none_or(|c| order.precedes(last, c));

@@ -59,4 +59,10 @@ pub trait RunGenerator<K: SortKey>: Send {
 
     /// Bytes currently charged against the memory budget.
     fn buffered_bytes(&self) -> usize;
+
+    /// Comparison counts so far as `(ovc_cmps, full_cmps)`. Generators
+    /// without normalized-key support report zeros.
+    fn cmp_counts(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }

@@ -8,6 +8,7 @@
 //! calls out as the reason F1 uses it ("does not require stopping the
 //! consumption of the input", §3.1.3).
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -15,16 +16,21 @@ use histok_storage::{RunCatalog, RunWriter};
 use histok_types::{Result, Row, SortKey, SortOrder};
 
 use crate::budget::{row_footprint, MemoryBudget};
+use crate::cmp_stats::CmpStats;
 use crate::observer::SpillObserver;
 use crate::run_gen::{ResiduePolicy, RunGenerator};
 
 /// Fallback bytes-per-row estimate before any row has been observed.
 const FALLBACK_ROW_BYTES: usize = 64;
 
-/// One buffered row plus its run tag and arrival sequence (for stability).
+/// One buffered row plus its run tag, arrival sequence (for stability) and
+/// the key's normalized 8-byte prefix (the sift fast path).
 struct Entry<K> {
     run: u64,
     key: K,
+    /// First 8 normalized key bytes — decides most sift comparisons with
+    /// one integer compare (see [`SelectionHeap::before`]).
+    prefix: u64,
     seq: u64,
     row: Row<K>,
     footprint: usize,
@@ -35,14 +41,34 @@ struct Entry<K> {
 /// Implemented locally because the ordering depends on a runtime
 /// [`SortOrder`], which `std::collections::BinaryHeap` cannot capture
 /// without allocating comparator wrappers per entry.
+///
+/// Unlike the loser tree, a sift-based heap has no stable "key each entry
+/// last lost to" edge, so it cannot maintain true offset-value codes.
+/// Instead each entry caches its normalized key *prefix*: differing
+/// prefixes decide a comparison outright, and for fixed-width keys of at
+/// most 8 bytes ([`SortKey::norm_prefix_is_exact`]) even equal prefixes
+/// are decisive (the keys are equal). Only wider keys with equal prefixes
+/// fall back to a full comparison.
 struct SelectionHeap<K: SortKey> {
     items: Vec<Entry<K>>,
     order: SortOrder,
+    ovc_enabled: bool,
+    /// Comparisons decided on prefixes alone (`Cell`: `before` sits on
+    /// shared references inside the sift loops).
+    ovc_cmps: Cell<u64>,
+    /// Comparisons that needed the full key.
+    full_cmps: Cell<u64>,
 }
 
 impl<K: SortKey> SelectionHeap<K> {
     fn new(order: SortOrder) -> Self {
-        SelectionHeap { items: Vec::new(), order }
+        SelectionHeap {
+            items: Vec::new(),
+            order,
+            ovc_enabled: true,
+            ovc_cmps: Cell::new(0),
+            full_cmps: Cell::new(0),
+        }
     }
 
     fn len(&self) -> usize {
@@ -58,11 +84,29 @@ impl<K: SortKey> SelectionHeap<K> {
         match a.run.cmp(&b.run) {
             std::cmp::Ordering::Less => true,
             std::cmp::Ordering::Greater => false,
-            std::cmp::Ordering::Equal => match self.order.cmp_keys(&a.key, &b.key) {
-                std::cmp::Ordering::Less => true,
-                std::cmp::Ordering::Greater => false,
-                std::cmp::Ordering::Equal => a.seq < b.seq,
-            },
+            std::cmp::Ordering::Equal => {
+                if self.ovc_enabled {
+                    if a.prefix != b.prefix {
+                        self.ovc_cmps.set(self.ovc_cmps.get() + 1);
+                        return match self.order {
+                            SortOrder::Ascending => a.prefix < b.prefix,
+                            SortOrder::Descending => a.prefix > b.prefix,
+                        };
+                    }
+                    if K::norm_prefix_is_exact() {
+                        // Equal prefixes of a ≤ 8-byte fixed-width
+                        // normalization: the keys are equal.
+                        self.ovc_cmps.set(self.ovc_cmps.get() + 1);
+                        return a.seq < b.seq;
+                    }
+                }
+                self.full_cmps.set(self.full_cmps.get() + 1);
+                match self.order.cmp_keys(&a.key, &b.key) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => a.seq < b.seq,
+                }
+            }
         }
     }
 
@@ -126,6 +170,8 @@ pub struct ReplacementSelection<K: SortKey> {
     /// Optional cap on physical run length ("limit run size to k").
     run_limit: Option<u64>,
     seq: u64,
+    /// Shared sink the heap's comparison counters flush into on drop.
+    cmp_stats: Option<CmpStats>,
 }
 
 impl<K: SortKey> ReplacementSelection<K> {
@@ -144,6 +190,7 @@ impl<K: SortKey> ReplacementSelection<K> {
             rows_in_run: 0,
             run_limit: None,
             seq: 0,
+            cmp_stats: None,
         }
     }
 
@@ -151,6 +198,14 @@ impl<K: SortKey> ReplacementSelection<K> {
     /// no run needs to be longer than the requested output).
     pub fn with_run_limit(mut self, limit: u64) -> Self {
         self.run_limit = Some(limit.max(1));
+        self
+    }
+
+    /// Controls the normalized-prefix comparison fast path (on by default)
+    /// and optionally attaches a shared counter sink (flushed on drop).
+    pub fn with_ovc(mut self, enabled: bool, stats: Option<CmpStats>) -> Self {
+        self.heap.ovc_enabled = enabled;
+        self.cmp_stats = stats;
         self
     }
 
@@ -215,7 +270,8 @@ impl<K: SortKey> RunGenerator<K> for ReplacementSelection<K> {
             _ => self.current_tag,
         };
         let key = row.key.clone();
-        self.heap.push(Entry { run: tag, key, seq: self.seq, row, footprint });
+        let prefix = if self.heap.ovc_enabled { key.norm_prefix() } else { 0 };
+        self.heap.push(Entry { run: tag, key, prefix, seq: self.seq, row, footprint });
         self.seq += 1;
         self.budget.charge(footprint);
         while self.budget.used() > self.budget.limit() && self.heap.len() > 1 {
@@ -262,6 +318,18 @@ impl<K: SortKey> RunGenerator<K> for ReplacementSelection<K> {
 
     fn buffered_bytes(&self) -> usize {
         self.budget.used()
+    }
+
+    fn cmp_counts(&self) -> (u64, u64) {
+        (self.heap.ovc_cmps.get(), self.heap.full_cmps.get())
+    }
+}
+
+impl<K: SortKey> Drop for ReplacementSelection<K> {
+    fn drop(&mut self) {
+        if let Some(stats) = &self.cmp_stats {
+            stats.record(self.heap.ovc_cmps.get(), self.heap.full_cmps.get());
+        }
     }
 }
 
@@ -502,5 +570,50 @@ mod tests {
         gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
         let total: usize = read_all(&cat).iter().map(Vec::len).sum();
         assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn prefix_path_matches_full_comparisons() {
+        // Same shuffled input through the prefix fast path and the plain
+        // comparator must produce identical runs, for both orders.
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        for order in [SortOrder::Ascending, SortOrder::Descending] {
+            let mut keys: Vec<u64> = (0..500).map(|k| k % 97).collect();
+            keys.shuffle(&mut StdRng::seed_from_u64(11));
+            let run_one = |ovc: bool| -> Vec<Vec<u64>> {
+                let be = MemoryBackend::new();
+                let cat: Arc<RunCatalog<u64>> =
+                    Arc::new(RunCatalog::new(Arc::new(be), "p", order, IoStats::new()));
+                let mut gen = ReplacementSelection::new(cat.clone(), 20 * 60).with_ovc(ovc, None);
+                let mut obs = NoopObserver;
+                for &k in &keys {
+                    gen.push(Row::key_only(k), &mut obs).unwrap();
+                }
+                gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+                read_all(&cat)
+            };
+            assert_eq!(run_one(true), run_one(false), "order = {order:?}");
+        }
+    }
+
+    #[test]
+    fn u64_keys_never_need_full_comparisons() {
+        // u64 normalizes to exactly 8 bytes, so the prefix is the whole
+        // key: the full comparator must never run.
+        let stats = CmpStats::new();
+        let (_be, cat) = catalog(SortOrder::Ascending);
+        let mut gen =
+            ReplacementSelection::new(cat.clone(), 10 * 60).with_ovc(true, Some(stats.clone()));
+        let mut obs = NoopObserver;
+        for k in [5u64, 2, 8, 2, 9, 1, 7, 7, 3, 0, 6, 4] {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        let (ovc, full) = gen.cmp_counts();
+        assert!(ovc > 0);
+        assert_eq!(full, 0, "exact prefixes must never fall back");
+        drop(gen);
+        let snap = stats.snapshot();
+        assert_eq!((snap.ovc_cmps, snap.full_cmps), (ovc, 0));
     }
 }

@@ -83,7 +83,16 @@ pub struct RunWriter<K: SortKey> {
     rows: u64,
     bytes: u64,
     first_key: Option<K>,
-    last_key: Option<K>,
+    /// Last key of the most recently *sealed* block, decoded once per block
+    /// at flush time. The hot append path never clones a key: the previous
+    /// row's key lives in `block_buf` (at `last_row_at`) and is only decoded
+    /// when the normalized-prefix order check is inconclusive.
+    boundary_key: Option<K>,
+    /// Normalized prefix of the most recently appended key.
+    last_prefix: u64,
+    /// Byte offset in `block_buf` where the most recent row's encoding
+    /// starts.
+    last_row_at: usize,
     stats: IoStats,
     finished: bool,
 }
@@ -128,7 +137,9 @@ impl<K: SortKey> RunWriter<K> {
             rows: 0,
             bytes: header.len() as u64,
             first_key: None,
-            last_key: None,
+            boundary_key: None,
+            last_prefix: 0,
+            last_row_at: 0,
             stats,
             finished: false,
         })
@@ -136,18 +147,14 @@ impl<K: SortKey> RunWriter<K> {
 
     /// Appends the next row. Keys must be non-decreasing in output order.
     pub fn append(&mut self, row: &Row<K>) -> Result<()> {
-        if let Some(last) = &self.last_key {
-            if self.order.precedes(&row.key, last) {
-                return Err(Error::InvalidConfig(format!(
-                    "rows appended out of order: {:?} after {:?}",
-                    row.key, last
-                )));
-            }
-        }
-        if self.first_key.is_none() {
+        let prefix = row.key.norm_prefix();
+        if self.rows > 0 {
+            self.check_order(row, prefix)?;
+        } else {
             self.first_key = Some(row.key.clone());
         }
-        self.last_key = Some(row.key.clone());
+        self.last_prefix = prefix;
+        self.last_row_at = self.block_buf.len();
         row.encode(&mut self.block_buf);
         self.rows_in_block += 1;
         self.rows += 1;
@@ -157,10 +164,55 @@ impl<K: SortKey> RunWriter<K> {
         Ok(())
     }
 
+    /// The sort-invariant check: normalized-prefix comparison decides almost
+    /// every append; the previous key is decoded from the block buffer only
+    /// when the prefixes tie inconclusively (or to format an error).
+    fn check_order(&self, row: &Row<K>, prefix: u64) -> Result<()> {
+        let out_of_order = if prefix != self.last_prefix {
+            // Differing normalized prefixes are decisive.
+            match self.order {
+                SortOrder::Ascending => prefix < self.last_prefix,
+                SortOrder::Descending => prefix > self.last_prefix,
+            }
+        } else if K::norm_prefix_is_exact() {
+            false // equal prefixes ⇒ equal keys ⇒ tie, which is allowed
+        } else {
+            match self.decode_last_key() {
+                Some(last) => self.order.precedes(&row.key, &last),
+                None => false,
+            }
+        };
+        if out_of_order {
+            return Err(Error::InvalidConfig(format!(
+                "rows appended out of order: {:?} after {:?}",
+                row.key,
+                self.decode_last_key()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Decodes the most recently appended key: from the block buffer if the
+    /// current block holds rows, else the sealed-block boundary key.
+    fn decode_last_key(&self) -> Option<K> {
+        if self.rows_in_block > 0 {
+            let mut slice = &self.block_buf[self.last_row_at..];
+            Row::<K>::decode(&mut slice).ok().map(|r| r.key)
+        } else {
+            self.boundary_key.clone()
+        }
+    }
+
     fn flush_block(&mut self) -> Result<()> {
         if self.rows_in_block == 0 {
             return Ok(());
         }
+        // The block's last key is decoded once here, at seal time — the
+        // per-row append path only recorded where its encoding starts.
+        self.boundary_key = Some(
+            self.decode_last_key()
+                .ok_or_else(|| Error::Corrupt("undecodable row in write buffer".into()))?,
+        );
         let payload_len = self.block_buf.len() as u32;
         let crc = crc32(&self.block_buf);
         let mut header = [0u8; BLOCK_HEADER_BYTES];
@@ -179,10 +231,11 @@ impl<K: SortKey> RunWriter<K> {
         self.blocks.push(BlockMeta {
             rows: self.rows_in_block,
             payload_bytes: payload_len,
-            last_key: self.last_key.clone().expect("non-empty block implies a last key"),
+            last_key: self.boundary_key.clone().expect("non-empty block implies a last key"),
         });
         self.block_buf.clear();
         self.rows_in_block = 0;
+        self.last_row_at = 0;
         Ok(())
     }
 
@@ -191,9 +244,13 @@ impl<K: SortKey> RunWriter<K> {
         self.rows
     }
 
-    /// The last appended key, if any.
-    pub fn last_key(&self) -> Option<&K> {
-        self.last_key.as_ref()
+    /// The last appended key, if any — decoded from the write buffer on
+    /// demand; the writer keeps no per-row key copy.
+    pub fn last_key(&self) -> Option<K> {
+        if self.rows == 0 {
+            return None;
+        }
+        self.decode_last_key()
     }
 
     /// Seals the run and returns its metadata.
@@ -212,7 +269,7 @@ impl<K: SortKey> RunWriter<K> {
             rows: self.rows,
             bytes: self.bytes,
             first_key: self.first_key.clone(),
-            last_key: self.last_key.clone(),
+            last_key: self.boundary_key.clone(),
             blocks: std::mem::take(&mut self.blocks),
             order: self.order,
         })
@@ -462,6 +519,36 @@ mod tests {
         w.append(&Row::key_only(10)).unwrap();
         w.append(&Row::key_only(5)).unwrap();
         assert!(w.append(&Row::key_only(6)).is_err());
+    }
+
+    #[test]
+    fn order_check_decodes_previous_key_on_shared_prefixes() {
+        use histok_types::BytesKey;
+        // All keys share a >8-byte prefix, so the normalized-prefix fast
+        // path is inconclusive and the previous key must be decoded from
+        // the write buffer.
+        let be = MemoryBackend::new();
+        let key = |suffix: &str| BytesKey::new(format!("shared-long-prefix-{suffix}"));
+        let mut w: RunWriter<BytesKey> =
+            RunWriter::with_block_bytes(&be, "bk", SortOrder::Ascending, IoStats::new(), 96)
+                .unwrap();
+        w.append(&Row::key_only(key("aaa"))).unwrap();
+        w.append(&Row::key_only(key("aaa"))).unwrap(); // ties allowed
+        w.append(&Row::key_only(key("bbb"))).unwrap();
+        assert_eq!(w.last_key(), Some(key("bbb")));
+        assert!(w.append(&Row::key_only(key("abc"))).is_err());
+        // The check still works across a block seal (previous key no longer
+        // in the buffer): append until a block flushes, then go backwards.
+        let mut w2: RunWriter<BytesKey> =
+            RunWriter::with_block_bytes(&be, "bk2", SortOrder::Ascending, IoStats::new(), 64)
+                .unwrap();
+        for i in 0..10 {
+            w2.append(&Row::key_only(key(&format!("x{i:03}")))).unwrap();
+        }
+        assert!(w2.append(&Row::key_only(key("x000"))).is_err());
+        let meta = w2.finish().unwrap();
+        assert_eq!(meta.last_key, Some(key("x009")));
+        assert_eq!(meta.blocks.last().unwrap().last_key, key("x009"));
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   latency histograms, shared by the storage and operator layers.
 //! * [`JsonValue`] — a dependency-free JSON value used by the benchmark
 //!   harness to emit machine-readable metrics reports.
+//! * [`Ovc`] — offset-value codes over the keys' order-preserving
+//!   normalized byte strings ([`SortKey::norm_encode`]), letting merge
+//!   loops decide most comparisons with a single `u64` compare.
 
 #![deny(missing_docs)]
 
@@ -26,14 +29,16 @@ pub mod error;
 pub mod json;
 pub mod key;
 pub mod memsize;
+pub mod norm;
 pub mod order;
 pub mod row;
 pub mod timing;
 
 pub use error::{Error, Result};
 pub use json::JsonValue;
-pub use key::{BytesKey, F64Key, KeyPair, SortKey};
+pub use key::{prefix_of_norm, BytesKey, F64Key, KeyPair, SortKey};
 pub use memsize::HeapSize;
+pub use norm::{norm_cmp, ovc_resolve, Ovc, OvcResolution};
 pub use order::{SortOrder, SortSpec};
 pub use row::Row;
 pub use timing::{LatencyHistogram, LatencySnapshot, Phase, PhaseTimer, PhaseTotals};

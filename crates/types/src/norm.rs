@@ -1,0 +1,287 @@
+//! Order-preserving key normalization and offset-value codes (OVCs).
+//!
+//! Every [`SortKey`](crate::SortKey) can render itself as a *normalized*
+//! byte string: an encoding chosen so that plain unsigned byte comparison
+//! (`memcmp`) of two normalized strings agrees exactly with the key type's
+//! `Ord`. Integers become big-endian with the sign bit flipped, floats use
+//! the classic total-order bit trick, byte strings are escaped and
+//! terminated so they stay order-preserving under concatenation, and pairs
+//! simply concatenate their components.
+//!
+//! On top of normalization sits **offset-value coding** (Conner 1977; Do &
+//! Graefe, "Robust and Efficient Sorting with Offset-Value Coding"): given a
+//! *base* key known to sort at-or-before a key `X`, the pair
+//! `(offset, value)` — the index of the first normalized byte where `X`
+//! differs from the base, and that byte's value — is packed into a single
+//! `u64` such that, for two keys coded against the *same* base, comparing
+//! the two `u64`s resolves their order whenever the codes differ. Equal
+//! codes mean the keys agree with the base (and each other) up to the
+//! offset, so only the normalized suffixes need comparing. A tournament
+//! tree maintaining codes against "the key each entry last lost to" thus
+//! replaces almost every full key comparison with one integer comparison;
+//! see `histok-sort`'s loser tree.
+//!
+//! All codes and comparisons here work in **output order**: for descending
+//! sorts the value byte is complemented, so a larger code always means
+//! "sorts later in the requested output" regardless of direction.
+
+use std::cmp::Ordering;
+
+use crate::order::SortOrder;
+
+/// Offsets at or above this cap collapse into one code slot; comparisons
+/// between keys that agree on `OFFSET_CAP` normalized bytes fall back to a
+/// full comparison. 2^55 − 1 leaves room for the 8-bit value below and the
+/// "equal to base" sentinel above every real offset.
+pub const OFFSET_CAP: u64 = (1 << 55) - 1;
+
+/// A packed offset-value code: `(OFFSET_CAP − offset) << 8 | value`.
+///
+/// Smaller codes sort earlier in output order. [`Ovc::EQUAL`] (zero) is the
+/// code of a key identical to its base. Codes are only comparable when both
+/// keys were coded against the same base key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Ovc(u64);
+
+impl Ovc {
+    /// The code of a key equal to its base: minimal, because an equal key
+    /// sorts no later than any key that differs from the base.
+    pub const EQUAL: Ovc = Ovc(0);
+
+    /// Packs an explicit `(offset, value)` pair (offset clamped to
+    /// [`OFFSET_CAP`]).
+    #[inline]
+    pub fn pack(offset: usize, value: u8) -> Ovc {
+        let off = (offset as u64).min(OFFSET_CAP - 1);
+        Ovc((OFFSET_CAP - off) << 8 | u64::from(value))
+    }
+
+    /// The raw packed code (for metrics and tests).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The byte offset this code was taken at, or `None` for
+    /// [`Ovc::EQUAL`].
+    #[inline]
+    pub fn offset(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some((OFFSET_CAP - (self.0 >> 8)) as usize)
+        }
+    }
+
+    /// Derives the code of `key` against `base`, both as normalized byte
+    /// strings, where `base` is known to sort at-or-before `key` in output
+    /// order. Debug builds assert that precondition.
+    pub fn derive(base: &[u8], key: &[u8], order: SortOrder) -> Ovc {
+        debug_assert!(
+            norm_cmp(base, key, order) != Ordering::Greater,
+            "OVC base must sort at-or-before the coded key"
+        );
+        match first_difference(base, key) {
+            None => Ovc::EQUAL,
+            Some(at) => Ovc::pack(at, value_at(key, at, order)),
+        }
+    }
+}
+
+/// Compares two normalized byte strings in output order: plain `memcmp`
+/// for ascending, reversed for descending.
+#[inline]
+pub fn norm_cmp(a: &[u8], b: &[u8], order: SortOrder) -> Ordering {
+    match order {
+        SortOrder::Ascending => a.cmp(b),
+        SortOrder::Descending => b.cmp(a),
+    }
+}
+
+/// Index of the first byte where `a` and `b` differ (a length difference
+/// counts as a difference at the shorter length), or `None` when equal.
+#[inline]
+fn first_difference(a: &[u8], b: &[u8]) -> Option<usize> {
+    let n = a.len().min(b.len());
+    match a[..n].iter().zip(&b[..n]).position(|(x, y)| x != y) {
+        Some(i) => Some(i),
+        None if a.len() == b.len() => None,
+        None => Some(n),
+    }
+}
+
+/// The value byte of `key` at `at` in output order: the raw byte for
+/// ascending, its complement for descending, and an end-of-string sentinel
+/// when `at` is past the end (only reachable when the other key is longer).
+///
+/// The sentinel is 0 ascending / 255 descending: a key that *ends* where
+/// another continues sorts before it bytewise, and the sentinel must
+/// likewise sort before every continuation byte. Normalized encodings of
+/// *distinct* keys are prefix-free, so the sentinel never collides with a
+/// real byte of the same key.
+#[inline]
+fn value_at(key: &[u8], at: usize, order: SortOrder) -> u8 {
+    let raw = key.get(at).copied();
+    match order {
+        SortOrder::Ascending => raw.unwrap_or(0),
+        SortOrder::Descending => raw.map_or(255, |b| !b),
+    }
+}
+
+/// The outcome of an OVC-tie resolution: the full ordering plus the fresh
+/// code of the later-sorting key against the earlier one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OvcResolution {
+    /// Output-order comparison of `a` against `b`.
+    pub ordering: Ordering,
+    /// Code of the loser (the later-sorting key) against the winner; for
+    /// equal keys this is [`Ovc::EQUAL`].
+    pub loser_ovc: Ovc,
+}
+
+/// Resolves an OVC tie: `a` and `b` are normalized keys that agree on their
+/// first `from` bytes (the tied code's offset plus one, or 0). Returns the
+/// ordering in output order and the loser's new code against the winner.
+pub fn ovc_resolve(a: &[u8], b: &[u8], from: usize, order: SortOrder) -> OvcResolution {
+    let skip = from.min(a.len()).min(b.len());
+    debug_assert_eq!(a[..skip], b[..skip], "keys must agree below the tied offset");
+    match first_difference(&a[skip..], &b[skip..]) {
+        None => OvcResolution { ordering: Ordering::Equal, loser_ovc: Ovc::EQUAL },
+        Some(rel) => {
+            let at = skip + rel;
+            let va = value_at(a, at, order);
+            let vb = value_at(b, at, order);
+            if va < vb {
+                OvcResolution { ordering: Ordering::Less, loser_ovc: Ovc::pack(at, vb) }
+            } else {
+                OvcResolution { ordering: Ordering::Greater, loser_ovc: Ovc::pack(at, va) }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{BytesKey, F64Key, KeyPair, SortKey};
+    use proptest::prelude::*;
+
+    fn norm<K: SortKey>(k: &K) -> Vec<u8> {
+        let mut buf = Vec::new();
+        k.norm_encode(&mut buf);
+        buf
+    }
+
+    /// The fundamental OVC theorem this module exists for: for keys `x`,
+    /// `y` at-or-after a common base, differing codes resolve their order.
+    fn check_ovc_orders<K: SortKey>(base: &K, x: &K, y: &K, order: SortOrder) {
+        let (nb, nx, ny) = (norm(base), norm(x), norm(y));
+        if norm_cmp(&nb, &nx, order) == Ordering::Greater
+            || norm_cmp(&nb, &ny, order) == Ordering::Greater
+        {
+            return; // precondition not met for this sample
+        }
+        let cx = Ovc::derive(&nb, &nx, order);
+        let cy = Ovc::derive(&nb, &ny, order);
+        let truth = norm_cmp(&nx, &ny, order);
+        match cx.cmp(&cy) {
+            Ordering::Less => assert_eq!(truth, Ordering::Less, "{x:?} vs {y:?} base {base:?}"),
+            Ordering::Greater => {
+                assert_eq!(truth, Ordering::Greater, "{x:?} vs {y:?} base {base:?}")
+            }
+            Ordering::Equal => {
+                // Tie: resolve from the shared offset and check both the
+                // ordering and the loser's refreshed code.
+                let from = cx.offset().map_or(0, |o| o + 1);
+                let res = ovc_resolve(&nx, &ny, from, order);
+                assert_eq!(res.ordering, truth);
+                let (w, l) = if truth == Ordering::Greater { (&ny, &nx) } else { (&nx, &ny) };
+                assert_eq!(res.loser_ovc, Ovc::derive(w, l, order));
+            }
+        }
+    }
+
+    #[test]
+    fn equal_code_is_minimal() {
+        assert_eq!(Ovc::EQUAL.raw(), 0);
+        assert!(Ovc::EQUAL < Ovc::pack(1_000_000, 0));
+        assert_eq!(Ovc::EQUAL.offset(), None);
+        assert_eq!(Ovc::pack(3, 7).offset(), Some(3));
+    }
+
+    #[test]
+    fn earlier_difference_codes_larger() {
+        // Differing earlier from the base means sorting later: the code
+        // must be larger.
+        assert!(Ovc::pack(0, 1) > Ovc::pack(1, 255));
+        assert!(Ovc::pack(5, 0) > Ovc::pack(6, 255));
+        // Same offset: value decides.
+        assert!(Ovc::pack(2, 9) < Ovc::pack(2, 10));
+    }
+
+    #[test]
+    fn derive_matches_manual_codes() {
+        let base = [1u8, 2, 3];
+        assert_eq!(Ovc::derive(&base, &[1, 2, 3], SortOrder::Ascending), Ovc::EQUAL);
+        assert_eq!(Ovc::derive(&base, &[1, 2, 9], SortOrder::Ascending), Ovc::pack(2, 9));
+        assert_eq!(Ovc::derive(&base, &[1, 5, 0], SortOrder::Ascending), Ovc::pack(1, 5));
+        // Longer key differing only by continuation.
+        assert_eq!(Ovc::derive(&base, &[1, 2, 3, 4], SortOrder::Ascending), Ovc::pack(3, 4));
+    }
+
+    #[test]
+    fn descending_codes_complement_the_value() {
+        let base = [9u8, 5];
+        // Descending: base sorts at-or-before means base ≥ key bytewise.
+        assert_eq!(Ovc::derive(&base, &[9, 5], SortOrder::Descending), Ovc::EQUAL);
+        assert_eq!(Ovc::derive(&base, &[9, 3], SortOrder::Descending), Ovc::pack(1, !3u8));
+        assert_eq!(Ovc::derive(&base, &[4, 200], SortOrder::Descending), Ovc::pack(0, !4u8));
+    }
+
+    #[test]
+    fn resolve_reports_equal_keys() {
+        let r = ovc_resolve(&[1, 2, 3], &[1, 2, 3], 1, SortOrder::Ascending);
+        assert_eq!(r.ordering, Ordering::Equal);
+        assert_eq!(r.loser_ovc, Ovc::EQUAL);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_ovc_orders(base in any::<u64>(), x in any::<u64>(), y in any::<u64>()) {
+            check_ovc_orders(&base, &x, &y, SortOrder::Ascending);
+            check_ovc_orders(&base, &x, &y, SortOrder::Descending);
+        }
+
+        #[test]
+        fn prop_f64_ovc_orders(base in any::<f64>(), x in any::<f64>(), y in any::<f64>()) {
+            check_ovc_orders(&F64Key(base), &F64Key(x), &F64Key(y), SortOrder::Ascending);
+            check_ovc_orders(&F64Key(base), &F64Key(x), &F64Key(y), SortOrder::Descending);
+        }
+
+        #[test]
+        fn prop_bytes_ovc_orders(
+            base in proptest::collection::vec(0u8..4, 0..6),
+            x in proptest::collection::vec(0u8..4, 0..6),
+            y in proptest::collection::vec(0u8..4, 0..6),
+        ) {
+            // Tiny alphabet and short strings force shared prefixes, ties
+            // and length-only differences.
+            let (b, x, y) = (BytesKey(base), BytesKey(x), BytesKey(y));
+            check_ovc_orders(&b, &x, &y, SortOrder::Ascending);
+            check_ovc_orders(&b, &x, &y, SortOrder::Descending);
+        }
+
+        #[test]
+        fn prop_pair_ovc_orders(
+            b1 in 0u32..4, b2 in proptest::collection::vec(0u8..3, 0..4),
+            x1 in 0u32..4, x2 in proptest::collection::vec(0u8..3, 0..4),
+            y1 in 0u32..4, y2 in proptest::collection::vec(0u8..3, 0..4),
+        ) {
+            let base = KeyPair(b1, BytesKey(b2));
+            let x = KeyPair(x1, BytesKey(x2));
+            let y = KeyPair(y1, BytesKey(y2));
+            check_ovc_orders(&base, &x, &y, SortOrder::Ascending);
+            check_ovc_orders(&base, &x, &y, SortOrder::Descending);
+        }
+    }
+}
