@@ -167,6 +167,10 @@ pub fn io_to_json(io: &IoStatsSnapshot) -> JsonValue {
         ("write_ops".to_owned(), JsonValue::from(io.write_ops)),
         ("read_ops".to_owned(), JsonValue::from(io.read_ops)),
         ("modelled_io_ns".to_owned(), JsonValue::from(io.modelled_io_ns)),
+        ("io_wait_ns".to_owned(), JsonValue::from(io.io_wait_ns)),
+        ("overlapped_io_ns".to_owned(), JsonValue::from(io.overlapped_io_ns)),
+        ("blocks_skipped".to_owned(), JsonValue::from(io.blocks_skipped)),
+        ("bytes_skipped".to_owned(), JsonValue::from(io.bytes_skipped)),
         ("write_latency".to_owned(), latency_to_json(&io.write_latency)),
         ("read_latency".to_owned(), latency_to_json(&io.read_latency)),
     ])

@@ -60,6 +60,14 @@ pub struct TopKConfig {
     /// selection-heap sifts, cutoff prefix checks). On by default; off
     /// forces full key comparisons everywhere (differential baseline).
     pub ovc_enabled: bool,
+    /// Spill runs through a background writer thread that overlaps block
+    /// encoding/writing with row production (on by default; off spills
+    /// synchronously on the operator thread).
+    pub spill_pipeline: bool,
+    /// Blocks of background read-ahead per merge input; the effective
+    /// prefetch window is `readahead_blocks × block_bytes`. `0` reads
+    /// synchronously on the merge thread. Default 2.
+    pub readahead_blocks: usize,
 }
 
 impl Default for TopKConfig {
@@ -83,6 +91,8 @@ impl Default for TopKConfig {
             block_bytes: histok_storage::DEFAULT_BLOCK_BYTES,
             approx_slack: 0.0,
             ovc_enabled: true,
+            spill_pipeline: true,
+            readahead_blocks: 2,
         }
     }
 }
@@ -207,6 +217,18 @@ impl TopKConfigBuilder {
         self
     }
 
+    /// Background spill pipeline switch; see [`TopKConfig::spill_pipeline`].
+    pub fn spill_pipeline(mut self, on: bool) -> Self {
+        self.config.spill_pipeline = on;
+        self
+    }
+
+    /// Merge read-ahead depth; see [`TopKConfig::readahead_blocks`].
+    pub fn readahead_blocks(mut self, blocks: usize) -> Self {
+        self.config.readahead_blocks = blocks;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<TopKConfig> {
         self.config.validate()?;
@@ -226,6 +248,8 @@ mod tests {
         assert_eq!(c.run_generation, RunGenKind::ReplacementSelection);
         assert!(c.limit_run_size);
         assert!(c.filter_enabled && c.input_filter && c.spill_filter);
+        assert!(c.spill_pipeline);
+        assert_eq!(c.readahead_blocks, 2);
         assert!(c.validate().is_ok());
     }
 
@@ -245,6 +269,8 @@ mod tests {
             .input_filter(false)
             .spill_filter(true)
             .block_bytes(1024)
+            .spill_pipeline(false)
+            .readahead_blocks(4)
             .build()
             .unwrap();
         assert_eq!(c.memory_budget, 1 << 20);
@@ -255,6 +281,8 @@ mod tests {
         assert_eq!(c.merge.fan_in, 8);
         assert!(!c.input_filter);
         assert_eq!(c.block_bytes, 1024);
+        assert!(!c.spill_pipeline);
+        assert_eq!(c.readahead_blocks, 4);
     }
 
     #[test]

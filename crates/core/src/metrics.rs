@@ -75,6 +75,19 @@ impl OperatorMetrics {
             self.io.rows_written as f64 / self.rows_in as f64
         }
     }
+
+    /// Nanoseconds the operator's compute thread spent blocked on storage
+    /// (synchronous I/O, pipeline backpressure, waiting for prefetched
+    /// blocks).
+    pub fn io_wait_ns(&self) -> u64 {
+        self.io.io_wait_ns
+    }
+
+    /// Nanoseconds of storage latency served on background I/O threads —
+    /// the latency the overlap layer hid from the compute thread.
+    pub fn overlapped_io_ns(&self) -> u64 {
+        self.io.overlapped_io_ns
+    }
 }
 
 #[cfg(test)]

@@ -175,7 +175,8 @@ impl<K: SortKey> ParallelTopK<K> {
                     spec.order,
                     stats.clone(),
                 )
-                .with_block_bytes(config.block_bytes),
+                .with_block_bytes(config.block_bytes)
+                .with_spill_pipeline(config.spill_pipeline),
             );
             let worker_catalog = catalog.clone();
             let shared_for_worker = shared.clone();
@@ -242,7 +243,11 @@ impl<K: SortKey> ParallelTopK<K> {
     }
 
     fn merge_tuning(&self) -> MergeTuning {
-        MergeTuning { ovc: self.config.ovc_enabled, stats: Some(self.cmp_stats.clone()) }
+        MergeTuning {
+            ovc: self.config.ovc_enabled,
+            stats: Some(self.cmp_stats.clone()),
+            readahead_blocks: self.config.readahead_blocks,
+        }
     }
 
     /// Offers one row (round-robin across workers). Rows past the shared
@@ -297,7 +302,7 @@ impl<K: SortKey> ParallelTopK<K> {
                 &self.merge_tuning(),
             )?;
             for meta in &final_runs {
-                sources.push(MergeSource::Run(out.catalog.open(meta)?));
+                sources.push(histok_sort::open_source(&out.catalog, meta, &self.merge_tuning())?);
             }
             for seq in out.residue {
                 sources.push(MergeSource::Memory(seq.into_iter()));

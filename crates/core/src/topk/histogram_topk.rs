@@ -143,7 +143,11 @@ impl<K: SortKey> HistogramTopK<K> {
     }
 
     fn merge_tuning(&self) -> MergeTuning {
-        MergeTuning { ovc: self.config.ovc_enabled, stats: Some(self.cmp_stats.clone()) }
+        MergeTuning {
+            ovc: self.config.ovc_enabled,
+            stats: Some(self.cmp_stats.clone()),
+            readahead_blocks: self.config.readahead_blocks,
+        }
     }
 
     fn build_generator(&self, catalog: Arc<RunCatalog<K>>) -> Box<dyn RunGenerator<K>> {
@@ -172,7 +176,8 @@ impl<K: SortKey> HistogramTopK<K> {
                 self.spec.order,
                 self.stats.clone(),
             )
-            .with_block_bytes(self.config.block_bytes),
+            .with_block_bytes(self.config.block_bytes)
+            .with_spill_pipeline(self.config.spill_pipeline),
         );
         let gen = self.build_generator(catalog.clone());
         let filter = self.build_filter();
@@ -260,6 +265,7 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
                     &final_runs,
                     residue,
                     self.spec.offset,
+                    self.config.readahead_blocks,
                 )?;
                 let mut spec = self.spec;
                 spec.offset -= skipped.skipped;

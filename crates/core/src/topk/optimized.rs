@@ -163,7 +163,11 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
     }
 
     fn merge_tuning(&self) -> MergeTuning {
-        MergeTuning { ovc: self.config.ovc_enabled, stats: Some(self.cmp_stats.clone()) }
+        MergeTuning {
+            ovc: self.config.ovc_enabled,
+            stats: Some(self.cmp_stats.clone()),
+            readahead_blocks: self.config.readahead_blocks,
+        }
     }
 
     /// Enables periodic re-merging: after the first early merge, merge
@@ -192,7 +196,8 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
                 self.spec.order,
                 self.stats.clone(),
             )
-            .with_block_bytes(self.config.block_bytes),
+            .with_block_bytes(self.config.block_bytes)
+            .with_spill_pipeline(self.config.spill_pipeline),
         );
         let mut gen = ReplacementSelection::new(catalog.clone(), self.config.memory_budget)
             .with_ovc(self.config.ovc_enabled, Some(self.cmp_stats.clone()));
@@ -310,7 +315,7 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
                 let mut sources: Vec<MergeSource<K>> =
                     Vec::with_capacity(final_runs.len() + residue.len());
                 for meta in &final_runs {
-                    sources.push(MergeSource::Run(catalog.open(meta)?));
+                    sources.push(histok_sort::open_source(&catalog, meta, &self.merge_tuning())?);
                 }
                 for seq in residue {
                     sources.push(MergeSource::Memory(seq.into_iter()));

@@ -13,6 +13,7 @@ use histok_sort::{CmpStats, ExternalSorter, MergeTuning};
 use histok_storage::{IoStats, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
+use crate::config::TopKConfig;
 use crate::metrics::OperatorMetrics;
 use crate::topk::{already_finished, RowStream, SpecStream, TimedStream, TopKOperator};
 
@@ -43,6 +44,30 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
         Self::with_arc(spec, budget_bytes, Arc::new(backend))
     }
 
+    /// As [`TraditionalExternalTopK::new`] with a shared backend and the
+    /// I/O knobs from `config` (block size, spill pipeline, read-ahead,
+    /// offset-value coding); the sort workspace is `config.memory_budget`.
+    pub fn with_config(
+        spec: SortSpec,
+        config: &TopKConfig,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<Self> {
+        config.validate()?;
+        let mut op = Self::with_arc(spec, config.memory_budget, backend)?;
+        let sorter = op.sorter.take().expect("sorter present before first push");
+        op.sorter = Some(
+            sorter
+                .with_block_bytes(config.block_bytes)
+                .with_spill_pipeline(config.spill_pipeline)
+                .with_tuning(MergeTuning {
+                    ovc: config.ovc_enabled,
+                    stats: Some(op.cmp_stats.clone()),
+                    readahead_blocks: config.readahead_blocks,
+                }),
+        );
+        Ok(op)
+    }
+
     /// As [`TraditionalExternalTopK::new`] with a shared backend.
     pub fn with_arc(
         spec: SortSpec,
@@ -56,7 +81,11 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
         let stats = IoStats::new();
         let cmp_stats = CmpStats::new();
         let sorter = ExternalSorter::new(backend.clone(), spec.order, budget_bytes, stats.clone())
-            .with_tuning(MergeTuning { ovc: true, stats: Some(cmp_stats.clone()) });
+            .with_tuning(MergeTuning {
+                ovc: true,
+                stats: Some(cmp_stats.clone()),
+                ..MergeTuning::default()
+            });
         Ok(TraditionalExternalTopK {
             spec,
             sorter: Some(sorter),

@@ -13,7 +13,8 @@ use histok_types::{Result, Row, SortKey, SortOrder};
 
 use crate::loser_tree::LoserTree;
 use crate::merge::{
-    merge_sources_tuned, plan_merges_tuned, MergeConfig, MergePolicy, MergeSource, MergeTuning,
+    merge_sources_tuned, open_source, plan_merges_tuned, MergeConfig, MergePolicy, MergeSource,
+    MergeTuning,
 };
 use crate::observer::NoopObserver;
 use crate::run_gen::{LoadSortStore, ResiduePolicy, RunGenerator};
@@ -82,9 +83,21 @@ impl<K: SortKey> ExternalSorter<K> {
     }
 
     /// Overrides the merge tuning (offset-value coding switch, comparison
-    /// counters).
+    /// counters, read-ahead depth).
     pub fn with_tuning(mut self, tuning: MergeTuning) -> Self {
         self.tuning = tuning;
+        self
+    }
+
+    /// Overrides the block payload target for spilled runs.
+    pub fn with_block_bytes(self, bytes: usize) -> Self {
+        self.catalog.set_block_bytes(bytes);
+        self
+    }
+
+    /// Enables or disables the background spill pipeline (on by default).
+    pub fn with_spill_pipeline(self, enabled: bool) -> Self {
+        self.catalog.set_spill_pipeline(enabled);
         self
     }
 
@@ -109,7 +122,7 @@ impl<K: SortKey> ExternalSorter<K> {
         let final_runs = plan_merges_tuned(&self.catalog, &self.merge, None, None, &self.tuning)?;
         let mut sources = Vec::with_capacity(final_runs.len());
         for meta in &final_runs {
-            sources.push(MergeSource::Run(self.catalog.open(meta)?));
+            sources.push(open_source(&self.catalog, meta, &self.tuning)?);
         }
         let tree = merge_sources_tuned(sources, self.order, &self.tuning)?;
         Ok(SortedStream { _catalog: self.catalog, tree })

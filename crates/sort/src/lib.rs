@@ -33,8 +33,8 @@ pub use external::ExternalSorter;
 pub use heap::BinaryHeapBy;
 pub use loser_tree::LoserTree;
 pub use merge::{
-    merge_runs_to_new, merge_runs_to_new_tuned, merge_sources, merge_sources_tuned, plan_merges,
-    plan_merges_tuned, MergeConfig, MergePolicy, MergeSource, MergeTuning,
+    merge_runs_to_new, merge_runs_to_new_tuned, merge_sources, merge_sources_tuned, open_source,
+    plan_merges, plan_merges_tuned, MergeConfig, MergePolicy, MergeSource, MergeTuning,
 };
 pub use observer::{NoopObserver, SpillObserver};
 pub use run_gen::{LoadSortStore, ReplacementSelection, ResiduePolicy, RunGenerator};

@@ -11,26 +11,30 @@
 //!   lowest keys (the most recently produced), not the traditional smallest
 //!   runs.
 
-use histok_storage::{RunCatalog, RunMeta, RunReader};
+use histok_storage::{PrefetchingRunReader, RunCatalog, RunMeta, RunReader};
 use histok_types::{Error, Result, Row, SortKey, SortOrder};
 
 use crate::cmp_stats::CmpStats;
 use crate::loser_tree::LoserTree;
 
 /// Knobs an operator threads into every merge step it triggers: whether
-/// the loser tree uses offset-value coding, and an optional shared
-/// comparison-counter sink the trees flush into.
+/// the loser tree uses offset-value coding, an optional shared
+/// comparison-counter sink the trees flush into, and how many blocks each
+/// run input prefetches in the background.
 #[derive(Debug, Clone)]
 pub struct MergeTuning {
     /// Resolve tournament duels on offset-value codes (default on).
     pub ovc: bool,
     /// Shared comparison counters; `None` skips the accounting.
     pub stats: Option<CmpStats>,
+    /// Blocks of background read-ahead per run input (default 2); `0`
+    /// reads synchronously on the merge thread.
+    pub readahead_blocks: usize,
 }
 
 impl Default for MergeTuning {
     fn default() -> Self {
-        MergeTuning { ovc: true, stats: None }
+        MergeTuning { ovc: true, stats: None, readahead_blocks: 2 }
     }
 }
 
@@ -38,7 +42,13 @@ impl MergeTuning {
     /// Tuning with offset-value coding switched off (full comparisons
     /// everywhere) — the differential-testing baseline.
     pub fn without_ovc() -> Self {
-        MergeTuning { ovc: false, stats: None }
+        MergeTuning { ovc: false, ..MergeTuning::default() }
+    }
+
+    /// Overrides the per-input read-ahead depth.
+    pub fn with_readahead(mut self, blocks: usize) -> Self {
+        self.readahead_blocks = blocks;
+        self
     }
 }
 
@@ -47,17 +57,32 @@ impl MergeTuning {
 /// (produced by offset fast-skipping, which may over-read a block
 /// boundary and must put the extra rows back in front).
 pub enum MergeSource<K: SortKey> {
-    /// Rows streamed from a spilled run.
+    /// Rows streamed from a spilled run, read synchronously.
     Run(RunReader<K>),
+    /// Rows streamed from a spilled run through a background read-ahead
+    /// thread (see [`PrefetchingRunReader`]).
+    Prefetched(PrefetchingRunReader<K>),
     /// Rows already in memory, sorted in output order.
     Memory(std::vec::IntoIter<Row<K>>),
-    /// Buffered rows followed by the rest of a run.
+    /// Buffered rows followed by the rest of a source.
     Chained {
-        /// Rows to emit before resuming the reader (already sorted).
+        /// Rows to emit before resuming the tail (already sorted).
         head: std::vec::IntoIter<Row<K>>,
-        /// The remainder of the run.
-        tail: RunReader<K>,
+        /// The remainder of the source.
+        tail: Box<MergeSource<K>>,
     },
+}
+
+impl<K: SortKey> MergeSource<K> {
+    /// Wraps an (optionally mid-run) reader, prefetching `readahead_blocks`
+    /// blocks in the background when non-zero.
+    pub fn from_reader(reader: RunReader<K>, readahead_blocks: usize) -> Self {
+        if readahead_blocks > 0 {
+            MergeSource::Prefetched(PrefetchingRunReader::spawn(reader, readahead_blocks))
+        } else {
+            MergeSource::Run(reader)
+        }
+    }
 }
 
 impl<K: SortKey> Iterator for MergeSource<K> {
@@ -65,6 +90,7 @@ impl<K: SortKey> Iterator for MergeSource<K> {
     fn next(&mut self) -> Option<Self::Item> {
         match self {
             MergeSource::Run(r) => r.next(),
+            MergeSource::Prefetched(r) => r.next(),
             MergeSource::Memory(m) => m.next().map(Ok),
             MergeSource::Chained { head, tail } => match head.next() {
                 Some(row) => Some(Ok(row)),
@@ -72,6 +98,16 @@ impl<K: SortKey> Iterator for MergeSource<K> {
             },
         }
     }
+}
+
+/// Opens a registered run as a merge source, honoring the tuning's
+/// read-ahead depth.
+pub fn open_source<K: SortKey>(
+    catalog: &RunCatalog<K>,
+    meta: &RunMeta<K>,
+    tuning: &MergeTuning,
+) -> Result<MergeSource<K>> {
+    Ok(MergeSource::from_reader(catalog.open(meta)?, tuning.readahead_blocks))
 }
 
 /// Builds a merging iterator over heterogeneous sources with default
@@ -153,7 +189,7 @@ pub fn merge_runs_to_new_tuned<K: SortKey>(
     let order = catalog.order();
     let mut sources = Vec::with_capacity(runs.len());
     for meta in runs {
-        sources.push(MergeSource::Run(catalog.open(meta)?));
+        sources.push(open_source(catalog, meta, tuning)?);
     }
     let mut tree = merge_sources_tuned(sources, order, tuning)?;
     let mut writer = catalog.start_run()?;

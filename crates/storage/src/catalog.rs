@@ -5,7 +5,7 @@
 //! deletes every object when dropped — the cleanup a query engine performs
 //! when an operator closes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -24,7 +24,8 @@ pub struct RunCatalog<K: SortKey> {
     runs: Mutex<Vec<RunMeta<K>>>,
     stats: IoStats,
     order: SortOrder,
-    block_bytes: usize,
+    block_bytes: AtomicUsize,
+    spill_pipeline: AtomicBool,
 }
 
 /// Process-global counter backing [`RunCatalog::unique_prefix`].
@@ -52,14 +53,47 @@ impl<K: SortKey> RunCatalog<K> {
             runs: Mutex::new(Vec::new()),
             stats,
             order,
-            block_bytes: crate::run::DEFAULT_BLOCK_BYTES,
+            block_bytes: AtomicUsize::new(crate::run::DEFAULT_BLOCK_BYTES),
+            spill_pipeline: AtomicBool::new(true),
         }
     }
 
     /// Overrides the block payload target for new runs.
-    pub fn with_block_bytes(mut self, bytes: usize) -> Self {
-        self.block_bytes = bytes;
+    pub fn with_block_bytes(self, bytes: usize) -> Self {
+        self.set_block_bytes(bytes);
         self
+    }
+
+    /// Enables or disables the background [`SpillPipeline`] for new runs
+    /// (on by default).
+    ///
+    /// [`SpillPipeline`]: crate::pipeline::SpillPipeline
+    pub fn with_spill_pipeline(self, enabled: bool) -> Self {
+        self.set_spill_pipeline(enabled);
+        self
+    }
+
+    /// Sets the block payload target for runs started after this call.
+    /// Interior-mutable so owners holding the catalog behind an `Arc` can
+    /// still apply config knobs.
+    pub fn set_block_bytes(&self, bytes: usize) {
+        self.block_bytes.store(bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// The current block payload target.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Sets whether runs started after this call spill through the
+    /// background pipeline.
+    pub fn set_spill_pipeline(&self, enabled: bool) {
+        self.spill_pipeline.store(enabled, Ordering::Relaxed);
+    }
+
+    /// True if new runs spill through the background pipeline.
+    pub fn spill_pipeline(&self) -> bool {
+        self.spill_pipeline.load(Ordering::Relaxed)
     }
 
     /// Starts a new run; call [`RunCatalog::register`] with the meta
@@ -67,12 +101,13 @@ impl<K: SortKey> RunCatalog<K> {
     pub fn start_run(&self) -> Result<RunWriter<K>> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let name = format!("{}-{:06}", self.prefix, id);
-        RunWriter::with_block_bytes(
+        RunWriter::with_options(
             self.backend.as_ref(),
             name,
             self.order,
             self.stats.clone(),
-            self.block_bytes,
+            self.block_bytes(),
+            self.spill_pipeline(),
         )
     }
 

@@ -26,6 +26,7 @@ pub mod crc;
 pub mod fault;
 pub mod file;
 pub mod memory;
+pub mod pipeline;
 pub mod run;
 pub mod stats;
 pub mod throttle;
@@ -35,6 +36,7 @@ pub use catalog::RunCatalog;
 pub use fault::{FaultBackend, FaultPlan};
 pub use file::FileBackend;
 pub use memory::MemoryBackend;
+pub use pipeline::{PrefetchingRunReader, SpillPipeline, SPILL_PIPELINE_DEPTH};
 pub use run::{BlockMeta, RunMeta, RunReader, RunWriter, DEFAULT_BLOCK_BYTES};
 pub use stats::{IoStats, IoStatsSnapshot};
 pub use throttle::{ThrottleModel, ThrottledBackend};

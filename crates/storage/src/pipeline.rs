@@ -1,0 +1,409 @@
+//! Overlapped I/O: the background spill pipeline and the prefetching run
+//! reader.
+//!
+//! The paper's storage is a disaggregated service reached over the network
+//! (§2.1): every request costs a round trip. Synchronous spilling and
+//! merging therefore *add* that latency to run generation and merge time.
+//! The two primitives here hide it instead:
+//!
+//! * [`SpillPipeline`] — a dedicated writer thread per open run. The
+//!   operator thread appends rows into the active block buffer; on seal it
+//!   hands the raw payload over a bounded channel (capacity
+//!   [`SPILL_PIPELINE_DEPTH`]) and keeps filling the next block while the
+//!   pipeline thread CRCs, frames and writes the previous one. A full
+//!   channel is the backpressure: when storage is slower than compute, the
+//!   operator blocks in `send`, bounding memory to ≤2 sealed blocks in
+//!   flight.
+//! * [`PrefetchingRunReader`] — a read-ahead thread per merge input. It
+//!   reads, CRC-checks and decodes up to `readahead_blocks` blocks ahead
+//!   into a bounded channel of decoded row batches, so loser-tree refill
+//!   pops rows that are already in memory.
+//!
+//! **Error protocol.** An I/O thread that fails latches its error (a
+//! `Mutex<Option<Error>>` for the pipeline, an in-band `Err` message for
+//! the prefetcher) and exits, dropping its channel endpoint. The channel
+//! disconnect unblocks the peer, which surfaces the latched error on its
+//! next `append`/`finish`/`next`. Nothing panics across the boundary and
+//! nothing can deadlock: every blocking channel operation has a live peer
+//! or a disconnect.
+//!
+//! **Cancellation.** Dropping either wrapper first drops its channel
+//! endpoint — unblocking a thread stuck in `send`/`recv` — and then joins
+//! the thread. A consumer that abandons a merge stream mid-way therefore
+//! tears down every prefetch thread deterministically, and an abandoned
+//! pipelined run is discarded without finishing its backend object (same
+//! contract as dropping a synchronous `SpillWriter`).
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use histok_types::{Error, Result, Row, SortKey};
+
+use crate::backend::SpillWriter;
+use crate::crc::crc32;
+use crate::run::{encode_block_header, encode_end_marker, RunReader, BLOCK_HEADER_BYTES};
+use crate::stats::IoStats;
+
+/// Maximum sealed blocks in flight between the operator thread and the
+/// pipeline's writer thread (double buffering).
+pub const SPILL_PIPELINE_DEPTH: usize = 2;
+
+/// What the operator thread ships to the writer thread.
+enum SpillMsg {
+    /// A sealed block payload to CRC, frame and write.
+    Block { rows: u32, payload: Vec<u8> },
+    /// Write the end marker and finish the backend object.
+    Finish,
+}
+
+/// A background writer thread that turns sealed block payloads into
+/// CRC-framed writes against a [`SpillWriter`]. See the module docs for
+/// the backpressure, error and cancellation rules.
+pub struct SpillPipeline {
+    tx: Option<SyncSender<SpillMsg>>,
+    handle: Option<JoinHandle<()>>,
+    error: Arc<Mutex<Option<Error>>>,
+    stats: IoStats,
+}
+
+impl SpillPipeline {
+    /// Spawns the writer thread. `header` is written first (the run-file
+    /// header), so the operator thread performs no storage request itself.
+    pub fn spawn(writer: Box<dyn SpillWriter>, header: Vec<u8>, stats: IoStats) -> Self {
+        let (tx, rx) = sync_channel::<SpillMsg>(SPILL_PIPELINE_DEPTH);
+        let error = Arc::new(Mutex::new(None));
+        let latch = error.clone();
+        let thread_stats = stats.clone();
+        let handle = std::thread::spawn(move || {
+            if let Err(e) = run_writer_thread(writer, header, rx, &thread_stats) {
+                *latch.lock() = Some(e);
+                // Returning drops `rx`: the operator's next `send` fails
+                // and surfaces the latched error.
+            }
+        });
+        SpillPipeline { tx: Some(tx), handle: Some(handle), error, stats }
+    }
+
+    /// Queues one sealed block. Blocks while [`SPILL_PIPELINE_DEPTH`]
+    /// blocks are already in flight (backpressure); the blocked time is
+    /// booked as compute-side I/O wait.
+    pub fn write_block(&mut self, rows: u32, payload: Vec<u8>) -> Result<()> {
+        let Some(tx) = &self.tx else {
+            return Err(self.take_error());
+        };
+        let started = Instant::now();
+        let sent = tx.send(SpillMsg::Block { rows, payload });
+        self.stats.record_io_wait(started.elapsed());
+        if sent.is_err() {
+            return Err(self.take_error());
+        }
+        Ok(())
+    }
+
+    /// Writes the end marker, finishes the backend object, joins the
+    /// thread, and surfaces any latched error. The wait (drain + join) is
+    /// booked as compute-side I/O wait.
+    pub fn finish(&mut self) -> Result<()> {
+        let started = Instant::now();
+        if let Some(tx) = self.tx.take() {
+            // A send failure means the thread already died on a latched
+            // error; the join below surfaces it.
+            let _ = tx.send(SpillMsg::Finish);
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        self.stats.record_io_wait(started.elapsed());
+        match self.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn take_error(&self) -> Error {
+        self.error
+            .lock()
+            .take()
+            .unwrap_or_else(|| Error::Io(std::io::Error::other("spill pipeline thread terminated")))
+    }
+}
+
+impl Drop for SpillPipeline {
+    fn drop(&mut self) {
+        // Disconnect without `Finish`: the thread abandons the run (the
+        // backend object is never finished, matching a dropped synchronous
+        // writer) and exits; then join so no thread leaks.
+        self.tx.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The pipeline thread body: header first, then blocks until `Finish` or
+/// disconnect. All write latency recorded here is overlapped I/O.
+fn run_writer_thread(
+    mut writer: Box<dyn SpillWriter>,
+    header: Vec<u8>,
+    rx: Receiver<SpillMsg>,
+    stats: &IoStats,
+) -> Result<()> {
+    writer.write_all(&header)?;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            SpillMsg::Block { rows, payload } => {
+                let crc = crc32(&payload);
+                let frame = encode_block_header(rows, payload.len() as u32, crc);
+                let started = Instant::now();
+                writer.write_all(&frame)?;
+                writer.write_all(&payload)?;
+                let elapsed = started.elapsed();
+                stats.record_write_timed(
+                    u64::from(rows),
+                    BLOCK_HEADER_BYTES as u64 + payload.len() as u64,
+                    elapsed,
+                );
+                stats.record_overlapped_io(elapsed);
+            }
+            SpillMsg::Finish => {
+                let started = Instant::now();
+                writer.write_all(&encode_end_marker())?;
+                writer.finish()?;
+                stats.record_overlapped_io(started.elapsed());
+                return Ok(());
+            }
+        }
+    }
+    // Disconnected without `Finish`: the run was abandoned. Dropping the
+    // writer discards the object, per the SpillWriter contract.
+    Ok(())
+}
+
+/// A [`RunReader`] driven by a bounded read-ahead thread.
+///
+/// The thread reads, CRC-checks and decodes up to `readahead_blocks`
+/// blocks ahead; `next` pops rows from the current decoded batch and only
+/// touches the channel at batch boundaries. Errors arrive in-band and fuse
+/// the iterator; dropping the reader mid-stream joins the thread (see the
+/// module docs).
+pub struct PrefetchingRunReader<K: SortKey> {
+    rx: Option<Receiver<Result<Vec<Row<K>>>>>,
+    handle: Option<JoinHandle<()>>,
+    current: std::collections::VecDeque<Row<K>>,
+    stats: IoStats,
+    done: bool,
+    rows_yielded: u64,
+}
+
+impl<K: SortKey> PrefetchingRunReader<K> {
+    /// Takes ownership of `reader` (which may be mid-run, e.g. positioned
+    /// by `skip_rows`) and starts prefetching up to `readahead_blocks`
+    /// decoded blocks ahead of the consumer.
+    pub fn spawn(mut reader: RunReader<K>, readahead_blocks: usize) -> Self {
+        let stats = reader.stats().clone();
+        reader.set_background(true);
+        let (tx, rx) = sync_channel::<Result<Vec<Row<K>>>>(readahead_blocks.max(1));
+        let handle = std::thread::spawn(move || loop {
+            match reader.next_block_rows() {
+                Ok(Some(rows)) => {
+                    if tx.send(Ok(rows)).is_err() {
+                        return; // consumer dropped: stop prefetching
+                    }
+                }
+                Ok(None) => return, // end of run: dropping tx signals it
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        });
+        PrefetchingRunReader {
+            rx: Some(rx),
+            handle: Some(handle),
+            current: std::collections::VecDeque::new(),
+            stats,
+            done: false,
+            rows_yielded: 0,
+        }
+    }
+
+    /// Rows yielded so far.
+    pub fn rows_yielded(&self) -> u64 {
+        self.rows_yielded
+    }
+
+    /// Drops the channel (unblocking a thread stuck in `send`) and joins.
+    fn shut_down(&mut self) {
+        self.rx.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<K: SortKey> Iterator for PrefetchingRunReader<K> {
+    type Item = Result<Row<K>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(row) = self.current.pop_front() {
+                self.rows_yielded += 1;
+                return Some(Ok(row));
+            }
+            if self.done {
+                return None;
+            }
+            let Some(rx) = &self.rx else {
+                self.done = true;
+                return None;
+            };
+            // Only the blocked time counts as compute-side wait; the read
+            // and decode themselves were booked by the prefetch thread.
+            let started = Instant::now();
+            let msg = rx.recv();
+            self.stats.record_io_wait(started.elapsed());
+            match msg {
+                Ok(Ok(rows)) => self.current = rows.into(),
+                Ok(Err(e)) => {
+                    self.done = true;
+                    self.shut_down();
+                    return Some(Err(e));
+                }
+                Err(_) => {
+                    // Disconnect = clean end of run.
+                    self.done = true;
+                    self.shut_down();
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl<K: SortKey> Drop for PrefetchingRunReader<K> {
+    fn drop(&mut self) {
+        self.shut_down();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::StorageBackend;
+    use crate::memory::MemoryBackend;
+    use crate::run::RunWriter;
+    use histok_types::SortOrder;
+
+    fn write_run(
+        be: &MemoryBackend,
+        name: &str,
+        keys: std::ops::Range<u64>,
+        block_bytes: usize,
+        pipelined: bool,
+    ) -> crate::run::RunMeta<u64> {
+        let mut w = RunWriter::with_options(
+            be,
+            name,
+            SortOrder::Ascending,
+            IoStats::new(),
+            block_bytes,
+            pipelined,
+        )
+        .unwrap();
+        for k in keys {
+            w.append(&Row::new(k, vec![k as u8; 5])).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn pipelined_and_sync_runs_are_byte_identical() {
+        let be = MemoryBackend::new();
+        let sync = write_run(&be, "sync", 0..500, 128, false);
+        let piped = write_run(&be, "piped", 0..500, 128, true);
+        assert_eq!(sync.rows, piped.rows);
+        assert_eq!(sync.bytes, piped.bytes);
+        assert_eq!(sync.blocks, piped.blocks);
+        let mut a = vec![0u8; sync.bytes as usize];
+        let mut b = vec![0u8; piped.bytes as usize];
+        be.open("sync").unwrap().read_exact(&mut a).unwrap();
+        be.open("piped").unwrap().read_exact(&mut b).unwrap();
+        assert_eq!(a, b, "pipelined spill changed the on-storage bytes");
+    }
+
+    #[test]
+    fn pipelined_writer_records_overlapped_io() {
+        let be = MemoryBackend::new();
+        let stats = IoStats::new();
+        let mut w =
+            RunWriter::with_options(&be, "ov", SortOrder::Ascending, stats.clone(), 64, true)
+                .unwrap();
+        for k in 0..200u64 {
+            w.append(&Row::key_only(k)).unwrap();
+        }
+        w.finish().unwrap();
+        let snap = stats.snapshot();
+        assert!(snap.write_ops > 1);
+        assert!(snap.overlapped_io_ns > 0, "pipeline writes should book overlapped time");
+        assert_eq!(snap.rows_written, 200);
+    }
+
+    #[test]
+    fn prefetching_reader_yields_identical_rows() {
+        let be = MemoryBackend::new();
+        let meta = write_run(&be, "pf", 0..1000, 96, true);
+        let plain: Vec<u64> =
+            RunReader::open(&be, &meta, IoStats::new()).unwrap().map(|r| r.unwrap().key).collect();
+        let reader = RunReader::open(&be, &meta, IoStats::new()).unwrap();
+        let mut pf = PrefetchingRunReader::spawn(reader, 2);
+        let fetched: Vec<u64> = pf.by_ref().map(|r| r.unwrap().key).collect();
+        assert_eq!(plain, fetched);
+        assert_eq!(pf.rows_yielded(), 1000);
+    }
+
+    #[test]
+    fn prefetching_reader_resumes_after_skip() {
+        let be = MemoryBackend::new();
+        let meta = write_run(&be, "sk", 0..600, 128, false);
+        let stats = IoStats::new();
+        let mut reader = RunReader::open(&be, &meta, stats.clone()).unwrap();
+        reader.skip_rows(450).unwrap();
+        let rest: Vec<u64> =
+            PrefetchingRunReader::spawn(reader, 3).map(|r| r.unwrap().key).collect();
+        assert_eq!(rest, (450..600).collect::<Vec<_>>());
+        let snap = stats.snapshot();
+        assert!(snap.blocks_skipped > 0, "whole-block skips should be counted");
+        assert!(snap.bytes_skipped > 0);
+    }
+
+    #[test]
+    fn dropping_a_prefetching_reader_joins_its_thread() {
+        let be = MemoryBackend::new();
+        // Many small blocks so the prefetch thread is still mid-run (or
+        // blocked on its full channel) when the consumer walks away.
+        let meta = write_run(&be, "drop", 0..2000, 32, false);
+        let reader = RunReader::open(&be, &meta, IoStats::new()).unwrap();
+        let mut pf = PrefetchingRunReader::spawn(reader, 1);
+        let first = pf.next().unwrap().unwrap();
+        assert_eq!(first.key, 0);
+        drop(pf); // must not deadlock; Drop joins the thread
+    }
+
+    #[test]
+    fn abandoned_pipelined_run_discards_the_object() {
+        let be = MemoryBackend::new();
+        let mut w: RunWriter<u64> =
+            RunWriter::with_options(&be, "gone", SortOrder::Ascending, IoStats::new(), 64, true)
+                .unwrap();
+        for k in 0..100u64 {
+            w.append(&Row::key_only(k)).unwrap();
+        }
+        drop(w); // no finish: the pipeline must shut down and not leak
+                 // The object was never finished, so it must not be readable.
+        assert!(RunReader::<u64>::open_named(&be, "gone", IoStats::new()).is_err());
+    }
+}

@@ -20,15 +20,38 @@ use histok_types::{Error, Result, Row, SortKey, SortOrder};
 
 use crate::backend::{SpillReader, StorageBackend};
 use crate::crc::crc32;
+use crate::pipeline::SpillPipeline;
 use crate::stats::IoStats;
 
 /// Target payload bytes per block (64 KiB).
 pub const DEFAULT_BLOCK_BYTES: usize = 64 * 1024;
 
-const FILE_MAGIC: u32 = 0x4853_544B; // "HSTK"
-const FILE_VERSION: u32 = 1;
-const BLOCK_MAGIC: u32 = 0x424C_4B31; // "BLK1"
-const BLOCK_HEADER_BYTES: usize = 16;
+pub(crate) const FILE_MAGIC: u32 = 0x4853_544B; // "HSTK"
+pub(crate) const FILE_VERSION: u32 = 1;
+pub(crate) const BLOCK_MAGIC: u32 = 0x424C_4B31; // "BLK1"
+pub(crate) const BLOCK_HEADER_BYTES: usize = 16;
+
+/// Decoded block-header fields: `(row_count, payload_len, crc32)`.
+type BlockHeader = (u32, u32, u32);
+
+/// Builds the 16-byte framing header for a sealed block payload.
+pub(crate) fn encode_block_header(
+    rows: u32,
+    payload_len: u32,
+    crc: u32,
+) -> [u8; BLOCK_HEADER_BYTES] {
+    let mut header = [0u8; BLOCK_HEADER_BYTES];
+    header[0..4].copy_from_slice(&BLOCK_MAGIC.to_le_bytes());
+    header[4..8].copy_from_slice(&rows.to_le_bytes());
+    header[8..12].copy_from_slice(&payload_len.to_le_bytes());
+    header[12..16].copy_from_slice(&crc.to_le_bytes());
+    header
+}
+
+/// The end-of-run marker: an all-zero-count block header.
+pub(crate) fn encode_end_marker() -> [u8; BLOCK_HEADER_BYTES] {
+    encode_block_header(0, 0, 0)
+}
 
 /// Metadata of one block within a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,7 +97,7 @@ impl<K> RunMeta<K> {
 /// at the earliest possible moment.
 pub struct RunWriter<K: SortKey> {
     name: String,
-    writer: Box<dyn crate::backend::SpillWriter>,
+    sink: BlockSink,
     order: SortOrder,
     block_target: usize,
     block_buf: Vec<u8>,
@@ -97,6 +120,14 @@ pub struct RunWriter<K: SortKey> {
     finished: bool,
 }
 
+/// Where sealed blocks go: either the calling thread CRCs and writes them
+/// synchronously, or they are handed to a [`SpillPipeline`] writer thread
+/// (double-buffered, bounded backpressure — see `pipeline.rs`).
+enum BlockSink {
+    Sync(Box<dyn crate::backend::SpillWriter>),
+    Pipelined(SpillPipeline),
+}
+
 impl<K: SortKey> RunWriter<K> {
     /// Starts a new run named `name` on `backend`.
     pub fn create(
@@ -105,7 +136,7 @@ impl<K: SortKey> RunWriter<K> {
         order: SortOrder,
         stats: IoStats,
     ) -> Result<Self> {
-        Self::with_block_bytes(backend, name, order, stats, DEFAULT_BLOCK_BYTES)
+        Self::with_options(backend, name, order, stats, DEFAULT_BLOCK_BYTES, false)
     }
 
     /// Starts a run with a custom block payload target (tests use small
@@ -117,6 +148,20 @@ impl<K: SortKey> RunWriter<K> {
         stats: IoStats,
         block_target: usize,
     ) -> Result<Self> {
+        Self::with_options(backend, name, order, stats, block_target, false)
+    }
+
+    /// Starts a run with a custom block target and, when `pipelined`, a
+    /// background writer thread that CRCs and writes sealed blocks while
+    /// the caller keeps appending into the next one.
+    pub fn with_options(
+        backend: &dyn StorageBackend,
+        name: impl Into<String>,
+        order: SortOrder,
+        stats: IoStats,
+        block_target: usize,
+        pipelined: bool,
+    ) -> Result<Self> {
         if block_target == 0 {
             return Err(Error::InvalidConfig("block target must be positive".into()));
         }
@@ -125,10 +170,17 @@ impl<K: SortKey> RunWriter<K> {
         let mut header = Vec::with_capacity(8);
         header.extend_from_slice(&FILE_MAGIC.to_le_bytes());
         header.extend_from_slice(&FILE_VERSION.to_le_bytes());
-        writer.write_all(&header)?;
+        let sink = if pipelined {
+            // The file header is written by the pipeline thread, so the
+            // operator thread performs no storage request at all here.
+            BlockSink::Pipelined(SpillPipeline::spawn(writer, header.clone(), stats.clone()))
+        } else {
+            writer.write_all(&header)?;
+            BlockSink::Sync(writer)
+        };
         Ok(RunWriter {
             name,
-            writer,
+            sink,
             order,
             block_target,
             block_buf: Vec::with_capacity(block_target + 256),
@@ -214,20 +266,36 @@ impl<K: SortKey> RunWriter<K> {
                 .ok_or_else(|| Error::Corrupt("undecodable row in write buffer".into()))?,
         );
         let payload_len = self.block_buf.len() as u32;
-        let crc = crc32(&self.block_buf);
-        let mut header = [0u8; BLOCK_HEADER_BYTES];
-        header[0..4].copy_from_slice(&BLOCK_MAGIC.to_le_bytes());
-        header[4..8].copy_from_slice(&self.rows_in_block.to_le_bytes());
-        header[8..12].copy_from_slice(&payload_len.to_le_bytes());
-        header[12..16].copy_from_slice(&crc.to_le_bytes());
-        // One Instant pair around the whole block request — never per row.
-        let started = std::time::Instant::now();
-        self.writer.write_all(&header)?;
-        self.writer.write_all(&self.block_buf)?;
-        let elapsed = started.elapsed();
-        let block_bytes = BLOCK_HEADER_BYTES as u64 + payload_len as u64;
-        self.bytes += block_bytes;
-        self.stats.record_write_timed(self.rows_in_block as u64, block_bytes, elapsed);
+        match &mut self.sink {
+            BlockSink::Sync(writer) => {
+                let crc = crc32(&self.block_buf);
+                let header = encode_block_header(self.rows_in_block, payload_len, crc);
+                // One Instant pair around the whole block request — never
+                // per row. The compute thread is blocked for the duration,
+                // so the elapsed time is also I/O wait.
+                let started = std::time::Instant::now();
+                writer.write_all(&header)?;
+                writer.write_all(&self.block_buf)?;
+                let elapsed = started.elapsed();
+                self.stats.record_write_timed(
+                    self.rows_in_block as u64,
+                    BLOCK_HEADER_BYTES as u64 + payload_len as u64,
+                    elapsed,
+                );
+                self.stats.record_io_wait(elapsed);
+            }
+            BlockSink::Pipelined(pipeline) => {
+                // Hand the sealed payload to the writer thread (it CRCs,
+                // frames, writes, and books the stats) and start filling a
+                // fresh buffer. Blocks only when ≥2 blocks are in flight.
+                let payload = std::mem::replace(
+                    &mut self.block_buf,
+                    Vec::with_capacity(self.block_target + 256),
+                );
+                pipeline.write_block(self.rows_in_block, payload)?;
+            }
+        }
+        self.bytes += BLOCK_HEADER_BYTES as u64 + payload_len as u64;
         self.blocks.push(BlockMeta {
             rows: self.rows_in_block,
             payload_bytes: payload_len,
@@ -256,12 +324,19 @@ impl<K: SortKey> RunWriter<K> {
     /// Seals the run and returns its metadata.
     pub fn finish(mut self) -> Result<RunMeta<K>> {
         self.flush_block()?;
-        // End marker: an all-zero block header.
-        let mut end = [0u8; BLOCK_HEADER_BYTES];
-        end[0..4].copy_from_slice(&BLOCK_MAGIC.to_le_bytes());
-        self.writer.write_all(&end)?;
+        match &mut self.sink {
+            BlockSink::Sync(writer) => {
+                // End marker: an all-zero block header.
+                writer.write_all(&encode_end_marker())?;
+                writer.finish()?;
+            }
+            BlockSink::Pipelined(pipeline) => {
+                // The pipeline writes the end marker, finishes the backend
+                // object, joins its thread, and surfaces any latched error.
+                pipeline.finish()?;
+            }
+        }
         self.bytes += BLOCK_HEADER_BYTES as u64;
-        self.writer.finish()?;
         self.stats.record_run_created();
         self.finished = true;
         Ok(RunMeta {
@@ -288,6 +363,10 @@ pub struct RunReader<K: SortKey> {
     current: std::collections::VecDeque<Row<K>>,
     done: bool,
     rows_yielded: u64,
+    /// True when the reader is driven by a background prefetch thread: its
+    /// block-read time then counts as overlapped I/O, not compute-thread
+    /// I/O wait.
+    background: bool,
 }
 
 impl<K: SortKey> RunReader<K> {
@@ -315,13 +394,31 @@ impl<K: SortKey> RunReader<K> {
             current: std::collections::VecDeque::new(),
             done: false,
             rows_yielded: 0,
+            background: false,
         })
     }
 
-    /// Reads the next block header; `Ok(None)` at the end marker.
-    fn read_block_header(&mut self) -> Result<Option<(u32, u32, u32)>> {
+    /// Marks the reader as driven by a background prefetch thread, so its
+    /// block-read time is booked as overlapped I/O instead of compute-side
+    /// I/O wait.
+    pub(crate) fn set_background(&mut self, background: bool) {
+        self.background = background;
+    }
+
+    /// The shared I/O stats this reader records into.
+    pub(crate) fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Reads the next block header; `Ok(None)` at the end marker. Also
+    /// returns the time the 16-byte header read took, so callers can fold
+    /// it into the block's timed span (the recorded byte count includes
+    /// the header, so the measured span must too).
+    fn read_block_header(&mut self) -> Result<(Option<BlockHeader>, std::time::Duration)> {
         let mut header = [0u8; BLOCK_HEADER_BYTES];
+        let started = std::time::Instant::now();
         self.reader.read_exact(&mut header)?;
+        let elapsed = started.elapsed();
         let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
         if magic != BLOCK_MAGIC {
             return Err(Error::Corrupt(format!("bad block magic {magic:#x}")));
@@ -330,22 +427,27 @@ impl<K: SortKey> RunReader<K> {
         let payload_len = u32::from_le_bytes(header[8..12].try_into().unwrap());
         let crc = u32::from_le_bytes(header[12..16].try_into().unwrap());
         if rows == 0 && payload_len == 0 {
-            return Ok(None);
+            return Ok((None, elapsed));
         }
-        Ok(Some((rows, payload_len, crc)))
+        Ok((Some((rows, payload_len, crc)), elapsed))
     }
 
-    fn load_next_block(&mut self) -> Result<bool> {
-        debug_assert!(self.current.is_empty());
-        let Some((rows, payload_len, crc)) = self.read_block_header()? else {
-            self.done = true;
-            return Ok(false);
-        };
+    /// Reads, verifies and decodes one block (whose header was already
+    /// consumed) into `self.current`. `header_elapsed` is the time the
+    /// header read took; the recorded span covers header + payload, exactly
+    /// matching the recorded byte count.
+    fn decode_block(
+        &mut self,
+        rows: u32,
+        payload_len: u32,
+        crc: u32,
+        header_elapsed: std::time::Duration,
+    ) -> Result<()> {
         let mut payload = vec![0u8; payload_len as usize];
         // One Instant pair around the whole block request — never per row.
         let started = std::time::Instant::now();
         self.reader.read_exact(&mut payload)?;
-        let elapsed = started.elapsed();
+        let elapsed = header_elapsed + started.elapsed();
         if crc32(&payload) != crc {
             return Err(Error::Corrupt("block CRC mismatch".into()));
         }
@@ -354,6 +456,11 @@ impl<K: SortKey> RunReader<K> {
             BLOCK_HEADER_BYTES as u64 + payload_len as u64,
             elapsed,
         );
+        if self.background {
+            self.stats.record_overlapped_io(elapsed);
+        } else {
+            self.stats.record_io_wait(elapsed);
+        }
         let mut slice = &payload[..];
         self.current.reserve(rows as usize);
         for _ in 0..rows {
@@ -362,7 +469,35 @@ impl<K: SortKey> RunReader<K> {
         if !slice.is_empty() {
             return Err(Error::Corrupt("trailing bytes after last row in block".into()));
         }
+        Ok(())
+    }
+
+    fn load_next_block(&mut self) -> Result<bool> {
+        debug_assert!(self.current.is_empty());
+        let (header, header_elapsed) = self.read_block_header()?;
+        let Some((rows, payload_len, crc)) = header else {
+            self.done = true;
+            return Ok(false);
+        };
+        self.decode_block(rows, payload_len, crc, header_elapsed)?;
         Ok(true)
+    }
+
+    /// Drains the buffered rows, or reads and decodes the next block and
+    /// returns its rows as one batch; `Ok(None)` at end of run. This is the
+    /// unit of work a prefetch thread ships per channel message.
+    pub(crate) fn next_block_rows(&mut self) -> Result<Option<Vec<Row<K>>>> {
+        if !self.current.is_empty() {
+            return Ok(Some(Vec::from(std::mem::take(&mut self.current))));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        if self.load_next_block()? {
+            Ok(Some(Vec::from(std::mem::take(&mut self.current))))
+        } else {
+            Ok(None)
+        }
     }
 
     /// Skips the next `n` rows, avoiding payload reads for whole skipped
@@ -379,32 +514,22 @@ impl<K: SortKey> RunReader<K> {
                 return Err(Error::Corrupt("skip past end of run".into()));
             }
             // Peek the next block header; skip whole blocks without decode.
-            let Some((rows, payload_len, crc)) = self.read_block_header()? else {
+            let (header, header_elapsed) = self.read_block_header()?;
+            let Some((rows, payload_len, crc)) = header else {
                 self.done = true;
                 return Err(Error::Corrupt("skip past end of run".into()));
             };
             if u64::from(rows) <= n {
+                // Whole-block skip: the payload is never read, which is the
+                // point — book it in the skip counters, not as a read.
                 self.reader.skip(payload_len as u64)?;
+                self.stats.record_block_skip(payload_len as u64);
                 self.rows_yielded += u64::from(rows);
                 n -= u64::from(rows);
             } else {
-                // Partially-skipped block: decode it.
-                let mut payload = vec![0u8; payload_len as usize];
-                let started = std::time::Instant::now();
-                self.reader.read_exact(&mut payload)?;
-                let elapsed = started.elapsed();
-                if crc32(&payload) != crc {
-                    return Err(Error::Corrupt("block CRC mismatch".into()));
-                }
-                self.stats.record_read_timed(
-                    rows as u64,
-                    BLOCK_HEADER_BYTES as u64 + payload_len as u64,
-                    elapsed,
-                );
-                let mut slice = &payload[..];
-                for _ in 0..rows {
-                    self.current.push_back(Row::decode(&mut slice)?);
-                }
+                // Partially-skipped block: decode it, with the same timed
+                // span / byte-count pairing as a normal block load.
+                self.decode_block(rows, payload_len, crc, header_elapsed)?;
             }
         }
         Ok(())

@@ -32,6 +32,18 @@ struct Counters {
     /// Modelled (virtual-clock) I/O nanoseconds reported by a throttled
     /// backend, surfaced through the same snapshot as the real counters.
     modelled_io_ns: AtomicU64,
+    /// Time the *compute* thread spent blocked on storage: synchronous
+    /// block reads/writes, plus stalls against a full spill pipeline or an
+    /// empty read-ahead channel.
+    io_wait_ns: AtomicU64,
+    /// Time background I/O threads spent moving bytes — latency that was
+    /// hidden behind computation instead of added to it.
+    overlapped_io_ns: AtomicU64,
+    /// Blocks whose payload was never read because a skip proved them
+    /// irrelevant (offset fast-skipping).
+    blocks_skipped: AtomicU64,
+    /// Payload bytes those skipped blocks would have cost.
+    bytes_skipped: AtomicU64,
     write_latency: LatencyHistogram,
     read_latency: LatencyHistogram,
 }
@@ -58,6 +70,16 @@ pub struct IoStatsSnapshot {
     /// cost model (0 unless a throttled backend reported its virtual
     /// clock into these stats).
     pub modelled_io_ns: u64,
+    /// Nanoseconds the compute thread spent blocked on storage (synchronous
+    /// I/O, pipeline backpressure, read-ahead waits).
+    pub io_wait_ns: u64,
+    /// Nanoseconds of I/O performed on background threads, i.e. latency
+    /// overlapped with computation rather than added to it.
+    pub overlapped_io_ns: u64,
+    /// Blocks skipped without reading their payload.
+    pub blocks_skipped: u64,
+    /// Payload bytes avoided by those skips.
+    pub bytes_skipped: u64,
     /// Observed per-request write latencies.
     pub write_latency: LatencySnapshot,
     /// Observed per-request read latencies.
@@ -117,6 +139,25 @@ impl IoStats {
         self.inner.modelled_io_ns.store(ns, Ordering::Relaxed);
     }
 
+    /// Records time the compute thread spent blocked on storage.
+    pub fn record_io_wait(&self, waited: Duration) {
+        let ns = waited.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.inner.io_wait_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records I/O time spent on a background thread (overlapped with
+    /// computation).
+    pub fn record_overlapped_io(&self, busy: Duration) {
+        let ns = busy.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.inner.overlapped_io_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records one block whose `payload_bytes` were skipped unread.
+    pub fn record_block_skip(&self, payload_bytes: u64) {
+        self.inner.blocks_skipped.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_skipped.fetch_add(payload_bytes, Ordering::Relaxed);
+    }
+
     /// Current counter values.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {
@@ -128,6 +169,10 @@ impl IoStats {
             write_ops: self.inner.write_ops.load(Ordering::Relaxed),
             read_ops: self.inner.read_ops.load(Ordering::Relaxed),
             modelled_io_ns: self.inner.modelled_io_ns.load(Ordering::Relaxed),
+            io_wait_ns: self.inner.io_wait_ns.load(Ordering::Relaxed),
+            overlapped_io_ns: self.inner.overlapped_io_ns.load(Ordering::Relaxed),
+            blocks_skipped: self.inner.blocks_skipped.load(Ordering::Relaxed),
+            bytes_skipped: self.inner.bytes_skipped.load(Ordering::Relaxed),
             write_latency: self.inner.write_latency.snapshot(),
             read_latency: self.inner.read_latency.snapshot(),
         }
@@ -157,6 +202,10 @@ impl IoStatsSnapshot {
             write_ops: self.write_ops.saturating_sub(earlier.write_ops),
             read_ops: self.read_ops.saturating_sub(earlier.read_ops),
             modelled_io_ns: self.modelled_io_ns.saturating_sub(earlier.modelled_io_ns),
+            io_wait_ns: self.io_wait_ns.saturating_sub(earlier.io_wait_ns),
+            overlapped_io_ns: self.overlapped_io_ns.saturating_sub(earlier.overlapped_io_ns),
+            blocks_skipped: self.blocks_skipped.saturating_sub(earlier.blocks_skipped),
+            bytes_skipped: self.bytes_skipped.saturating_sub(earlier.bytes_skipped),
             write_latency: self.write_latency.since(&earlier.write_latency),
             read_latency: self.read_latency.since(&earlier.read_latency),
         }
@@ -174,6 +223,10 @@ impl IoStatsSnapshot {
             write_ops: self.write_ops.saturating_add(other.write_ops),
             read_ops: self.read_ops.saturating_add(other.read_ops),
             modelled_io_ns: self.modelled_io_ns.saturating_add(other.modelled_io_ns),
+            io_wait_ns: self.io_wait_ns.saturating_add(other.io_wait_ns),
+            overlapped_io_ns: self.overlapped_io_ns.saturating_add(other.overlapped_io_ns),
+            blocks_skipped: self.blocks_skipped.saturating_add(other.blocks_skipped),
+            bytes_skipped: self.bytes_skipped.saturating_add(other.bytes_skipped),
             write_latency: self.write_latency.merged(&other.write_latency),
             read_latency: self.read_latency.merged(&other.read_latency),
         }
@@ -271,6 +324,32 @@ mod tests {
         assert_eq!(d.write_latency.count, 1);
         assert_eq!(d.write_latency.total_ns, 20_000);
         assert_eq!(d.modelled_io_ns, 50);
+    }
+
+    #[test]
+    fn wait_overlap_and_skip_counters_flow_through_snapshots() {
+        let s = IoStats::new();
+        s.record_io_wait(Duration::from_micros(5));
+        s.record_io_wait(Duration::from_micros(5));
+        s.record_overlapped_io(Duration::from_micros(7));
+        s.record_block_skip(4096);
+        s.record_block_skip(1024);
+        let early = s.snapshot();
+        assert_eq!(early.io_wait_ns, 10_000);
+        assert_eq!(early.overlapped_io_ns, 7_000);
+        assert_eq!(early.blocks_skipped, 2);
+        assert_eq!(early.bytes_skipped, 5120);
+        s.record_block_skip(100);
+        s.record_overlapped_io(Duration::from_nanos(1));
+        let d = s.snapshot().since(&early);
+        assert_eq!(d.blocks_skipped, 1);
+        assert_eq!(d.bytes_skipped, 100);
+        assert_eq!(d.overlapped_io_ns, 1);
+        assert_eq!(d.io_wait_ns, 0);
+        let m = early.merged(&d);
+        assert_eq!(m.blocks_skipped, 3);
+        assert_eq!(m.bytes_skipped, 5220);
+        assert_eq!(m.overlapped_io_ns, 7_001);
     }
 
     #[test]
