@@ -10,10 +10,13 @@
 //!
 //! The process exits non-zero if offset-value coding fails to cut the
 //! loser-tree's *full* key comparisons by at least 2× on the byte-key
-//! merge workload — the regression the counters exist to catch — or if the
+//! merge workload — the regression the counters exist to catch — if the
 //! overlapped-I/O layer (spill pipeline + merge read-ahead) fails to beat
 //! synchronous I/O by at least 1.3× wall-clock on a spill-heavy top-k over
-//! a sleeping throttled backend (modelled disaggregated-storage latency).
+//! a sleeping throttled backend (modelled disaggregated-storage latency),
+//! or if the range-partitioned parallel merge fails to beat the serial
+//! merge by at least 1.5× wall-clock on the same latency-dominated
+//! backend.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -21,7 +24,10 @@ use std::time::{Duration, Instant};
 
 use histok_core::{TopKConfig, TopKOperator, TraditionalExternalTopK};
 use histok_sort::run_gen::{ReplacementSelection, ResiduePolicy, RunGenerator};
-use histok_sort::{CmpStats, LoserTree, NoopObserver};
+use histok_sort::{
+    merge_runs_partitioned, merge_sources_tuned, open_source, CmpStats, LoserTree, MergeTuning,
+    NoopObserver,
+};
 use histok_storage::{IoStats, MemoryBackend, RunCatalog, ThrottleModel, ThrottledBackend};
 use histok_types::{BytesKey, JsonValue, Result, Row, SortKey, SortOrder, SortSpec};
 
@@ -31,6 +37,10 @@ const RUN_GEN_ROWS: u64 = 50_000;
 const REQUIRED_REDUCTION: f64 = 2.0;
 const OVERLAP_ROWS: u64 = 30_000;
 const REQUIRED_SPEEDUP: f64 = 1.3;
+const PARTITION_RUNS: u64 = 4;
+const PARTITION_ROWS_PER_RUN: u64 = 8_000;
+const PARTITION_THREADS: usize = 4;
+const REQUIRED_PARTITION_SPEEDUP: f64 = 1.5;
 
 struct CaseResult {
     rows: u64,
@@ -122,6 +132,92 @@ fn overlap_case(overlap: bool) -> OverlapRun {
         wall_ns,
         io_wait_ns: io.io_wait_ns,
         overlapped_io_ns: io.overlapped_io_ns,
+        checksum,
+    }
+}
+
+/// One wall-clock measurement of the final merge only (runs are written
+/// untimed), serial vs. range-partitioned across worker threads.
+struct PartitionRun {
+    rows: u64,
+    wall_ns: u64,
+    partitions: u64,
+    blocks_skipped: u64,
+    checksum: u64,
+}
+
+impl PartitionRun {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("rows".to_owned(), JsonValue::from(self.rows)),
+            ("wall_ns".to_owned(), JsonValue::from(self.wall_ns)),
+            ("partitions".to_owned(), JsonValue::from(self.partitions)),
+            ("blocks_skipped".to_owned(), JsonValue::from(self.blocks_skipped)),
+        ])
+    }
+}
+
+/// Few wide runs over the same sleeping throttled backend as
+/// `overlap_case`: the serial merge keeps only `PARTITION_RUNS` requests
+/// in flight (one prefetch stream per run), while the partitioned merge
+/// keeps `threads ×` that many — range-scoped readers skip straight to
+/// their partition — so the per-request sleeps divide by the partition
+/// count even on a single core.
+fn partition_case(threads: usize) -> PartitionRun {
+    let model =
+        ThrottleModel { per_op: Duration::from_micros(150), per_byte: Duration::ZERO, sleep: true };
+    let stats = IoStats::new();
+    let catalog: Arc<RunCatalog<u64>> = Arc::new(
+        RunCatalog::new(
+            Arc::new(ThrottledBackend::new(MemoryBackend::new(), model)),
+            RunCatalog::<u64>::unique_prefix("pmerge"),
+            SortOrder::Ascending,
+            stats.clone(),
+        )
+        .with_block_bytes(1024),
+    );
+    for r in 0..PARTITION_RUNS {
+        let mut w = catalog.start_run().expect("start run");
+        for j in 0..PARTITION_ROWS_PER_RUN {
+            let key = j * PARTITION_RUNS + r;
+            w.append(&Row::new(key, key.to_le_bytes().repeat(2))).expect("append");
+        }
+        catalog.register(w.finish().expect("finish run")).expect("register");
+    }
+    let runs = catalog.runs();
+    let tuning = MergeTuning { ovc: true, stats: None, readahead_blocks: 2 };
+    let skipped_before = stats.snapshot().blocks_skipped;
+    let started = Instant::now();
+    let mut rows = 0u64;
+    let mut checksum = 0u64;
+    let mut drain = |iter: &mut dyn Iterator<Item = Result<Row<u64>>>| {
+        for row in iter {
+            let row = row.expect("row");
+            checksum = checksum.wrapping_mul(31).wrapping_add(row.key);
+            rows += 1;
+        }
+    };
+    let partitions = if threads >= 2 {
+        let merge = merge_runs_partitioned(&catalog, &runs, vec![], threads, None, &tuning)
+            .expect("plan")
+            .partitioned()
+            .expect("partitionable");
+        let partitions = merge.partitions() as u64;
+        drain(&mut { merge });
+        partitions
+    } else {
+        let sources: Vec<_> =
+            runs.iter().map(|m| open_source(&catalog, m, &tuning).expect("open source")).collect();
+        let tree = merge_sources_tuned(sources, SortOrder::Ascending, &tuning).expect("merge");
+        drain(&mut { tree });
+        1
+    };
+    let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    PartitionRun {
+        rows,
+        wall_ns,
+        partitions,
+        blocks_skipped: stats.snapshot().blocks_skipped - skipped_before,
         checksum,
     }
 }
@@ -288,6 +384,40 @@ fn main() {
         ),
     ]));
 
+    // Partitioned merge: the same final merge over few wide runs, serial
+    // vs. range-partitioned across worker threads.
+    let partitioned = partition_case(PARTITION_THREADS);
+    let serial = partition_case(1);
+    assert_eq!(partitioned.rows, serial.rows, "partitioning changed the row count");
+    assert_eq!(partitioned.checksum, serial.checksum, "partitioning changed the output order");
+    let partition_speedup = if partitioned.wall_ns == 0 {
+        f64::INFINITY
+    } else {
+        serial.wall_ns as f64 / partitioned.wall_ns as f64
+    };
+    println!(
+        "{:<24} {:>10.0}ms {:>10.0}ms {:>12} {:>12} {:>9.2}x",
+        "partitioned_merge",
+        partitioned.wall_ns as f64 / 1e6,
+        serial.wall_ns as f64 / 1e6,
+        format!("(P={})", partitioned.partitions),
+        "(serial)",
+        partition_speedup
+    );
+    rows.push(JsonValue::Obj(vec![
+        ("name".to_owned(), JsonValue::from("partitioned_merge")),
+        ("partitioned".to_owned(), partitioned.to_json()),
+        ("serial".to_owned(), serial.to_json()),
+        (
+            "speedup".to_owned(),
+            JsonValue::from(if partition_speedup.is_finite() {
+                partition_speedup
+            } else {
+                f64::MAX
+            }),
+        ),
+    ]));
+
     let report = JsonValue::Obj(vec![
         ("experiment".to_owned(), JsonValue::from("bench_smoke")),
         (
@@ -299,6 +429,13 @@ fn main() {
                 ("required_reduction".to_owned(), JsonValue::from(REQUIRED_REDUCTION)),
                 ("overlap_rows".to_owned(), JsonValue::from(OVERLAP_ROWS)),
                 ("required_speedup".to_owned(), JsonValue::from(REQUIRED_SPEEDUP)),
+                ("partition_runs".to_owned(), JsonValue::from(PARTITION_RUNS)),
+                ("partition_rows_per_run".to_owned(), JsonValue::from(PARTITION_ROWS_PER_RUN)),
+                ("partition_threads".to_owned(), JsonValue::from(PARTITION_THREADS as u64)),
+                (
+                    "required_partition_speedup".to_owned(),
+                    JsonValue::from(REQUIRED_PARTITION_SPEEDUP),
+                ),
             ]),
         ),
         ("cases".to_owned(), JsonValue::Arr(rows)),
@@ -330,6 +467,18 @@ fn main() {
         println!(
             "OK: overlapped I/O sped the throttled top-k up {speedup:.2}x \
              (required {REQUIRED_SPEEDUP}x)"
+        );
+    }
+    if partition_speedup < REQUIRED_PARTITION_SPEEDUP {
+        eprintln!(
+            "FAIL: partitioned merge sped the throttled final merge up only \
+             {partition_speedup:.2}x (required {REQUIRED_PARTITION_SPEEDUP}x)"
+        );
+        failed = true;
+    } else {
+        println!(
+            "OK: partitioned merge sped the throttled final merge up {partition_speedup:.2}x \
+             (required {REQUIRED_PARTITION_SPEEDUP}x)"
         );
     }
     if failed {

@@ -134,6 +134,12 @@ pub fn metrics_to_json(m: &OperatorMetrics) -> JsonValue {
         ("spilled".to_owned(), JsonValue::from(m.spilled)),
         ("peak_memory_bytes".to_owned(), JsonValue::from(m.peak_memory_bytes)),
         ("early_merges".to_owned(), JsonValue::from(m.early_merges)),
+        ("merge_partitions".to_owned(), JsonValue::from(m.merge_partitions)),
+        (
+            "partition_rows".to_owned(),
+            JsonValue::Arr(m.partition_rows.iter().map(|&r| JsonValue::from(r)).collect()),
+        ),
+        ("partition_skew".to_owned(), JsonValue::from(m.partition_skew())),
         (
             "cmp".to_owned(),
             JsonValue::Obj(vec![

@@ -68,6 +68,23 @@ pub struct TopKConfig {
     /// prefetch window is `readahead_blocks × block_bytes`. `0` reads
     /// synchronously on the merge thread. Default 2.
     pub readahead_blocks: usize,
+    /// Worker threads for the final merge. With 2 or more, the final
+    /// merge is range-partitioned across histogram-guided splitter keys
+    /// when the estimated row count clears
+    /// [`partition_min_rows`](TopKConfig::partition_min_rows). Default:
+    /// `available_parallelism` capped at 4; 1 = always serial.
+    pub merge_threads: usize,
+    /// Minimum estimated rows in the final merge before it goes parallel;
+    /// below this, partitioning overhead (thread spawn, channel hops)
+    /// outweighs the win. Default 8192.
+    pub partition_min_rows: u64,
+}
+
+/// Default for [`TopKConfig::merge_threads`]: the machine's available
+/// parallelism, capped at 4 (the paper's storage model saturates around
+/// there; more threads only shred the read pattern).
+pub fn default_merge_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(4)
 }
 
 impl Default for TopKConfig {
@@ -93,6 +110,8 @@ impl Default for TopKConfig {
             ovc_enabled: true,
             spill_pipeline: true,
             readahead_blocks: 2,
+            merge_threads: default_merge_threads(),
+            partition_min_rows: 8192,
         }
     }
 }
@@ -113,6 +132,9 @@ impl TopKConfig {
         }
         if !(0.0..1.0).contains(&self.approx_slack) {
             return Err(Error::InvalidConfig("approx_slack must be in [0, 1)".into()));
+        }
+        if self.merge_threads == 0 {
+            return Err(Error::InvalidConfig("merge_threads must be at least 1".into()));
         }
         self.sizing.validate()?;
         self.merge.validate()?;
@@ -229,6 +251,19 @@ impl TopKConfigBuilder {
         self
     }
 
+    /// Final-merge worker threads; see [`TopKConfig::merge_threads`].
+    pub fn merge_threads(mut self, threads: usize) -> Self {
+        self.config.merge_threads = threads;
+        self
+    }
+
+    /// Parallel-merge row threshold; see
+    /// [`TopKConfig::partition_min_rows`].
+    pub fn partition_min_rows(mut self, rows: u64) -> Self {
+        self.config.partition_min_rows = rows;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<TopKConfig> {
         self.config.validate()?;
@@ -250,6 +285,8 @@ mod tests {
         assert!(c.filter_enabled && c.input_filter && c.spill_filter);
         assert!(c.spill_pipeline);
         assert_eq!(c.readahead_blocks, 2);
+        assert!((1..=4).contains(&c.merge_threads));
+        assert_eq!(c.partition_min_rows, 8192);
         assert!(c.validate().is_ok());
     }
 
@@ -271,6 +308,8 @@ mod tests {
             .block_bytes(1024)
             .spill_pipeline(false)
             .readahead_blocks(4)
+            .merge_threads(2)
+            .partition_min_rows(100)
             .build()
             .unwrap();
         assert_eq!(c.memory_budget, 1 << 20);
@@ -283,6 +322,8 @@ mod tests {
         assert_eq!(c.block_bytes, 1024);
         assert!(!c.spill_pipeline);
         assert_eq!(c.readahead_blocks, 4);
+        assert_eq!(c.merge_threads, 2);
+        assert_eq!(c.partition_min_rows, 100);
     }
 
     #[test]
@@ -294,5 +335,7 @@ mod tests {
         assert!(TopKConfig::builder().approx_slack(1.0).build().is_err());
         assert!(TopKConfig::builder().approx_slack(-0.1).build().is_err());
         assert!(TopKConfig::builder().approx_slack(0.25).build().is_ok());
+        assert!(TopKConfig::builder().merge_threads(0).build().is_err());
+        assert!(TopKConfig::builder().merge_threads(1).build().is_ok());
     }
 }

@@ -178,7 +178,7 @@ impl<K: SortKey> ExchangeTopK<K> {
 }
 
 /// Metrics of one exchange execution.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExchangeMetrics {
     /// The consumer operator's metrics.
     pub operator: OperatorMetrics,

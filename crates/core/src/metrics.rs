@@ -7,7 +7,7 @@ use histok_types::PhaseTotals;
 use crate::cutoff::FilterMetrics;
 
 /// Everything a top-k operator can report about one execution.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OperatorMetrics {
     /// Rows pushed into the operator.
     pub rows_in: u64,
@@ -33,6 +33,11 @@ pub struct OperatorMetrics {
     /// generation including spill writes, final merge). Timed with one
     /// `Instant` pair per phase transition — never per row.
     pub phases: PhaseTotals,
+    /// Worker threads (key ranges) of the final merge; 1 = serial.
+    pub merge_partitions: u64,
+    /// Rows each final-merge partition emitted, in key-range order; empty
+    /// when the merge ran serially.
+    pub partition_rows: Vec<u64>,
 }
 
 impl OperatorMetrics {
@@ -53,6 +58,12 @@ impl OperatorMetrics {
             early_merges: self.early_merges.saturating_add(other.early_merges),
             cmp: self.cmp.merged(&other.cmp),
             phases: self.phases.merged(&other.phases),
+            merge_partitions: self.merge_partitions.max(other.merge_partitions),
+            partition_rows: if self.partition_rows.len() >= other.partition_rows.len() {
+                self.partition_rows.clone()
+            } else {
+                other.partition_rows.clone()
+            },
         }
     }
 
@@ -88,6 +99,22 @@ impl OperatorMetrics {
     pub fn overlapped_io_ns(&self) -> u64 {
         self.io.overlapped_io_ns
     }
+
+    /// Load imbalance of the partitioned merge: the busiest partition's
+    /// rows over the mean (1.0 = perfectly balanced splitters; 0.0 when
+    /// the merge ran serially or emitted nothing).
+    pub fn partition_skew(&self) -> f64 {
+        let n = self.partition_rows.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.partition_rows.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = *self.partition_rows.iter().max().unwrap_or(&0);
+        max as f64 * n as f64 / total as f64
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +135,18 @@ mod tests {
         assert_eq!(m.rows_spilled(), 25);
         assert_eq!(m.runs(), 3);
         assert!((m.spill_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_skew_is_max_over_mean() {
+        let m = OperatorMetrics {
+            merge_partitions: 4,
+            partition_rows: vec![100, 100, 100, 100],
+            ..Default::default()
+        };
+        assert!((m.partition_skew() - 1.0).abs() < 1e-12);
+        let skewed = OperatorMetrics { partition_rows: vec![300, 50, 50, 0], ..Default::default() };
+        assert!((skewed.partition_skew() - 3.0).abs() < 1e-12);
+        assert_eq!(OperatorMetrics::default().partition_skew(), 0.0);
     }
 }

@@ -17,7 +17,9 @@ use parking_lot::{Mutex, RwLock};
 
 use histok_sort::run_gen::{ReplacementSelection, RunGenerator};
 use histok_sort::{
-    merge_sources_tuned, plan_merges_tuned, CmpStats, MergeSource, MergeTuning, SpillObserver,
+    merge_sources_partitioned, merge_sources_tuned, plan_merges_tuned, plan_partitions,
+    run_overlaps, split_sorted_rows, CmpStats, MergeSource, MergeTuning, PartitionCounters,
+    SpillObserver,
 };
 use histok_storage::{IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
@@ -38,6 +40,8 @@ struct Shared<K: SortKey> {
     published: RwLock<Option<K>>,
     eliminated_input: std::sync::atomic::AtomicU64,
     eliminated_spill: std::sync::atomic::AtomicU64,
+    /// Times the published cutoff actually changed (≤ buckets inserted).
+    republishes: std::sync::atomic::AtomicU64,
 }
 
 impl<K: SortKey> Shared<K> {
@@ -49,13 +53,20 @@ impl<K: SortKey> Shared<K> {
         }
     }
 
-    /// Inserts a bucket into the shared queue and republishes the cutoff.
+    /// Inserts a bucket into the shared queue and republishes the cutoff
+    /// — but only when it actually moved. Most inserts land past the
+    /// established cutoff and leave it unchanged; taking the write lock
+    /// for those would stall every concurrent elimination test.
     fn insert_bucket(&self, bucket: crate::histogram::Bucket<K>) {
         let mut f = self.filter.lock();
+        let before = f.cutoff().cloned();
         f.insert_bucket(bucket);
-        let cut = f.cutoff().cloned();
+        let after = f.cutoff().cloned();
         drop(f);
-        *self.published.write() = cut;
+        if before != after {
+            *self.published.write() = after;
+            self.republishes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 }
 
@@ -109,6 +120,19 @@ struct WorkerOutput<K: SortKey> {
     peak_bytes: usize,
 }
 
+/// Keeps every worker's run catalog alive while the final stream drains.
+struct HoldAll<K: SortKey, I> {
+    _catalogs: Vec<Arc<RunCatalog<K>>>,
+    inner: I,
+}
+
+impl<K: SortKey, I: Iterator<Item = Result<Row<K>>>> Iterator for HoldAll<K, I> {
+    type Item = Result<Row<K>>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
 /// Multi-threaded top-k sharing one histogram filter across workers.
 pub struct ParallelTopK<K: SortKey> {
     spec: SortSpec,
@@ -130,6 +154,8 @@ pub struct ParallelTopK<K: SortKey> {
     /// Shared comparison counters: every worker's selection heap and the
     /// final merge flush into the same handle.
     cmp_stats: CmpStats,
+    merge_partitions: u64,
+    partition_counters: Option<PartitionCounters>,
 }
 
 impl<K: SortKey> ParallelTopK<K> {
@@ -156,6 +182,7 @@ impl<K: SortKey> ParallelTopK<K> {
             published: RwLock::new(None),
             eliminated_input: std::sync::atomic::AtomicU64::new(0),
             eliminated_spill: std::sync::atomic::AtomicU64::new(0),
+            republishes: std::sync::atomic::AtomicU64::new(0),
         });
 
         let cmp_stats = CmpStats::new();
@@ -239,6 +266,8 @@ impl<K: SortKey> ParallelTopK<K> {
             timer: PhaseTimer::started(Phase::RunGeneration),
             final_merge_ns: Arc::new(AtomicU64::new(0)),
             cmp_stats,
+            merge_partitions: 1,
+            partition_counters: None,
         })
     }
 
@@ -291,35 +320,84 @@ impl<K: SortKey> ParallelTopK<K> {
         }
         let cutoff = self.shared.filter.lock().cutoff().cloned();
         let retained = self.spec.retained();
-        let mut sources: Vec<MergeSource<K>> = Vec::new();
-        let mut catalogs = Vec::with_capacity(outputs.len());
-        for out in outputs {
+        let tuning = self.merge_tuning();
+        // Plan each worker's final merge once up front; the plans drive
+        // either the partitioned or the serial assembly below.
+        let mut plans = Vec::with_capacity(outputs.len());
+        let mut est_rows = 0u64;
+        for out in &outputs {
             let final_runs = plan_merges_tuned(
                 &out.catalog,
                 &self.config.merge,
                 Some(retained),
                 cutoff.as_ref(),
-                &self.merge_tuning(),
+                &tuning,
             )?;
-            for meta in &final_runs {
-                sources.push(histok_sort::open_source(&out.catalog, meta, &self.merge_tuning())?);
+            est_rows += final_runs.iter().map(|m| m.rows).sum::<u64>();
+            est_rows += out.residue.iter().map(|s| s.len() as u64).sum::<u64>();
+            plans.push(final_runs);
+        }
+        // Range-partition the final merge across every worker's runs when
+        // configured and the input is large enough. The cutoff clips the
+        // plan only in exact mode: with approximation slack the filter
+        // proves fewer than `retained` rows at or below it.
+        if self.config.merge_threads >= 2 && est_rows >= self.config.partition_min_rows.max(1) {
+            let clip = if self.config.approx_slack == 0.0 { cutoff.as_ref() } else { None };
+            let all_runs: Vec<_> = plans.iter().flatten().cloned().collect();
+            let ranges =
+                plan_partitions(&all_runs, self.spec.order, self.config.merge_threads, clip);
+            if ranges.len() >= 2 {
+                let mut partitions: Vec<Vec<MergeSource<K>>> =
+                    (0..ranges.len()).map(|_| Vec::new()).collect();
+                let mut catalogs = Vec::with_capacity(outputs.len());
+                // Source order within each partition mirrors the serial
+                // assembly (worker 0's runs, worker 0's residue, worker
+                // 1's runs, ...) so loser-tree tie-breaks agree.
+                for (out, final_runs) in outputs.into_iter().zip(plans.iter()) {
+                    for meta in final_runs {
+                        for (i, range) in ranges.iter().enumerate() {
+                            if run_overlaps(meta, range, self.spec.order) {
+                                let reader = out.catalog.open_range(meta, range.clone())?;
+                                partitions[i].push(MergeSource::from_reader(
+                                    reader,
+                                    tuning.readahead_blocks,
+                                ));
+                            }
+                        }
+                    }
+                    for seq in out.residue {
+                        for (i, part) in
+                            split_sorted_rows(seq, &ranges, self.spec.order).into_iter().enumerate()
+                        {
+                            if !part.is_empty() {
+                                partitions[i].push(MergeSource::Memory(part.into_iter()));
+                            }
+                        }
+                    }
+                    catalogs.push(out.catalog);
+                }
+                let merge = merge_sources_partitioned(partitions, self.spec.order, &tuning)?;
+                self.merge_partitions = merge.partitions() as u64;
+                self.partition_counters = Some(merge.counters());
+                self.timer.stop();
+                return Ok(Box::new(TimedStream::new(
+                    HoldAll { _catalogs: catalogs, inner: SpecStream::new(merge, &self.spec) },
+                    self.final_merge_ns.clone(),
+                )));
+            }
+        }
+        let mut sources: Vec<MergeSource<K>> = Vec::new();
+        let mut catalogs = Vec::with_capacity(outputs.len());
+        for (out, final_runs) in outputs.into_iter().zip(plans.iter()) {
+            for meta in final_runs {
+                sources.push(histok_sort::open_source(&out.catalog, meta, &tuning)?);
             }
             for seq in out.residue {
                 sources.push(MergeSource::Memory(seq.into_iter()));
             }
             catalogs.push(out.catalog);
         }
-        let tree = merge_sources_tuned(sources, self.spec.order, &self.merge_tuning())?;
-        struct HoldAll<K: SortKey, I> {
-            _catalogs: Vec<Arc<RunCatalog<K>>>,
-            inner: I,
-        }
-        impl<K: SortKey, I: Iterator<Item = Result<Row<K>>>> Iterator for HoldAll<K, I> {
-            type Item = Result<Row<K>>;
-            fn next(&mut self) -> Option<Self::Item> {
-                self.inner.next()
-            }
-        }
+        let tree = merge_sources_tuned(sources, self.spec.order, &tuning)?;
         self.timer.stop();
         Ok(Box::new(TimedStream::new(
             HoldAll { _catalogs: catalogs, inner: SpecStream::new(tree, &self.spec) },
@@ -352,6 +430,12 @@ impl<K: SortKey> ParallelTopK<K> {
             early_merges: 0,
             cmp: self.cmp_stats.snapshot(),
             phases,
+            merge_partitions: self.merge_partitions,
+            partition_rows: self
+                .partition_counters
+                .as_ref()
+                .map(|c| c.snapshot())
+                .unwrap_or_default(),
         }
     }
 }
@@ -565,6 +649,70 @@ mod tests {
         assert!(m.phases.final_merge_ns > 0);
         assert_eq!(m.phases.in_memory_ns, 0);
         assert_eq!(m.phases.spill_write_ns, m.io.write_latency.total_ns);
+    }
+
+    #[test]
+    fn partitioned_final_merge_matches_serial() {
+        let keys = shuffled(30_000, 27);
+        let row_bytes = histok_sort::row_footprint(&Row::key_only(0u64));
+        let run = |merge_threads: usize| {
+            let cfg = TopKConfig::builder()
+                .memory_budget(150 * row_bytes)
+                .block_bytes(512)
+                .merge_threads(merge_threads)
+                .partition_min_rows(1)
+                .build()
+                .unwrap();
+            let mut op: ParallelTopK<u64> =
+                ParallelTopK::new(SortSpec::ascending(5_000), cfg, MemoryBackend::new(), 2)
+                    .unwrap();
+            for &k in &keys {
+                op.push(Row::key_only(k)).unwrap();
+            }
+            let out: Vec<u64> = op.finish().unwrap().map(|r| r.unwrap().key).collect();
+            (out, op.metrics())
+        };
+        let (serial, m_serial) = run(1);
+        let (parallel, m_parallel) = run(4);
+        assert_eq!(serial, (0..5_000).collect::<Vec<_>>());
+        assert_eq!(serial, parallel, "partitioning changed the output");
+        assert_eq!(m_serial.merge_partitions, 1);
+        assert!(m_parallel.merge_partitions >= 2, "final merge did not go parallel");
+        assert_eq!(m_parallel.partition_rows.len() as u64, m_parallel.merge_partitions);
+        assert!(m_parallel.partition_rows.iter().sum::<u64>() >= 5_000);
+    }
+
+    #[test]
+    fn cutoff_republishes_only_when_it_moves() {
+        use crate::histogram::Bucket;
+        use std::sync::atomic::Ordering as AtomicOrdering;
+        let shared: Shared<u64> = Shared {
+            filter: Mutex::new(CutoffFilter::new(10, histok_types::SortOrder::Ascending)),
+            published: RwLock::new(None),
+            eliminated_input: std::sync::atomic::AtomicU64::new(0),
+            eliminated_spill: std::sync::atomic::AtomicU64::new(0),
+            republishes: std::sync::atomic::AtomicU64::new(0),
+        };
+        // First bucket proving k rows establishes (and publishes) the cutoff.
+        shared.insert_bucket(Bucket::new(100u64, 10));
+        assert_eq!(shared.republishes.load(AtomicOrdering::Relaxed), 1);
+        assert_eq!(*shared.published.read(), Some(100));
+        // Buckets entirely past the cutoff leave it unchanged; before the
+        // republish-on-move fix every one of these took the write lock and
+        // stalled concurrent elimination tests.
+        for i in 0..100u64 {
+            shared.insert_bucket(Bucket::new(1_000 + i, 5));
+        }
+        assert_eq!(
+            shared.republishes.load(AtomicOrdering::Relaxed),
+            1,
+            "inserts that do not move the cutoff must not republish"
+        );
+        assert_eq!(*shared.published.read(), Some(100));
+        // A tighter bucket moves the cutoff and republishes exactly once.
+        shared.insert_bucket(Bucket::new(5u64, 10));
+        assert_eq!(shared.republishes.load(AtomicOrdering::Relaxed), 2);
+        assert_eq!(*shared.published.read(), Some(5));
     }
 
     #[test]

@@ -181,7 +181,7 @@ where
     /// run one at a time, so peak memory is the max across segments; rows
     /// ignored after satisfaction count as input-time eliminations.
     pub fn metrics(&self) -> OperatorMetrics {
-        let mut total = self.completed;
+        let mut total = self.completed.clone();
         if let Some((_, op)) = &self.current {
             total = total.merged(&op.metrics());
         }

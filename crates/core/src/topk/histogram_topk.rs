@@ -16,7 +16,8 @@ use std::sync::Arc;
 use histok_sort::run_gen::ResiduePolicy;
 use histok_sort::run_gen::{LoadSortStore, ReplacementSelection, RunGenerator};
 use histok_sort::{
-    merge_sources_tuned, plan_merges_tuned, CmpStats, LoserTree, MergeSource, MergeTuning,
+    merge_runs_partitioned, merge_sources_tuned, plan_merges_tuned, CmpStats, LoserTree,
+    MergeSource, MergeTuning, PartitionAttempt, PartitionCounters,
 };
 use histok_storage::{IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
@@ -66,6 +67,10 @@ pub struct HistogramTopK<K: SortKey> {
     final_merge_ns: Arc<AtomicU64>,
     /// Shared comparison counters the sort structures flush into.
     cmp_stats: CmpStats,
+    /// Key ranges the final merge ran across (1 = serial).
+    merge_partitions: u64,
+    /// Per-partition row counters when the final merge went parallel.
+    partition_counters: Option<PartitionCounters>,
 }
 
 enum State<K: SortKey> {
@@ -115,6 +120,8 @@ impl<K: SortKey> HistogramTopK<K> {
             timer: PhaseTimer::started(Phase::InMemory),
             final_merge_ns: Arc::new(AtomicU64::new(0)),
             cmp_stats: CmpStats::new(),
+            merge_partitions: 1,
+            partition_counters: None,
         })
     }
 
@@ -257,6 +264,43 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
                     cutoff.as_ref(),
                     &self.merge_tuning(),
                 )?;
+                // Range-partitioned parallel final merge (offset queries
+                // stay serial: the fast-skip path positions readers
+                // mid-run, which is incompatible with a range open). The
+                // cutoff clip is only sound when exact — with slack the
+                // serial merge may emit rows past the cutoff, and the
+                // partitioned path must match it byte for byte.
+                let mut residue = residue;
+                let est_rows = final_runs.iter().map(|m| m.rows).sum::<u64>()
+                    + residue.iter().map(|s| s.len() as u64).sum::<u64>();
+                if self.spec.offset == 0
+                    && self.config.merge_threads >= 2
+                    && est_rows >= self.config.partition_min_rows.max(1)
+                {
+                    let clip = if self.config.approx_slack == 0.0 { cutoff.as_ref() } else { None };
+                    match merge_runs_partitioned(
+                        &ext.catalog,
+                        &final_runs,
+                        residue,
+                        self.config.merge_threads,
+                        clip,
+                        &self.merge_tuning(),
+                    )? {
+                        PartitionAttempt::Partitioned(merge) => {
+                            self.merge_partitions = merge.partitions() as u64;
+                            self.partition_counters = Some(merge.counters());
+                            self.timer.stop();
+                            return Ok(Box::new(TimedStream::new(
+                                HoldCatalog {
+                                    _catalog: ext.catalog,
+                                    inner: SpecStream::new(merge, &self.spec),
+                                },
+                                self.final_merge_ns.clone(),
+                            )));
+                        }
+                        PartitionAttempt::Serial(rows) => residue = rows,
+                    }
+                }
                 // §4.1: an OFFSET clause lets the merge start partway in —
                 // the block indexes prove whole blocks irrelevant and skip
                 // them without reading.
@@ -306,6 +350,12 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
             early_merges: 0,
             cmp: self.cmp_stats.snapshot(),
             phases,
+            merge_partitions: self.merge_partitions,
+            partition_rows: self
+                .partition_counters
+                .as_ref()
+                .map(|c| c.snapshot())
+                .unwrap_or_default(),
         }
     }
 

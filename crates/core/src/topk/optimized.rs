@@ -21,8 +21,8 @@ use std::sync::Arc;
 
 use histok_sort::run_gen::{ReplacementSelection, ResiduePolicy, RunGenerator};
 use histok_sort::{
-    merge_runs_to_new_tuned, merge_sources_tuned, plan_merges_tuned, CmpStats, MergeSource,
-    MergeTuning, SpillObserver,
+    merge_runs_partitioned, merge_runs_to_new_tuned, merge_sources_tuned, plan_merges_tuned,
+    CmpStats, MergeSource, MergeTuning, PartitionAttempt, PartitionCounters, SpillObserver,
 };
 use histok_storage::{IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortOrder, SortSpec};
@@ -122,6 +122,8 @@ pub struct OptimizedExternalTopK<K: SortKey> {
     final_merge_ns: Arc<AtomicU64>,
     /// Shared comparison counters the sort structures flush into.
     cmp_stats: CmpStats,
+    merge_partitions: u64,
+    partition_counters: Option<PartitionCounters>,
 }
 
 impl<K: SortKey> OptimizedExternalTopK<K> {
@@ -159,6 +161,8 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
             timer: PhaseTimer::started(Phase::InMemory),
             final_merge_ns: Arc::new(AtomicU64::new(0)),
             cmp_stats: CmpStats::new(),
+            merge_partitions: 1,
+            partition_counters: None,
         })
     }
 
@@ -312,6 +316,39 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
                     obs.cutoff.as_ref(),
                     &self.merge_tuning(),
                 )?;
+                // Range-partition the final merge when configured. The
+                // kth-key cutoff (when set) proves at least `retained`
+                // rows at or below it, so clipping the partition plan at
+                // the cutoff never loses an output row.
+                let mut residue = residue;
+                let est_rows = final_runs.iter().map(|m| m.rows).sum::<u64>()
+                    + residue.iter().map(|s| s.len() as u64).sum::<u64>();
+                if self.config.merge_threads >= 2
+                    && est_rows >= self.config.partition_min_rows.max(1)
+                {
+                    match merge_runs_partitioned(
+                        &catalog,
+                        &final_runs,
+                        residue,
+                        self.config.merge_threads,
+                        obs.cutoff.as_ref(),
+                        &self.merge_tuning(),
+                    )? {
+                        PartitionAttempt::Partitioned(merge) => {
+                            self.merge_partitions = merge.partitions() as u64;
+                            self.partition_counters = Some(merge.counters());
+                            self.timer.stop();
+                            return Ok(Box::new(TimedStream::new(
+                                HoldCatalog {
+                                    _catalog: catalog,
+                                    inner: SpecStream::new(merge, &self.spec),
+                                },
+                                self.final_merge_ns.clone(),
+                            )));
+                        }
+                        PartitionAttempt::Serial(rows) => residue = rows,
+                    }
+                }
                 let mut sources: Vec<MergeSource<K>> =
                     Vec::with_capacity(final_runs.len() + residue.len());
                 for meta in &final_runs {
@@ -352,6 +389,12 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
             early_merges: self.early_merges,
             cmp: self.cmp_stats.snapshot(),
             phases,
+            merge_partitions: self.merge_partitions,
+            partition_rows: self
+                .partition_counters
+                .as_ref()
+                .map(|c| c.snapshot())
+                .unwrap_or_default(),
         }
     }
 

@@ -32,6 +32,8 @@ pub struct TraditionalExternalTopK<K: SortKey> {
     final_merge_ns: Arc<AtomicU64>,
     /// Shared comparison counters the final merge flushes into.
     cmp_stats: CmpStats,
+    merge_partitions: u64,
+    partition_counters: Option<histok_sort::PartitionCounters>,
 }
 
 impl<K: SortKey> TraditionalExternalTopK<K> {
@@ -59,6 +61,8 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
             sorter
                 .with_block_bytes(config.block_bytes)
                 .with_spill_pipeline(config.spill_pipeline)
+                .with_merge_threads(config.merge_threads)
+                .with_partition_min_rows(config.partition_min_rows)
                 .with_tuning(MergeTuning {
                     ovc: config.ovc_enabled,
                     stats: Some(op.cmp_stats.clone()),
@@ -97,6 +101,8 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
             timer: PhaseTimer::started(Phase::RunGeneration),
             final_merge_ns: Arc::new(AtomicU64::new(0)),
             cmp_stats,
+            merge_partitions: 1,
+            partition_counters: None,
         })
     }
 
@@ -120,6 +126,8 @@ impl<K: SortKey> TopKOperator<K> for TraditionalExternalTopK<K> {
         };
         self.peak_bytes = self.budget; // uses its whole workspace
         let stream = sorter.finish()?;
+        self.merge_partitions = stream.merge_partitions() as u64;
+        self.partition_counters = stream.partition_counters();
         self.timer.stop();
         Ok(Box::new(TimedStream::new(
             SpecStream::new(stream, &self.spec),
@@ -140,6 +148,12 @@ impl<K: SortKey> TopKOperator<K> for TraditionalExternalTopK<K> {
             peak_memory_bytes: self.peak_bytes,
             cmp: self.cmp_stats.snapshot(),
             phases,
+            merge_partitions: self.merge_partitions,
+            partition_rows: self
+                .partition_counters
+                .as_ref()
+                .map(|c| c.snapshot())
+                .unwrap_or_default(),
             ..Default::default()
         }
     }

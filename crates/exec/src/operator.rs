@@ -163,7 +163,7 @@ impl<K: SortKey> TopKExec<K> {
     /// output streams, so only the post-`close` view includes the full
     /// merge-phase I/O and timing.
     pub fn metrics(&self) -> OperatorMetrics {
-        self.metrics.unwrap_or_else(|| self.topk.metrics())
+        self.metrics.clone().unwrap_or_else(|| self.topk.metrics())
     }
 
     /// The wrapped algorithm's name.

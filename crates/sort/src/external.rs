@@ -17,6 +17,7 @@ use crate::merge::{
     MergeTuning,
 };
 use crate::observer::NoopObserver;
+use crate::partition::{merge_runs_partitioned, PartitionCounters, PartitionedMerge};
 use crate::run_gen::{LoadSortStore, ResiduePolicy, RunGenerator};
 
 /// A full external merge sort: push rows, then stream them back sorted.
@@ -48,6 +49,8 @@ pub struct ExternalSorter<K: SortKey> {
     tuning: MergeTuning,
     order: SortOrder,
     rows_in: u64,
+    merge_threads: usize,
+    partition_min_rows: u64,
 }
 
 impl<K: SortKey> ExternalSorter<K> {
@@ -73,6 +76,8 @@ impl<K: SortKey> ExternalSorter<K> {
             tuning: MergeTuning::default(),
             order,
             rows_in: 0,
+            merge_threads: 1,
+            partition_min_rows: 0,
         }
     }
 
@@ -101,6 +106,25 @@ impl<K: SortKey> ExternalSorter<K> {
         self
     }
 
+    /// Worker threads for the final merge (default 1 = serial). With two
+    /// or more, the final merge is range-partitioned across them when the
+    /// input is large enough (see [`with_partition_min_rows`]).
+    ///
+    /// [`with_partition_min_rows`]: ExternalSorter::with_partition_min_rows
+    pub fn with_merge_threads(mut self, threads: usize) -> Self {
+        self.merge_threads = threads.max(1);
+        self
+    }
+
+    /// Minimum spilled rows before the final merge goes parallel; smaller
+    /// inputs merge serially regardless of [`with_merge_threads`].
+    ///
+    /// [`with_merge_threads`]: ExternalSorter::with_merge_threads
+    pub fn with_partition_min_rows(mut self, rows: u64) -> Self {
+        self.partition_min_rows = rows;
+        self
+    }
+
     /// Adds one input row.
     pub fn push(&mut self, row: Row<K>) -> Result<()> {
         self.rows_in += 1;
@@ -120,25 +144,69 @@ impl<K: SortKey> ExternalSorter<K> {
     pub fn finish(mut self) -> Result<SortedStream<K>> {
         self.generator.finish(&mut NoopObserver, ResiduePolicy::SpillToRuns)?;
         let final_runs = plan_merges_tuned(&self.catalog, &self.merge, None, None, &self.tuning)?;
+        let spilled: u64 = final_runs.iter().map(|m| m.rows).sum();
+        if self.merge_threads >= 2 && spilled >= self.partition_min_rows.max(1) {
+            if let Some(merge) = merge_runs_partitioned(
+                &self.catalog,
+                &final_runs,
+                vec![],
+                self.merge_threads,
+                None,
+                &self.tuning,
+            )?
+            .partitioned()
+            {
+                return Ok(SortedStream {
+                    _catalog: self.catalog,
+                    inner: SortedInner::Partitioned(merge),
+                });
+            }
+        }
         let mut sources = Vec::with_capacity(final_runs.len());
         for meta in &final_runs {
             sources.push(open_source(&self.catalog, meta, &self.tuning)?);
         }
         let tree = merge_sources_tuned(sources, self.order, &self.tuning)?;
-        Ok(SortedStream { _catalog: self.catalog, tree })
+        Ok(SortedStream { _catalog: self.catalog, inner: SortedInner::Serial(tree) })
     }
 }
 
 /// The sorted output stream; holds the run catalog alive until dropped.
 pub struct SortedStream<K: SortKey> {
     _catalog: Arc<RunCatalog<K>>,
-    tree: LoserTree<K, MergeSource<K>>,
+    inner: SortedInner<K>,
+}
+
+enum SortedInner<K: SortKey> {
+    Serial(LoserTree<K, MergeSource<K>>),
+    Partitioned(PartitionedMerge<K>),
+}
+
+impl<K: SortKey> SortedStream<K> {
+    /// Partitions the final merge runs across (1 when serial).
+    pub fn merge_partitions(&self) -> usize {
+        match &self.inner {
+            SortedInner::Serial(_) => 1,
+            SortedInner::Partitioned(m) => m.partitions(),
+        }
+    }
+
+    /// Per-partition row counters when the merge went parallel.
+    pub fn partition_counters(&self) -> Option<PartitionCounters> {
+        match &self.inner {
+            SortedInner::Serial(_) => None,
+            SortedInner::Partitioned(m) => Some(m.counters()),
+        }
+    }
 }
 
 impl<K: SortKey> Iterator for SortedStream<K> {
     type Item = Result<Row<K>>;
     fn next(&mut self) -> Option<Self::Item> {
-        self.tree.next()
+        match &mut self.inner {
+            SortedInner::Serial(tree) => tree.next(),
+            SortedInner::Partitioned(merge) => merge.next(),
+        }
     }
 }
 

@@ -25,6 +25,7 @@ pub mod heap;
 pub mod loser_tree;
 pub mod merge;
 pub mod observer;
+pub mod partition;
 pub mod run_gen;
 
 pub use budget::{row_footprint, MemoryBudget};
@@ -37,4 +38,8 @@ pub use merge::{
     plan_merges, plan_merges_tuned, MergeConfig, MergePolicy, MergeSource, MergeTuning,
 };
 pub use observer::{NoopObserver, SpillObserver};
+pub use partition::{
+    merge_runs_partitioned, merge_sources_partitioned, plan_partitions, run_overlaps,
+    split_sorted_rows, PartitionAttempt, PartitionCounters, PartitionedMerge,
+};
 pub use run_gen::{LoadSortStore, ReplacementSelection, ResiduePolicy, RunGenerator};

@@ -13,7 +13,7 @@ use parking_lot::Mutex;
 use histok_types::{Result, SortKey, SortOrder};
 
 use crate::backend::StorageBackend;
-use crate::run::{RunMeta, RunReader, RunWriter};
+use crate::run::{KeyRange, RunMeta, RunReader, RunWriter};
 use crate::stats::IoStats;
 
 /// Tracks the sorted runs one operator has written.
@@ -124,6 +124,13 @@ impl<K: SortKey> RunCatalog<K> {
     /// Opens a reader over a registered run.
     pub fn open(&self, meta: &RunMeta<K>) -> Result<RunReader<K>> {
         RunReader::open(self.backend.as_ref(), meta, self.stats.clone())
+    }
+
+    /// Opens a reader scoped to the rows of `meta` inside `range`,
+    /// skipping out-of-range blocks via the per-block key index (see
+    /// [`RunReader::open_range`]).
+    pub fn open_range(&self, meta: &RunMeta<K>, range: KeyRange<K>) -> Result<RunReader<K>> {
+        RunReader::open_range(self.backend.as_ref(), meta, self.stats.clone(), range)
     }
 
     /// Snapshot of all registered runs, in creation order.

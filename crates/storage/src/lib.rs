@@ -37,6 +37,6 @@ pub use fault::{FaultBackend, FaultPlan};
 pub use file::FileBackend;
 pub use memory::MemoryBackend;
 pub use pipeline::{PrefetchingRunReader, SpillPipeline, SPILL_PIPELINE_DEPTH};
-pub use run::{BlockMeta, RunMeta, RunReader, RunWriter, DEFAULT_BLOCK_BYTES};
+pub use run::{BlockMeta, KeyRange, RunMeta, RunReader, RunWriter, DEFAULT_BLOCK_BYTES};
 pub use stats::{IoStats, IoStatsSnapshot};
 pub use throttle::{ThrottleModel, ThrottledBackend};

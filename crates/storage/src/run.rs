@@ -53,6 +53,65 @@ pub(crate) fn encode_end_marker() -> [u8; BLOCK_HEADER_BYTES] {
     encode_block_header(0, 0, 0)
 }
 
+/// A key interval restricting a range-scoped [`RunReader`]: rows in
+/// `[lo, hi)` in output order, or `[lo, hi]` when `hi_inclusive` (used to
+/// clip the final merge partition at a cutoff key, where ties survive).
+/// `None` bounds are open ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRange<K> {
+    /// First key included (output order); `None` = from the start.
+    pub lo: Option<K>,
+    /// Upper bound; `None` = to the end of the run.
+    pub hi: Option<K>,
+    /// When true the upper bound itself is included (`[lo, hi]`).
+    pub hi_inclusive: bool,
+}
+
+impl<K> KeyRange<K> {
+    /// The unbounded range (reads the whole run).
+    pub fn all() -> Self {
+        KeyRange { lo: None, hi: None, hi_inclusive: false }
+    }
+
+    /// `[lo, hi)`: from `lo` (inclusive) up to but excluding `hi`.
+    pub fn half_open(lo: Option<K>, hi: Option<K>) -> Self {
+        KeyRange { lo, hi, hi_inclusive: false }
+    }
+
+    /// True if no bound is set.
+    pub fn is_unbounded(&self) -> bool {
+        self.lo.is_none() && self.hi.is_none()
+    }
+}
+
+impl<K: Ord> KeyRange<K> {
+    /// True if `key` lies inside the range under `order`.
+    pub fn contains(&self, key: &K, order: SortOrder) -> bool {
+        if let Some(lo) = &self.lo {
+            if order.precedes(key, lo) {
+                return false;
+            }
+        }
+        match &self.hi {
+            Some(hi) if self.hi_inclusive => !order.follows(key, hi),
+            Some(hi) => order.precedes(key, hi),
+            None => true,
+        }
+    }
+}
+
+/// Per-reader state of a range-scoped open (see [`RunReader::open_range`]).
+struct RangeState<K> {
+    range: KeyRange<K>,
+    order: SortOrder,
+    /// In-range blocks left to read; iteration ends (without touching the
+    /// end marker) when this reaches zero.
+    blocks_remaining: usize,
+    /// True until the first in-range block has been decoded: only that
+    /// block can hold rows preceding `lo`.
+    trim_lo: bool,
+}
+
 /// Metadata of one block within a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockMeta<K> {
@@ -367,6 +426,8 @@ pub struct RunReader<K: SortKey> {
     /// block-read time then counts as overlapped I/O, not compute-thread
     /// I/O wait.
     background: bool,
+    /// `Some` for a range-scoped reader (see [`RunReader::open_range`]).
+    range: Option<RangeState<K>>,
 }
 
 impl<K: SortKey> RunReader<K> {
@@ -395,7 +456,84 @@ impl<K: SortKey> RunReader<K> {
             done: false,
             rows_yielded: 0,
             background: false,
+            range: None,
         })
+    }
+
+    /// Opens `meta`'s object scoped to the rows inside `range`.
+    ///
+    /// The per-block `last_key` index decides which blocks can contain
+    /// in-range rows: blocks wholly before `lo` are skipped with **one**
+    /// byte-offset seek (never read, booked as `blocks_skipped` /
+    /// `bytes_skipped`), and blocks wholly past the upper bound are booked
+    /// as skipped at open time and never visited — iteration ends after the
+    /// last in-range block without reading the end marker. Rows of the
+    /// first and last in-range block that fall outside the bounds are
+    /// dropped after decode (a boundary block may straddle the range).
+    ///
+    /// Composes with [`crate::PrefetchingRunReader`]: the bounds are
+    /// enforced inside the block-load path, so prefetch starts at the seek
+    /// point and stops at the range end.
+    pub fn open_range(
+        backend: &dyn StorageBackend,
+        meta: &RunMeta<K>,
+        stats: IoStats,
+        range: KeyRange<K>,
+    ) -> Result<Self> {
+        let mut reader = Self::open(backend, meta, stats)?;
+        if range.is_unbounded() {
+            return Ok(reader);
+        }
+        let order = meta.order;
+        let blocks = &meta.blocks;
+        if blocks.is_empty() {
+            reader.done = true;
+            return Ok(reader);
+        }
+        // First block that can hold a row ≥ lo: every earlier block has
+        // last_key < lo, and a block's rows all sort at or before its last
+        // key, so those blocks are wholly out of range.
+        let start = match &range.lo {
+            Some(lo) => blocks.partition_point(|b| order.precedes(&b.last_key, lo)),
+            None => 0,
+        };
+        // Last block that can hold an in-range row: the first whose
+        // last_key reaches the upper bound (it may straddle). Every later
+        // block's rows sort at or after that key, hence past the bound.
+        let stop = match &range.hi {
+            Some(hi) if range.hi_inclusive => {
+                blocks.partition_point(|b| !order.follows(&b.last_key, hi)).min(blocks.len() - 1)
+            }
+            Some(hi) => {
+                blocks.partition_point(|b| order.precedes(&b.last_key, hi)).min(blocks.len() - 1)
+            }
+            None => blocks.len() - 1,
+        };
+        if start >= blocks.len() || start > stop {
+            // The whole run sorts outside the range: nothing to read.
+            for b in blocks {
+                reader.stats.record_block_skip(u64::from(b.payload_bytes));
+            }
+            reader.done = true;
+            return Ok(reader);
+        }
+        // Skip the prefix in one byte-offset seek; each skipped block is
+        // booked individually (it was proven irrelevant by the index).
+        let mut prefix_bytes = 0u64;
+        for b in &blocks[..start] {
+            prefix_bytes += BLOCK_HEADER_BYTES as u64 + u64::from(b.payload_bytes);
+            reader.stats.record_block_skip(u64::from(b.payload_bytes));
+        }
+        if prefix_bytes > 0 {
+            reader.reader.skip(prefix_bytes)?;
+        }
+        // The suffix past the last in-range block is never visited.
+        for b in &blocks[stop + 1..] {
+            reader.stats.record_block_skip(u64::from(b.payload_bytes));
+        }
+        reader.range =
+            Some(RangeState { range, order, blocks_remaining: stop - start + 1, trim_lo: true });
+        Ok(reader)
     }
 
     /// Marks the reader as driven by a background prefetch thread, so its
@@ -469,11 +607,51 @@ impl<K: SortKey> RunReader<K> {
         if !slice.is_empty() {
             return Err(Error::Corrupt("trailing bytes after last row in block".into()));
         }
+        self.trim_to_range();
         Ok(())
+    }
+
+    /// Drops decoded rows outside the active range. Only the first in-range
+    /// block can hold rows preceding `lo` and only the last one rows past
+    /// the upper bound (rows are non-decreasing in output order), but the
+    /// trims are cheap no-ops on interior blocks.
+    fn trim_to_range(&mut self) {
+        let Some(state) = &mut self.range else { return };
+        state.blocks_remaining = state.blocks_remaining.saturating_sub(1);
+        if state.trim_lo {
+            state.trim_lo = false;
+            if let Some(lo) = &state.range.lo {
+                while self.current.front().is_some_and(|r| state.order.precedes(&r.key, lo)) {
+                    self.current.pop_front();
+                }
+            }
+        }
+        if let Some(hi) = &state.range.hi {
+            let out = |key: &K| {
+                if state.range.hi_inclusive {
+                    state.order.follows(key, hi)
+                } else {
+                    !state.order.precedes(key, hi)
+                }
+            };
+            while self.current.back().is_some_and(|r| out(&r.key)) {
+                self.current.pop_back();
+            }
+        }
+    }
+
+    /// True when a range-scoped reader has consumed its last in-range
+    /// block; iteration must stop without touching the file further.
+    fn range_exhausted(&self) -> bool {
+        self.range.as_ref().is_some_and(|s| s.blocks_remaining == 0)
     }
 
     fn load_next_block(&mut self) -> Result<bool> {
         debug_assert!(self.current.is_empty());
+        if self.range_exhausted() {
+            self.done = true;
+            return Ok(false);
+        }
         let (header, header_elapsed) = self.read_block_header()?;
         let Some((rows, payload_len, crc)) = header else {
             self.done = true;
@@ -510,7 +688,8 @@ impl<K: SortKey> RunReader<K> {
                 n -= 1;
                 continue;
             }
-            if self.done {
+            if self.done || self.range_exhausted() {
+                self.done = true;
                 return Err(Error::Corrupt("skip past end of run".into()));
             }
             // Peek the next block header; skip whole blocks without decode.
@@ -519,7 +698,10 @@ impl<K: SortKey> RunReader<K> {
                 self.done = true;
                 return Err(Error::Corrupt("skip past end of run".into()));
             };
-            if u64::from(rows) <= n {
+            // A range-scoped reader must always decode: the header's row
+            // count includes rows outside the range, so the whole-block
+            // shortcut would over-count the skip.
+            if self.range.is_none() && u64::from(rows) <= n {
                 // Whole-block skip: the payload is never read, which is the
                 // point — book it in the skip counters, not as a read.
                 self.reader.skip(payload_len as u64)?;
