@@ -25,10 +25,13 @@ use std::time::{Duration, Instant};
 use histok_core::{TopKConfig, TopKOperator, TraditionalExternalTopK};
 use histok_sort::run_gen::{ReplacementSelection, ResiduePolicy, RunGenerator};
 use histok_sort::{
-    merge_runs_partitioned, merge_sources_tuned, open_source, CmpStats, LoserTree, MergeTuning,
-    NoopObserver,
+    merge_runs_partitioned, merge_sources_tuned, open_source, plan_merges_tuned, CmpStats,
+    LoserTree, MergeConfig, MergePolicy, MergeTuning, NoopObserver,
 };
-use histok_storage::{IoStats, MemoryBackend, RunCatalog, ThrottleModel, ThrottledBackend};
+use histok_storage::{
+    IoScheduler, IoSchedulerMetrics, IoStats, MemoryBackend, RunCatalog, ThreadCensus,
+    ThrottleModel, ThrottledBackend,
+};
 use histok_types::{BytesKey, JsonValue, Result, Row, SortKey, SortOrder, SortSpec};
 
 const MERGE_ROWS: u64 = 200_000;
@@ -41,6 +44,12 @@ const PARTITION_RUNS: u64 = 4;
 const PARTITION_ROWS_PER_RUN: u64 = 8_000;
 const PARTITION_THREADS: usize = 4;
 const REQUIRED_PARTITION_SPEEDUP: f64 = 1.5;
+const STORM_RUNS: u64 = 512;
+const STORM_ROWS_PER_RUN: u64 = 400;
+const STORM_FAN_IN: usize = 64;
+const STORM_THREADS: usize = 4;
+const STORM_IO_THREADS: usize = 4;
+const STORM_PARITY: f64 = 1.10;
 
 struct CaseResult {
     rows: u64,
@@ -185,7 +194,7 @@ fn partition_case(threads: usize) -> PartitionRun {
         catalog.register(w.finish().expect("finish run")).expect("register");
     }
     let runs = catalog.runs();
-    let tuning = MergeTuning { ovc: true, stats: None, readahead_blocks: 2 };
+    let tuning = MergeTuning { ovc: true, stats: None, readahead_blocks: 2, io_scheduler: None };
     let skipped_before = stats.snapshot().blocks_skipped;
     let started = Instant::now();
     let mut rows = 0u64;
@@ -218,6 +227,120 @@ fn partition_case(threads: usize) -> PartitionRun {
         wall_ns,
         partitions,
         blocks_skipped: stats.snapshot().blocks_skipped - skipped_before,
+        checksum,
+    }
+}
+
+/// One wall-clock measurement of the spill storm: 512 runs merged at
+/// fan-in 64 (one intermediate pass of 8 merges, each holding 64 prefetch
+/// sources and one spill writer open at once) followed by a partitioned
+/// final merge — all over a sleeping throttled backend.
+struct StormRun {
+    rows: u64,
+    wall_ns: u64,
+    /// Peak background-I/O threads alive during the merges (pool workers
+    /// in scheduled mode; pipeline + prefetch threads in legacy mode).
+    peak_io_threads: usize,
+    io_wait_ns: u64,
+    overlapped_io_ns: u64,
+    sched: Option<IoSchedulerMetrics>,
+    checksum: u64,
+}
+
+impl StormRun {
+    fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("rows".to_owned(), JsonValue::from(self.rows)),
+            ("wall_ns".to_owned(), JsonValue::from(self.wall_ns)),
+            ("peak_io_threads".to_owned(), JsonValue::from(self.peak_io_threads as u64)),
+            ("io_wait_ns".to_owned(), JsonValue::from(self.io_wait_ns)),
+            ("overlapped_io_ns".to_owned(), JsonValue::from(self.overlapped_io_ns)),
+        ];
+        if let Some(m) = &self.sched {
+            fields.push((
+                "scheduler".to_owned(),
+                JsonValue::Obj(vec![
+                    ("jobs_merge_readahead".to_owned(), JsonValue::from(m.completed[0])),
+                    ("jobs_prefetch".to_owned(), JsonValue::from(m.completed[1])),
+                    ("jobs_spill_write".to_owned(), JsonValue::from(m.completed[2])),
+                    ("queue_depth_peak".to_owned(), JsonValue::from(m.queue_depth_peak as u64)),
+                ]),
+            ));
+        }
+        JsonValue::Obj(fields)
+    }
+}
+
+/// The tentpole's gate workload: without a shared pool, the intermediate
+/// merges hold ~65 background threads alive at once (64 prefetch sources
+/// plus the output spill pipeline); with `io_threads = 4` the same merges
+/// must run on 4 pool workers at wall-clock parity, byte-identical.
+/// `io_threads = 0` is the legacy thread-per-source baseline.
+fn spill_storm_case(io_threads: usize) -> StormRun {
+    let model =
+        ThrottleModel { per_op: Duration::from_micros(2), per_byte: Duration::ZERO, sleep: true };
+    let stats = IoStats::new();
+    let scheduler = (io_threads > 0).then(|| IoScheduler::new(io_threads));
+    let catalog: Arc<RunCatalog<BytesKey>> = Arc::new(
+        RunCatalog::new(
+            Arc::new(ThrottledBackend::new(MemoryBackend::new(), model)),
+            RunCatalog::<BytesKey>::unique_prefix("storm"),
+            SortOrder::Ascending,
+            stats.clone(),
+        )
+        .with_block_bytes(8192)
+        .with_io_scheduler(scheduler.clone()),
+    );
+    // 512 sorted strided runs, written untimed: run r holds keys
+    // r, r+512, r+1024, … so every run overlaps every key range and the
+    // merges cannot shortcut.
+    for r in 0..STORM_RUNS {
+        let mut w = catalog.start_run().expect("start storm run");
+        for j in 0..STORM_ROWS_PER_RUN {
+            let k = j * STORM_RUNS + r;
+            w.append(&Row::key_only(BytesKey::new(format!("storm-key-{k:012}")))).expect("append");
+        }
+        catalog.register(w.finish().expect("finish storm run")).expect("register");
+    }
+    let tuning = MergeTuning {
+        ovc: true,
+        stats: None,
+        readahead_blocks: 2,
+        io_scheduler: scheduler.clone(),
+    };
+    let merge = MergeConfig { fan_in: STORM_FAN_IN, policy: MergePolicy::SmallestFirst };
+    let io_before = stats.snapshot();
+    ThreadCensus::reset_peak();
+    let started = Instant::now();
+    // Intermediate passes: 512 runs → 8 at fan-in 64.
+    let final_runs = plan_merges_tuned(&catalog, &merge, None, None, &tuning).expect("plan");
+    let mut rows = 0u64;
+    let mut checksum = 0u64;
+    let attempt =
+        merge_runs_partitioned(&catalog, &final_runs, vec![], STORM_THREADS, None, &tuning)
+            .expect("partition plan");
+    match attempt.partitioned() {
+        Some(merge) => {
+            for row in merge {
+                let row = row.expect("row");
+                for b in row.key.as_slice() {
+                    checksum = checksum.wrapping_mul(31).wrapping_add(u64::from(*b));
+                }
+                rows += 1;
+            }
+        }
+        None => panic!("storm final merge did not partition"),
+    }
+    let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let peak_io_threads = ThreadCensus::peak();
+    let io = stats.snapshot().since(&io_before);
+    StormRun {
+        rows,
+        wall_ns,
+        peak_io_threads,
+        io_wait_ns: io.io_wait_ns,
+        overlapped_io_ns: io.overlapped_io_ns,
+        sched: scheduler.as_ref().map(IoScheduler::metrics),
         checksum,
     }
 }
@@ -418,6 +541,41 @@ fn main() {
         ),
     ]));
 
+    // Spill storm: 512 runs merged at fan-in 64, legacy thread-per-source
+    // vs. the shared 4-worker I/O pool. The pool must hold the thread
+    // count at `io_threads` while staying at wall-clock parity with
+    // byte-identical output.
+    let storm_legacy = spill_storm_case(0);
+    let storm_pooled = spill_storm_case(STORM_IO_THREADS);
+    assert_eq!(storm_pooled.rows, storm_legacy.rows, "spill storm changed the row count");
+    assert_eq!(
+        storm_pooled.checksum, storm_legacy.checksum,
+        "spill storm changed the output order"
+    );
+    let storm_ratio = if storm_legacy.wall_ns == 0 {
+        f64::INFINITY
+    } else {
+        storm_pooled.wall_ns as f64 / storm_legacy.wall_ns as f64
+    };
+    println!(
+        "{:<24} {:>10.0}ms {:>10.0}ms {:>12} {:>12} {:>9.2}x",
+        "spill_storm",
+        storm_pooled.wall_ns as f64 / 1e6,
+        storm_legacy.wall_ns as f64 / 1e6,
+        format!("({}thr)", storm_pooled.peak_io_threads),
+        format!("({}thr)", storm_legacy.peak_io_threads),
+        storm_ratio
+    );
+    rows.push(JsonValue::Obj(vec![
+        ("name".to_owned(), JsonValue::from("spill_storm")),
+        ("pooled".to_owned(), storm_pooled.to_json()),
+        ("legacy".to_owned(), storm_legacy.to_json()),
+        (
+            "wall_ratio".to_owned(),
+            JsonValue::from(if storm_ratio.is_finite() { storm_ratio } else { f64::MAX }),
+        ),
+    ]));
+
     let report = JsonValue::Obj(vec![
         ("experiment".to_owned(), JsonValue::from("bench_smoke")),
         (
@@ -436,6 +594,11 @@ fn main() {
                     "required_partition_speedup".to_owned(),
                     JsonValue::from(REQUIRED_PARTITION_SPEEDUP),
                 ),
+                ("storm_runs".to_owned(), JsonValue::from(STORM_RUNS)),
+                ("storm_rows_per_run".to_owned(), JsonValue::from(STORM_ROWS_PER_RUN)),
+                ("storm_fan_in".to_owned(), JsonValue::from(STORM_FAN_IN as u64)),
+                ("storm_io_threads".to_owned(), JsonValue::from(STORM_IO_THREADS as u64)),
+                ("storm_parity".to_owned(), JsonValue::from(STORM_PARITY)),
             ]),
         ),
         ("cases".to_owned(), JsonValue::Arr(rows)),
@@ -479,6 +642,30 @@ fn main() {
         println!(
             "OK: partitioned merge sped the throttled final merge up {partition_speedup:.2}x \
              (required {REQUIRED_PARTITION_SPEEDUP}x)"
+        );
+    }
+    if storm_pooled.peak_io_threads > STORM_IO_THREADS {
+        eprintln!(
+            "FAIL: spill storm peaked at {} background I/O threads with a {}-worker pool",
+            storm_pooled.peak_io_threads, STORM_IO_THREADS
+        );
+        failed = true;
+    } else {
+        println!(
+            "OK: spill storm held {} background I/O threads (pool of {}; legacy peaked at {})",
+            storm_pooled.peak_io_threads, STORM_IO_THREADS, storm_legacy.peak_io_threads
+        );
+    }
+    if storm_ratio > STORM_PARITY {
+        eprintln!(
+            "FAIL: spill storm on the shared pool ran {storm_ratio:.2}x the legacy wall \
+             (parity bound {STORM_PARITY}x)"
+        );
+        failed = true;
+    } else {
+        println!(
+            "OK: spill storm on the shared pool ran {storm_ratio:.2}x the legacy wall \
+             (parity bound {STORM_PARITY}x)"
         );
     }
     if failed {

@@ -78,6 +78,12 @@ pub struct TopKConfig {
     /// below this, partitioning overhead (thread spawn, channel hops)
     /// outweighs the win. Default 8192.
     pub partition_min_rows: u64,
+    /// Background-I/O worker threads. Spill writes and merge read-ahead
+    /// submit block-sized jobs to one shared pool of this size, bounding
+    /// the operator's background thread count no matter how many runs and
+    /// merge sources are open. `0` = legacy mode: one dedicated thread per
+    /// open run / merge source (for differential testing). Default 4.
+    pub io_threads: usize,
 }
 
 /// Default for [`TopKConfig::merge_threads`]: the machine's available
@@ -112,6 +118,7 @@ impl Default for TopKConfig {
             readahead_blocks: 2,
             merge_threads: default_merge_threads(),
             partition_min_rows: 8192,
+            io_threads: 4,
         }
     }
 }
@@ -120,6 +127,15 @@ impl TopKConfig {
     /// Starts a builder from the defaults.
     pub fn builder() -> TopKConfigBuilder {
         TopKConfigBuilder { config: TopKConfig::default() }
+    }
+
+    /// Builds the background-I/O worker pool this configuration asks for:
+    /// a pool of [`io_threads`](TopKConfig::io_threads) workers, or `None`
+    /// in legacy thread-per-source mode (`io_threads == 0`). Operators
+    /// call this once and thread the pool through their run catalog and
+    /// merge tuning.
+    pub fn io_scheduler(&self) -> Option<histok_storage::IoScheduler> {
+        (self.io_threads > 0).then(|| histok_storage::IoScheduler::new(self.io_threads))
     }
 
     /// Checks the configuration for consistency.
@@ -264,6 +280,12 @@ impl TopKConfigBuilder {
         self
     }
 
+    /// Background-I/O pool size; see [`TopKConfig::io_threads`].
+    pub fn io_threads(mut self, threads: usize) -> Self {
+        self.config.io_threads = threads;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<TopKConfig> {
         self.config.validate()?;
@@ -287,6 +309,7 @@ mod tests {
         assert_eq!(c.readahead_blocks, 2);
         assert!((1..=4).contains(&c.merge_threads));
         assert_eq!(c.partition_min_rows, 8192);
+        assert_eq!(c.io_threads, 4);
         assert!(c.validate().is_ok());
     }
 
@@ -310,6 +333,7 @@ mod tests {
             .readahead_blocks(4)
             .merge_threads(2)
             .partition_min_rows(100)
+            .io_threads(2)
             .build()
             .unwrap();
         assert_eq!(c.memory_budget, 1 << 20);
@@ -324,6 +348,13 @@ mod tests {
         assert_eq!(c.readahead_blocks, 4);
         assert_eq!(c.merge_threads, 2);
         assert_eq!(c.partition_min_rows, 100);
+        assert_eq!(c.io_threads, 2);
+    }
+
+    #[test]
+    fn io_threads_zero_is_the_legacy_mode_and_valid() {
+        let c = TopKConfig::builder().io_threads(0).build().unwrap();
+        assert_eq!(c.io_threads, 0);
     }
 
     #[test]

@@ -125,11 +125,18 @@ pub fn fast_skip_sources<K: SortKey>(
     readahead_blocks: usize,
 ) -> Result<SkippedSources<K>> {
     let order = catalog.order();
+    // Read-ahead goes through the catalog's shared I/O pool when one is
+    // configured; otherwise each prefetching source gets its own thread.
+    let scheduler = catalog.io_scheduler();
     let Some(threshold) = choose_threshold(runs, &residues, offset, order) else {
         // Nothing skippable: open everything plainly.
         let mut sources = Vec::with_capacity(runs.len() + residues.len());
         for meta in runs {
-            sources.push(MergeSource::from_reader(catalog.open(meta)?, readahead_blocks));
+            sources.push(MergeSource::from_reader_scheduled(
+                catalog.open(meta)?,
+                readahead_blocks,
+                scheduler.clone(),
+            ));
         }
         for seq in residues {
             sources.push(MergeSource::Memory(seq.into_iter()));
@@ -165,7 +172,11 @@ pub fn fast_skip_sources<K: SortKey>(
         }
         // Prefetch starts here, after positioning — the skipped prefix is
         // never read ahead.
-        let tail = Box::new(MergeSource::from_reader(reader, readahead_blocks));
+        let tail = Box::new(MergeSource::from_reader_scheduled(
+            reader,
+            readahead_blocks,
+            scheduler.clone(),
+        ));
         sources.push(MergeSource::Chained { head: head.into_iter(), tail });
     }
     for mut seq in residues {

@@ -21,7 +21,7 @@ use histok_sort::{
     run_overlaps, split_sorted_rows, CmpStats, MergeSource, MergeTuning, PartitionCounters,
     SpillObserver,
 };
-use histok_storage::{IoStats, RunCatalog, StorageBackend};
+use histok_storage::{IoScheduler, IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
 use crate::config::TopKConfig;
@@ -156,6 +156,9 @@ pub struct ParallelTopK<K: SortKey> {
     cmp_stats: CmpStats,
     merge_partitions: u64,
     partition_counters: Option<PartitionCounters>,
+    /// One background-I/O pool shared by every worker's spills and the
+    /// final merge (`None` = legacy thread-per-source).
+    io_scheduler: Option<IoScheduler>,
 }
 
 impl<K: SortKey> ParallelTopK<K> {
@@ -191,6 +194,9 @@ impl<K: SortKey> ParallelTopK<K> {
         let effective_sizing =
             if config.filter_enabled { config.sizing } else { SizingPolicy::Disabled };
 
+        // One pool for the whole operator: worker spills contend for the
+        // same `io_threads` workers instead of spawning a thread per run.
+        let io_scheduler = config.io_scheduler();
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
@@ -203,7 +209,8 @@ impl<K: SortKey> ParallelTopK<K> {
                     stats.clone(),
                 )
                 .with_block_bytes(config.block_bytes)
-                .with_spill_pipeline(config.spill_pipeline),
+                .with_spill_pipeline(config.spill_pipeline)
+                .with_io_scheduler(io_scheduler.clone()),
             );
             let worker_catalog = catalog.clone();
             let shared_for_worker = shared.clone();
@@ -268,6 +275,7 @@ impl<K: SortKey> ParallelTopK<K> {
             cmp_stats,
             merge_partitions: 1,
             partition_counters: None,
+            io_scheduler,
         })
     }
 
@@ -276,6 +284,7 @@ impl<K: SortKey> ParallelTopK<K> {
             ovc: self.config.ovc_enabled,
             stats: Some(self.cmp_stats.clone()),
             readahead_blocks: self.config.readahead_blocks,
+            io_scheduler: self.io_scheduler.clone(),
         }
     }
 
@@ -347,6 +356,7 @@ impl<K: SortKey> ParallelTopK<K> {
             let ranges =
                 plan_partitions(&all_runs, self.spec.order, self.config.merge_threads, clip);
             if ranges.len() >= 2 {
+                let scheduler = tuning.io_scheduler.as_ref().map(|s| s.for_backend(&self.backend));
                 let mut partitions: Vec<Vec<MergeSource<K>>> =
                     (0..ranges.len()).map(|_| Vec::new()).collect();
                 let mut catalogs = Vec::with_capacity(outputs.len());
@@ -358,9 +368,10 @@ impl<K: SortKey> ParallelTopK<K> {
                         for (i, range) in ranges.iter().enumerate() {
                             if run_overlaps(meta, range, self.spec.order) {
                                 let reader = out.catalog.open_range(meta, range.clone())?;
-                                partitions[i].push(MergeSource::from_reader(
+                                partitions[i].push(MergeSource::from_reader_scheduled(
                                     reader,
                                     tuning.readahead_blocks,
+                                    scheduler.clone(),
                                 ));
                             }
                         }

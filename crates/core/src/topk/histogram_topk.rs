@@ -19,7 +19,7 @@ use histok_sort::{
     merge_runs_partitioned, merge_sources_tuned, plan_merges_tuned, CmpStats, LoserTree,
     MergeSource, MergeTuning, PartitionAttempt, PartitionCounters,
 };
-use histok_storage::{IoStats, RunCatalog, StorageBackend};
+use histok_storage::{IoScheduler, IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
 use crate::config::{RunGenKind, TopKConfig};
@@ -71,6 +71,10 @@ pub struct HistogramTopK<K: SortKey> {
     merge_partitions: u64,
     /// Per-partition row counters when the final merge went parallel.
     partition_counters: Option<PartitionCounters>,
+    /// Shared background-I/O pool (`None` = legacy thread-per-source),
+    /// built once from `config.io_threads` and reused by every spill and
+    /// merge this operator performs.
+    io_scheduler: Option<IoScheduler>,
 }
 
 enum State<K: SortKey> {
@@ -108,6 +112,7 @@ impl<K: SortKey> HistogramTopK<K> {
         config.validate()?;
         Ok(HistogramTopK {
             state: State::InMemory(RetainedHeap::new(spec.retained(), spec.order)),
+            io_scheduler: config.io_scheduler(),
             spec,
             config,
             backend,
@@ -154,6 +159,7 @@ impl<K: SortKey> HistogramTopK<K> {
             ovc: self.config.ovc_enabled,
             stats: Some(self.cmp_stats.clone()),
             readahead_blocks: self.config.readahead_blocks,
+            io_scheduler: self.io_scheduler.clone(),
         }
     }
 
@@ -184,7 +190,8 @@ impl<K: SortKey> HistogramTopK<K> {
                 self.stats.clone(),
             )
             .with_block_bytes(self.config.block_bytes)
-            .with_spill_pipeline(self.config.spill_pipeline),
+            .with_spill_pipeline(self.config.spill_pipeline)
+            .with_io_scheduler(self.io_scheduler.clone()),
         );
         let gen = self.build_generator(catalog.clone());
         let filter = self.build_filter();

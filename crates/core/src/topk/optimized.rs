@@ -24,7 +24,7 @@ use histok_sort::{
     merge_runs_partitioned, merge_runs_to_new_tuned, merge_sources_tuned, plan_merges_tuned,
     CmpStats, MergeSource, MergeTuning, PartitionAttempt, PartitionCounters, SpillObserver,
 };
-use histok_storage::{IoStats, RunCatalog, StorageBackend};
+use histok_storage::{IoScheduler, IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortOrder, SortSpec};
 
 use crate::config::TopKConfig;
@@ -124,6 +124,10 @@ pub struct OptimizedExternalTopK<K: SortKey> {
     cmp_stats: CmpStats,
     merge_partitions: u64,
     partition_counters: Option<PartitionCounters>,
+    /// Shared background-I/O pool (`None` = legacy thread-per-source),
+    /// built once from `config.io_threads` and reused by every spill and
+    /// merge this operator performs.
+    io_scheduler: Option<IoScheduler>,
 }
 
 impl<K: SortKey> OptimizedExternalTopK<K> {
@@ -146,6 +150,7 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
         config.validate()?;
         Ok(OptimizedExternalTopK {
             state: State::InMemory(RetainedHeap::new(spec.retained(), spec.order)),
+            io_scheduler: config.io_scheduler(),
             spec,
             config,
             backend,
@@ -171,6 +176,7 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
             ovc: self.config.ovc_enabled,
             stats: Some(self.cmp_stats.clone()),
             readahead_blocks: self.config.readahead_blocks,
+            io_scheduler: self.io_scheduler.clone(),
         }
     }
 
@@ -201,7 +207,8 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
                 self.stats.clone(),
             )
             .with_block_bytes(self.config.block_bytes)
-            .with_spill_pipeline(self.config.spill_pipeline),
+            .with_spill_pipeline(self.config.spill_pipeline)
+            .with_io_scheduler(self.io_scheduler.clone()),
         );
         let mut gen = ReplacementSelection::new(catalog.clone(), self.config.memory_budget)
             .with_ovc(self.config.ovc_enabled, Some(self.cmp_stats.clone()));

@@ -67,7 +67,11 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
                     ovc: config.ovc_enabled,
                     stats: Some(op.cmp_stats.clone()),
                     readahead_blocks: config.readahead_blocks,
-                }),
+                    io_scheduler: None,
+                })
+                // After with_tuning: sets both the catalog's spill pool and
+                // the tuning's read-ahead pool.
+                .with_io_scheduler(config.io_scheduler()),
         );
         Ok(op)
     }

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use histok_storage::{IoStats, RunCatalog, StorageBackend};
+use histok_storage::{IoScheduler, IoStats, RunCatalog, StorageBackend};
 use histok_types::{Result, Row, SortKey, SortOrder};
 
 use crate::loser_tree::LoserTree;
@@ -103,6 +103,15 @@ impl<K: SortKey> ExternalSorter<K> {
     /// Enables or disables the background spill pipeline (on by default).
     pub fn with_spill_pipeline(self, enabled: bool) -> Self {
         self.catalog.set_spill_pipeline(enabled);
+        self
+    }
+
+    /// Routes spill writes and merge read-ahead through `scheduler`'s
+    /// shared worker pool instead of one thread per open run / merge
+    /// source (`None`, the default, keeps the legacy dedicated threads).
+    pub fn with_io_scheduler(mut self, scheduler: Option<IoScheduler>) -> Self {
+        self.catalog.set_io_scheduler(scheduler.clone());
+        self.tuning.io_scheduler = scheduler;
         self
     }
 

@@ -11,7 +11,9 @@
 //!   lowest keys (the most recently produced), not the traditional smallest
 //!   runs.
 
-use histok_storage::{PrefetchingRunReader, RunCatalog, RunMeta, RunReader};
+use histok_storage::{
+    IoScheduler, IoSchedulerHandle, PrefetchingRunReader, RunCatalog, RunMeta, RunReader,
+};
 use histok_types::{Error, Result, Row, SortKey, SortOrder};
 
 use crate::cmp_stats::CmpStats;
@@ -19,8 +21,9 @@ use crate::loser_tree::LoserTree;
 
 /// Knobs an operator threads into every merge step it triggers: whether
 /// the loser tree uses offset-value coding, an optional shared
-/// comparison-counter sink the trees flush into, and how many blocks each
-/// run input prefetches in the background.
+/// comparison-counter sink the trees flush into, how many blocks each run
+/// input prefetches in the background, and which I/O pool (if any) that
+/// prefetching runs on.
 #[derive(Debug, Clone)]
 pub struct MergeTuning {
     /// Resolve tournament duels on offset-value codes (default on).
@@ -30,11 +33,14 @@ pub struct MergeTuning {
     /// Blocks of background read-ahead per run input (default 2); `0`
     /// reads synchronously on the merge thread.
     pub readahead_blocks: usize,
+    /// Shared worker pool the read-ahead jobs run on; `None` spawns the
+    /// legacy dedicated thread per merge source.
+    pub io_scheduler: Option<IoScheduler>,
 }
 
 impl Default for MergeTuning {
     fn default() -> Self {
-        MergeTuning { ovc: true, stats: None, readahead_blocks: 2 }
+        MergeTuning { ovc: true, stats: None, readahead_blocks: 2, io_scheduler: None }
     }
 }
 
@@ -48,6 +54,12 @@ impl MergeTuning {
     /// Overrides the per-input read-ahead depth.
     pub fn with_readahead(mut self, blocks: usize) -> Self {
         self.readahead_blocks = blocks;
+        self
+    }
+
+    /// Routes read-ahead through `scheduler`'s shared worker pool.
+    pub fn with_io_scheduler(mut self, scheduler: Option<IoScheduler>) -> Self {
+        self.io_scheduler = scheduler;
         self
     }
 }
@@ -75,12 +87,30 @@ pub enum MergeSource<K: SortKey> {
 
 impl<K: SortKey> MergeSource<K> {
     /// Wraps an (optionally mid-run) reader, prefetching `readahead_blocks`
-    /// blocks in the background when non-zero.
+    /// blocks on a dedicated background thread when non-zero.
     pub fn from_reader(reader: RunReader<K>, readahead_blocks: usize) -> Self {
-        if readahead_blocks > 0 {
-            MergeSource::Prefetched(PrefetchingRunReader::spawn(reader, readahead_blocks))
-        } else {
-            MergeSource::Run(reader)
+        MergeSource::from_reader_scheduled(reader, readahead_blocks, None)
+    }
+
+    /// As [`MergeSource::from_reader`], but when `scheduler` is set the
+    /// read-ahead runs as jobs on its shared pool (starting at prefetch
+    /// priority, escalated once the merge actually drains this source)
+    /// instead of a dedicated thread.
+    pub fn from_reader_scheduled(
+        reader: RunReader<K>,
+        readahead_blocks: usize,
+        scheduler: Option<IoSchedulerHandle>,
+    ) -> Self {
+        if readahead_blocks == 0 {
+            return MergeSource::Run(reader);
+        }
+        match scheduler {
+            Some(handle) => MergeSource::Prefetched(PrefetchingRunReader::spawn_scheduled(
+                reader,
+                readahead_blocks,
+                handle,
+            )),
+            None => MergeSource::Prefetched(PrefetchingRunReader::spawn(reader, readahead_blocks)),
         }
     }
 }
@@ -101,13 +131,15 @@ impl<K: SortKey> Iterator for MergeSource<K> {
 }
 
 /// Opens a registered run as a merge source, honoring the tuning's
-/// read-ahead depth.
+/// read-ahead depth and I/O scheduler (jobs gated on the catalog's
+/// backend).
 pub fn open_source<K: SortKey>(
     catalog: &RunCatalog<K>,
     meta: &RunMeta<K>,
     tuning: &MergeTuning,
 ) -> Result<MergeSource<K>> {
-    Ok(MergeSource::from_reader(catalog.open(meta)?, tuning.readahead_blocks))
+    let scheduler = tuning.io_scheduler.as_ref().map(|s| s.for_backend(catalog.backend()));
+    Ok(MergeSource::from_reader_scheduled(catalog.open(meta)?, tuning.readahead_blocks, scheduler))
 }
 
 /// Builds a merging iterator over heterogeneous sources with default
@@ -169,6 +201,12 @@ impl MergeConfig {
 /// Merges the given runs into one new run, truncating at `limit` rows
 /// and/or at the first key that sorts after `cutoff`. The source runs are
 /// deleted; the new run is registered and returned. Default tuning.
+///
+/// A refined cutoff can truncate the whole step to zero rows: the empty
+/// output is deleted instead of registered (the returned meta has
+/// `rows == 0` and refers to no object). On a mid-merge error the
+/// half-written output object is removed from the backend and the input
+/// runs stay registered untouched.
 pub fn merge_runs_to_new<K: SortKey>(
     catalog: &RunCatalog<K>,
     runs: &[RunMeta<K>],
@@ -193,24 +231,45 @@ pub fn merge_runs_to_new_tuned<K: SortKey>(
     }
     let mut tree = merge_sources_tuned(sources, order, tuning)?;
     let mut writer = catalog.start_run()?;
-    let mut produced = 0u64;
-    while limit.is_none_or(|l| produced < l) {
-        let Some(next) = tree.next() else { break };
-        let row = next?;
-        if let Some(cut) = cutoff {
-            if order.follows(&row.key, cut) {
-                break;
+    let out_name = writer.name().to_string();
+    let merged: Result<RunMeta<K>> = (|| {
+        let mut produced = 0u64;
+        while limit.is_none_or(|l| produced < l) {
+            let Some(next) = tree.next() else { break };
+            let row = next?;
+            if let Some(cut) = cutoff {
+                if order.follows(&row.key, cut) {
+                    break;
+                }
             }
+            writer.append(&row)?;
+            produced += 1;
         }
-        writer.append(&row)?;
-        produced += 1;
-    }
+        writer.finish()
+    })();
     drop(tree); // release readers before deleting their objects
-    let meta = writer.finish()?;
+    let meta = match merged {
+        Ok(meta) => meta,
+        Err(e) => {
+            // The output object is half-written (or was abandoned by the
+            // writer's drop); remove it so a failed merge leaves the
+            // backend holding exactly the registered runs. Best-effort: the
+            // merge error is what the caller must see.
+            let _ = catalog.backend().delete(&out_name);
+            return Err(e);
+        }
+    };
     for old in runs {
         catalog.remove(&old.name)?;
     }
-    catalog.register(meta.clone())?;
+    if meta.is_empty() {
+        // The cutoff eliminated every row: registering a zero-row run would
+        // cost a storage open and a prefetch source in every later merge
+        // pass. Delete the empty object and register nothing.
+        catalog.backend().delete(&meta.name)?;
+    } else {
+        catalog.register(meta.clone())?;
+    }
     Ok(meta)
 }
 
@@ -282,7 +341,7 @@ pub fn plan_merges_tuned<K: SortKey>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use histok_storage::{IoStats, MemoryBackend};
+    use histok_storage::{FaultBackend, FaultPlan, FileBackend, IoStats, MemoryBackend};
     use histok_types::Row;
     use std::sync::Arc;
 
@@ -436,6 +495,97 @@ mod tests {
             rewritten <= 70,
             "high-key merges were not truncated by the refined cutoff: {rewritten} rows"
         );
+    }
+
+    #[test]
+    fn cascading_refinement_never_leaves_empty_runs_or_objects() {
+        // Same shape as the refinement test above, but driven further: the
+        // low-key merge establishes a cutoff that truncates EVERY later
+        // high-key merge to zero rows. Those empty outputs must not be
+        // registered (each would cost a storage open and a prefetch source
+        // per later pass) and must not leak objects in the backend.
+        let be = MemoryBackend::new();
+        let cat = RunCatalog::<u64>::new(
+            Arc::new(be.clone()),
+            "cascade",
+            SortOrder::Ascending,
+            IoStats::new(),
+        );
+        write_run(&cat, &(0..100).step_by(2).collect::<Vec<_>>());
+        write_run(&cat, &(1..100).step_by(2).collect::<Vec<_>>());
+        for base in 0..6u64 {
+            let keys: Vec<u64> = (0..60).map(|j| 10_000 + j * 6 + base).collect();
+            write_run(&cat, &keys);
+        }
+        let cfg = MergeConfig { fan_in: 2, policy: MergePolicy::SmallestFirst };
+        let final_runs = plan_merges(&cat, &cfg, Some(60), None).unwrap();
+        assert!(final_runs.len() <= 2);
+        assert!(
+            final_runs.iter().all(|m| m.rows > 0),
+            "zero-row runs survived into the final run set: {final_runs:?}"
+        );
+        // Backend and catalog agree: exactly one object per registered run.
+        assert_eq!(be.object_count(), cat.len());
+        // And the answer is still exact.
+        let mut sources = Vec::new();
+        for m in &final_runs {
+            sources.push(MergeSource::Run(cat.open(m).unwrap()));
+        }
+        let top: Vec<u64> = merge_sources(sources, SortOrder::Ascending)
+            .unwrap()
+            .take(60)
+            .map(|r| r.unwrap().key)
+            .collect();
+        assert_eq!(top, (0..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn failed_merge_cleans_up_its_output_and_keeps_inputs() {
+        // Dry run on an unfaulted backend to learn how many bytes the two
+        // input runs cost; the fault budget then trips partway through the
+        // merge output.
+        let keys_a: Vec<u64> = (0..200).map(|i| i * 2).collect();
+        let keys_b: Vec<u64> = (0..200).map(|i| i * 2 + 1).collect();
+        let input_bytes = {
+            let probe = RunCatalog::<u64>::new(
+                Arc::new(MemoryBackend::new()),
+                "probe",
+                SortOrder::Ascending,
+                IoStats::new(),
+            );
+            write_run(&probe, &keys_a);
+            write_run(&probe, &keys_b);
+            probe.stats().snapshot().bytes_written
+        };
+        // A file-backed store makes the leak observable: `create` puts the
+        // file on disk immediately, so a dropped unfinished writer leaves
+        // it behind unless the error path deletes it.
+        let files = FileBackend::temp().unwrap();
+        let dir = files.dir().to_path_buf();
+        let be = FaultBackend::new(
+            files,
+            FaultPlan { fail_write_after_bytes: Some(input_bytes + 64), ..FaultPlan::none() },
+        );
+        let cat = RunCatalog::<u64>::new(
+            Arc::new(be.clone()),
+            "probe", // same prefix/order ⇒ identical byte layout as the dry run
+            SortOrder::Ascending,
+            IoStats::new(),
+        );
+        write_run(&cat, &keys_a);
+        write_run(&cat, &keys_b);
+        let runs = cat.runs();
+        let err = merge_runs_to_new(&cat, &runs, None, None);
+        assert!(err.is_err(), "the fault budget must fail the merge");
+        assert!(be.fault_fired());
+        // Inputs stay registered and readable; the half-written output is
+        // gone from the backend.
+        assert_eq!(cat.len(), 2);
+        for meta in &cat.runs() {
+            assert_eq!(cat.open(meta).unwrap().count(), 200);
+        }
+        let on_disk = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(on_disk, 2, "failed merge leaked its half-written output object");
     }
 
     #[test]

@@ -247,6 +247,7 @@ pub fn merge_runs_partitioned<K: SortKey>(
             }
         }
     }
+    let scheduler = tuning.io_scheduler.as_ref().map(|s| s.for_backend(catalog.backend()));
     let mut partitions = Vec::with_capacity(ranges.len());
     for (range, seqs) in ranges.iter().zip(residue_parts) {
         let mut sources = Vec::new();
@@ -255,7 +256,11 @@ pub fn merge_runs_partitioned<K: SortKey>(
                 continue;
             }
             let reader = catalog.open_range(meta, range.clone())?;
-            sources.push(MergeSource::from_reader(reader, tuning.readahead_blocks));
+            sources.push(MergeSource::from_reader_scheduled(
+                reader,
+                tuning.readahead_blocks,
+                scheduler.clone(),
+            ));
         }
         for seq in seqs {
             sources.push(MergeSource::Memory(seq.into_iter()));

@@ -14,6 +14,7 @@ use histok_types::{Result, SortKey, SortOrder};
 
 use crate::backend::StorageBackend;
 use crate::run::{KeyRange, RunMeta, RunReader, RunWriter};
+use crate::scheduler::{IoScheduler, IoSchedulerHandle};
 use crate::stats::IoStats;
 
 /// Tracks the sorted runs one operator has written.
@@ -26,6 +27,9 @@ pub struct RunCatalog<K: SortKey> {
     order: SortOrder,
     block_bytes: AtomicUsize,
     spill_pipeline: AtomicBool,
+    /// When set, pipelined spill writes run on this shared pool (gated on
+    /// this catalog's backend) instead of one thread per open run.
+    io_scheduler: Mutex<Option<IoSchedulerHandle>>,
 }
 
 /// Process-global counter backing [`RunCatalog::unique_prefix`].
@@ -55,6 +59,7 @@ impl<K: SortKey> RunCatalog<K> {
             order,
             block_bytes: AtomicUsize::new(crate::run::DEFAULT_BLOCK_BYTES),
             spill_pipeline: AtomicBool::new(true),
+            io_scheduler: Mutex::new(None),
         }
     }
 
@@ -96,18 +101,37 @@ impl<K: SortKey> RunCatalog<K> {
         self.spill_pipeline.load(Ordering::Relaxed)
     }
 
+    /// Routes pipelined spill writes of new runs through `scheduler`'s
+    /// shared worker pool (`None` restores one thread per open run).
+    pub fn with_io_scheduler(self, scheduler: Option<IoScheduler>) -> Self {
+        self.set_io_scheduler(scheduler);
+        self
+    }
+
+    /// Interior-mutable setter for the spill I/O scheduler; see
+    /// [`RunCatalog::with_io_scheduler`].
+    pub fn set_io_scheduler(&self, scheduler: Option<IoScheduler>) {
+        *self.io_scheduler.lock() = scheduler.map(|s| s.for_backend(&self.backend));
+    }
+
+    /// The scheduler handle new runs will submit spill writes to, if any.
+    pub fn io_scheduler(&self) -> Option<IoSchedulerHandle> {
+        self.io_scheduler.lock().clone()
+    }
+
     /// Starts a new run; call [`RunCatalog::register`] with the meta
     /// returned by `RunWriter::finish`.
     pub fn start_run(&self) -> Result<RunWriter<K>> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let name = format!("{}-{:06}", self.prefix, id);
-        RunWriter::with_options(
+        RunWriter::with_io(
             self.backend.as_ref(),
             name,
             self.order,
             self.stats.clone(),
             self.block_bytes(),
             self.spill_pipeline(),
+            self.io_scheduler(),
         )
     }
 

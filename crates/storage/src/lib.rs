@@ -17,6 +17,10 @@
 //!   spilled to and read from secondary storage.
 //! * [`RunCatalog`] — tracks live runs for one operator and garbage-collects
 //!   them on drop.
+//! * [`IoScheduler`] — a fixed-size background worker pool with priority
+//!   classes and per-backend in-flight limits; the spill pipeline and
+//!   prefetching reader submit block-sized jobs to it instead of each
+//!   spawning a dedicated thread.
 
 #![deny(missing_docs)]
 
@@ -28,6 +32,7 @@ pub mod file;
 pub mod memory;
 pub mod pipeline;
 pub mod run;
+pub mod scheduler;
 pub mod stats;
 pub mod throttle;
 
@@ -38,5 +43,9 @@ pub use file::FileBackend;
 pub use memory::MemoryBackend;
 pub use pipeline::{PrefetchingRunReader, SpillPipeline, SPILL_PIPELINE_DEPTH};
 pub use run::{BlockMeta, KeyRange, RunMeta, RunReader, RunWriter, DEFAULT_BLOCK_BYTES};
+pub use scheduler::{
+    CensusGuard, IoClass, IoPriority, IoScheduler, IoSchedulerHandle, IoSchedulerMetrics,
+    ThreadCensus,
+};
 pub use stats::{IoStats, IoStatsSnapshot};
 pub use throttle::{ThrottleModel, ThrottledBackend};

@@ -6,53 +6,74 @@
 //! merging therefore *add* that latency to run generation and merge time.
 //! The two primitives here hide it instead:
 //!
-//! * [`SpillPipeline`] — a dedicated writer thread per open run. The
-//!   operator thread appends rows into the active block buffer; on seal it
-//!   hands the raw payload over a bounded channel (capacity
+//! * [`SpillPipeline`] — a background writer per open run. The operator
+//!   thread appends rows into the active block buffer; on seal it hands
+//!   the raw payload to a bounded queue (capacity
 //!   [`SPILL_PIPELINE_DEPTH`]) and keeps filling the next block while the
-//!   pipeline thread CRCs, frames and writes the previous one. A full
-//!   channel is the backpressure: when storage is slower than compute, the
-//!   operator blocks in `send`, bounding memory to ≤2 sealed blocks in
-//!   flight.
-//! * [`PrefetchingRunReader`] — a read-ahead thread per merge input. It
-//!   reads, CRC-checks and decodes up to `readahead_blocks` blocks ahead
-//!   into a bounded channel of decoded row batches, so loser-tree refill
-//!   pops rows that are already in memory.
+//!   background side CRCs, frames and writes the previous one. A full
+//!   queue is the backpressure: when storage is slower than compute, the
+//!   operator blocks, bounding memory to ≤2 sealed blocks in flight.
+//! * [`PrefetchingRunReader`] — read-ahead per merge input. The background
+//!   side reads, CRC-checks and decodes blocks into a bounded buffer of
+//!   decoded row batches, so loser-tree refill pops rows that are already
+//!   in memory. Up to `readahead_blocks + 1` blocks are buffered in total:
+//!   `readahead_blocks` decoded batches in the buffer plus the in-hand
+//!   batch the consumer is draining.
 //!
-//! **Error protocol.** An I/O thread that fails latches its error (a
-//! `Mutex<Option<Error>>` for the pipeline, an in-band `Err` message for
-//! the prefetcher) and exits, dropping its channel endpoint. The channel
-//! disconnect unblocks the peer, which surfaces the latched error on its
-//! next `append`/`finish`/`next`. Nothing panics across the boundary and
-//! nothing can deadlock: every blocking channel operation has a live peer
-//! or a disconnect.
+//! **Two execution modes.** Both primitives either spawn a dedicated OS
+//! thread (the legacy mode, one thread per open run / per merge source) or
+//! submit block-sized jobs to a shared [`IoScheduler`] pool
+//! ([`SpillPipeline::spawn_scheduled`] /
+//! [`PrefetchingRunReader::spawn_scheduled`]), which bounds the
+//! process-wide background thread count to the pool size no matter how
+//! many runs and sources are open. Scheduler jobs are state-machine steps:
+//! they re-check the component state under its lock, do at most one block
+//! of I/O, and *return* instead of blocking, so any pool size ≥ 1 is
+//! deadlock-free. Spill jobs run at [`IoPriority::SpillWrite`]; prefetch
+//! jobs start at [`IoPriority::Prefetch`] and are escalated to
+//! [`IoPriority::MergeReadAhead`] — including jobs already queued — the
+//! moment the consumer actually blocks on the source.
 //!
-//! **Cancellation.** Dropping either wrapper first drops its channel
-//! endpoint — unblocking a thread stuck in `send`/`recv` — and then joins
-//! the thread. A consumer that abandons a merge stream mid-way therefore
-//! tears down every prefetch thread deterministically, and an abandoned
-//! pipelined run is discarded without finishing its backend object (same
-//! contract as dropping a synchronous `SpillWriter`).
+//! **Error protocol.** A background step that fails latches its error (a
+//! `failed` slot for the pipeline, an in-band `Err` batch for the
+//! prefetcher) and stops; the latch unblocks the peer, which surfaces the
+//! error on its next `append`/`finish`/`next`. Nothing panics across the
+//! boundary and nothing can deadlock: every blocking wait has a live
+//! counterpart or a latched terminal state.
+//!
+//! **Cancellation.** Dropping either wrapper marks the component abandoned,
+//! waits out at most one in-flight block job (or joins the legacy thread),
+//! and discards any unfinished backend object (same contract as dropping a
+//! synchronous `SpillWriter`). A consumer that abandons a merge stream
+//! mid-way therefore tears down every prefetch source deterministically.
+//!
+//! **Accounting.** Background I/O books its storage busy time into a
+//! per-component `OverlapLedger`; the compute thread books its blocked
+//! intervals both as live `io_wait_ns` and into the same ledger. At
+//! component shutdown the ledger settles `busy − wait` (saturating) as
+//! `overlapped_io_ns` — the latency genuinely *hidden* from the compute
+//! thread — so the two counters never book the same nanoseconds twice and
+//! their per-component sum never exceeds the component's wall time.
 
+use std::collections::VecDeque;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
-
-use parking_lot::Mutex;
-use std::sync::Arc;
 
 use histok_types::{Error, Result, Row, SortKey};
 
 use crate::backend::SpillWriter;
 use crate::crc::crc32;
 use crate::run::{encode_block_header, encode_end_marker, RunReader, BLOCK_HEADER_BYTES};
-use crate::stats::IoStats;
+use crate::scheduler::{lock, wait, IoClass, IoPriority, IoSchedulerHandle, ThreadCensus};
+use crate::stats::{IoStats, OverlapLedger};
 
 /// Maximum sealed blocks in flight between the operator thread and the
-/// pipeline's writer thread (double buffering).
+/// pipeline's background side (double buffering).
 pub const SPILL_PIPELINE_DEPTH: usize = 2;
 
-/// What the operator thread ships to the writer thread.
+/// What the operator thread ships to the background writer.
 enum SpillMsg {
     /// A sealed block payload to CRC, frame and write.
     Block { rows: u32, payload: Vec<u8> },
@@ -60,97 +81,338 @@ enum SpillMsg {
     Finish,
 }
 
-/// A background writer thread that turns sealed block payloads into
-/// CRC-framed writes against a [`SpillWriter`]. See the module docs for
-/// the backpressure, error and cancellation rules.
-pub struct SpillPipeline {
-    tx: Option<SyncSender<SpillMsg>>,
-    handle: Option<JoinHandle<()>>,
-    error: Arc<Mutex<Option<Error>>>,
+/// Shared state between a scheduled pipeline's producer and its jobs.
+struct PipeShared {
+    state: Mutex<PipeState>,
+    cond: Condvar,
     stats: IoStats,
+    ledger: Arc<OverlapLedger>,
+}
+
+struct PipeState {
+    queue: VecDeque<SpillMsg>,
+    /// The backend writer; taken out by the active job while it performs
+    /// I/O, consumed by the `Finish` step.
+    writer: Option<Box<dyn SpillWriter>>,
+    /// Run-file header, written by the first job step.
+    header: Option<Vec<u8>>,
+    /// True while a pool job owns this component (at most one at a time).
+    job_active: bool,
+    finished: bool,
+    failed: Option<Error>,
+    abandoned: bool,
+}
+
+/// One scheduler job: drain queued messages until the queue is empty, the
+/// run finishes/fails, or the component is abandoned. Never blocks.
+fn pipe_job(shared: &Arc<PipeShared>) {
+    loop {
+        let (msg, writer, header) = {
+            let mut st = lock(&shared.state);
+            if st.abandoned || st.failed.is_some() {
+                // Dropping the writer discards the unfinished object, per
+                // the SpillWriter contract.
+                st.writer = None;
+                st.header = None;
+                st.queue.clear();
+                st.job_active = false;
+                shared.cond.notify_all();
+                return;
+            }
+            let Some(msg) = st.queue.pop_front() else {
+                st.job_active = false;
+                shared.cond.notify_all();
+                return;
+            };
+            // Queue space freed: a producer blocked on backpressure can go.
+            shared.cond.notify_all();
+            (msg, st.writer.take(), st.header.take())
+        };
+        let Some(mut writer) = writer else {
+            let mut st = lock(&shared.state);
+            st.failed = Some(Error::Io(std::io::Error::other("spill job ran without a writer")));
+            st.queue.clear();
+            st.job_active = false;
+            shared.cond.notify_all();
+            return;
+        };
+        let outcome: Result<bool> = (|| {
+            if let Some(h) = header {
+                writer.write_all(&h)?;
+            }
+            match msg {
+                SpillMsg::Block { rows, payload } => {
+                    let crc = crc32(&payload);
+                    let frame = encode_block_header(rows, payload.len() as u32, crc);
+                    let started = Instant::now();
+                    writer.write_all(&frame)?;
+                    writer.write_all(&payload)?;
+                    let elapsed = started.elapsed();
+                    shared.stats.record_write_timed(
+                        u64::from(rows),
+                        BLOCK_HEADER_BYTES as u64 + payload.len() as u64,
+                        elapsed,
+                    );
+                    shared.ledger.record_busy(elapsed);
+                    Ok(false)
+                }
+                SpillMsg::Finish => {
+                    let started = Instant::now();
+                    writer.write_all(&encode_end_marker())?;
+                    writer.finish()?;
+                    shared.ledger.record_busy(started.elapsed());
+                    Ok(true)
+                }
+            }
+        })();
+        let mut st = lock(&shared.state);
+        match outcome {
+            Ok(false) => {
+                st.writer = Some(writer);
+            }
+            Ok(true) => {
+                drop(writer);
+                st.finished = true;
+                st.job_active = false;
+                shared.cond.notify_all();
+                return;
+            }
+            Err(e) => {
+                drop(writer);
+                st.failed = Some(e);
+                st.queue.clear();
+                st.job_active = false;
+                shared.cond.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+enum PipeMode {
+    /// Legacy: a dedicated writer thread per open run.
+    Thread {
+        tx: Option<SyncSender<SpillMsg>>,
+        handle: Option<JoinHandle<()>>,
+        error: Arc<Mutex<Option<Error>>>,
+    },
+    /// Shared pool: block-sized jobs submitted to an [`IoScheduler`].
+    Scheduled { shared: Arc<PipeShared>, handle: IoSchedulerHandle, class: IoClass },
+}
+
+/// A background writer that turns sealed block payloads into CRC-framed
+/// writes against a [`SpillWriter`] — on a dedicated thread
+/// ([`SpillPipeline::spawn`]) or a shared scheduler pool
+/// ([`SpillPipeline::spawn_scheduled`]). See the module docs for the
+/// backpressure, error, cancellation and accounting rules.
+pub struct SpillPipeline {
+    mode: PipeMode,
+    stats: IoStats,
+    ledger: Arc<OverlapLedger>,
 }
 
 impl SpillPipeline {
-    /// Spawns the writer thread. `header` is written first (the run-file
-    /// header), so the operator thread performs no storage request itself.
+    /// Spawns a dedicated writer thread. `header` is written first (the
+    /// run-file header), so the operator thread performs no storage
+    /// request itself.
     pub fn spawn(writer: Box<dyn SpillWriter>, header: Vec<u8>, stats: IoStats) -> Self {
         let (tx, rx) = sync_channel::<SpillMsg>(SPILL_PIPELINE_DEPTH);
         let error = Arc::new(Mutex::new(None));
         let latch = error.clone();
+        let ledger = OverlapLedger::new(stats.clone());
         let thread_stats = stats.clone();
+        let thread_ledger = ledger.clone();
         let handle = std::thread::spawn(move || {
-            if let Err(e) = run_writer_thread(writer, header, rx, &thread_stats) {
-                *latch.lock() = Some(e);
+            let _census = ThreadCensus::register();
+            if let Err(e) = run_writer_thread(writer, header, rx, &thread_stats, &thread_ledger) {
+                *lock(&latch) = Some(e);
                 // Returning drops `rx`: the operator's next `send` fails
                 // and surfaces the latched error.
             }
         });
-        SpillPipeline { tx: Some(tx), handle: Some(handle), error, stats }
+        SpillPipeline {
+            mode: PipeMode::Thread { tx: Some(tx), handle: Some(handle), error },
+            stats,
+            ledger,
+        }
+    }
+
+    /// As [`SpillPipeline::spawn`], but the writes run as
+    /// [`IoPriority::SpillWrite`] jobs on `scheduler`'s pool instead of a
+    /// dedicated thread.
+    pub fn spawn_scheduled(
+        writer: Box<dyn SpillWriter>,
+        header: Vec<u8>,
+        stats: IoStats,
+        scheduler: IoSchedulerHandle,
+    ) -> Self {
+        let ledger = OverlapLedger::new(stats.clone());
+        let shared = Arc::new(PipeShared {
+            state: Mutex::new(PipeState {
+                queue: VecDeque::new(),
+                writer: Some(writer),
+                header: Some(header),
+                job_active: false,
+                finished: false,
+                failed: None,
+                abandoned: false,
+            }),
+            cond: Condvar::new(),
+            stats: stats.clone(),
+            ledger: ledger.clone(),
+        });
+        let class = IoClass::new(IoPriority::SpillWrite);
+        SpillPipeline {
+            mode: PipeMode::Scheduled { shared, handle: scheduler, class },
+            stats,
+            ledger,
+        }
     }
 
     /// Queues one sealed block. Blocks while [`SPILL_PIPELINE_DEPTH`]
     /// blocks are already in flight (backpressure); the blocked time is
     /// booked as compute-side I/O wait.
     pub fn write_block(&mut self, rows: u32, payload: Vec<u8>) -> Result<()> {
-        let Some(tx) = &self.tx else {
-            return Err(self.take_error());
-        };
-        let started = Instant::now();
-        let sent = tx.send(SpillMsg::Block { rows, payload });
-        self.stats.record_io_wait(started.elapsed());
-        if sent.is_err() {
-            return Err(self.take_error());
+        match &mut self.mode {
+            PipeMode::Thread { tx, error, .. } => {
+                let Some(tx) = tx else {
+                    return Err(take_error(error));
+                };
+                let started = Instant::now();
+                let sent = tx.send(SpillMsg::Block { rows, payload });
+                let waited = started.elapsed();
+                self.stats.record_io_wait(waited);
+                self.ledger.record_wait(waited);
+                if sent.is_err() {
+                    return Err(take_error(error));
+                }
+                Ok(())
+            }
+            PipeMode::Scheduled { shared, handle, class } => {
+                let started = Instant::now();
+                let mut st = lock(&shared.state);
+                while st.queue.len() >= SPILL_PIPELINE_DEPTH && st.failed.is_none() {
+                    st = wait(&shared.cond, st);
+                }
+                let waited = started.elapsed();
+                self.stats.record_io_wait(waited);
+                self.ledger.record_wait(waited);
+                if let Some(e) = st.failed.take() {
+                    return Err(e);
+                }
+                if st.finished {
+                    return Err(Error::Io(std::io::Error::other("write after pipeline finish")));
+                }
+                st.queue.push_back(SpillMsg::Block { rows, payload });
+                if !st.job_active {
+                    st.job_active = true;
+                    let shared = shared.clone();
+                    handle.submit(class, move || pipe_job(&shared));
+                }
+                Ok(())
+            }
         }
-        Ok(())
     }
 
-    /// Writes the end marker, finishes the backend object, joins the
-    /// thread, and surfaces any latched error. The wait (drain + join) is
-    /// booked as compute-side I/O wait.
+    /// Writes the end marker, finishes the backend object, waits out the
+    /// background side, and surfaces any latched error. The wait (drain +
+    /// completion) is booked as compute-side I/O wait; the component's
+    /// overlap ledger settles here.
     pub fn finish(&mut self) -> Result<()> {
-        let started = Instant::now();
-        if let Some(tx) = self.tx.take() {
-            // A send failure means the thread already died on a latched
-            // error; the join below surfaces it.
-            let _ = tx.send(SpillMsg::Finish);
-        }
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
-        self.stats.record_io_wait(started.elapsed());
-        match self.error.lock().take() {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+        let result = match &mut self.mode {
+            PipeMode::Thread { tx, handle, error } => {
+                let started = Instant::now();
+                if let Some(tx) = tx.take() {
+                    // A send failure means the thread already died on a
+                    // latched error; the join below surfaces it.
+                    let _ = tx.send(SpillMsg::Finish);
+                }
+                if let Some(handle) = handle.take() {
+                    let _ = handle.join();
+                }
+                let waited = started.elapsed();
+                self.stats.record_io_wait(waited);
+                self.ledger.record_wait(waited);
+                match lock(error).take() {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+            PipeMode::Scheduled { shared, handle, class } => {
+                let started = Instant::now();
+                let mut st = lock(&shared.state);
+                if !st.finished && st.failed.is_none() {
+                    st.queue.push_back(SpillMsg::Finish);
+                    if !st.job_active {
+                        st.job_active = true;
+                        let job = shared.clone();
+                        handle.submit(class, move || pipe_job(&job));
+                    }
+                }
+                while st.job_active || (!st.finished && st.failed.is_none()) {
+                    st = wait(&shared.cond, st);
+                }
+                let result = match st.failed.take() {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                };
+                drop(st);
+                let waited = started.elapsed();
+                self.stats.record_io_wait(waited);
+                self.ledger.record_wait(waited);
+                result
+            }
+        };
+        self.ledger.settle();
+        result
     }
+}
 
-    fn take_error(&self) -> Error {
-        self.error
-            .lock()
-            .take()
-            .unwrap_or_else(|| Error::Io(std::io::Error::other("spill pipeline thread terminated")))
-    }
+fn take_error(error: &Arc<Mutex<Option<Error>>>) -> Error {
+    lock(error)
+        .take()
+        .unwrap_or_else(|| Error::Io(std::io::Error::other("spill pipeline thread terminated")))
 }
 
 impl Drop for SpillPipeline {
     fn drop(&mut self) {
-        // Disconnect without `Finish`: the thread abandons the run (the
-        // backend object is never finished, matching a dropped synchronous
-        // writer) and exits; then join so no thread leaks.
-        self.tx.take();
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+        match &mut self.mode {
+            PipeMode::Thread { tx, handle, .. } => {
+                // Disconnect without `Finish`: the thread abandons the run
+                // (the backend object is never finished, matching a dropped
+                // synchronous writer) and exits; then join so no thread
+                // leaks.
+                tx.take();
+                if let Some(handle) = handle.take() {
+                    let _ = handle.join();
+                }
+            }
+            PipeMode::Scheduled { shared, .. } => {
+                let mut st = lock(&shared.state);
+                st.abandoned = true;
+                st.queue.clear();
+                st.writer = None;
+                st.header = None;
+                shared.cond.notify_all();
+                // Wait out at most one in-flight block job so nothing
+                // touches the component after it is gone.
+                while st.job_active {
+                    st = wait(&shared.cond, st);
+                }
+            }
         }
+        self.ledger.settle();
     }
 }
 
-/// The pipeline thread body: header first, then blocks until `Finish` or
-/// disconnect. All write latency recorded here is overlapped I/O.
+/// The legacy pipeline thread body: header first, then blocks until
+/// `Finish` or disconnect. Storage busy time lands in the component ledger.
 fn run_writer_thread(
     mut writer: Box<dyn SpillWriter>,
     header: Vec<u8>,
     rx: Receiver<SpillMsg>,
     stats: &IoStats,
+    ledger: &OverlapLedger,
 ) -> Result<()> {
     writer.write_all(&header)?;
     while let Ok(msg) = rx.recv() {
@@ -167,13 +429,13 @@ fn run_writer_thread(
                     BLOCK_HEADER_BYTES as u64 + payload.len() as u64,
                     elapsed,
                 );
-                stats.record_overlapped_io(elapsed);
+                ledger.record_busy(elapsed);
             }
             SpillMsg::Finish => {
                 let started = Instant::now();
                 writer.write_all(&encode_end_marker())?;
                 writer.finish()?;
-                stats.record_overlapped_io(started.elapsed());
+                ledger.record_busy(started.elapsed());
                 return Ok(());
             }
         }
@@ -183,49 +445,162 @@ fn run_writer_thread(
     Ok(())
 }
 
-/// A [`RunReader`] driven by a bounded read-ahead thread.
+/// Shared state between a scheduled prefetcher's consumer and its jobs.
+struct PrefetchShared<K: SortKey> {
+    state: Mutex<PrefetchState<K>>,
+    cond: Condvar,
+}
+
+struct PrefetchState<K: SortKey> {
+    /// Decoded batches (or one trailing in-band error) awaiting the
+    /// consumer; bounded at `cap`.
+    ready: VecDeque<Result<Vec<Row<K>>>>,
+    /// The underlying reader; taken out by the active job during I/O,
+    /// dropped at end of run.
+    reader: Option<RunReader<K>>,
+    cap: usize,
+    job_active: bool,
+    eof: bool,
+    dropped: bool,
+}
+
+/// One scheduler job: decode blocks until the buffer is full, the run
+/// ends/fails, or the consumer is gone. Never blocks.
+fn prefetch_job<K: SortKey>(shared: &Arc<PrefetchShared<K>>) {
+    loop {
+        let mut reader = {
+            let mut st = lock(&shared.state);
+            if st.dropped {
+                st.reader = None;
+                st.ready.clear();
+                st.job_active = false;
+                shared.cond.notify_all();
+                return;
+            }
+            if st.eof || st.ready.len() >= st.cap {
+                st.job_active = false;
+                shared.cond.notify_all();
+                return;
+            }
+            match st.reader.take() {
+                Some(reader) => reader,
+                None => {
+                    st.job_active = false;
+                    shared.cond.notify_all();
+                    return;
+                }
+            }
+        };
+        let res = reader.next_block_rows();
+        let mut st = lock(&shared.state);
+        match res {
+            Ok(Some(rows)) => {
+                st.ready.push_back(Ok(rows));
+                st.reader = Some(reader);
+            }
+            Ok(None) => st.eof = true,
+            Err(e) => {
+                st.ready.push_back(Err(e));
+                st.eof = true;
+            }
+        }
+        shared.cond.notify_all();
+    }
+}
+
+enum PrefetchMode<K: SortKey> {
+    /// Legacy: a dedicated read-ahead thread per merge source.
+    Thread { rx: Option<Receiver<Result<Vec<Row<K>>>>>, handle: Option<JoinHandle<()>> },
+    /// Shared pool: block-sized decode jobs on an [`IoScheduler`].
+    Scheduled { shared: Arc<PrefetchShared<K>>, handle: IoSchedulerHandle, class: IoClass },
+}
+
+/// A [`RunReader`] driven by bounded background read-ahead — a dedicated
+/// thread ([`PrefetchingRunReader::spawn`]) or shared-pool jobs
+/// ([`PrefetchingRunReader::spawn_scheduled`]).
 ///
-/// The thread reads, CRC-checks and decodes up to `readahead_blocks`
-/// blocks ahead; `next` pops rows from the current decoded batch and only
-/// touches the channel at batch boundaries. Errors arrive in-band and fuse
-/// the iterator; dropping the reader mid-stream joins the thread (see the
-/// module docs).
+/// The background side reads, CRC-checks and decodes up to
+/// `readahead_blocks` batches ahead (so `readahead_blocks + 1` blocks are
+/// buffered in total, counting the in-hand batch); `next` pops rows from
+/// the current decoded batch and only waits at batch boundaries. Errors
+/// arrive in-band and fuse the iterator; dropping the reader mid-stream
+/// tears the background side down (see the module docs).
 pub struct PrefetchingRunReader<K: SortKey> {
-    rx: Option<Receiver<Result<Vec<Row<K>>>>>,
-    handle: Option<JoinHandle<()>>,
-    current: std::collections::VecDeque<Row<K>>,
+    mode: PrefetchMode<K>,
+    current: VecDeque<Row<K>>,
     stats: IoStats,
+    ledger: Arc<OverlapLedger>,
     done: bool,
     rows_yielded: u64,
 }
 
 impl<K: SortKey> PrefetchingRunReader<K> {
     /// Takes ownership of `reader` (which may be mid-run, e.g. positioned
-    /// by `skip_rows`) and starts prefetching up to `readahead_blocks`
-    /// decoded blocks ahead of the consumer.
+    /// by `skip_rows`) and starts a dedicated thread prefetching up to
+    /// `readahead_blocks` decoded blocks ahead of the consumer.
     pub fn spawn(mut reader: RunReader<K>, readahead_blocks: usize) -> Self {
         let stats = reader.stats().clone();
-        reader.set_background(true);
+        let ledger = OverlapLedger::new(stats.clone());
+        reader.set_ledger(Some(ledger.clone()));
         let (tx, rx) = sync_channel::<Result<Vec<Row<K>>>>(readahead_blocks.max(1));
-        let handle = std::thread::spawn(move || loop {
-            match reader.next_block_rows() {
-                Ok(Some(rows)) => {
-                    if tx.send(Ok(rows)).is_err() {
-                        return; // consumer dropped: stop prefetching
+        let handle = std::thread::spawn(move || {
+            let _census = ThreadCensus::register();
+            loop {
+                match reader.next_block_rows() {
+                    Ok(Some(rows)) => {
+                        if tx.send(Ok(rows)).is_err() {
+                            return; // consumer dropped: stop prefetching
+                        }
                     }
-                }
-                Ok(None) => return, // end of run: dropping tx signals it
-                Err(e) => {
-                    let _ = tx.send(Err(e));
-                    return;
+                    Ok(None) => return, // end of run: dropping tx signals it
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
                 }
             }
         });
         PrefetchingRunReader {
-            rx: Some(rx),
-            handle: Some(handle),
-            current: std::collections::VecDeque::new(),
+            mode: PrefetchMode::Thread { rx: Some(rx), handle: Some(handle) },
+            current: VecDeque::new(),
             stats,
+            ledger,
+            done: false,
+            rows_yielded: 0,
+        }
+    }
+
+    /// As [`PrefetchingRunReader::spawn`], but the decode work runs as
+    /// jobs on `scheduler`'s pool. Jobs start at [`IoPriority::Prefetch`]
+    /// and are escalated to [`IoPriority::MergeReadAhead`] once the
+    /// consumer blocks on this source.
+    pub fn spawn_scheduled(
+        mut reader: RunReader<K>,
+        readahead_blocks: usize,
+        scheduler: IoSchedulerHandle,
+    ) -> Self {
+        let stats = reader.stats().clone();
+        let ledger = OverlapLedger::new(stats.clone());
+        reader.set_ledger(Some(ledger.clone()));
+        let shared = Arc::new(PrefetchShared {
+            state: Mutex::new(PrefetchState {
+                ready: VecDeque::new(),
+                reader: Some(reader),
+                cap: readahead_blocks.max(1),
+                job_active: true,
+                eof: false,
+                dropped: false,
+            }),
+            cond: Condvar::new(),
+        });
+        let class = IoClass::new(IoPriority::Prefetch);
+        let job = shared.clone();
+        scheduler.submit(&class, move || prefetch_job(&job));
+        PrefetchingRunReader {
+            mode: PrefetchMode::Scheduled { shared, handle: scheduler, class },
+            current: VecDeque::new(),
+            stats,
+            ledger,
             done: false,
             rows_yielded: 0,
         }
@@ -236,12 +611,77 @@ impl<K: SortKey> PrefetchingRunReader<K> {
         self.rows_yielded
     }
 
-    /// Drops the channel (unblocking a thread stuck in `send`) and joins.
-    fn shut_down(&mut self) {
-        self.rx.take();
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
+    /// The next decoded batch (or in-band error), `None` at end of run.
+    /// Only the blocked time counts as compute-side wait; the read and
+    /// decode themselves were booked by the background side.
+    fn next_batch(&mut self) -> Option<Result<Vec<Row<K>>>> {
+        match &mut self.mode {
+            PrefetchMode::Thread { rx, .. } => {
+                let rx = rx.as_ref()?;
+                let started = Instant::now();
+                let msg = rx.recv();
+                let waited = started.elapsed();
+                self.stats.record_io_wait(waited);
+                self.ledger.record_wait(waited);
+                msg.ok() // a disconnect is a clean end of run
+            }
+            PrefetchMode::Scheduled { shared, handle, class } => {
+                let mut st = lock(&shared.state);
+                loop {
+                    if let Some(item) = st.ready.pop_front() {
+                        // Buffer space freed: restart the fill if needed.
+                        if !st.job_active && !st.eof && st.reader.is_some() {
+                            st.job_active = true;
+                            let job = shared.clone();
+                            handle.submit(class, move || prefetch_job(&job));
+                        }
+                        return Some(item);
+                    }
+                    if st.eof {
+                        return None;
+                    }
+                    // The consumer is now blocked on this source: escalate
+                    // its jobs — including any already queued — so the pool
+                    // serves a draining merge input before speculation.
+                    class.set(IoPriority::MergeReadAhead);
+                    if !st.job_active && st.reader.is_some() {
+                        st.job_active = true;
+                        let job = shared.clone();
+                        handle.submit(class, move || prefetch_job(&job));
+                    }
+                    let started = Instant::now();
+                    st = wait(&shared.cond, st);
+                    let waited = started.elapsed();
+                    self.stats.record_io_wait(waited);
+                    self.ledger.record_wait(waited);
+                }
+            }
         }
+    }
+
+    /// Tears down the background side and settles the overlap ledger.
+    fn shut_down(&mut self) {
+        match &mut self.mode {
+            PrefetchMode::Thread { rx, handle } => {
+                // Drop the channel (unblocking a thread stuck in `send`),
+                // then join.
+                rx.take();
+                if let Some(handle) = handle.take() {
+                    let _ = handle.join();
+                }
+            }
+            PrefetchMode::Scheduled { shared, .. } => {
+                let mut st = lock(&shared.state);
+                st.dropped = true;
+                st.ready.clear();
+                st.reader = None;
+                shared.cond.notify_all();
+                while st.job_active {
+                    st = wait(&shared.cond, st);
+                }
+            }
+        }
+        self.ledger.settle();
     }
 }
 
@@ -257,24 +697,14 @@ impl<K: SortKey> Iterator for PrefetchingRunReader<K> {
             if self.done {
                 return None;
             }
-            let Some(rx) = &self.rx else {
-                self.done = true;
-                return None;
-            };
-            // Only the blocked time counts as compute-side wait; the read
-            // and decode themselves were booked by the prefetch thread.
-            let started = Instant::now();
-            let msg = rx.recv();
-            self.stats.record_io_wait(started.elapsed());
-            match msg {
-                Ok(Ok(rows)) => self.current = rows.into(),
-                Ok(Err(e)) => {
+            match self.next_batch() {
+                Some(Ok(rows)) => self.current = rows.into(),
+                Some(Err(e)) => {
                     self.done = true;
                     self.shut_down();
                     return Some(Err(e));
                 }
-                Err(_) => {
-                    // Disconnect = clean end of run.
+                None => {
                     self.done = true;
                     self.shut_down();
                     return None;
@@ -296,7 +726,10 @@ mod tests {
     use crate::backend::StorageBackend;
     use crate::memory::MemoryBackend;
     use crate::run::RunWriter;
+    use crate::scheduler::IoScheduler;
+    use crate::throttle::{ThrottleModel, ThrottledBackend};
     use histok_types::SortOrder;
+    use std::time::Duration;
 
     fn write_run(
         be: &MemoryBackend,
@@ -312,6 +745,29 @@ mod tests {
             IoStats::new(),
             block_bytes,
             pipelined,
+        )
+        .unwrap();
+        for k in keys {
+            w.append(&Row::new(k, vec![k as u8; 5])).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn write_run_scheduled(
+        be: &MemoryBackend,
+        name: &str,
+        keys: std::ops::Range<u64>,
+        block_bytes: usize,
+        sched: &IoScheduler,
+    ) -> crate::run::RunMeta<u64> {
+        let mut w: RunWriter<u64> = RunWriter::with_io(
+            be,
+            name,
+            SortOrder::Ascending,
+            IoStats::new(),
+            block_bytes,
+            true,
+            Some(sched.handle()),
         )
         .unwrap();
         for k in keys {
@@ -336,20 +792,101 @@ mod tests {
     }
 
     #[test]
-    fn pipelined_writer_records_overlapped_io() {
+    fn scheduled_and_thread_pipelines_are_byte_identical() {
         let be = MemoryBackend::new();
+        let sched = IoScheduler::new(2);
+        let piped = write_run(&be, "piped", 0..500, 128, true);
+        let pooled = write_run_scheduled(&be, "pooled", 0..500, 128, &sched);
+        assert_eq!(piped.rows, pooled.rows);
+        assert_eq!(piped.bytes, pooled.bytes);
+        assert_eq!(piped.blocks, pooled.blocks);
+        let mut a = vec![0u8; piped.bytes as usize];
+        let mut b = vec![0u8; pooled.bytes as usize];
+        be.open("piped").unwrap().read_exact(&mut a).unwrap();
+        be.open("pooled").unwrap().read_exact(&mut b).unwrap();
+        assert_eq!(a, b, "scheduled spill changed the on-storage bytes");
+        assert!(sched.metrics().submitted[IoPriority::SpillWrite as usize] > 0);
+    }
+
+    /// A slow producer over a throttled backend: the writer keeps up, so
+    /// nearly all of its storage busy time is genuinely hidden and must
+    /// settle as overlapped I/O — while the per-component invariant
+    /// `io_wait + overlapped ≤ wall` holds.
+    #[test]
+    fn pipelined_writer_records_overlapped_io() {
+        let model = ThrottleModel {
+            per_op: Duration::from_micros(200),
+            per_byte: Duration::ZERO,
+            sleep: true,
+        };
+        let be = ThrottledBackend::new(MemoryBackend::new(), model);
         let stats = IoStats::new();
-        let mut w =
+        let started = Instant::now();
+        let mut w: RunWriter<u64> =
             RunWriter::with_options(&be, "ov", SortOrder::Ascending, stats.clone(), 64, true)
                 .unwrap();
-        for k in 0..200u64 {
+        for k in 0..40u64 {
             w.append(&Row::key_only(k)).unwrap();
+            // Compute "work" between appends so the writer thread drains
+            // the queue and its sleeps overlap with this.
+            std::thread::sleep(Duration::from_micros(300));
         }
         w.finish().unwrap();
+        let wall = started.elapsed().as_nanos() as u64;
         let snap = stats.snapshot();
         assert!(snap.write_ops > 1);
         assert!(snap.overlapped_io_ns > 0, "pipeline writes should book overlapped time");
-        assert_eq!(snap.rows_written, 200);
+        assert_eq!(snap.rows_written, 40);
+        assert!(
+            snap.io_wait_ns + snap.overlapped_io_ns <= wall,
+            "io_wait {} + overlapped {} must not exceed wall {wall}",
+            snap.io_wait_ns,
+            snap.overlapped_io_ns,
+        );
+    }
+
+    /// Regression for the finish() double-count: the drain+join interval
+    /// must not be booked as io_wait *and* overlapped. A fast producer over
+    /// a slow backend maximizes the drain, which the old accounting
+    /// double-counted past wall time.
+    #[test]
+    fn wait_and_overlap_never_double_count_the_finish_drain() {
+        for scheduled in [false, true] {
+            let sched = IoScheduler::new(1);
+            let model = ThrottleModel {
+                per_op: Duration::from_micros(400),
+                per_byte: Duration::ZERO,
+                sleep: true,
+            };
+            let be = ThrottledBackend::new(MemoryBackend::new(), model);
+            let stats = IoStats::new();
+            let started = Instant::now();
+            let mut w: RunWriter<u64> = RunWriter::with_io(
+                &be,
+                "dc",
+                SortOrder::Ascending,
+                stats.clone(),
+                64,
+                true,
+                scheduled.then(|| sched.handle()),
+            )
+            .unwrap();
+            // Push everything at once: the pipeline queue fills and finish()
+            // has a long drain to sit out.
+            for k in 0..60u64 {
+                w.append(&Row::key_only(k)).unwrap();
+            }
+            w.finish().unwrap();
+            let wall = started.elapsed().as_nanos() as u64;
+            let snap = stats.snapshot();
+            assert!(snap.io_wait_ns > 0, "a saturated pipeline must book wait");
+            assert!(
+                snap.io_wait_ns + snap.overlapped_io_ns <= wall,
+                "scheduled={scheduled}: io_wait {} + overlapped {} exceeds wall {wall}",
+                snap.io_wait_ns,
+                snap.overlapped_io_ns,
+            );
+        }
     }
 
     #[test]
@@ -363,6 +900,22 @@ mod tests {
         let fetched: Vec<u64> = pf.by_ref().map(|r| r.unwrap().key).collect();
         assert_eq!(plain, fetched);
         assert_eq!(pf.rows_yielded(), 1000);
+    }
+
+    #[test]
+    fn scheduled_prefetcher_yields_identical_rows() {
+        let be = MemoryBackend::new();
+        let sched = IoScheduler::new(2);
+        let meta = write_run(&be, "spf", 0..1000, 96, false);
+        let plain: Vec<u64> =
+            RunReader::open(&be, &meta, IoStats::new()).unwrap().map(|r| r.unwrap().key).collect();
+        let reader = RunReader::open(&be, &meta, IoStats::new()).unwrap();
+        let mut pf = PrefetchingRunReader::spawn_scheduled(reader, 2, sched.handle());
+        let fetched: Vec<u64> = pf.by_ref().map(|r| r.unwrap().key).collect();
+        assert_eq!(plain, fetched);
+        assert_eq!(pf.rows_yielded(), 1000);
+        let m = sched.metrics();
+        assert!(m.submitted_total() > 0, "prefetch must run through the pool");
     }
 
     #[test]
@@ -394,6 +947,27 @@ mod tests {
     }
 
     #[test]
+    fn dropping_a_scheduled_prefetcher_cancels_its_jobs() {
+        let be = MemoryBackend::new();
+        let sched = IoScheduler::new(1);
+        let meta = write_run(&be, "sdrop", 0..2000, 32, false);
+        let reader = RunReader::open(&be, &meta, IoStats::new()).unwrap();
+        let mut pf = PrefetchingRunReader::spawn_scheduled(reader, 1, sched.handle());
+        let first = pf.next().unwrap().unwrap();
+        assert_eq!(first.key, 0);
+        drop(pf); // must not deadlock and must not leave a runaway job
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let m = sched.metrics();
+            if m.queue_depth == 0 && m.completed_total() == m.submitted_total() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "prefetch jobs leaked after drop");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
     fn abandoned_pipelined_run_discards_the_object() {
         let be = MemoryBackend::new();
         let mut w: RunWriter<u64> =
@@ -405,5 +979,26 @@ mod tests {
         drop(w); // no finish: the pipeline must shut down and not leak
                  // The object was never finished, so it must not be readable.
         assert!(RunReader::<u64>::open_named(&be, "gone", IoStats::new()).is_err());
+    }
+
+    #[test]
+    fn abandoned_scheduled_run_discards_the_object() {
+        let be = MemoryBackend::new();
+        let sched = IoScheduler::new(1);
+        let mut w: RunWriter<u64> = RunWriter::with_io(
+            &be,
+            "sgone",
+            SortOrder::Ascending,
+            IoStats::new(),
+            64,
+            true,
+            Some(sched.handle()),
+        )
+        .unwrap();
+        for k in 0..100u64 {
+            w.append(&Row::key_only(k)).unwrap();
+        }
+        drop(w); // no finish: the job must drop the writer, discarding it
+        assert!(RunReader::<u64>::open_named(&be, "sgone", IoStats::new()).is_err());
     }
 }

@@ -16,12 +16,15 @@
 //! enabling the §4.1 merge optimizations: a reader can skip whole blocks
 //! that an `OFFSET` clause or a cutoff key proves irrelevant.
 
+use std::sync::Arc;
+
 use histok_types::{Error, Result, Row, SortKey, SortOrder};
 
 use crate::backend::{SpillReader, StorageBackend};
 use crate::crc::crc32;
 use crate::pipeline::SpillPipeline;
-use crate::stats::IoStats;
+use crate::scheduler::IoSchedulerHandle;
+use crate::stats::{IoStats, OverlapLedger};
 
 /// Target payload bytes per block (64 KiB).
 pub const DEFAULT_BLOCK_BYTES: usize = 64 * 1024;
@@ -221,6 +224,21 @@ impl<K: SortKey> RunWriter<K> {
         block_target: usize,
         pipelined: bool,
     ) -> Result<Self> {
+        Self::with_io(backend, name, order, stats, block_target, pipelined, None)
+    }
+
+    /// As [`RunWriter::with_options`], but a pipelined writer submits its
+    /// block writes to `scheduler`'s shared worker pool (when given)
+    /// instead of spawning a dedicated thread.
+    pub fn with_io(
+        backend: &dyn StorageBackend,
+        name: impl Into<String>,
+        order: SortOrder,
+        stats: IoStats,
+        block_target: usize,
+        pipelined: bool,
+        scheduler: Option<IoSchedulerHandle>,
+    ) -> Result<Self> {
         if block_target == 0 {
             return Err(Error::InvalidConfig("block target must be positive".into()));
         }
@@ -230,9 +248,21 @@ impl<K: SortKey> RunWriter<K> {
         header.extend_from_slice(&FILE_MAGIC.to_le_bytes());
         header.extend_from_slice(&FILE_VERSION.to_le_bytes());
         let sink = if pipelined {
-            // The file header is written by the pipeline thread, so the
+            // The file header is written by the background side, so the
             // operator thread performs no storage request at all here.
-            BlockSink::Pipelined(SpillPipeline::spawn(writer, header.clone(), stats.clone()))
+            match scheduler {
+                Some(handle) => BlockSink::Pipelined(SpillPipeline::spawn_scheduled(
+                    writer,
+                    header.clone(),
+                    stats.clone(),
+                    handle,
+                )),
+                None => BlockSink::Pipelined(SpillPipeline::spawn(
+                    writer,
+                    header.clone(),
+                    stats.clone(),
+                )),
+            }
         } else {
             writer.write_all(&header)?;
             BlockSink::Sync(writer)
@@ -371,6 +401,12 @@ impl<K: SortKey> RunWriter<K> {
         self.rows
     }
 
+    /// The backend object name this writer is filling (callers use it to
+    /// clean up a half-written object after a mid-merge error).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// The last appended key, if any — decoded from the write buffer on
     /// demand; the writer keeps no per-row key copy.
     pub fn last_key(&self) -> Option<K> {
@@ -422,10 +458,11 @@ pub struct RunReader<K: SortKey> {
     current: std::collections::VecDeque<Row<K>>,
     done: bool,
     rows_yielded: u64,
-    /// True when the reader is driven by a background prefetch thread: its
-    /// block-read time then counts as overlapped I/O, not compute-thread
+    /// `Some` when the reader is driven by background prefetch: its
+    /// block-read time is then booked into the component's overlap ledger
+    /// (settled as overlapped I/O at shutdown) instead of compute-thread
     /// I/O wait.
-    background: bool,
+    ledger: Option<Arc<OverlapLedger>>,
     /// `Some` for a range-scoped reader (see [`RunReader::open_range`]).
     range: Option<RangeState<K>>,
 }
@@ -455,7 +492,7 @@ impl<K: SortKey> RunReader<K> {
             current: std::collections::VecDeque::new(),
             done: false,
             rows_yielded: 0,
-            background: false,
+            ledger: None,
             range: None,
         })
     }
@@ -536,11 +573,11 @@ impl<K: SortKey> RunReader<K> {
         Ok(reader)
     }
 
-    /// Marks the reader as driven by a background prefetch thread, so its
-    /// block-read time is booked as overlapped I/O instead of compute-side
-    /// I/O wait.
-    pub(crate) fn set_background(&mut self, background: bool) {
-        self.background = background;
+    /// Marks the reader as driven by background prefetch: its block-read
+    /// time is booked into `ledger` (and settled as overlapped I/O when
+    /// the owning component shuts down) instead of compute-side I/O wait.
+    pub(crate) fn set_ledger(&mut self, ledger: Option<Arc<OverlapLedger>>) {
+        self.ledger = ledger;
     }
 
     /// The shared I/O stats this reader records into.
@@ -594,10 +631,9 @@ impl<K: SortKey> RunReader<K> {
             BLOCK_HEADER_BYTES as u64 + payload_len as u64,
             elapsed,
         );
-        if self.background {
-            self.stats.record_overlapped_io(elapsed);
-        } else {
-            self.stats.record_io_wait(elapsed);
+        match &self.ledger {
+            Some(ledger) => ledger.record_busy(elapsed),
+            None => self.stats.record_io_wait(elapsed),
         }
         let mut slice = &payload[..];
         self.current.reserve(rows as usize);

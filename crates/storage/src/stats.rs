@@ -6,7 +6,7 @@
 //! so an experiment can report exactly the quantities of the paper's tables
 //! and figures: rows spilled, runs created, bytes moved.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -189,6 +189,65 @@ impl IoStats {
     }
 }
 
+/// Per-component reconciliation of background-I/O time against the
+/// compute thread's waits, so `io_wait_ns` and `overlapped_io_ns` never
+/// count the same nanoseconds twice.
+///
+/// One ledger belongs to one overlap component (a spill pipeline or a
+/// prefetching reader). Background work books its storage busy time with
+/// [`OverlapLedger::record_busy`]; the compute thread books every blocked
+/// interval with [`OverlapLedger::record_wait`] *in addition to* the live
+/// `record_io_wait` it already does. When the component shuts down,
+/// [`OverlapLedger::settle`] credits `busy − wait` (saturating) as
+/// overlapped I/O: the storage time that was genuinely hidden from the
+/// compute thread. Per component, `io_wait + overlapped = max(wait, busy)`
+/// — never more than the component's own wall time, so summing components
+/// can only exceed wall clock when background threads truly ran in
+/// parallel.
+#[derive(Debug)]
+pub(crate) struct OverlapLedger {
+    busy_ns: AtomicU64,
+    wait_ns: AtomicU64,
+    settled: AtomicBool,
+    stats: IoStats,
+}
+
+impl OverlapLedger {
+    /// A fresh ledger settling into `stats`.
+    pub(crate) fn new(stats: IoStats) -> Arc<Self> {
+        Arc::new(OverlapLedger {
+            busy_ns: AtomicU64::new(0),
+            wait_ns: AtomicU64::new(0),
+            settled: AtomicBool::new(false),
+            stats,
+        })
+    }
+
+    /// Books storage busy time spent on a background thread or pool worker.
+    pub(crate) fn record_busy(&self, busy: Duration) {
+        let ns = busy.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Books an interval the compute thread spent blocked on this
+    /// component (the caller also books it as live `io_wait`).
+    pub(crate) fn record_wait(&self, waited: Duration) {
+        let ns = waited.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.wait_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Credits the hidden portion of the busy time (`busy − wait`) as
+    /// overlapped I/O. Idempotent; call on every shutdown path.
+    pub(crate) fn settle(&self) {
+        if self.settled.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let busy = self.busy_ns.load(Ordering::Relaxed);
+        let wait = self.wait_ns.load(Ordering::Relaxed);
+        self.stats.record_overlapped_io(Duration::from_nanos(busy.saturating_sub(wait)));
+    }
+}
+
 impl IoStatsSnapshot {
     /// Counter-wise difference `self - earlier`; saturates at zero so a
     /// stale snapshot cannot underflow.
@@ -350,6 +409,29 @@ mod tests {
         assert_eq!(m.blocks_skipped, 3);
         assert_eq!(m.bytes_skipped, 5220);
         assert_eq!(m.overlapped_io_ns, 7_001);
+    }
+
+    #[test]
+    fn ledger_settles_only_the_hidden_busy_time() {
+        let s = IoStats::new();
+        let ledger = OverlapLedger::new(s.clone());
+        ledger.record_busy(Duration::from_micros(10));
+        ledger.record_wait(Duration::from_micros(3));
+        ledger.settle();
+        assert_eq!(s.snapshot().overlapped_io_ns, 7_000);
+        // Idempotent: a second settle books nothing more.
+        ledger.settle();
+        assert_eq!(s.snapshot().overlapped_io_ns, 7_000);
+    }
+
+    #[test]
+    fn ledger_saturates_when_waits_cover_the_busy_time() {
+        let s = IoStats::new();
+        let ledger = OverlapLedger::new(s.clone());
+        ledger.record_busy(Duration::from_micros(5));
+        ledger.record_wait(Duration::from_micros(9));
+        ledger.settle();
+        assert_eq!(s.snapshot().overlapped_io_ns, 0, "nothing was hidden");
     }
 
     #[test]

@@ -207,20 +207,25 @@ fn io_wait_and_overlap_are_both_recorded_under_throttle() {
         let mut w: RunWriter<u64> =
             RunWriter::with_options(&be, "acct", SortOrder::Ascending, stats.clone(), 64, true)
                 .unwrap();
-        for k in 0..500u64 {
+        for k in 0..400u64 {
             w.append(&Row::new(k, vec![0u8; 16])).unwrap();
+            // Compute work between appends: the writer thread drains its
+            // queue while this thread is busy, so the throttle sleeps are
+            // genuinely hidden and settle as overlapped time.
+            std::thread::sleep(Duration::from_micros(60));
         }
         let meta = w.finish().unwrap();
         let snap = stats.snapshot();
-        // The writer thread slept in the throttle: that latency is
-        // overlapped. The compute thread still waited somewhere (the
-        // backpressured send and the finish drain).
+        // The writer thread slept in the throttle behind the producer's
+        // compute: that latency is overlapped. The compute thread still
+        // waited somewhere (at least the finish drain), and the two
+        // counters never book the same nanoseconds twice.
         assert!(snap.overlapped_io_ns > 0);
         assert!(snap.io_wait_ns > 0);
 
         // Prefetched reads book the same way: storage latency lands on the
-        // prefetch thread (overlapped), the consumer only records its recv
-        // waits.
+        // background side (overlapped) while the consumer does per-row
+        // compute; the consumer only records its blocked waits.
         let before = stats.snapshot();
         let pf =
             PrefetchingRunReader::spawn(RunReader::open(&be, &meta, stats.clone()).unwrap(), 2);
@@ -228,8 +233,9 @@ fn io_wait_and_overlap_are_both_recorded_under_throttle() {
         for row in pf {
             row.unwrap();
             read_rows += 1;
+            std::thread::sleep(Duration::from_micros(30));
         }
-        assert_eq!(read_rows, 500);
+        assert_eq!(read_rows, 400);
         let read = stats.snapshot().since(&before);
         assert!(read.overlapped_io_ns > 0);
     });
