@@ -1,0 +1,64 @@
+//! Batch-size sweep for the batched merge drain: how much of the
+//! per-row iterator overhead `LoserTree::merge_into` amortises as the
+//! output batch grows, and where the curve flattens. `batch_rows = 1`
+//! is the row-at-a-time differential baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use histok_sort::{IterSource, LoserTree};
+use histok_types::{BytesKey, Result, Row, RowBatch, SortKey, SortOrder};
+
+const TOTAL_ROWS: u64 = 100_000;
+const FAN_IN: u64 = 64;
+const BATCH_SIZES: [usize; 5] = [1, 64, 256, 1024, 4096];
+
+type VecSource<K> = IterSource<std::vec::IntoIter<Result<Row<K>>>>;
+
+fn sources<K: SortKey>(key: impl Fn(u64) -> K) -> Vec<VecSource<K>> {
+    (0..FAN_IN)
+        .map(|i| {
+            let rows: Vec<Result<Row<K>>> = (0..TOTAL_ROWS / FAN_IN)
+                .map(|j| Ok(Row::key_only(key(j * FAN_IN + i))))
+                .collect();
+            IterSource::new(rows.into_iter())
+        })
+        .collect()
+}
+
+fn bench_sweep<K: SortKey>(c: &mut Criterion, group: &str, key: impl Fn(u64) -> K + Copy) {
+    let mut g = c.benchmark_group(group);
+    g.throughput(Throughput::Elements(TOTAL_ROWS));
+    g.sample_size(20);
+    for batch_rows in BATCH_SIZES {
+        g.bench_function(format!("batch_{batch_rows}"), |b| {
+            b.iter(|| {
+                let mut tree =
+                    LoserTree::with_ovc(sources(key), SortOrder::Ascending, true, None).unwrap();
+                let mut batch = RowBatch::new();
+                let mut count = 0u64;
+                loop {
+                    tree.merge_into(&mut batch, batch_rows).unwrap();
+                    if batch.is_empty() {
+                        break;
+                    }
+                    count += batch.len() as u64;
+                    black_box(&batch);
+                }
+                assert_eq!(count, TOTAL_ROWS / FAN_IN * FAN_IN);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_batch_u64(c: &mut Criterion) {
+    bench_sweep(c, "batch/merge_u64", |k| k);
+}
+
+fn bench_batch_bytes(c: &mut Criterion) {
+    // Wide keys exercise the ovc_resolve fallback inside the batched drain.
+    bench_sweep(c, "batch/merge_bytes", |k| BytesKey::new(format!("shared-prefix-{k:012}")));
+}
+
+criterion_group!(benches, bench_batch_u64, bench_batch_bytes);
+criterion_main!(benches);

@@ -3,19 +3,19 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
-use histok_sort::LoserTree;
+use histok_sort::{IterSource, LoserTree};
 use histok_types::{Result, Row, SortOrder};
 
 const TOTAL_ROWS: u64 = 100_000;
 
-type VecSource = std::vec::IntoIter<Result<Row<u64>>>;
+type VecSource = IterSource<std::vec::IntoIter<Result<Row<u64>>>>;
 
 fn sources(n: u64) -> Vec<VecSource> {
     (0..n)
         .map(|i| {
             let rows: Vec<Result<Row<u64>>> =
                 (0..TOTAL_ROWS / n).map(|j| Ok(Row::key_only(j * n + i))).collect();
-            rows.into_iter()
+            IterSource::new(rows.into_iter())
         })
         .collect()
 }

@@ -7,21 +7,21 @@ use std::sync::Arc;
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 use histok_sort::run_gen::{ReplacementSelection, ResiduePolicy, RunGenerator};
-use histok_sort::{LoserTree, NoopObserver};
+use histok_sort::{IterSource, LoserTree, NoopObserver};
 use histok_storage::{IoStats, MemoryBackend, RunCatalog};
 use histok_types::{BytesKey, Result, Row, SortKey, SortOrder};
 
 const TOTAL_ROWS: u64 = 100_000;
 const FAN_IN: u64 = 64;
 
-type VecSource<K> = std::vec::IntoIter<Result<Row<K>>>;
+type VecSource<K> = IterSource<std::vec::IntoIter<Result<Row<K>>>>;
 
 fn sources<K: SortKey>(n: u64, key: impl Fn(u64) -> K) -> Vec<VecSource<K>> {
     (0..n)
         .map(|i| {
             let rows: Vec<Result<Row<K>>> =
                 (0..TOTAL_ROWS / n).map(|j| Ok(Row::key_only(key(j * n + i)))).collect();
-            rows.into_iter()
+            IterSource::new(rows.into_iter())
         })
         .collect()
 }

@@ -57,7 +57,7 @@ fn write_runs(cat: &RunCatalog<u64>, key: impl Fn(u64, u64) -> u64) {
 
 fn drain_partitioned(cat: &RunCatalog<u64>, threads: usize) -> u64 {
     let runs = cat.runs();
-    let tuning = MergeTuning { ovc: true, stats: None, readahead_blocks: 2, io_scheduler: None };
+    let tuning = MergeTuning { ovc: true, readahead_blocks: 2, ..MergeTuning::default() };
     let mut n = 0u64;
     if threads >= 2 {
         match merge_runs_partitioned(cat, &runs, vec![], threads, None, &tuning).unwrap() {

@@ -10,13 +10,15 @@
 //!
 //! The process exits non-zero if offset-value coding fails to cut the
 //! loser-tree's *full* key comparisons by at least 2× on the byte-key
-//! merge workload — the regression the counters exist to catch — if the
-//! overlapped-I/O layer (spill pipeline + merge read-ahead) fails to beat
-//! synchronous I/O by at least 1.3× wall-clock on a spill-heavy top-k over
-//! a sleeping throttled backend (modelled disaggregated-storage latency),
-//! or if the range-partitioned parallel merge fails to beat the serial
-//! merge by at least 1.5× wall-clock on the same latency-dominated
-//! backend.
+//! merge workload — the regression the counters exist to catch — if
+//! OVC-on fails to match or beat OVC-off *wall-clock* on any merge case
+//! (including plain u64 keys: comparison savings must not be bought with
+//! slower duels), if the overlapped-I/O layer (spill pipeline + merge
+//! read-ahead) fails to beat synchronous I/O by at least 1.3× wall-clock
+//! on a spill-heavy top-k over a sleeping throttled backend (modelled
+//! disaggregated-storage latency), or if the range-partitioned parallel
+//! merge fails to beat the serial merge by at least 1.5× wall-clock on
+//! the same latency-dominated backend.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -26,13 +28,14 @@ use histok_core::{TopKConfig, TopKOperator, TraditionalExternalTopK};
 use histok_sort::run_gen::{ReplacementSelection, ResiduePolicy, RunGenerator};
 use histok_sort::{
     merge_runs_partitioned, merge_sources_tuned, open_source, plan_merges_tuned, CmpStats,
-    LoserTree, MergeConfig, MergePolicy, MergeTuning, NoopObserver,
+    IterSource, LoserTree, MergeConfig, MergePolicy, MergeTuning, NoopObserver,
+    DEFAULT_BATCH_ROWS,
 };
 use histok_storage::{
     IoScheduler, IoSchedulerMetrics, IoStats, MemoryBackend, RunCatalog, ThreadCensus,
     ThrottleModel, ThrottledBackend,
 };
-use histok_types::{BytesKey, JsonValue, Result, Row, SortKey, SortOrder, SortSpec};
+use histok_types::{BytesKey, JsonValue, Result, Row, RowBatch, SortKey, SortOrder, SortSpec};
 
 const MERGE_ROWS: u64 = 200_000;
 const FAN_IN: u64 = 64;
@@ -50,6 +53,25 @@ const STORM_FAN_IN: usize = 64;
 const STORM_THREADS: usize = 4;
 const STORM_IO_THREADS: usize = 4;
 const STORM_PARITY: f64 = 1.10;
+/// Timed merge cases keep the fastest of this many repetitions (wall-clock
+/// gates must not trip on scheduler noise).
+const MERGE_REPS: usize = 7;
+/// OVC-on must not run slower than this × the OVC-off wall on any merge
+/// case. On exact-prefix keys both modes duel on one integer compare, so
+/// the structural expectation is parity (medians run 0.94–1.01×); the
+/// margin absorbs per-process code-layout variance, which shifts a tight
+/// merge loop ±10% between otherwise identical invocations. The gate's
+/// job is the old failure class — the 1.7× regression of BENCH_3 — not a
+/// ten-percent layout lottery.
+const OVC_WALL_PARITY: f64 = 1.15;
+
+fn rate(rows: u64, wall_ns: u64) -> f64 {
+    if wall_ns == 0 {
+        0.0
+    } else {
+        rows as f64 / (wall_ns as f64 / 1e9)
+    }
+}
 
 struct CaseResult {
     rows: u64,
@@ -60,11 +82,7 @@ struct CaseResult {
 
 impl CaseResult {
     fn rows_per_sec(&self) -> f64 {
-        if self.wall_ns == 0 {
-            0.0
-        } else {
-            self.rows as f64 / (self.wall_ns as f64 / 1e9)
-        }
+        rate(self.rows, self.wall_ns)
     }
 
     fn to_json(&self) -> JsonValue {
@@ -94,6 +112,7 @@ impl OverlapRun {
         JsonValue::Obj(vec![
             ("rows".to_owned(), JsonValue::from(self.rows)),
             ("wall_ns".to_owned(), JsonValue::from(self.wall_ns)),
+            ("rows_per_sec".to_owned(), JsonValue::from(rate(self.rows, self.wall_ns))),
             ("io_wait_ns".to_owned(), JsonValue::from(self.io_wait_ns)),
             ("overlapped_io_ns".to_owned(), JsonValue::from(self.overlapped_io_ns)),
         ])
@@ -160,6 +179,7 @@ impl PartitionRun {
         JsonValue::Obj(vec![
             ("rows".to_owned(), JsonValue::from(self.rows)),
             ("wall_ns".to_owned(), JsonValue::from(self.wall_ns)),
+            ("rows_per_sec".to_owned(), JsonValue::from(rate(self.rows, self.wall_ns))),
             ("partitions".to_owned(), JsonValue::from(self.partitions)),
             ("blocks_skipped".to_owned(), JsonValue::from(self.blocks_skipped)),
         ])
@@ -194,7 +214,13 @@ fn partition_case(threads: usize) -> PartitionRun {
         catalog.register(w.finish().expect("finish run")).expect("register");
     }
     let runs = catalog.runs();
-    let tuning = MergeTuning { ovc: true, stats: None, readahead_blocks: 2, io_scheduler: None };
+    let tuning = MergeTuning {
+        ovc: true,
+        stats: None,
+        readahead_blocks: 2,
+        io_scheduler: None,
+        batch_rows: DEFAULT_BATCH_ROWS,
+    };
     let skipped_before = stats.snapshot().blocks_skipped;
     let started = Instant::now();
     let mut rows = 0u64;
@@ -252,6 +278,7 @@ impl StormRun {
         let mut fields = vec![
             ("rows".to_owned(), JsonValue::from(self.rows)),
             ("wall_ns".to_owned(), JsonValue::from(self.wall_ns)),
+            ("rows_per_sec".to_owned(), JsonValue::from(rate(self.rows, self.wall_ns))),
             ("peak_io_threads".to_owned(), JsonValue::from(self.peak_io_threads as u64)),
             ("io_wait_ns".to_owned(), JsonValue::from(self.io_wait_ns)),
             ("overlapped_io_ns".to_owned(), JsonValue::from(self.overlapped_io_ns)),
@@ -307,6 +334,7 @@ fn spill_storm_case(io_threads: usize) -> StormRun {
         stats: None,
         readahead_blocks: 2,
         io_scheduler: scheduler.clone(),
+        batch_rows: DEFAULT_BATCH_ROWS,
     };
     let merge = MergeConfig { fan_in: STORM_FAN_IN, policy: MergePolicy::SmallestFirst };
     let io_before = stats.snapshot();
@@ -345,30 +373,100 @@ fn spill_storm_case(io_threads: usize) -> StormRun {
     }
 }
 
-fn sources<K: SortKey>(key: &impl Fn(u64) -> K) -> Vec<std::vec::IntoIter<Result<Row<K>>>> {
+type VecSource<K> = IterSource<std::vec::IntoIter<Result<Row<K>>>>;
+
+fn sources<K: SortKey>(key: &impl Fn(u64) -> K) -> Vec<VecSource<K>> {
     (0..FAN_IN)
         .map(|i| {
             let rows: Vec<Result<Row<K>>> =
                 (0..MERGE_ROWS / FAN_IN).map(|j| Ok(Row::key_only(key(j * FAN_IN + i)))).collect();
-            rows.into_iter()
+            IterSource::new(rows.into_iter())
         })
         .collect()
 }
 
-fn merge_case<K: SortKey>(ovc: bool, key: &impl Fn(u64) -> K) -> CaseResult {
+/// One timed drain of a fan-in-64 loser tree through the batched
+/// `merge_into` path. Both the OVC and the full-comparison run go through
+/// the same drain loop, so the wall-clock gate compares duel cost alone.
+fn merge_once<K: SortKey>(ovc: bool, key: &impl Fn(u64) -> K) -> CaseResult {
     let stats = CmpStats::new();
     let input = sources(key);
     let started = Instant::now();
-    let tree = LoserTree::with_ovc(input, SortOrder::Ascending, ovc, Some(stats.clone()))
+    let mut tree = LoserTree::with_ovc(input, SortOrder::Ascending, ovc, Some(stats.clone()))
         .expect("merge tree");
     let mut rows = 0u64;
-    for row in tree {
-        row.expect("merge row");
-        rows += 1;
+    let mut batch: RowBatch<K> = RowBatch::with_capacity(DEFAULT_BATCH_ROWS);
+    loop {
+        tree.merge_into(&mut batch, DEFAULT_BATCH_ROWS).expect("merge batch");
+        if batch.is_empty() {
+            break;
+        }
+        rows += batch.len() as u64;
     }
     let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    drop(tree); // flush the counters
     let snap = stats.snapshot();
     CaseResult { rows, wall_ns, ovc_cmps: snap.ovc_cmps, full_cmps: snap.full_cmps }
+}
+
+/// Best wall-clock of [`MERGE_REPS`] runs (counters are deterministic, so
+/// any repetition's counts are the counts).
+fn merge_case<K: SortKey>(ovc: bool, key: &impl Fn(u64) -> K) -> CaseResult {
+    (0..MERGE_REPS)
+        .map(|_| merge_once(ovc, key))
+        .min_by_key(|r| r.wall_ns)
+        .expect("at least one rep")
+}
+
+/// Best wall-clock of [`MERGE_REPS`] *interleaved* (OVC, full-comparison)
+/// rep pairs. Alternating the modes inside one loop exposes both to the
+/// same machine drift (frequency scaling, cache pressure); timing each
+/// mode in its own loop lets drift masquerade as a 30%+ duel-cost
+/// difference on near-parity cases like u64.
+fn merge_pair<K: SortKey>(key: &impl Fn(u64) -> K) -> (CaseResult, CaseResult) {
+    let mut best: Option<(CaseResult, CaseResult)> = None;
+    for rep in 0..MERGE_REPS {
+        // Alternate which mode runs first so allocator/cache warm-up
+        // doesn't systematically favor one side.
+        let (with_ovc, without) = if rep % 2 == 0 {
+            let w = merge_once(true, key);
+            (w, merge_once(false, key))
+        } else {
+            let wo = merge_once(false, key);
+            (merge_once(true, key), wo)
+        };
+        best = Some(match best.take() {
+            None => (with_ovc, without),
+            Some((bw, bwo)) => (
+                if with_ovc.wall_ns < bw.wall_ns { with_ovc } else { bw },
+                if without.wall_ns < bwo.wall_ns { without } else { bwo },
+            ),
+        });
+    }
+    best.expect("at least one rep")
+}
+
+/// The same u64 merge drained row-at-a-time through `Iterator::next` —
+/// the baseline the batched `merge_into` loop replaced.
+fn merge_row_at_a_time_case() -> CaseResult {
+    (0..MERGE_REPS)
+        .map(|_| {
+            let stats = CmpStats::new();
+            let input = sources(&|k| k);
+            let started = Instant::now();
+            let tree = LoserTree::with_ovc(input, SortOrder::Ascending, true, Some(stats.clone()))
+                .expect("merge tree");
+            let mut rows = 0u64;
+            for row in tree {
+                row.expect("merge row");
+                rows += 1;
+            }
+            let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            let snap = stats.snapshot();
+            CaseResult { rows, wall_ns, ovc_cmps: snap.ovc_cmps, full_cmps: snap.full_cmps }
+        })
+        .min_by_key(|r| r.wall_ns)
+        .expect("at least one rep")
 }
 
 fn run_gen_case(ovc: bool, keys: &[BytesKey]) -> CaseResult {
@@ -443,10 +541,13 @@ fn main() {
         })
         .collect();
 
+    let (u64_ovc, u64_full) = merge_pair(&|k| k);
+    let (bytes_ovc, bytes_full) = merge_pair(&byte_key);
+    let (dup_ovc, dup_full) = merge_pair(&|k| k % 64);
     let cases: Vec<(&str, CaseResult, CaseResult)> = vec![
-        ("merge_u64", merge_case(true, &|k| k), merge_case(false, &|k| k)),
-        ("merge_bytes", merge_case(true, &byte_key), merge_case(false, &byte_key)),
-        ("merge_duplicate_heavy", merge_case(true, &|k| k % 64), merge_case(false, &|k| k % 64)),
+        ("merge_u64", u64_ovc, u64_full),
+        ("merge_bytes", bytes_ovc, bytes_full),
+        ("merge_duplicate_heavy", dup_ovc, dup_full),
         (
             "run_generation_bytes",
             run_gen_case(true, &run_gen_keys),
@@ -456,6 +557,9 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut byte_merge_reduction = 0.0f64;
+    // (name, ovc wall / full-comparison wall) for every merge_* case: the
+    // tentpole's wall-clock gate.
+    let mut ovc_wall_ratios: Vec<(String, f64)> = Vec::new();
     println!(
         "{:<24} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "case", "ovc rows/s", "base rows/s", "ovc full", "base full", "reduction"
@@ -464,6 +568,10 @@ fn main() {
         let (reduction, json) = case_json(name, with_ovc, without);
         if *name == "merge_bytes" {
             byte_merge_reduction = reduction;
+        }
+        if name.starts_with("merge") && without.wall_ns > 0 {
+            ovc_wall_ratios
+                .push(((*name).to_owned(), with_ovc.wall_ns as f64 / without.wall_ns as f64));
         }
         println!(
             "{:<24} {:>12.0} {:>12.0} {:>12} {:>12} {:>9.1}x",
@@ -476,6 +584,35 @@ fn main() {
         );
         rows.push(json);
     }
+
+    // Batched vs. row-at-a-time drain of the same u64 merge (OVC on in
+    // both): the batched execution win, isolated.
+    let batched = merge_case(true, &|k| k);
+    let row_at_a_time = merge_row_at_a_time_case();
+    assert_eq!(batched.rows, row_at_a_time.rows, "drain mode changed the row count");
+    let batch_speedup = if batched.wall_ns == 0 {
+        f64::INFINITY
+    } else {
+        row_at_a_time.wall_ns as f64 / batched.wall_ns as f64
+    };
+    println!(
+        "{:<24} {:>12.0} {:>12.0} {:>12} {:>12} {:>9.2}x",
+        "batched_merge",
+        batched.rows_per_sec(),
+        row_at_a_time.rows_per_sec(),
+        "(batch)",
+        "(row)",
+        batch_speedup
+    );
+    rows.push(JsonValue::Obj(vec![
+        ("name".to_owned(), JsonValue::from("batched_merge")),
+        ("batched".to_owned(), batched.to_json()),
+        ("row_at_a_time".to_owned(), row_at_a_time.to_json()),
+        (
+            "speedup".to_owned(),
+            JsonValue::from(if batch_speedup.is_finite() { batch_speedup } else { f64::MAX }),
+        ),
+    ]));
 
     // Overlapped I/O: same spill-heavy top-k with the pipeline + read-ahead
     // on vs. fully synchronous, over a sleeping throttled backend.
@@ -585,6 +722,9 @@ fn main() {
                 ("fan_in".to_owned(), JsonValue::from(FAN_IN)),
                 ("run_gen_rows".to_owned(), JsonValue::from(RUN_GEN_ROWS)),
                 ("required_reduction".to_owned(), JsonValue::from(REQUIRED_REDUCTION)),
+                ("merge_reps".to_owned(), JsonValue::from(MERGE_REPS as u64)),
+                ("ovc_wall_parity".to_owned(), JsonValue::from(OVC_WALL_PARITY)),
+                ("batch_rows".to_owned(), JsonValue::from(DEFAULT_BATCH_ROWS as u64)),
                 ("overlap_rows".to_owned(), JsonValue::from(OVERLAP_ROWS)),
                 ("required_speedup".to_owned(), JsonValue::from(REQUIRED_SPEEDUP)),
                 ("partition_runs".to_owned(), JsonValue::from(PARTITION_RUNS)),
@@ -608,6 +748,20 @@ fn main() {
     println!("\nreport: {}", path.display());
 
     let mut failed = false;
+    for (name, ratio) in &ovc_wall_ratios {
+        if *ratio > OVC_WALL_PARITY {
+            eprintln!(
+                "FAIL: {name} ran {ratio:.2}x the full-comparison wall with OVC on \
+                 (bound {OVC_WALL_PARITY}x)"
+            );
+            failed = true;
+        } else {
+            println!(
+                "OK: {name} with OVC on ran {ratio:.2}x the full-comparison wall \
+                 (bound {OVC_WALL_PARITY}x)"
+            );
+        }
+    }
     if byte_merge_reduction < REQUIRED_REDUCTION {
         eprintln!(
             "FAIL: byte-key merge full comparisons reduced only {byte_merge_reduction:.2}x \

@@ -146,6 +146,7 @@ pub fn metrics_to_json(m: &OperatorMetrics) -> JsonValue {
                 ("ovc_cmps".to_owned(), JsonValue::from(m.cmp.ovc_cmps)),
                 ("full_cmps".to_owned(), JsonValue::from(m.cmp.full_cmps)),
                 ("total".to_owned(), JsonValue::from(m.cmp.total())),
+                ("merge_batches".to_owned(), JsonValue::from(m.cmp.merge_batches)),
             ]),
         ),
         (
@@ -259,6 +260,10 @@ mod tests {
         let full = cmp.get("full_cmps").and_then(JsonValue::as_u64).unwrap();
         assert!(ovc > 0, "a spilling run must resolve duels on codes");
         assert_eq!(cmp.get("total").and_then(JsonValue::as_u64), Some(ovc + full));
+        assert!(
+            cmp.get("merge_batches").and_then(JsonValue::as_u64).unwrap() > 0,
+            "a spilling run must drain its final merge in batches"
+        );
         assert_eq!(
             phases.get("spill_write_ns").and_then(JsonValue::as_u64),
             io.get("write_latency").and_then(|l| l.get("total_ns")).and_then(JsonValue::as_u64),

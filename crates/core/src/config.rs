@@ -17,6 +17,27 @@ pub enum RunGenKind {
     LoadSortStore,
 }
 
+/// How run generation executes: row-at-a-time comparison sorting, or the
+/// batched radix sort over normalized key prefixes
+/// ([`histok_sort::BatchSort`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunGenMode {
+    /// Decide by key width: when the configured strategy is
+    /// [`RunGenKind::LoadSortStore`] and the key's 8-byte normalized
+    /// prefix is exact (integers, `F64Key`), use the radix batch sort —
+    /// same flush points, same run contents, no comparator on the hot
+    /// path. Replacement selection keeps its pipelined heap (its run
+    /// shape — ~2× memory, run-size caps — is the strategy).
+    #[default]
+    Adaptive,
+    /// Always the comparison-based strategy named by
+    /// [`TopKConfig::run_generation`].
+    Comparison,
+    /// Always the radix batch sort, regardless of strategy or key width.
+    /// Overrides [`RunGenKind`]; run-size caps do not apply.
+    Batch,
+}
+
 /// Tunables for [`crate::HistogramTopK`] (and, where applicable, the
 /// baselines). Build with [`TopKConfig::builder`].
 #[derive(Debug, Clone)]
@@ -34,6 +55,9 @@ pub struct TopKConfig {
     pub tail_buckets: bool,
     /// Run-generation strategy.
     pub run_generation: RunGenKind,
+    /// Run-generation execution mode (comparison vs. batched radix); see
+    /// [`RunGenMode`].
+    pub run_gen_mode: RunGenMode,
     /// Cap runs at `offset + limit` rows (the [Graefe'08] optimization).
     pub limit_run_size: bool,
     /// Merge fan-in and intermediate-run selection policy.
@@ -84,6 +108,9 @@ pub struct TopKConfig {
     /// merge sources are open. `0` = legacy mode: one dedicated thread per
     /// open run / merge source (for differential testing). Default 4.
     pub io_threads: usize,
+    /// Rows per batch on the batched merge path (loser-tree drain loops,
+    /// partition-worker channel hops). Must be at least 1. Default 1024.
+    pub batch_rows: usize,
 }
 
 /// Default for [`TopKConfig::merge_threads`]: the machine's available
@@ -101,6 +128,7 @@ impl Default for TopKConfig {
             histogram_memory: crate::cutoff::DEFAULT_FILTER_MEMORY,
             tail_buckets: true,
             run_generation: RunGenKind::default(),
+            run_gen_mode: RunGenMode::default(),
             limit_run_size: true,
             // The paper's algorithm performs "one pass over the input to
             // generate sorted runs and then merges the runs until the top k
@@ -119,6 +147,7 @@ impl Default for TopKConfig {
             merge_threads: default_merge_threads(),
             partition_min_rows: 8192,
             io_threads: 4,
+            batch_rows: histok_sort::DEFAULT_BATCH_ROWS,
         }
     }
 }
@@ -151,6 +180,9 @@ impl TopKConfig {
         }
         if self.merge_threads == 0 {
             return Err(Error::InvalidConfig("merge_threads must be at least 1".into()));
+        }
+        if self.batch_rows == 0 {
+            return Err(Error::InvalidConfig("batch_rows must be at least 1".into()));
         }
         self.sizing.validate()?;
         self.merge.validate()?;
@@ -192,6 +224,12 @@ impl TopKConfigBuilder {
     /// Chooses the run-generation strategy.
     pub fn run_generation(mut self, kind: RunGenKind) -> Self {
         self.config.run_generation = kind;
+        self
+    }
+
+    /// Chooses the run-generation execution mode; see [`RunGenMode`].
+    pub fn run_gen_mode(mut self, mode: RunGenMode) -> Self {
+        self.config.run_gen_mode = mode;
         self
     }
 
@@ -286,6 +324,12 @@ impl TopKConfigBuilder {
         self
     }
 
+    /// Batched-merge batch size; see [`TopKConfig::batch_rows`].
+    pub fn batch_rows(mut self, rows: usize) -> Self {
+        self.config.batch_rows = rows;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<TopKConfig> {
         self.config.validate()?;
@@ -310,6 +354,8 @@ mod tests {
         assert!((1..=4).contains(&c.merge_threads));
         assert_eq!(c.partition_min_rows, 8192);
         assert_eq!(c.io_threads, 4);
+        assert_eq!(c.run_gen_mode, RunGenMode::Adaptive);
+        assert_eq!(c.batch_rows, 1024);
         assert!(c.validate().is_ok());
     }
 
@@ -321,6 +367,7 @@ mod tests {
             .histogram_memory(4096)
             .tail_buckets(false)
             .run_generation(RunGenKind::LoadSortStore)
+            .run_gen_mode(RunGenMode::Batch)
             .limit_run_size(false)
             .fan_in(8)
             .merge_policy(MergePolicy::SmallestFirst)
@@ -334,12 +381,14 @@ mod tests {
             .merge_threads(2)
             .partition_min_rows(100)
             .io_threads(2)
+            .batch_rows(64)
             .build()
             .unwrap();
         assert_eq!(c.memory_budget, 1 << 20);
         assert_eq!(c.sizing, SizingPolicy::TargetBuckets(9));
         assert!(!c.tail_buckets);
         assert_eq!(c.run_generation, RunGenKind::LoadSortStore);
+        assert_eq!(c.run_gen_mode, RunGenMode::Batch);
         assert!(!c.limit_run_size);
         assert_eq!(c.merge.fan_in, 8);
         assert!(!c.input_filter);
@@ -349,6 +398,7 @@ mod tests {
         assert_eq!(c.merge_threads, 2);
         assert_eq!(c.partition_min_rows, 100);
         assert_eq!(c.io_threads, 2);
+        assert_eq!(c.batch_rows, 64);
     }
 
     #[test]
@@ -368,5 +418,7 @@ mod tests {
         assert!(TopKConfig::builder().approx_slack(0.25).build().is_ok());
         assert!(TopKConfig::builder().merge_threads(0).build().is_err());
         assert!(TopKConfig::builder().merge_threads(1).build().is_ok());
+        assert!(TopKConfig::builder().batch_rows(0).build().is_err());
+        assert!(TopKConfig::builder().batch_rows(1).build().is_ok());
     }
 }

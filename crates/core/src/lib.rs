@@ -33,7 +33,7 @@ pub mod sizing;
 pub mod topk;
 
 pub use approximate::ApproximateTopK;
-pub use config::{RunGenKind, TopKConfig, TopKConfigBuilder};
+pub use config::{RunGenKind, RunGenMode, TopKConfig, TopKConfigBuilder};
 pub use cutoff::{CutoffFilter, FilterMetrics, DEFAULT_FILTER_MEMORY};
 pub use exchange::{ExchangeMetrics, ExchangeTopK, Producer};
 pub use grouped::GroupedTopK;

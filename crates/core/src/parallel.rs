@@ -285,6 +285,7 @@ impl<K: SortKey> ParallelTopK<K> {
             stats: Some(self.cmp_stats.clone()),
             readahead_blocks: self.config.readahead_blocks,
             io_scheduler: self.io_scheduler.clone(),
+            batch_rows: self.config.batch_rows,
         }
     }
 

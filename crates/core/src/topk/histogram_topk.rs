@@ -14,15 +14,15 @@ use std::sync::Arc;
 
 #[cfg(test)]
 use histok_sort::run_gen::ResiduePolicy;
-use histok_sort::run_gen::{LoadSortStore, ReplacementSelection, RunGenerator};
+use histok_sort::run_gen::{BatchSort, LoadSortStore, ReplacementSelection, RunGenerator};
 use histok_sort::{
-    merge_runs_partitioned, merge_sources_tuned, plan_merges_tuned, CmpStats, LoserTree,
-    MergeSource, MergeTuning, PartitionAttempt, PartitionCounters,
+    merge_runs_partitioned, merge_sources_tuned, plan_merges_tuned, BatchedMerge, CmpStats,
+    LoserTree, MergeSource, MergeTuning, PartitionAttempt, PartitionCounters,
 };
 use histok_storage::{IoScheduler, IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
-use crate::config::{RunGenKind, TopKConfig};
+use crate::config::{RunGenKind, RunGenMode, TopKConfig};
 use crate::cutoff::{CutoffFilter, FilterMetrics};
 use crate::metrics::OperatorMetrics;
 use crate::topk::{
@@ -160,10 +160,25 @@ impl<K: SortKey> HistogramTopK<K> {
             stats: Some(self.cmp_stats.clone()),
             readahead_blocks: self.config.readahead_blocks,
             io_scheduler: self.io_scheduler.clone(),
+            batch_rows: self.config.batch_rows,
         }
     }
 
     fn build_generator(&self, catalog: Arc<RunCatalog<K>>) -> Box<dyn RunGenerator<K>> {
+        let batched = match self.config.run_gen_mode {
+            RunGenMode::Batch => true,
+            RunGenMode::Comparison => false,
+            // Radix batching is a faster load-sort-store with identical
+            // run shapes; replacement selection's run shape *is* its
+            // strategy, so Adaptive leaves it alone.
+            RunGenMode::Adaptive => {
+                K::norm_prefix_is_exact()
+                    && self.config.run_generation == RunGenKind::LoadSortStore
+            }
+        };
+        if batched {
+            return Box::new(BatchSort::new(catalog, self.config.memory_budget));
+        }
         match self.config.run_generation {
             RunGenKind::ReplacementSelection => {
                 let mut gen = ReplacementSelection::new(catalog, self.config.memory_budget)
@@ -322,12 +337,13 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
                 spec.offset -= skipped.skipped;
                 let tree: LoserTree<K, MergeSource<K>> =
                     merge_sources_tuned(skipped.sources, self.spec.order, &self.merge_tuning())?;
+                let merge = BatchedMerge::new(tree, self.config.batch_rows);
                 // Residue spilling in `gen.finish` above still counted as
                 // run generation; everything from here until the stream is
                 // dropped is the final merge.
                 self.timer.stop();
                 Ok(Box::new(TimedStream::new(
-                    HoldCatalog { _catalog: ext.catalog, inner: SpecStream::new(tree, &spec) },
+                    HoldCatalog { _catalog: ext.catalog, inner: SpecStream::new(merge, &spec) },
                     self.final_merge_ns.clone(),
                 )))
             }

@@ -19,15 +19,16 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use histok_sort::run_gen::{ReplacementSelection, ResiduePolicy, RunGenerator};
+use histok_sort::run_gen::{BatchSort, ReplacementSelection, ResiduePolicy, RunGenerator};
 use histok_sort::{
     merge_runs_partitioned, merge_runs_to_new_tuned, merge_sources_tuned, plan_merges_tuned,
-    CmpStats, MergeSource, MergeTuning, PartitionAttempt, PartitionCounters, SpillObserver,
+    BatchedMerge, CmpStats, MergeSource, MergeTuning, PartitionAttempt, PartitionCounters,
+    SpillObserver,
 };
 use histok_storage::{IoScheduler, IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortOrder, SortSpec};
 
-use crate::config::TopKConfig;
+use crate::config::{RunGenMode, TopKConfig};
 use crate::metrics::OperatorMetrics;
 use crate::topk::{
     already_finished, HoldCatalog, Offer, RetainedHeap, RowStream, SpecStream, TimedStream,
@@ -85,6 +86,16 @@ impl<K: SortKey> SpillObserver<K> for KthKeyObserver<K> {
             self.tighten(key);
         }
     }
+
+    fn cutoff_key(&mut self) -> Option<K> {
+        // The kth-key rule is exactly "follows the cutoff"; batched run
+        // generation may clip whole sorted buffers against it.
+        self.cutoff.clone()
+    }
+
+    fn rows_clipped(&mut self, n: u64) {
+        self.eliminated_at_spill += n;
+    }
 }
 
 enum State<K: SortKey> {
@@ -97,7 +108,7 @@ enum State<K: SortKey> {
 /// size.
 struct External<K: SortKey> {
     catalog: Arc<RunCatalog<K>>,
-    gen: ReplacementSelection<K>,
+    gen: Box<dyn RunGenerator<K>>,
     obs: KthKeyObserver<K>,
 }
 
@@ -177,6 +188,7 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
             stats: Some(self.cmp_stats.clone()),
             readahead_blocks: self.config.readahead_blocks,
             io_scheduler: self.io_scheduler.clone(),
+            batch_rows: self.config.batch_rows,
         }
     }
 
@@ -210,11 +222,19 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
             .with_spill_pipeline(self.config.spill_pipeline)
             .with_io_scheduler(self.io_scheduler.clone()),
         );
-        let mut gen = ReplacementSelection::new(catalog.clone(), self.config.memory_budget)
-            .with_ovc(self.config.ovc_enabled, Some(self.cmp_stats.clone()));
-        if self.config.limit_run_size {
-            gen = gen.with_run_limit(self.spec.retained());
-        }
+        // Replacement selection *defines* this baseline ([Graefe'08]), so
+        // only the explicit Batch override swaps in the radix sorter
+        // (losing the run-size cap, which batch mode does not support).
+        let mut gen: Box<dyn RunGenerator<K>> = if self.config.run_gen_mode == RunGenMode::Batch {
+            Box::new(BatchSort::new(catalog.clone(), self.config.memory_budget))
+        } else {
+            let mut gen = ReplacementSelection::new(catalog.clone(), self.config.memory_budget)
+                .with_ovc(self.config.ovc_enabled, Some(self.cmp_stats.clone()));
+            if self.config.limit_run_size {
+                gen = gen.with_run_limit(self.spec.retained());
+            }
+            Box::new(gen)
+        };
         let mut obs = KthKeyObserver {
             order: self.spec.order,
             k: self.spec.retained(),
@@ -365,9 +385,10 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
                     sources.push(MergeSource::Memory(seq.into_iter()));
                 }
                 let tree = merge_sources_tuned(sources, self.spec.order, &self.merge_tuning())?;
+                let merge = BatchedMerge::new(tree, self.config.batch_rows);
                 self.timer.stop();
                 Ok(Box::new(TimedStream::new(
-                    HoldCatalog { _catalog: catalog, inner: SpecStream::new(tree, &self.spec) },
+                    HoldCatalog { _catalog: catalog, inner: SpecStream::new(merge, &self.spec) },
                     self.final_merge_ns.clone(),
                 )))
             }

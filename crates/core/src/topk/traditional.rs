@@ -68,6 +68,7 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
                     stats: Some(op.cmp_stats.clone()),
                     readahead_blocks: config.readahead_blocks,
                     io_scheduler: None,
+                    batch_rows: config.batch_rows,
                 })
                 // After with_tuning: sets both the catalog's spill pool and
                 // the tuning's read-ahead pool.

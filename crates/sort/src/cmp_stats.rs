@@ -28,6 +28,7 @@ pub struct CmpStats {
 struct Counters {
     ovc_cmps: AtomicU64,
     full_cmps: AtomicU64,
+    merge_batches: AtomicU64,
 }
 
 /// A point-in-time copy of the comparison counters.
@@ -39,6 +40,10 @@ pub struct CmpSnapshot {
     /// Duels that fell back to a full key comparison because the codes
     /// tied (equal keys, or keys equal through the coded prefix).
     pub full_cmps: u64,
+    /// Row batches emitted by `LoserTree::merge_into` drain loops — how
+    /// often the merge amortized its refill/error checks over a batch
+    /// instead of paying them per row.
+    pub merge_batches: u64,
 }
 
 impl CmpStats {
@@ -58,11 +63,21 @@ impl CmpStats {
         }
     }
 
+    /// Adds locally-counted batch emissions (see
+    /// [`CmpSnapshot::merge_batches`]); flushed with the same
+    /// once-per-drop discipline as [`CmpStats::record`].
+    pub fn record_batches(&self, batches: u64) {
+        if batches > 0 {
+            self.inner.merge_batches.fetch_add(batches, Ordering::Relaxed);
+        }
+    }
+
     /// Current counter values.
     pub fn snapshot(&self) -> CmpSnapshot {
         CmpSnapshot {
             ovc_cmps: self.inner.ovc_cmps.load(Ordering::Relaxed),
             full_cmps: self.inner.full_cmps.load(Ordering::Relaxed),
+            merge_batches: self.inner.merge_batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -74,6 +89,7 @@ impl CmpSnapshot {
         CmpSnapshot {
             ovc_cmps: self.ovc_cmps.saturating_add(other.ovc_cmps),
             full_cmps: self.full_cmps.saturating_add(other.full_cmps),
+            merge_batches: self.merge_batches.saturating_add(other.merge_batches),
         }
     }
 
@@ -101,9 +117,9 @@ mod tests {
 
     #[test]
     fn merged_sums_counterwise() {
-        let a = CmpSnapshot { ovc_cmps: 3, full_cmps: 1 };
-        let b = CmpSnapshot { ovc_cmps: 4, full_cmps: 2 };
+        let a = CmpSnapshot { ovc_cmps: 3, full_cmps: 1, merge_batches: 2 };
+        let b = CmpSnapshot { ovc_cmps: 4, full_cmps: 2, merge_batches: 1 };
         let m = a.merged(&b);
-        assert_eq!(m, CmpSnapshot { ovc_cmps: 7, full_cmps: 3 });
+        assert_eq!(m, CmpSnapshot { ovc_cmps: 7, full_cmps: 3, merge_batches: 3 });
     }
 }

@@ -11,14 +11,13 @@ use std::sync::Arc;
 use histok_storage::{IoScheduler, IoStats, RunCatalog, StorageBackend};
 use histok_types::{Result, Row, SortKey, SortOrder};
 
-use crate::loser_tree::LoserTree;
 use crate::merge::{
-    merge_sources_tuned, open_source, plan_merges_tuned, MergeConfig, MergePolicy, MergeSource,
-    MergeTuning,
+    merge_sources_tuned, open_source, plan_merges_tuned, BatchedMerge, MergeConfig, MergePolicy,
+    MergeSource, MergeTuning,
 };
 use crate::observer::NoopObserver;
 use crate::partition::{merge_runs_partitioned, PartitionCounters, PartitionedMerge};
-use crate::run_gen::{LoadSortStore, ResiduePolicy, RunGenerator};
+use crate::run_gen::{BatchSort, LoadSortStore, ResiduePolicy, RunGenerator};
 
 /// A full external merge sort: push rows, then stream them back sorted.
 ///
@@ -44,7 +43,8 @@ use crate::run_gen::{LoadSortStore, ResiduePolicy, RunGenerator};
 /// ```
 pub struct ExternalSorter<K: SortKey> {
     catalog: Arc<RunCatalog<K>>,
-    generator: LoadSortStore<K>,
+    generator: Box<dyn RunGenerator<K>>,
+    budget_bytes: usize,
     merge: MergeConfig,
     tuning: MergeTuning,
     order: SortOrder,
@@ -68,10 +68,18 @@ impl<K: SortKey> ExternalSorter<K> {
             order,
             stats,
         ));
-        let generator = LoadSortStore::new(catalog.clone(), budget_bytes);
+        // Load-sort-store run generation either way; keys whose normalized
+        // prefix is exact take the radix batch sort (same flush points and
+        // run contents, no comparator on the hot path).
+        let generator: Box<dyn RunGenerator<K>> = if K::norm_prefix_is_exact() {
+            Box::new(BatchSort::new(catalog.clone(), budget_bytes))
+        } else {
+            Box::new(LoadSortStore::new(catalog.clone(), budget_bytes))
+        };
         ExternalSorter {
             catalog,
             generator,
+            budget_bytes,
             merge: MergeConfig { fan_in: 512, policy: MergePolicy::SmallestFirst },
             tuning: MergeTuning::default(),
             order,
@@ -84,6 +92,19 @@ impl<K: SortKey> ExternalSorter<K> {
     /// Overrides the merge fan-in.
     pub fn with_fan_in(mut self, fan_in: usize) -> Self {
         self.merge.fan_in = fan_in;
+        self
+    }
+
+    /// Forces batched (radix) or comparison (quicksort) run generation,
+    /// overriding the by-key-width default. Call before the first `push`;
+    /// rows already buffered would be dropped.
+    pub fn with_batch_run_gen(mut self, batched: bool) -> Self {
+        debug_assert_eq!(self.generator.buffered_rows(), 0, "switch run generation before pushing");
+        self.generator = if batched {
+            Box::new(BatchSort::new(self.catalog.clone(), self.budget_bytes))
+        } else {
+            Box::new(LoadSortStore::new(self.catalog.clone(), self.budget_bytes))
+        };
         self
     }
 
@@ -176,7 +197,8 @@ impl<K: SortKey> ExternalSorter<K> {
             sources.push(open_source(&self.catalog, meta, &self.tuning)?);
         }
         let tree = merge_sources_tuned(sources, self.order, &self.tuning)?;
-        Ok(SortedStream { _catalog: self.catalog, inner: SortedInner::Serial(tree) })
+        let merge = BatchedMerge::new(tree, self.tuning.batch_rows);
+        Ok(SortedStream { _catalog: self.catalog, inner: SortedInner::Serial(merge) })
     }
 }
 
@@ -187,7 +209,7 @@ pub struct SortedStream<K: SortKey> {
 }
 
 enum SortedInner<K: SortKey> {
-    Serial(LoserTree<K, MergeSource<K>>),
+    Serial(BatchedMerge<K, MergeSource<K>>),
     Partitioned(PartitionedMerge<K>),
 }
 

@@ -27,6 +27,7 @@ pub mod merge;
 pub mod observer;
 pub mod partition;
 pub mod run_gen;
+pub mod source;
 
 pub use budget::{row_footprint, MemoryBudget};
 pub use cmp_stats::{CmpSnapshot, CmpStats};
@@ -35,11 +36,13 @@ pub use heap::BinaryHeapBy;
 pub use loser_tree::LoserTree;
 pub use merge::{
     merge_runs_to_new, merge_runs_to_new_tuned, merge_sources, merge_sources_tuned, open_source,
-    plan_merges, plan_merges_tuned, MergeConfig, MergePolicy, MergeSource, MergeTuning,
+    plan_merges, plan_merges_tuned, BatchedMerge, MergeConfig, MergePolicy, MergeSource,
+    MergeTuning,
 };
+pub use source::{IterSource, RowSource, DEFAULT_BATCH_ROWS};
 pub use observer::{NoopObserver, SpillObserver};
 pub use partition::{
     merge_runs_partitioned, merge_sources_partitioned, plan_partitions, run_overlaps,
     split_sorted_rows, PartitionAttempt, PartitionCounters, PartitionedMerge,
 };
-pub use run_gen::{LoadSortStore, ReplacementSelection, ResiduePolicy, RunGenerator};
+pub use run_gen::{BatchSort, LoadSortStore, ReplacementSelection, ResiduePolicy, RunGenerator};

@@ -1,25 +1,110 @@
-//! Tournament (loser-tree) k-way merge with offset-value coding.
+//! Tournament (loser-tree) k-way merge with offset-value coding, batched.
 //!
-//! The standard structure for merging many sorted runs: each `next()` costs
-//! one leaf-to-root path of ⌈log₂ n⌉ comparisons, independent of how many
-//! sources are exhausted. Sources yield `Result<Row>`; errors propagate and
-//! fuse the tree.
+//! The standard structure for merging many sorted runs: each output row
+//! costs one leaf-to-root path of ⌈log₂ n⌉ duels, independent of how many
+//! sources are exhausted. Sources are [`RowSource`]s — rows arrive in
+//! block-granular [`RowBatch`]es whose pre-computed normalized-prefix
+//! column doubles as the duel code column, and [`LoserTree::merge_into`]
+//! drains the tree a batch at a time so refill and error checks are
+//! amortized per batch instead of per row.
 //!
 //! With offset-value coding enabled (the default), each source's head row
-//! carries its normalized key bytes plus an [`Ovc`] relative to the key it
-//! last lost a duel to. The invariant that makes single-integer duels
-//! sound: along the winner's leaf-to-root path, every parked loser's code
-//! is relative to the departing winner — exactly the base the refilled
-//! head's fresh code is taken against. When two codes differ, the smaller
-//! sorts earlier and the loser's existing code is already correct relative
-//! to the new winner (the classic OVC theorem); only equal codes fall back
-//! to comparing the normalized suffixes beyond the shared offset. Duels
-//! decided on codes alone count into `ovc_cmps`; fallbacks and refill code
-//! derivations count into `full_cmps`.
+//! carries an [`Ovc`] relative to the key it last lost a duel to. The
+//! invariant that makes single-integer duels sound: along the winner's
+//! leaf-to-root path, every parked loser's code is relative to the
+//! departing winner — exactly the base the refilled head's fresh code is
+//! taken against. When two codes differ, the smaller sorts earlier and the
+//! loser's existing code is already correct relative to the new winner
+//! (the classic OVC theorem); only equal codes fall back further.
+//!
+//! The batch prefix column makes both the fallback and the refill
+//! derivation branch-light. Normalized encodings are prefix-free across
+//! distinct keys, so when two 8-byte prefixes differ, the first differing
+//! byte is the keys' first normalized difference — `offset` is the xor's
+//! leading-zero byte count and `value` is the loser's byte there, exactly
+//! the code a byte-level [`ovc_resolve`] would build. Keys whose whole
+//! normalized form fits the prefix ([`SortKey::norm_prefix_is_exact`]:
+//! the integers, `F64Key`) therefore never touch key bytes at all; only
+//! wide keys whose prefixes tie fall back to comparing full normalized
+//! suffixes, and those norms are (re-)encoded lazily. Duels decided on
+//! codes or prefixes alone count into `ovc_cmps`; byte-level resolutions
+//! count into `full_cmps`.
+//!
+//! Codes are derived within one tree only — batch boundaries never cross
+//! an OVC seam, because a refilled head's code is always taken against the
+//! row that just departed the same source, regardless of which batch
+//! either row arrived in.
 
-use histok_types::{norm_cmp, ovc_resolve, Ovc, Result, Row, SortKey, SortOrder};
+use histok_types::{norm_cmp, ovc_resolve, Ovc, Result, Row, RowBatch, SortKey, SortOrder};
 
 use crate::cmp_stats::CmpStats;
+use crate::source::{RowSource, DEFAULT_BATCH_ROWS};
+
+/// Builds the loser's code against the winner from two differing
+/// output-order prefixes. Sound because normalized encodings are
+/// prefix-free: the first differing padded byte is a real byte of both
+/// keys, and the complement applied for descending order cancels in the
+/// xor while its padding (0xFF) matches the descending sentinel.
+#[inline]
+fn prefix_ovc(winner: u64, loser: u64) -> Ovc {
+    debug_assert!(winner < loser);
+    let at = ((winner ^ loser).leading_zeros() >> 3) as usize;
+    Ovc::pack(at, (loser >> (56 - 8 * at)) as u8)
+}
+
+/// A partially consumed batch parked between a source and its head slot.
+struct Pending<K> {
+    rows: std::vec::IntoIter<Row<K>>,
+    prefixes: std::vec::IntoIter<u64>,
+}
+
+impl<K: SortKey> Pending<K> {
+    fn empty() -> Self {
+        Pending { rows: Vec::new().into_iter(), prefixes: Vec::new().into_iter() }
+    }
+
+    fn from_batch(batch: RowBatch<K>) -> Self {
+        Pending { rows: batch.rows.into_iter(), prefixes: batch.prefixes.into_iter() }
+    }
+
+    #[inline]
+    fn next(&mut self) -> Option<(Row<K>, u64)> {
+        match (self.rows.next(), self.prefixes.next()) {
+            (Some(row), Some(prefix)) => Some((row, prefix)),
+            _ => None,
+        }
+    }
+}
+
+/// Pulls the next `(row, raw_prefix)` from `source`, refilling the parked
+/// batch as needed. A source error is latched into `pending_error` (first
+/// one wins) and reads as exhaustion — the tree surfaces it between rows.
+fn pull_from<K: SortKey, S: RowSource<K>>(
+    source: &mut S,
+    pending: &mut Pending<K>,
+    target: usize,
+    pending_error: &mut Option<histok_types::Error>,
+) -> Option<(Row<K>, u64)> {
+    loop {
+        if let Some(pair) = pending.next() {
+            return Some(pair);
+        }
+        match source.next_batch(target) {
+            Ok(Some(batch)) => {
+                if !batch.is_empty() {
+                    *pending = Pending::from_batch(batch);
+                }
+            }
+            Ok(None) => return None,
+            Err(e) => {
+                if pending_error.is_none() {
+                    *pending_error = Some(e);
+                }
+                return None;
+            }
+        }
+    }
+}
 
 /// A k-way merging iterator over sorted sources.
 ///
@@ -27,14 +112,14 @@ use crate::cmp_stats::CmpStats;
 /// merge stable with respect to source order.
 ///
 /// ```
-/// use histok_sort::LoserTree;
+/// use histok_sort::{IterSource, LoserTree};
 /// use histok_types::{Result, Row, SortOrder};
 ///
 /// let runs: Vec<Vec<u64>> = vec![vec![1, 4, 7], vec![2, 5, 8], vec![3, 6, 9]];
 /// let sources: Vec<_> = runs
 ///     .into_iter()
 ///     .map(|r| r.into_iter().map(|k| Ok(Row::key_only(k))).collect::<Vec<Result<_>>>())
-///     .map(Vec::into_iter)
+///     .map(|rows| IterSource::new(rows.into_iter()))
 ///     .collect();
 /// let merged: Vec<u64> = LoserTree::new(sources, SortOrder::Ascending)?
 ///     .map(|r| r.map(|row| row.key))
@@ -42,15 +127,26 @@ use crate::cmp_stats::CmpStats;
 /// assert_eq!(merged, (1..=9).collect::<Vec<_>>());
 /// # Ok::<(), histok_types::Error>(())
 /// ```
-pub struct LoserTree<K: SortKey, S: Iterator<Item = Result<Row<K>>>> {
+pub struct LoserTree<K: SortKey, S: RowSource<K>> {
     sources: Vec<S>,
+    /// Partially consumed batch per source, drained before pulling again.
+    pending: Vec<Pending<K>>,
     /// `tree[t]` = loser (source index) parked at internal node `t`;
     /// nodes `1..n`, node 0 unused.
     tree: Vec<usize>,
     /// Head row of each source (`None` = exhausted).
     heads: Vec<Option<Row<K>>>,
-    /// Normalized bytes of each source's head (stale when head is `None`).
+    /// Output-order normalized prefix of each head (`raw ^ out_mask`;
+    /// stale when the head is `None`).
+    head_prefixes: Vec<u64>,
+    /// XOR mask mapping raw (ascending) prefixes into output order:
+    /// 0 ascending, `!0` descending.
+    out_mask: u64,
+    /// Full normalized bytes of each head — maintained lazily, only for
+    /// key types whose prefix is not exact (see `norm_valid`).
     norms: Vec<Vec<u8>>,
+    /// Whether `norms[i]` currently encodes `heads[i]`.
+    norm_valid: Vec<bool>,
     /// Each head's code relative to the key it last lost to.
     ovcs: Vec<Ovc>,
     /// Scratch for encoding a refilled head before swapping into `norms`.
@@ -58,10 +154,15 @@ pub struct LoserTree<K: SortKey, S: Iterator<Item = Result<Row<K>>>> {
     winner: usize,
     order: SortOrder,
     ovc_enabled: bool,
-    /// Duels decided by comparing two codes (one integer compare).
+    /// Batch-size hint passed to the sources on refill.
+    batch_target: usize,
+    /// Duels decided by comparing two codes or two prefixes (one integer
+    /// compare each).
     ovc_cmps: u64,
-    /// Full key comparisons: duel fallbacks plus refill code derivations.
+    /// Byte-level key resolutions (wide-key prefix ties).
     full_cmps: u64,
+    /// Batches emitted through [`LoserTree::merge_into`].
+    batches_out: u64,
     /// Shared sink the local counters flush into on drop.
     stats: Option<CmpStats>,
     /// First error from any source; returned once, then the tree is done.
@@ -69,7 +170,7 @@ pub struct LoserTree<K: SortKey, S: Iterator<Item = Result<Row<K>>>> {
     done: bool,
 }
 
-impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
+impl<K: SortKey, S: RowSource<K>> LoserTree<K, S> {
     /// Builds a merge over `sources`, each already sorted in `order`, with
     /// offset-value coding enabled and no stats sink.
     pub fn new(sources: Vec<S>, order: SortOrder) -> Result<Self> {
@@ -85,40 +186,41 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
         stats: Option<CmpStats>,
     ) -> Result<Self> {
         let n = sources.len();
+        let out_mask = match order {
+            SortOrder::Ascending => 0,
+            SortOrder::Descending => !0u64,
+        };
+        let mut pending: Vec<Pending<K>> = (0..n).map(|_| Pending::empty()).collect();
         let mut heads = Vec::with_capacity(n);
+        let mut head_prefixes = vec![0u64; n];
         let mut pending_error = None;
-        for s in sources.iter_mut() {
-            heads.push(match s.next() {
-                Some(Ok(row)) => Some(row),
-                Some(Err(e)) => {
-                    if pending_error.is_none() {
-                        pending_error = Some(e);
-                    }
-                    None
+        for (i, s) in sources.iter_mut().enumerate() {
+            match pull_from(s, &mut pending[i], DEFAULT_BATCH_ROWS, &mut pending_error) {
+                Some((row, raw)) => {
+                    head_prefixes[i] = raw ^ out_mask;
+                    heads.push(Some(row));
                 }
-                None => None,
-            });
-        }
-        let mut norms = vec![Vec::new(); n];
-        if ovc_enabled {
-            for (i, head) in heads.iter().enumerate() {
-                if let Some(row) = head {
-                    row.key.norm_encode(&mut norms[i]);
-                }
+                None => heads.push(None),
             }
         }
         let mut lt = LoserTree {
             sources,
+            pending,
             tree: vec![usize::MAX; n.max(1)],
             heads,
-            norms,
+            head_prefixes,
+            out_mask,
+            norms: vec![Vec::new(); n],
+            norm_valid: vec![false; n],
             ovcs: vec![Ovc::EQUAL; n],
             scratch: Vec::new(),
             winner: 0,
             order,
             ovc_enabled,
+            batch_target: DEFAULT_BATCH_ROWS,
             ovc_cmps: 0,
             full_cmps: 0,
+            batches_out: 0,
             stats,
             pending_error,
             done: n == 0,
@@ -129,16 +231,33 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
         Ok(lt)
     }
 
+    /// Overrides the batch-size hint passed to sources on refill
+    /// (default [`DEFAULT_BATCH_ROWS`]; clamped to at least 1).
+    pub fn set_batch_target(&mut self, rows: usize) {
+        self.batch_target = rows.max(1);
+    }
+
     /// Comparison counts so far as `(ovc_cmps, full_cmps)`.
     pub fn cmp_counts(&self) -> (u64, u64) {
         (self.ovc_cmps, self.full_cmps)
     }
 
+    /// Re-encodes `norms[i]` from the current head if it is stale.
+    fn ensure_norm(&mut self, i: usize) {
+        if !self.norm_valid[i] {
+            self.norms[i].clear();
+            if let Some(row) = &self.heads[i] {
+                row.key.norm_encode(&mut self.norms[i]);
+            }
+            self.norm_valid[i] = true;
+        }
+    }
+
     /// Decides a duel between sources `a` and `b`, returning the winner
     /// (the source whose head is emitted first) and reseating the loser's
-    /// code relative to the winner when a full comparison was needed.
+    /// code relative to the winner when codes alone could not decide.
     ///
-    /// `fresh` requests an unconditional full resolution — used while
+    /// `fresh` requests an unconditional resolution — used while
     /// (re)building the tournament, when the two heads' codes are not yet
     /// relative to a common base.
     fn duel(&mut self, a: usize, b: usize, fresh: bool) -> usize {
@@ -147,6 +266,21 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
                 if !self.ovc_enabled {
                     self.full_cmps += 1;
                     return match self.order.cmp_keys(&ra.key, &rb.key) {
+                        std::cmp::Ordering::Less => a,
+                        std::cmp::Ordering::Greater => b,
+                        std::cmp::Ordering::Equal => a.min(b),
+                    };
+                }
+                if K::norm_prefix_is_exact() {
+                    // Exact-prefix keys: the output-order prefix *is* the
+                    // whole key, so one integer duel on the flat prefix
+                    // column decides — cheaper than both code maintenance
+                    // (no derivation on refill) and a full comparison (no
+                    // `Row` dereference). Codes are not maintained for
+                    // these key types; see `refill_winner`.
+                    self.ovc_cmps += 1;
+                    let (pa, pb) = (self.head_prefixes[a], self.head_prefixes[b]);
+                    return match pa.cmp(&pb) {
                         std::cmp::Ordering::Less => a,
                         std::cmp::Ordering::Greater => b,
                         std::cmp::Ordering::Equal => a.min(b),
@@ -168,8 +302,8 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
                         return a.min(b);
                     }
                     // Tied non-trivial codes: the heads agree through the
-                    // coded offset; resolve on the suffixes.
-                    let from = self.ovcs[a].offset().map_or(0, |o| o + 1);
+                    // coded offset; resolve on the prefixes / suffixes.
+                    let from = ca.offset().map_or(0, |o| o + 1);
                     return self.duel_resolve(a, b, from);
                 }
                 self.duel_resolve(a, b, 0)
@@ -180,11 +314,39 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
         }
     }
 
-    /// Full comparison of `a`'s and `b`'s normalized heads from byte
-    /// `from`, reseating the loser's code relative to the winner.
+    /// Resolves a duel the codes could not decide: on the prefix column
+    /// when the prefixes differ (one integer compare, and the loser's
+    /// code falls out of the xor), otherwise on the full normalized keys
+    /// from byte `from`.
     fn duel_resolve(&mut self, a: usize, b: usize, from: usize) -> usize {
+        let (oa, ob) = (self.head_prefixes[a], self.head_prefixes[b]);
+        if oa != ob {
+            self.ovc_cmps += 1;
+            return if oa < ob {
+                self.ovcs[b] = prefix_ovc(oa, ob);
+                a
+            } else {
+                self.ovcs[a] = prefix_ovc(ob, oa);
+                b
+            };
+        }
+        if K::norm_prefix_is_exact() {
+            // The whole normalized key fits the prefix: equal prefixes are
+            // equal keys. Stable tie-break; the loser is byte-identical to
+            // the winner, so its code against the winner is EQUAL. The
+            // winner keeps its code (still relative to its previous base).
+            self.ovc_cmps += 1;
+            let (w, l) = if a < b { (a, b) } else { (b, a) };
+            self.ovcs[l] = Ovc::EQUAL;
+            return w;
+        }
+        // Wide keys agreeing through the prefix: compare the normalized
+        // suffixes. Equal prefixes guarantee agreement through byte
+        // min(8, len) (prefix-free encodings), so the scan starts there.
         self.full_cmps += 1;
-        let res = ovc_resolve(&self.norms[a], &self.norms[b], from, self.order);
+        self.ensure_norm(a);
+        self.ensure_norm(b);
+        let res = ovc_resolve(&self.norms[a], &self.norms[b], from.max(8), self.order);
         match res.ordering {
             std::cmp::Ordering::Less => {
                 self.ovcs[b] = res.loser_ovc;
@@ -195,11 +357,6 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
                 b
             }
             std::cmp::Ordering::Equal => {
-                // Equal keys: the loser is byte-identical to the winner,
-                // so its code against the winner is EQUAL. The winner
-                // keeps its code (still relative to its previous base) —
-                // overwriting it would make it claim equality with that
-                // base and win duels it should lose.
                 let (w, l) = if a < b { (a, b) } else { (b, a) };
                 self.ovcs[l] = Ovc::EQUAL;
                 w
@@ -252,33 +409,59 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
     }
 
     /// Refills the winner's head from its source, deriving the new head's
-    /// code against the just-departed row (its run predecessor).
-    fn refill_winner(&mut self) {
+    /// code against `departed` (its run predecessor). With prefix codes
+    /// the derivation is a xor and a shift; only wide keys whose prefixes
+    /// tie re-encode and scan normalized bytes.
+    fn refill_winner(&mut self, departed: &Row<K>) {
         let i = self.winner;
-        self.heads[i] = match self.sources[i].next() {
-            Some(Ok(row)) => Some(row),
-            Some(Err(e)) => {
-                if self.pending_error.is_none() {
-                    self.pending_error = Some(e);
+        let prev_out = self.head_prefixes[i];
+        let pulled = pull_from(
+            &mut self.sources[i],
+            &mut self.pending[i],
+            self.batch_target,
+            &mut self.pending_error,
+        );
+        match pulled {
+            Some((row, raw)) => {
+                let out = raw ^ self.out_mask;
+                if self.ovc_enabled {
+                    if K::norm_prefix_is_exact() {
+                        // Duels on exact keys read the prefix column
+                        // directly (see `duel`); no code to derive.
+                        debug_assert!(prev_out <= out, "source not sorted in the requested order");
+                    } else if out != prev_out {
+                        debug_assert!(prev_out < out, "source not sorted in the requested order");
+                        self.ovc_cmps += 1;
+                        self.ovcs[i] = prefix_ovc(prev_out, out);
+                        self.norm_valid[i] = false;
+                    } else {
+                        // Prefix tie on a wide key: resolve on the full
+                        // normalized bytes. The departed row's norm may
+                        // never have been encoded (it is kept lazily);
+                        // rebuild the base from the row itself.
+                        if !self.norm_valid[i] {
+                            self.norms[i].clear();
+                            departed.key.norm_encode(&mut self.norms[i]);
+                        }
+                        self.scratch.clear();
+                        row.key.norm_encode(&mut self.scratch);
+                        debug_assert!(
+                            norm_cmp(&self.norms[i], &self.scratch, self.order)
+                                != std::cmp::Ordering::Greater,
+                            "source not sorted in the requested order"
+                        );
+                        self.full_cmps += 1;
+                        self.ovcs[i] =
+                            ovc_resolve(&self.norms[i], &self.scratch, 8, self.order).loser_ovc;
+                        std::mem::swap(&mut self.norms[i], &mut self.scratch);
+                        self.norm_valid[i] = true;
+                    }
                 }
-                None
+                self.heads[i] = Some(row);
+                self.head_prefixes[i] = out;
             }
-            None => None,
-        };
-        if self.ovc_enabled {
-            if let Some(row) = &self.heads[i] {
-                self.scratch.clear();
-                row.key.norm_encode(&mut self.scratch);
-                debug_assert!(
-                    norm_cmp(&self.norms[i], &self.scratch, self.order)
-                        != std::cmp::Ordering::Greater,
-                    "source not sorted in the requested order"
-                );
-                // One full pass over the shared prefix per refill — the
-                // price that buys code-only duels on the whole path up.
-                self.full_cmps += 1;
-                self.ovcs[i] = ovc_resolve(&self.norms[i], &self.scratch, 0, self.order).loser_ovc;
-                std::mem::swap(&mut self.norms[i], &mut self.scratch);
+            None => {
+                self.heads[i] = None;
             }
         }
         self.adjust();
@@ -291,17 +474,60 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> LoserTree<K, S> {
         }
         self.heads[self.winner].as_ref().map(|r| &r.key)
     }
+
+    /// Drains up to `max_rows` rows into `out` (cleared first), carrying
+    /// the prefix column along so downstream consumers (cutoff filters,
+    /// run writers) never recompute it.
+    ///
+    /// Returns `Ok` with a shorter — possibly empty — batch at end of
+    /// stream; an empty batch with `max_rows > 0` means the merge is
+    /// done. A source error that strikes mid-batch latches: the rows
+    /// already merged come back as a short `Ok` batch and the error
+    /// surfaces on the next call (exactly the iterator protocol, lifted
+    /// to batches). After an error the tree is fused.
+    pub fn merge_into(&mut self, out: &mut RowBatch<K>, max_rows: usize) -> Result<()> {
+        out.clear();
+        if self.done {
+            return Ok(());
+        }
+        if let Some(e) = self.pending_error.take() {
+            self.done = true;
+            return Err(e);
+        }
+        while out.len() < max_rows {
+            let i = self.winner;
+            match self.heads[i].take() {
+                Some(row) => {
+                    let raw = self.head_prefixes[i] ^ self.out_mask;
+                    self.refill_winner(&row);
+                    out.push_with_prefix(row, raw);
+                    if self.pending_error.is_some() {
+                        break;
+                    }
+                }
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if !out.is_empty() {
+            self.batches_out += 1;
+        }
+        Ok(())
+    }
 }
 
-impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> Drop for LoserTree<K, S> {
+impl<K: SortKey, S: RowSource<K>> Drop for LoserTree<K, S> {
     fn drop(&mut self) {
         if let Some(stats) = &self.stats {
             stats.record(self.ovc_cmps, self.full_cmps);
+            stats.record_batches(self.batches_out);
         }
     }
 }
 
-impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> Iterator for LoserTree<K, S> {
+impl<K: SortKey, S: RowSource<K>> Iterator for LoserTree<K, S> {
     type Item = Result<Row<K>>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -322,7 +548,7 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> Iterator for LoserTree<K, S
                 // and must not be lost. The next call emits the error (or
                 // drops it if the caller stops early — standard iterator
                 // semantics).
-                self.refill_winner();
+                self.refill_winner(&row);
                 Some(Ok(row))
             }
             None => {
@@ -336,12 +562,17 @@ impl<K: SortKey, S: Iterator<Item = Result<Row<K>>>> Iterator for LoserTree<K, S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use histok_types::{BytesKey, Error};
+    use crate::source::IterSource;
+    use histok_types::{BytesKey, Error, KeyPair};
 
-    type VecSource = std::vec::IntoIter<Result<Row<u64>>>;
+    type VecSource = IterSource<std::vec::IntoIter<Result<Row<u64>>>>;
 
     fn src(keys: &[u64]) -> VecSource {
-        keys.iter().map(|&k| Ok(Row::key_only(k))).collect::<Vec<_>>().into_iter()
+        IterSource::new(keys.iter().map(|&k| Ok(Row::key_only(k))).collect::<Vec<_>>().into_iter())
+    }
+
+    fn iter_src<K: SortKey>(rows: Vec<Result<Row<K>>>) -> IterSource<std::vec::IntoIter<Result<Row<K>>>> {
+        IterSource::new(rows.into_iter())
     }
 
     fn merge_keys(sources: Vec<VecSource>, order: SortOrder) -> Vec<u64> {
@@ -449,11 +680,10 @@ mod tests {
         }
         let (ovc, full) = lt.cmp_counts();
         assert_eq!(count, 800);
-        // log2(8) = 3 duels per output; roughly 1 full per output (the
-        // refill derivation, plus rare code-tie resolves), so code-only
-        // duels must be the clear majority.
+        // u64 prefixes are exact: every duel, refill derivation and tie
+        // resolves on integers — no byte-level comparison ever fires.
         assert!(ovc > full, "ovc = {ovc}, full = {full}");
-        assert!(full <= count + count / 10 + n as u64, "full = {full}");
+        assert_eq!(full, 0, "prefix-exact keys must never fall back to bytes");
         drop(lt);
         let snap = stats.snapshot();
         assert_eq!((snap.ovc_cmps, snap.full_cmps), (ovc, full));
@@ -469,10 +699,11 @@ mod tests {
             let rows_per = 5usize;
             let sources: Vec<_> = (0..n)
                 .map(|i| {
-                    (0..rows_per)
-                        .map(|j| Ok(Row::new(42u64, format!("s{i}r{j}").into_bytes())))
-                        .collect::<Vec<Result<Row<u64>>>>()
-                        .into_iter()
+                    iter_src(
+                        (0..rows_per)
+                            .map(|j| Ok(Row::new(42u64, format!("s{i}r{j}").into_bytes())))
+                            .collect::<Vec<Result<Row<u64>>>>(),
+                    )
                 })
                 .collect();
             let got: Vec<String> = LoserTree::with_ovc(sources, SortOrder::Ascending, ovc, None)
@@ -501,7 +732,7 @@ mod tests {
                 Ok(Row::new(2u64, &b"b2"[..])),
             ];
             let got: Vec<(u64, Vec<u8>)> = LoserTree::with_ovc(
-                vec![a.into_iter(), b.into_iter()],
+                vec![iter_src(a), iter_src(b)],
                 SortOrder::Ascending,
                 ovc,
                 None,
@@ -524,13 +755,13 @@ mod tests {
     #[test]
     fn byte_keys_with_shared_prefixes_merge_correctly() {
         for order in [SortOrder::Ascending, SortOrder::Descending] {
-            let make = |words: &[&str]| -> std::vec::IntoIter<Result<Row<BytesKey>>> {
+            let make = |words: &[&str]| {
                 let mut keys: Vec<BytesKey> = words.iter().map(|w| BytesKey::from(*w)).collect();
                 keys.sort();
                 if order == SortOrder::Descending {
                     keys.reverse();
                 }
-                keys.into_iter().map(|k| Ok(Row::key_only(k))).collect::<Vec<_>>().into_iter()
+                iter_src(keys.into_iter().map(|k| Ok(Row::key_only(k))).collect::<Vec<_>>())
             };
             let sources = vec![
                 make(&["aaa", "aab", "aba", "abc"]),
@@ -550,6 +781,62 @@ mod tests {
     }
 
     #[test]
+    fn wide_keys_sharing_long_prefixes_resolve_beyond_the_prefix() {
+        // Keys identical through well past byte 8: every duel's prefix
+        // compare ties and the byte-level fallback must order them.
+        for order in [SortOrder::Ascending, SortOrder::Descending] {
+            let word = |suffix: &str| BytesKey::from(format!("commonprefix-{suffix}").as_str());
+            let make = |suffixes: &[&str]| {
+                let mut keys: Vec<BytesKey> = suffixes.iter().map(|s| word(s)).collect();
+                keys.sort();
+                if order == SortOrder::Descending {
+                    keys.reverse();
+                }
+                iter_src(keys.into_iter().map(|k| Ok(Row::key_only(k))).collect::<Vec<_>>())
+            };
+            let sources = vec![
+                make(&["alpha", "delta", "golf", "golf"]),
+                make(&["bravo", "delta", "echo"]),
+                make(&["charlie", "foxtrot"]),
+            ];
+            let got: Vec<BytesKey> =
+                LoserTree::new(sources, order).unwrap().map(|r| r.unwrap().key).collect();
+            let mut expected = got.clone();
+            expected.sort();
+            if order == SortOrder::Descending {
+                expected.reverse();
+            }
+            assert_eq!(got, expected, "order = {order:?}");
+            assert_eq!(got.len(), 9);
+        }
+    }
+
+    #[test]
+    fn pair_keys_merge_in_both_orders() {
+        for order in [SortOrder::Ascending, SortOrder::Descending] {
+            let make = |seed: u64| {
+                let mut keys: Vec<KeyPair<u64, BytesKey>> = (0..20)
+                    .map(|j| KeyPair((j * 7 + seed) % 13, BytesKey::from(format!("p{j}").as_str())))
+                    .collect();
+                keys.sort();
+                if order == SortOrder::Descending {
+                    keys.reverse();
+                }
+                iter_src(keys.into_iter().map(|k| Ok(Row::key_only(k))).collect::<Vec<_>>())
+            };
+            let sources = vec![make(0), make(3), make(5)];
+            let got: Vec<_> = LoserTree::new(sources, order).unwrap().map(|r| r.unwrap().key).collect();
+            let mut expected = got.clone();
+            expected.sort();
+            if order == SortOrder::Descending {
+                expected.reverse();
+            }
+            assert_eq!(got, expected, "order = {order:?}");
+            assert_eq!(got.len(), 60);
+        }
+    }
+
+    #[test]
     fn peek_key_matches_next() {
         let mut lt = LoserTree::new(vec![src(&[5, 7]), src(&[6])], SortOrder::Ascending).unwrap();
         assert_eq!(lt.peek_key(), Some(&5));
@@ -562,7 +849,7 @@ mod tests {
         let a: Vec<Result<Row<u64>>> = vec![Ok(Row::new(5u64, &b"from-a"[..]))];
         let b: Vec<Result<Row<u64>>> = vec![Ok(Row::new(5u64, &b"from-b"[..]))];
         let mut lt =
-            LoserTree::new(vec![a.into_iter(), b.into_iter()], SortOrder::Ascending).unwrap();
+            LoserTree::new(vec![iter_src(a), iter_src(b)], SortOrder::Ascending).unwrap();
         assert_eq!(lt.next().unwrap().unwrap().payload.as_ref(), b"from-a");
         assert_eq!(lt.next().unwrap().unwrap().payload.as_ref(), b"from-b");
     }
@@ -572,7 +859,7 @@ mod tests {
         let bad: Vec<Result<Row<u64>>> =
             vec![Ok(Row::key_only(1)), Err(Error::Corrupt("boom".into()))];
         let mut lt = LoserTree::new(
-            vec![bad.into_iter(), src(&[100]).collect::<Vec<_>>().into_iter()],
+            vec![iter_src(bad), src(&[100])],
             SortOrder::Ascending,
         )
         .unwrap();
@@ -586,7 +873,7 @@ mod tests {
     fn immediate_error_in_first_rows() {
         let bad: Vec<Result<Row<u64>>> = vec![Err(Error::Corrupt("early".into()))];
         let mut lt = LoserTree::new(
-            vec![bad.into_iter(), src(&[1]).collect::<Vec<_>>().into_iter()],
+            vec![iter_src(bad), src(&[1])],
             SortOrder::Ascending,
         )
         .unwrap();
@@ -600,7 +887,7 @@ mod tests {
         // row: that row must still be emitted, the error next, then fused.
         let bad: Vec<Result<Row<u64>>> =
             vec![Ok(Row::key_only(7)), Err(Error::Corrupt("tail".into()))];
-        let mut lt = LoserTree::new(vec![bad.into_iter()], SortOrder::Ascending).unwrap();
+        let mut lt = LoserTree::new(vec![iter_src(bad)], SortOrder::Ascending).unwrap();
         assert_eq!(lt.next().unwrap().unwrap().key, 7);
         assert!(matches!(lt.next(), Some(Err(Error::Corrupt(_)))));
         assert!(lt.next().is_none());
@@ -610,7 +897,7 @@ mod tests {
         let bad: Vec<Result<Row<u64>>> =
             vec![Ok(Row::key_only(9)), Err(Error::Corrupt("tail".into()))];
         let mut lt = LoserTree::new(
-            vec![src(&[1, 2]).collect::<Vec<_>>().into_iter(), bad.into_iter()],
+            vec![src(&[1, 2]), iter_src(bad)],
             SortOrder::Ascending,
         )
         .unwrap();
@@ -619,5 +906,67 @@ mod tests {
         assert_eq!(lt.next().unwrap().unwrap().key, 9);
         assert!(matches!(lt.next(), Some(Err(Error::Corrupt(_)))));
         assert!(lt.next().is_none());
+    }
+
+    #[test]
+    fn merge_into_matches_iterator_output() {
+        for batch_rows in [1usize, 7, 1024] {
+            let make = || {
+                vec![src(&[1, 3, 5, 7, 9, 11]), src(&[2, 4, 6, 8]), src(&[0, 10, 12])]
+            };
+            let by_iter: Vec<u64> =
+                LoserTree::new(make(), SortOrder::Ascending).unwrap().map(|r| r.unwrap().key).collect();
+            let mut lt = LoserTree::new(make(), SortOrder::Ascending).unwrap();
+            let mut by_batch: Vec<u64> = Vec::new();
+            let mut out = RowBatch::new();
+            loop {
+                lt.merge_into(&mut out, batch_rows).unwrap();
+                if out.is_empty() {
+                    break;
+                }
+                // The carried prefix column must honor the invariant.
+                for (row, &p) in out.rows.iter().zip(&out.prefixes) {
+                    assert_eq!(p, row.key.norm_prefix());
+                }
+                by_batch.extend(out.rows.iter().map(|r| r.key));
+            }
+            assert_eq!(by_batch, by_iter, "batch_rows = {batch_rows}");
+        }
+    }
+
+    #[test]
+    fn merge_into_surfaces_error_after_partial_batch() {
+        let bad: Vec<Result<Row<u64>>> = vec![
+            Ok(Row::key_only(1)),
+            Ok(Row::key_only(3)),
+            Err(Error::Corrupt("mid".into())),
+        ];
+        let mut lt =
+            LoserTree::new(vec![iter_src(bad), src(&[2])], SortOrder::Ascending).unwrap();
+        let mut out = RowBatch::new();
+        // First drain stops once the error latches; the rows merged before
+        // it come back intact.
+        lt.merge_into(&mut out, 100).unwrap();
+        assert_eq!(out.rows.iter().map(|r| r.key).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(matches!(lt.merge_into(&mut out, 100), Err(Error::Corrupt(_))));
+        assert!(out.is_empty(), "a failed drain must not leave stale rows");
+        // Fused thereafter.
+        lt.merge_into(&mut out, 100).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn merge_into_descending_carries_raw_prefixes() {
+        let mut lt = LoserTree::new(
+            vec![src(&[9, 5, 1]), src(&[8, 4])],
+            SortOrder::Descending,
+        )
+        .unwrap();
+        let mut out = RowBatch::new();
+        lt.merge_into(&mut out, 16).unwrap();
+        assert_eq!(out.rows.iter().map(|r| r.key).collect::<Vec<_>>(), vec![9, 8, 5, 4, 1]);
+        for (row, &p) in out.rows.iter().zip(&out.prefixes) {
+            assert_eq!(p, row.key.norm_prefix(), "prefix column must stay raw (ascending-order)");
+        }
     }
 }

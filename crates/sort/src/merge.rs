@@ -14,16 +14,17 @@
 use histok_storage::{
     IoScheduler, IoSchedulerHandle, PrefetchingRunReader, RunCatalog, RunMeta, RunReader,
 };
-use histok_types::{Error, Result, Row, SortKey, SortOrder};
+use histok_types::{Error, Result, Row, RowBatch, SortKey, SortOrder};
 
 use crate::cmp_stats::CmpStats;
 use crate::loser_tree::LoserTree;
+use crate::source::{RowSource, DEFAULT_BATCH_ROWS};
 
 /// Knobs an operator threads into every merge step it triggers: whether
 /// the loser tree uses offset-value coding, an optional shared
 /// comparison-counter sink the trees flush into, how many blocks each run
-/// input prefetches in the background, and which I/O pool (if any) that
-/// prefetching runs on.
+/// input prefetches in the background, which I/O pool (if any) that
+/// prefetching runs on, and how many rows each merge drain batches.
 #[derive(Debug, Clone)]
 pub struct MergeTuning {
     /// Resolve tournament duels on offset-value codes (default on).
@@ -36,11 +37,21 @@ pub struct MergeTuning {
     /// Shared worker pool the read-ahead jobs run on; `None` spawns the
     /// legacy dedicated thread per merge source.
     pub io_scheduler: Option<IoScheduler>,
+    /// Rows per merge output batch (and the refill hint passed to batched
+    /// sources). `1` degenerates to row-at-a-time — the differential
+    /// baseline.
+    pub batch_rows: usize,
 }
 
 impl Default for MergeTuning {
     fn default() -> Self {
-        MergeTuning { ovc: true, stats: None, readahead_blocks: 2, io_scheduler: None }
+        MergeTuning {
+            ovc: true,
+            stats: None,
+            readahead_blocks: 2,
+            io_scheduler: None,
+            batch_rows: DEFAULT_BATCH_ROWS,
+        }
     }
 }
 
@@ -60,6 +71,12 @@ impl MergeTuning {
     /// Routes read-ahead through `scheduler`'s shared worker pool.
     pub fn with_io_scheduler(mut self, scheduler: Option<IoScheduler>) -> Self {
         self.io_scheduler = scheduler;
+        self
+    }
+
+    /// Overrides the merge batch size (clamped to at least 1).
+    pub fn with_batch_rows(mut self, rows: usize) -> Self {
+        self.batch_rows = rows.max(1);
         self
     }
 }
@@ -130,6 +147,101 @@ impl<K: SortKey> Iterator for MergeSource<K> {
     }
 }
 
+impl<K: SortKey> RowSource<K> for MergeSource<K> {
+    fn next_batch(&mut self, target: usize) -> Result<Option<RowBatch<K>>> {
+        match self {
+            // Readers hand over whole decoded blocks with the prefix
+            // column already built at decode time; the hint is moot.
+            MergeSource::Run(r) => r.next_batch(),
+            MergeSource::Prefetched(r) => r.next_batch(),
+            MergeSource::Memory(m) => {
+                let take = m.len().min(target.max(1));
+                if take == 0 {
+                    return Ok(None);
+                }
+                let mut batch = RowBatch::with_capacity(take);
+                for row in m.by_ref().take(take) {
+                    batch.push(row);
+                }
+                Ok(Some(batch))
+            }
+            MergeSource::Chained { head, tail } => {
+                let take = head.len().min(target.max(1));
+                if take == 0 {
+                    return tail.next_batch(target);
+                }
+                let mut batch = RowBatch::with_capacity(take);
+                for row in head.by_ref().take(take) {
+                    batch.push(row);
+                }
+                Ok(Some(batch))
+            }
+        }
+    }
+}
+
+/// Row-at-a-time facade over a batched [`LoserTree`] drain: refills an
+/// internal buffer through [`LoserTree::merge_into`] so the per-row cost
+/// is a buffer pop, with the tree's done/error bookkeeping paid once per
+/// batch. Operators wrap their final serial merges in this.
+pub struct BatchedMerge<K: SortKey, S: RowSource<K>> {
+    tree: LoserTree<K, S>,
+    buffer: std::vec::IntoIter<Row<K>>,
+    batch_rows: usize,
+    done: bool,
+}
+
+impl<K: SortKey, S: RowSource<K>> BatchedMerge<K, S> {
+    /// Wraps `tree`, draining `batch_rows` rows per refill.
+    pub fn new(tree: LoserTree<K, S>, batch_rows: usize) -> Self {
+        BatchedMerge {
+            tree,
+            buffer: Vec::new().into_iter(),
+            batch_rows: batch_rows.max(1),
+            done: false,
+        }
+    }
+
+    /// Peeks at the key that would be produced next (buffered rows
+    /// first, then the tree head).
+    pub fn peek_key(&self) -> Option<&K> {
+        self.buffer.as_slice().first().map(|r| &r.key).or_else(|| self.tree.peek_key())
+    }
+
+    /// Comparison counts of the underlying tree.
+    pub fn cmp_counts(&self) -> (u64, u64) {
+        self.tree.cmp_counts()
+    }
+}
+
+impl<K: SortKey, S: RowSource<K>> Iterator for BatchedMerge<K, S> {
+    type Item = Result<Row<K>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(row) = self.buffer.next() {
+            return Some(Ok(row));
+        }
+        if self.done {
+            return None;
+        }
+        let mut out = RowBatch::with_capacity(self.batch_rows);
+        match self.tree.merge_into(&mut out, self.batch_rows) {
+            Ok(()) => {
+                if out.is_empty() {
+                    self.done = true;
+                    return None;
+                }
+                self.buffer = out.rows.into_iter();
+                self.buffer.next().map(Ok)
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
 /// Opens a registered run as a merge source, honoring the tuning's
 /// read-ahead depth and I/O scheduler (jobs gated on the catalog's
 /// backend).
@@ -158,7 +270,9 @@ pub fn merge_sources_tuned<K: SortKey>(
     order: SortOrder,
     tuning: &MergeTuning,
 ) -> Result<LoserTree<K, MergeSource<K>>> {
-    LoserTree::with_ovc(sources, order, tuning.ovc, tuning.stats.clone())
+    let mut tree = LoserTree::with_ovc(sources, order, tuning.ovc, tuning.stats.clone())?;
+    tree.set_batch_target(tuning.batch_rows);
+    Ok(tree)
 }
 
 /// Which runs an intermediate merge step should pick first.
@@ -233,17 +347,57 @@ pub fn merge_runs_to_new_tuned<K: SortKey>(
     let mut writer = catalog.start_run()?;
     let out_name = writer.name().to_string();
     let merged: Result<RunMeta<K>> = (|| {
+        // Batched drain: pull a batch, clip it at the cutoff by scanning
+        // the prefix column (one integer compare per row; key bytes are
+        // touched only for wide keys whose prefix ties the cutoff's), and
+        // append the survivors in one call.
+        let out_mask = match order {
+            SortOrder::Ascending => 0,
+            SortOrder::Descending => !0u64,
+        };
+        let cut_prefix = cutoff.map(|c| c.norm_prefix() ^ out_mask);
         let mut produced = 0u64;
-        while limit.is_none_or(|l| produced < l) {
-            let Some(next) = tree.next() else { break };
-            let row = next?;
-            if let Some(cut) = cutoff {
-                if order.follows(&row.key, cut) {
-                    break;
+        let mut out = RowBatch::with_capacity(tuning.batch_rows);
+        loop {
+            let want = match limit {
+                Some(l) => {
+                    let remaining = l.saturating_sub(produced);
+                    if remaining == 0 {
+                        break;
+                    }
+                    usize::try_from(remaining).unwrap_or(usize::MAX).min(tuning.batch_rows)
+                }
+                None => tuning.batch_rows,
+            };
+            tree.merge_into(&mut out, want)?;
+            if out.is_empty() {
+                break;
+            }
+            let mut clipped = false;
+            if let (Some(cut), Some(cp)) = (cutoff, cut_prefix) {
+                let first_past = if K::norm_prefix_is_exact() {
+                    // Exact prefixes: prefix order IS key order.
+                    out.prefixes.iter().position(|&p| (p ^ out_mask) > cp)
+                } else {
+                    // A row can only follow the cutoff if its prefix is at
+                    // or past the cutoff's; confirm on the key from there.
+                    out.prefixes
+                        .iter()
+                        .position(|&p| (p ^ out_mask) >= cp)
+                        .and_then(|i| {
+                            (i..out.len()).find(|&j| order.follows(&out.rows[j].key, cut))
+                        })
+                };
+                if let Some(i) = first_past {
+                    out.truncate(i);
+                    clipped = true;
                 }
             }
-            writer.append(&row)?;
-            produced += 1;
+            writer.append_batch(&out)?;
+            produced += out.len() as u64;
+            if clipped {
+                break;
+            }
         }
         writer.finish()
     })();

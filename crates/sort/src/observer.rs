@@ -33,6 +33,26 @@ pub trait SpillObserver<K>: Send {
 
     /// The current run was sealed.
     fn run_finished(&mut self) {}
+
+    /// The observer's elimination rule as a plain cutoff key, if it has
+    /// one. Returning `Some(cut)` promises that, right now,
+    /// `should_eliminate(k)` is side-effect-free and equivalent to
+    /// `order.follows(k, cut)` — which lets batched run generation clip a
+    /// whole sorted buffer with one scan over its prefix column instead of
+    /// a per-row callback. Observers whose `should_eliminate` has side
+    /// effects or richer logic keep the `None` default and stay on the
+    /// per-row path.
+    fn cutoff_key(&mut self) -> Option<K> {
+        None
+    }
+
+    /// `n` rows were eliminated by one batched clip against the
+    /// [`cutoff_key`](SpillObserver::cutoff_key) cutoff, in place of `n`
+    /// individual `should_eliminate` calls. Observers that count
+    /// eliminations add `n` here.
+    fn rows_clipped(&mut self, n: u64) {
+        let _ = n;
+    }
 }
 
 /// An observer that does nothing — plain external sorting.

@@ -28,20 +28,18 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use histok_storage::{KeyRange, RunCatalog, RunMeta};
-use histok_types::{Result, Row, SortKey, SortOrder};
+use histok_types::{Result, Row, RowBatch, SortKey, SortOrder};
 
 use crate::loser_tree::LoserTree;
 use crate::merge::{MergeSource, MergeTuning};
 
-/// Rows a worker groups into one channel message.
-const BATCH_ROWS: usize = 256;
 /// Batches a worker may run ahead of the consumer (per partition). The
 /// consumer drains partitions strictly in range order, so this bound is
 /// what lets later partitions keep their I/O in flight while earlier
 /// ones stream out; too shallow and the merge degrades toward serial on
 /// latency-dominated storage (a worker stalls on `send` with its range
-/// readers idle). 32 × 256 rows ≈ a few hundred KiB of payload per
-/// partition at typical row sizes.
+/// readers idle). 32 batches × `tuning.batch_rows` rows ≈ a few MiB of
+/// payload per partition at typical row sizes and the default batch.
 const CHANNEL_DEPTH: usize = 32;
 
 /// Picks up to `threads − 1` splitter keys from the runs' block-boundary
@@ -287,10 +285,11 @@ pub fn merge_sources_partitioned<K: SortKey>(
         let (tx, rx) = std::sync::mpsc::sync_channel(CHANNEL_DEPTH);
         let ovc = tuning.ovc;
         let stats = tuning.stats.clone();
+        let batch_rows = tuning.batch_rows.max(1);
         let counters = counters.clone();
         let spawned = std::thread::Builder::new()
             .name(format!("pmerge-{i}"))
-            .spawn(move || merge_worker(sources, order, ovc, stats, tx, counters, i));
+            .spawn(move || merge_worker(sources, order, ovc, stats, batch_rows, tx, counters, i));
         match spawned {
             Ok(handle) => {
                 receivers.push(Some(rx));
@@ -318,15 +317,18 @@ pub fn merge_sources_partitioned<K: SortKey>(
     })
 }
 
-/// One partition's merge loop: drain the loser tree in batches; errors go
-/// in-band and end the partition; a closed channel (consumer gone) ends
-/// it quietly.
+/// One partition's merge loop: drain the loser tree through its batched
+/// [`LoserTree::merge_into`] interface, shipping whole [`RowBatch`]es
+/// (prefix column included) through the channel; errors go in-band and
+/// end the partition; a closed channel (consumer gone) ends it quietly.
+#[allow(clippy::too_many_arguments)]
 fn merge_worker<K: SortKey>(
     sources: Vec<MergeSource<K>>,
     order: SortOrder,
     ovc: bool,
     stats: Option<crate::cmp_stats::CmpStats>,
-    tx: SyncSender<Result<Vec<Row<K>>>>,
+    batch_rows: usize,
+    tx: SyncSender<Result<RowBatch<K>>>,
     counters: PartitionCounters,
     partition: usize,
 ) {
@@ -337,34 +339,21 @@ fn merge_worker<K: SortKey>(
             return;
         }
     };
-    let mut batch: Vec<Row<K>> = Vec::with_capacity(BATCH_ROWS);
+    tree.set_batch_target(batch_rows);
     loop {
-        match tree.next() {
-            Some(Ok(row)) => {
-                batch.push(row);
-                if batch.len() >= BATCH_ROWS {
-                    counters.add(partition, batch.len() as u64);
-                    let full = std::mem::replace(&mut batch, Vec::with_capacity(BATCH_ROWS));
-                    if tx.send(Ok(full)).is_err() {
-                        return;
-                    }
+        let mut batch = RowBatch::with_capacity(batch_rows);
+        match tree.merge_into(&mut batch, batch_rows) {
+            Ok(()) => {
+                if batch.is_empty() {
+                    return;
+                }
+                counters.add(partition, batch.len() as u64);
+                if tx.send(Ok(batch)).is_err() {
+                    return;
                 }
             }
-            Some(Err(e)) => {
-                if !batch.is_empty() {
-                    counters.add(partition, batch.len() as u64);
-                    if tx.send(Ok(std::mem::take(&mut batch))).is_err() {
-                        return;
-                    }
-                }
+            Err(e) => {
                 let _ = tx.send(Err(e));
-                return;
-            }
-            None => {
-                if !batch.is_empty() {
-                    counters.add(partition, batch.len() as u64);
-                    let _ = tx.send(Ok(batch));
-                }
                 return;
             }
         }
@@ -372,7 +361,7 @@ fn merge_worker<K: SortKey>(
 }
 
 /// Channel endpoint over which a worker ships row batches (or an error).
-type BatchReceiver<K> = Receiver<Result<Vec<Row<K>>>>;
+type BatchReceiver<K> = Receiver<Result<RowBatch<K>>>;
 
 /// The re-sequenced output of a partitioned merge: partitions drain in
 /// key-range order, so the stream is globally sorted. After an error the
@@ -425,7 +414,7 @@ impl<K: SortKey> Iterator for PartitionedMerge<K> {
                 continue;
             };
             match rx.recv() {
-                Ok(Ok(rows)) => self.buffer = rows.into_iter(),
+                Ok(Ok(batch)) => self.buffer = batch.rows.into_iter(),
                 Ok(Err(e)) => {
                     self.failed = true;
                     self.shut_down();

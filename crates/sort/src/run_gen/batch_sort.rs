@@ -1,0 +1,522 @@
+//! Batched (radix) run generation.
+//!
+//! The bandwidth-oriented alternative to comparison-based load-sort-store:
+//! fill the workspace, sort it by an LSB radix pass over the 8-byte
+//! normalized key prefixes (one `(prefix, index)` pair per row; digit
+//! passes that carry no information are skipped), fall back to comparison
+//! sort only inside groups of rows whose prefixes tie, clip the sorted
+//! buffer at the observer's cutoff with one scan over the prefix column
+//! (per-row `should_eliminate` callbacks only when the observer exposes no
+//! plain cutoff), and spill the survivors through batch appends. For keys
+//! whose whole normalized form fits the prefix — the integers, `F64Key` —
+//! the sort never touches a key byte and never calls a comparator.
+//!
+//! Same run shape and observer protocol as [`LoadSortStore`]: memory-sized
+//! runs, `run_started`/`row_spilled`/`run_finished` per run, every spilled
+//! row re-checked against the cutoff at spill time (Algorithm 1 lines
+//! 10–13). Like `LoadSortStore`, the sort is unstable across equal keys.
+//!
+//! [`LoadSortStore`]: crate::run_gen::LoadSortStore
+
+use std::sync::Arc;
+
+use histok_storage::RunCatalog;
+use histok_types::{Result, Row, RowBatch, SortKey, SortOrder};
+
+use crate::budget::{row_footprint, MemoryBudget};
+use crate::observer::SpillObserver;
+use crate::run_gen::{ResiduePolicy, RunGenerator};
+
+/// Sorts `pairs` by their `u64` ascending with a stable LSB radix (8-bit
+/// digits, low to high). Digits on which all values agree are skipped, so
+/// narrow key domains pay for the passes they need, not all eight.
+fn radix_sort_pairs(pairs: &mut Vec<(u64, u32)>, scratch: &mut Vec<(u64, u32)>) {
+    let n = pairs.len();
+    if n < 2 {
+        return;
+    }
+    // One read pass builds every digit's histogram.
+    let mut hist = vec![[0u32; 256]; 8];
+    for &(p, _) in pairs.iter() {
+        for (d, h) in hist.iter_mut().enumerate() {
+            h[((p >> (8 * d)) & 0xFF) as usize] += 1;
+        }
+    }
+    scratch.clear();
+    scratch.resize(n, (0, 0));
+    for (d, h) in hist.iter().enumerate() {
+        if h.iter().any(|&c| c as usize == n) {
+            continue; // every value shares this digit
+        }
+        let mut offsets = [0u32; 256];
+        let mut acc = 0u32;
+        for (o, &c) in offsets.iter_mut().zip(h.iter()) {
+            *o = acc;
+            acc += c;
+        }
+        for &pair in pairs.iter() {
+            let digit = ((pair.0 >> (8 * d)) & 0xFF) as usize;
+            scratch[offsets[digit] as usize] = pair;
+            offsets[digit] += 1;
+        }
+        std::mem::swap(pairs, scratch);
+    }
+}
+
+/// Radix-based run generation over the normalized-prefix column.
+pub struct BatchSort<K: SortKey> {
+    catalog: Arc<RunCatalog<K>>,
+    rows: Vec<Row<K>>,
+    /// Output-order prefix per buffered row (`norm_prefix() ^ out_mask`),
+    /// aligned with `rows`; ascending in this column is output order.
+    prefixes: Vec<u64>,
+    /// 0 for ascending output, `!0` for descending (see [`RowBatch`]).
+    out_mask: u64,
+    budget: MemoryBudget,
+    order: SortOrder,
+    /// Reused radix workspaces, kept across flushes.
+    pairs: Vec<(u64, u32)>,
+    scratch: Vec<(u64, u32)>,
+}
+
+impl<K: SortKey> BatchSort<K> {
+    /// Creates a generator writing runs through `catalog` under a budget
+    /// of `budget_bytes`.
+    pub fn new(catalog: Arc<RunCatalog<K>>, budget_bytes: usize) -> Self {
+        let order = catalog.order();
+        let out_mask = match order {
+            SortOrder::Ascending => 0,
+            SortOrder::Descending => !0u64,
+        };
+        BatchSort {
+            catalog,
+            rows: Vec::new(),
+            prefixes: Vec::new(),
+            out_mask,
+            budget: MemoryBudget::new(budget_bytes),
+            order,
+            pairs: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Sorts the buffer into output order: radix over the prefix column,
+    /// then a comparison pass inside each prefix-tie group (skipped
+    /// entirely for prefix-exact key types, where equal prefixes are
+    /// equal keys).
+    fn sort_buffer(&mut self) {
+        let n = self.rows.len();
+        if n < 2 {
+            return;
+        }
+        self.pairs.clear();
+        self.pairs.extend(self.prefixes.iter().enumerate().map(|(i, &p)| (p, i as u32)));
+        radix_sort_pairs(&mut self.pairs, &mut self.scratch);
+        // Apply the permutation to the row column.
+        let mut slots: Vec<Option<Row<K>>> = self.rows.drain(..).map(Some).collect();
+        self.rows.extend(
+            self.pairs.iter().map(|&(_, i)| slots[i as usize].take().expect("radix permutation")),
+        );
+        for (dst, &(p, _)) in self.prefixes.iter_mut().zip(self.pairs.iter()) {
+            *dst = p;
+        }
+        if K::norm_prefix_is_exact() {
+            return;
+        }
+        // Wide keys: order rows within each group of tied prefixes.
+        let order = self.order;
+        let mut start = 0;
+        while start < n {
+            let p = self.prefixes[start];
+            let mut end = start + 1;
+            while end < n && self.prefixes[end] == p {
+                end += 1;
+            }
+            if end - start > 1 {
+                self.rows[start..end].sort_unstable_by(|a, b| order.cmp_keys(&a.key, &b.key));
+            }
+            start = end;
+        }
+    }
+
+    /// Index of the first buffered (sorted) row that sorts after `cut`,
+    /// found on the prefix column; key bytes are consulted only for wide
+    /// keys whose prefix ties the cutoff's.
+    fn clip_point(&self, cut: &K) -> usize {
+        let cut_out = cut.norm_prefix() ^ self.out_mask;
+        if K::norm_prefix_is_exact() {
+            self.prefixes.partition_point(|&p| p <= cut_out)
+        } else {
+            let candidate = self.prefixes.partition_point(|&p| p < cut_out);
+            (candidate..self.rows.len())
+                .find(|&i| self.order.follows(&self.rows[i].key, cut))
+                .unwrap_or(self.rows.len())
+        }
+    }
+
+    /// Drops the sorted tail that the observer's rule eliminates,
+    /// releasing its budget; returns the surviving row count. Uses the
+    /// vectorized prefix clip when the observer exposes a plain cutoff,
+    /// the per-row callback otherwise.
+    fn retain_survivors(&mut self, obs: &mut dyn SpillObserver<K>) -> usize {
+        match obs.cutoff_key() {
+            Some(cut) => {
+                let keep = self.clip_point(&cut);
+                let dropped = self.rows.len() - keep;
+                for row in self.rows.drain(keep..) {
+                    self.budget.release(row_footprint(&row));
+                }
+                self.prefixes.truncate(keep);
+                if dropped > 0 {
+                    obs.rows_clipped(dropped as u64);
+                }
+                keep
+            }
+            None => {
+                // The eliminated set need not be a suffix for arbitrary
+                // observers; check every row, keeping order.
+                let mut keep = 0;
+                for i in 0..self.rows.len() {
+                    if obs.should_eliminate(&self.rows[i].key) {
+                        self.budget.release(row_footprint(&self.rows[i]));
+                        continue;
+                    }
+                    self.rows.swap(i, keep);
+                    self.prefixes.swap(i, keep);
+                    keep += 1;
+                }
+                self.rows.truncate(keep);
+                self.prefixes.truncate(keep);
+                keep
+            }
+        }
+    }
+
+    /// Sorts and writes the whole buffer as one run.
+    fn flush(&mut self, obs: &mut dyn SpillObserver<K>) -> Result<()> {
+        if self.rows.is_empty() {
+            return Ok(());
+        }
+        self.sort_buffer();
+        // As in load-sort-store, the run estimate is the buffer being
+        // flushed — known exactly, before spill-time elimination.
+        let estimated_rows = self.rows.len() as u64;
+        if self.retain_survivors(obs) == 0 {
+            return Ok(());
+        }
+        let mut writer = self.catalog.start_run()?;
+        obs.run_started(estimated_rows.max(1));
+        // Hand the writer rows plus their raw prefixes in one call; no
+        // key is re-encoded on the way out.
+        let rows = std::mem::take(&mut self.rows);
+        let mut prefixes = std::mem::take(&mut self.prefixes);
+        for p in prefixes.iter_mut() {
+            *p ^= self.out_mask;
+        }
+        let batch = RowBatch { rows, prefixes };
+        writer.append_batch(&batch)?;
+        for row in &batch.rows {
+            self.budget.release(row_footprint(row));
+            obs.row_spilled(&row.key);
+        }
+        let meta = writer.finish()?;
+        self.catalog.register(meta)?;
+        obs.run_finished();
+        // Reclaim the allocations for the next fill.
+        let RowBatch { mut rows, mut prefixes } = batch;
+        rows.clear();
+        prefixes.clear();
+        self.rows = rows;
+        self.prefixes = prefixes;
+        Ok(())
+    }
+}
+
+impl<K: SortKey> RunGenerator<K> for BatchSort<K> {
+    fn push(&mut self, row: Row<K>, obs: &mut dyn SpillObserver<K>) -> Result<()> {
+        let fp = row_footprint(&row);
+        if self.budget.would_exceed(fp) && !self.rows.is_empty() {
+            self.flush(obs)?;
+        }
+        self.budget.charge(fp);
+        self.prefixes.push(row.key.norm_prefix() ^ self.out_mask);
+        self.rows.push(row);
+        Ok(())
+    }
+
+    fn finish(
+        &mut self,
+        obs: &mut dyn SpillObserver<K>,
+        residue: ResiduePolicy,
+    ) -> Result<Vec<Vec<Row<K>>>> {
+        match residue {
+            ResiduePolicy::SpillToRuns => {
+                self.flush(obs)?;
+                Ok(Vec::new())
+            }
+            ResiduePolicy::KeepInMemory => {
+                self.sort_buffer();
+                let kept = self.retain_survivors(obs);
+                for row in &self.rows {
+                    self.budget.release(row_footprint(row));
+                }
+                self.prefixes.clear();
+                let out = std::mem::take(&mut self.rows);
+                Ok(if kept == 0 { Vec::new() } else { vec![out] })
+            }
+        }
+    }
+
+    fn buffered_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn buffered_bytes(&self) -> usize {
+        self.budget.used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NoopObserver;
+    use histok_storage::{IoStats, MemoryBackend};
+    use histok_types::BytesKey;
+
+    fn catalog(order: SortOrder) -> Arc<RunCatalog<u64>> {
+        Arc::new(RunCatalog::new(Arc::new(MemoryBackend::new()), "bs", order, IoStats::new()))
+    }
+
+    fn read_all(cat: &RunCatalog<u64>) -> Vec<Vec<u64>> {
+        cat.runs().iter().map(|m| cat.open(m).unwrap().map(|r| r.unwrap().key).collect()).collect()
+    }
+
+    #[test]
+    fn radix_pairs_sort_and_stay_stable() {
+        let mut pairs: Vec<(u64, u32)> =
+            vec![(5, 0), (1, 1), (5, 2), (0, 3), (u64::MAX, 4), (1, 5), (5, 6)];
+        let mut scratch = Vec::new();
+        radix_sort_pairs(&mut pairs, &mut scratch);
+        assert_eq!(pairs, vec![(0, 3), (1, 1), (1, 5), (5, 0), (5, 2), (5, 6), (u64::MAX, 4)]);
+    }
+
+    #[test]
+    fn runs_are_memory_sized_and_sorted_both_orders() {
+        for order in [SortOrder::Ascending, SortOrder::Descending] {
+            let cat = catalog(order);
+            let row_bytes = row_footprint(&Row::key_only(0u64));
+            let mut gen = BatchSort::new(cat.clone(), 10 * row_bytes);
+            let mut obs = NoopObserver;
+            for k in [77u64, 3, 41, 9, 100, 2, 55, 13, 8, 99, 1, 64, 30, 5, 88, 21, 7, 45, 6, 92]
+            {
+                gen.push(Row::key_only(k), &mut obs).unwrap();
+            }
+            gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+            let runs = read_all(&cat);
+            assert!(runs.len() >= 2, "order {order:?}: expected 2+ runs, got {}", runs.len());
+            let mut all = Vec::new();
+            for run in &runs {
+                let sorted = match order {
+                    SortOrder::Ascending => run.windows(2).all(|w| w[0] <= w[1]),
+                    SortOrder::Descending => run.windows(2).all(|w| w[0] >= w[1]),
+                };
+                assert!(sorted, "run not sorted for {order:?}: {run:?}");
+                assert!(run.len() <= 10);
+                all.extend_from_slice(run);
+            }
+            all.sort_unstable();
+            let mut expected =
+                vec![77u64, 3, 41, 9, 100, 2, 55, 13, 8, 99, 1, 64, 30, 5, 88, 21, 7, 45, 6, 92];
+            expected.sort_unstable();
+            assert_eq!(all, expected);
+        }
+    }
+
+    #[test]
+    fn matches_load_sort_store_output_on_wide_keys() {
+        // Same inputs through BatchSort and LoadSortStore must produce the
+        // same multiset of spilled keys, each run sorted — including byte
+        // keys that exercise the prefix-tie fallback.
+        use crate::run_gen::LoadSortStore;
+        let words: Vec<String> = (0..200)
+            .map(|i| format!("commonprefix-{:03}-{}", i % 50, i))
+            .collect();
+        let collect = |spill: &dyn Fn() -> Vec<Vec<BytesKey>>| -> Vec<BytesKey> {
+            let mut all: Vec<BytesKey> = spill().into_iter().flatten().collect();
+            all.sort();
+            all
+        };
+        let run = |use_batch: bool| -> Vec<Vec<BytesKey>> {
+            let cat = Arc::new(RunCatalog::<BytesKey>::new(
+                Arc::new(MemoryBackend::new()),
+                "w",
+                SortOrder::Ascending,
+                IoStats::new(),
+            ));
+            let budget = 40 * row_footprint(&Row::key_only(BytesKey::from(words[0].as_str())));
+            let mut obs = NoopObserver;
+            let mut push_all = |g: &mut dyn RunGenerator<BytesKey>| {
+                for w in &words {
+                    g.push(Row::key_only(BytesKey::from(w.as_str())), &mut obs).unwrap();
+                }
+                g.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+            };
+            if use_batch {
+                push_all(&mut BatchSort::new(cat.clone(), budget));
+            } else {
+                push_all(&mut LoadSortStore::new(cat.clone(), budget));
+            }
+            cat.runs()
+                .iter()
+                .map(|m| {
+                    let run: Vec<BytesKey> =
+                        cat.open(m).unwrap().map(|r| r.unwrap().key).collect();
+                    assert!(run.windows(2).all(|w| w[0] <= w[1]), "run not sorted");
+                    run
+                })
+                .collect()
+        };
+        assert_eq!(collect(&|| run(true)), collect(&|| run(false)));
+    }
+
+    #[test]
+    fn cutoff_key_clips_vectorized() {
+        struct CutAt(u64);
+        impl SpillObserver<u64> for CutAt {
+            fn should_eliminate(&mut self, key: &u64) -> bool {
+                *key > self.0
+            }
+            fn cutoff_key(&mut self) -> Option<u64> {
+                Some(self.0)
+            }
+        }
+        let cat = catalog(SortOrder::Ascending);
+        let mut gen = BatchSort::new(cat.clone(), 1 << 20);
+        let mut obs = CutAt(20);
+        for k in (0..100u64).rev() {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        let spilled: Vec<u64> = read_all(&cat).into_iter().flatten().collect();
+        assert_eq!(spilled, (0..=20).collect::<Vec<_>>());
+        assert_eq!(gen.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn per_row_observer_still_filters_without_cutoff_key() {
+        struct OddKiller;
+        impl SpillObserver<u64> for OddKiller {
+            fn should_eliminate(&mut self, key: &u64) -> bool {
+                key % 2 == 1 // not a suffix of the sorted buffer
+            }
+        }
+        let cat = catalog(SortOrder::Ascending);
+        let mut gen = BatchSort::new(cat.clone(), 1 << 20);
+        let mut obs = OddKiller;
+        for k in 0..50u64 {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        let spilled: Vec<u64> = read_all(&cat).into_iter().flatten().collect();
+        assert_eq!(spilled, (0..50).filter(|k| k % 2 == 0).collect::<Vec<_>>());
+        assert_eq!(gen.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn residue_kept_in_memory_is_sorted_filtered_and_released() {
+        struct CutAt(u64);
+        impl SpillObserver<u64> for CutAt {
+            fn should_eliminate(&mut self, key: &u64) -> bool {
+                *key > self.0
+            }
+            fn cutoff_key(&mut self) -> Option<u64> {
+                Some(self.0)
+            }
+        }
+        let cat = catalog(SortOrder::Ascending);
+        let mut gen = BatchSort::new(cat.clone(), 1 << 20);
+        let mut obs = CutAt(7);
+        for k in [9u64, 2, 7, 4, 11] {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        let residue = gen.finish(&mut obs, ResiduePolicy::KeepInMemory).unwrap();
+        assert!(cat.is_empty());
+        assert_eq!(residue.len(), 1);
+        assert_eq!(residue[0].iter().map(|r| r.key).collect::<Vec<_>>(), vec![2, 4, 7]);
+        assert_eq!(gen.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn fully_clipped_buffer_registers_no_run() {
+        struct KillAll;
+        impl SpillObserver<u64> for KillAll {
+            fn should_eliminate(&mut self, _: &u64) -> bool {
+                true
+            }
+        }
+        let cat = catalog(SortOrder::Ascending);
+        let mut gen = BatchSort::new(cat.clone(), 1 << 20);
+        let mut obs = KillAll;
+        for k in 0..10u64 {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        let residue = gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        assert!(residue.is_empty());
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn observer_protocol_fires_per_run() {
+        struct Protocol {
+            started: Vec<u64>,
+            spilled: u64,
+            finished: usize,
+        }
+        impl SpillObserver<u64> for Protocol {
+            fn run_started(&mut self, est: u64) {
+                self.started.push(est);
+            }
+            fn row_spilled(&mut self, _k: &u64) {
+                self.spilled += 1;
+            }
+            fn run_finished(&mut self) {
+                self.finished += 1;
+            }
+        }
+        let cat = catalog(SortOrder::Ascending);
+        let row_bytes = row_footprint(&Row::key_only(0u64));
+        let mut gen = BatchSort::new(cat.clone(), 10 * row_bytes);
+        let mut obs = Protocol { started: Vec::new(), spilled: 0, finished: 0 };
+        for k in 0..35u64 {
+            gen.push(Row::key_only(k), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        assert_eq!(obs.started.len(), obs.finished);
+        assert_eq!(obs.spilled, 35);
+        assert!(obs.started.iter().all(|&e| e > 0 && e <= 10));
+    }
+
+    #[test]
+    fn descending_f64_keys_sort_by_prefix_only() {
+        use histok_types::F64Key;
+        let cat = Arc::new(RunCatalog::<F64Key>::new(
+            Arc::new(MemoryBackend::new()),
+            "f",
+            SortOrder::Descending,
+            IoStats::new(),
+        ));
+        let mut gen = BatchSort::new(cat.clone(), 1 << 20);
+        let mut obs = NoopObserver;
+        let vals = [1.5f64, -2.25, 0.0, -0.0, 100.0, -1e300, 3.5e-10, -7.0];
+        for v in vals {
+            gen.push(Row::key_only(F64Key(v)), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        let runs = cat.runs();
+        assert_eq!(runs.len(), 1);
+        let got: Vec<f64> = cat.open(&runs[0]).unwrap().map(|r| r.unwrap().key.0).collect();
+        let mut expected = vals.to_vec();
+        expected.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(got, expected);
+    }
+}

@@ -1,6 +1,6 @@
 //! Run generation: turning an unsorted stream into sorted runs on storage.
 //!
-//! Two strategies are provided, matching the paper's discussion:
+//! Three strategies are provided, matching the paper's discussion:
 //!
 //! * [`ReplacementSelection`] — the production choice (§5.1.2). A selection
 //!   heap keeps consuming input while it writes: rows that can still extend
@@ -11,14 +11,19 @@
 //! * [`LoadSortStore`] — fill memory, quicksort, write, repeat. This is what
 //!   "vanilla" engines such as PostgreSQL do (§5.2) and what the paper's
 //!   §3.2 analysis assumes "for simplicity".
+//! * [`BatchSort`] — load-sort-store with a radix sort over the 8-byte
+//!   normalized key prefixes and a vectorized cutoff clip; the
+//!   bandwidth-oriented choice for narrow keys.
 //!
-//! Both re-check every row against the [`SpillObserver`] at spill time
+//! All re-check every row against the [`SpillObserver`] at spill time
 //! (Algorithm 1 line 11) and report every surviving spilled row to it
 //! (line 13), which is where the histogram model is built.
 
+mod batch_sort;
 mod load_sort_store;
 mod replacement_selection;
 
+pub use batch_sort::BatchSort;
 pub use load_sort_store::LoadSortStore;
 pub use replacement_selection::ReplacementSelection;
 

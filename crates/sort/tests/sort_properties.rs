@@ -7,15 +7,16 @@ use proptest::prelude::*;
 
 use histok_sort::run_gen::{LoadSortStore, ReplacementSelection, ResiduePolicy, RunGenerator};
 use histok_sort::{
-    merge_sources, plan_merges, LoserTree, MergeConfig, MergePolicy, MergeSource, NoopObserver,
+    merge_sources, plan_merges, IterSource, LoserTree, MergeConfig, MergePolicy, MergeSource,
+    NoopObserver,
 };
 use histok_storage::{IoStats, MemoryBackend, RunCatalog};
 use histok_types::{Result, Row, SortOrder};
 
-type VecSource = std::vec::IntoIter<Result<Row<u64>>>;
+type VecSource = IterSource<std::vec::IntoIter<Result<Row<u64>>>>;
 
 fn source(keys: &[u64]) -> VecSource {
-    keys.iter().map(|&k| Ok(Row::key_only(k))).collect::<Vec<_>>().into_iter()
+    IterSource::new(keys.iter().map(|&k| Ok(Row::key_only(k))).collect::<Vec<_>>().into_iter())
 }
 
 fn catalog(order: SortOrder) -> Arc<RunCatalog<u64>> {

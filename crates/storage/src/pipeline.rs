@@ -61,7 +61,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use histok_types::{Error, Result, Row, SortKey};
+use histok_types::{Error, Result, Row, RowBatch, SortKey};
 
 use crate::backend::SpillWriter;
 use crate::crc::crc32;
@@ -454,7 +454,7 @@ struct PrefetchShared<K: SortKey> {
 struct PrefetchState<K: SortKey> {
     /// Decoded batches (or one trailing in-band error) awaiting the
     /// consumer; bounded at `cap`.
-    ready: VecDeque<Result<Vec<Row<K>>>>,
+    ready: VecDeque<Result<RowBatch<K>>>,
     /// The underlying reader; taken out by the active job during I/O,
     /// dropped at end of run.
     reader: Option<RunReader<K>>,
@@ -491,11 +491,11 @@ fn prefetch_job<K: SortKey>(shared: &Arc<PrefetchShared<K>>) {
                 }
             }
         };
-        let res = reader.next_block_rows();
+        let res = reader.next_batch();
         let mut st = lock(&shared.state);
         match res {
-            Ok(Some(rows)) => {
-                st.ready.push_back(Ok(rows));
+            Ok(Some(batch)) => {
+                st.ready.push_back(Ok(batch));
                 st.reader = Some(reader);
             }
             Ok(None) => st.eof = true,
@@ -510,7 +510,7 @@ fn prefetch_job<K: SortKey>(shared: &Arc<PrefetchShared<K>>) {
 
 enum PrefetchMode<K: SortKey> {
     /// Legacy: a dedicated read-ahead thread per merge source.
-    Thread { rx: Option<Receiver<Result<Vec<Row<K>>>>>, handle: Option<JoinHandle<()>> },
+    Thread { rx: Option<Receiver<Result<RowBatch<K>>>>, handle: Option<JoinHandle<()>> },
     /// Shared pool: block-sized decode jobs on an [`IoScheduler`].
     Scheduled { shared: Arc<PrefetchShared<K>>, handle: IoSchedulerHandle, class: IoClass },
 }
@@ -542,13 +542,13 @@ impl<K: SortKey> PrefetchingRunReader<K> {
         let stats = reader.stats().clone();
         let ledger = OverlapLedger::new(stats.clone());
         reader.set_ledger(Some(ledger.clone()));
-        let (tx, rx) = sync_channel::<Result<Vec<Row<K>>>>(readahead_blocks.max(1));
+        let (tx, rx) = sync_channel::<Result<RowBatch<K>>>(readahead_blocks.max(1));
         let handle = std::thread::spawn(move || {
             let _census = ThreadCensus::register();
             loop {
-                match reader.next_block_rows() {
-                    Ok(Some(rows)) => {
-                        if tx.send(Ok(rows)).is_err() {
+                match reader.next_batch() {
+                    Ok(Some(batch)) => {
+                        if tx.send(Ok(batch)).is_err() {
                             return; // consumer dropped: stop prefetching
                         }
                     }
@@ -611,10 +611,43 @@ impl<K: SortKey> PrefetchingRunReader<K> {
         self.rows_yielded
     }
 
-    /// The next decoded batch (or in-band error), `None` at end of run.
-    /// Only the blocked time counts as compute-side wait; the read and
-    /// decode themselves were booked by the background side.
-    fn next_batch(&mut self) -> Option<Result<Vec<Row<K>>>> {
+    /// The next decoded batch (rows plus prefix column), `Ok(None)` at end
+    /// of run. Errors fuse the reader and tear down the background side.
+    /// This is the batched merge loop's pull: a whole prefetched block
+    /// changes hands per call, prefix column included.
+    pub fn next_batch(&mut self) -> Result<Option<RowBatch<K>>> {
+        if !self.current.is_empty() {
+            // Rows buffered by a previous row-at-a-time `next` call: drain
+            // them first so the two pull styles compose (cold path).
+            let rows: Vec<Row<K>> = std::mem::take(&mut self.current).into();
+            self.rows_yielded += rows.len() as u64;
+            return Ok(Some(RowBatch::from_rows(rows)));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        match self.recv_batch() {
+            Some(Ok(batch)) => {
+                self.rows_yielded += batch.len() as u64;
+                Ok(Some(batch))
+            }
+            Some(Err(e)) => {
+                self.done = true;
+                self.shut_down();
+                Err(e)
+            }
+            None => {
+                self.done = true;
+                self.shut_down();
+                Ok(None)
+            }
+        }
+    }
+
+    /// The next batch from the background side (or in-band error), `None`
+    /// at end of run. Only the blocked time counts as compute-side wait;
+    /// the read and decode themselves were booked by the background side.
+    fn recv_batch(&mut self) -> Option<Result<RowBatch<K>>> {
         match &mut self.mode {
             PrefetchMode::Thread { rx, .. } => {
                 let rx = rx.as_ref()?;
@@ -697,8 +730,8 @@ impl<K: SortKey> Iterator for PrefetchingRunReader<K> {
             if self.done {
                 return None;
             }
-            match self.next_batch() {
-                Some(Ok(rows)) => self.current = rows.into(),
+            match self.recv_batch() {
+                Some(Ok(batch)) => self.current = batch.rows.into(),
                 Some(Err(e)) => {
                     self.done = true;
                     self.shut_down();

@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use histok_types::{Error, Result, Row, SortKey, SortOrder};
+use histok_types::{Error, Result, Row, RowBatch, SortKey, SortOrder};
 
 use crate::backend::{SpillReader, StorageBackend};
 use crate::crc::crc32;
@@ -288,7 +288,23 @@ impl<K: SortKey> RunWriter<K> {
 
     /// Appends the next row. Keys must be non-decreasing in output order.
     pub fn append(&mut self, row: &Row<K>) -> Result<()> {
-        let prefix = row.key.norm_prefix();
+        self.append_with_prefix(row, row.key.norm_prefix())
+    }
+
+    /// Appends every row of `batch`, reusing the batch's pre-computed
+    /// prefix column for the order checks — the batched merge path seals
+    /// blocks without recomputing (or cloning) a single key.
+    pub fn append_batch(&mut self, batch: &RowBatch<K>) -> Result<()> {
+        for (row, &prefix) in batch.rows.iter().zip(&batch.prefixes) {
+            self.append_with_prefix(row, prefix)?;
+        }
+        Ok(())
+    }
+
+    /// As [`RunWriter::append`], with the row's normalized prefix already
+    /// in hand (batched callers carry it in their code column).
+    #[inline]
+    pub fn append_with_prefix(&mut self, row: &Row<K>, prefix: u64) -> Result<()> {
         if self.rows > 0 {
             self.check_order(row, prefix)?;
         } else {
@@ -456,6 +472,9 @@ pub struct RunReader<K: SortKey> {
     stats: IoStats,
     /// Decoded rows of the current block, yielded front to back.
     current: std::collections::VecDeque<Row<K>>,
+    /// Normalized prefix of each buffered row, aligned with `current` —
+    /// computed once at decode time and handed out with the batch.
+    current_prefixes: std::collections::VecDeque<u64>,
     done: bool,
     rows_yielded: u64,
     /// `Some` when the reader is driven by background prefetch: its
@@ -490,6 +509,7 @@ impl<K: SortKey> RunReader<K> {
             reader,
             stats,
             current: std::collections::VecDeque::new(),
+            current_prefixes: std::collections::VecDeque::new(),
             done: false,
             rows_yielded: 0,
             ledger: None,
@@ -635,12 +655,18 @@ impl<K: SortKey> RunReader<K> {
             Some(ledger) => ledger.record_busy(elapsed),
             None => self.stats.record_io_wait(elapsed),
         }
-        let mut slice = &payload[..];
+        // Decode out of one refcounted buffer: every row's payload becomes
+        // a zero-copy slice of the block allocation instead of a fresh
+        // per-row `Vec` (`Buf for &[u8]` copies; `Buf for Bytes` does not).
+        let mut buf = bytes::Bytes::from(payload);
         self.current.reserve(rows as usize);
+        self.current_prefixes.reserve(rows as usize);
         for _ in 0..rows {
-            self.current.push_back(Row::decode(&mut slice)?);
+            let row: Row<K> = Row::decode(&mut buf)?;
+            self.current_prefixes.push_back(row.key.norm_prefix());
+            self.current.push_back(row);
         }
-        if !slice.is_empty() {
+        if !buf.is_empty() {
             return Err(Error::Corrupt("trailing bytes after last row in block".into()));
         }
         self.trim_to_range();
@@ -659,6 +685,7 @@ impl<K: SortKey> RunReader<K> {
             if let Some(lo) = &state.range.lo {
                 while self.current.front().is_some_and(|r| state.order.precedes(&r.key, lo)) {
                     self.current.pop_front();
+                    self.current_prefixes.pop_front();
                 }
             }
         }
@@ -672,6 +699,7 @@ impl<K: SortKey> RunReader<K> {
             };
             while self.current.back().is_some_and(|r| out(&r.key)) {
                 self.current.pop_back();
+                self.current_prefixes.pop_back();
             }
         }
     }
@@ -697,18 +725,27 @@ impl<K: SortKey> RunReader<K> {
         Ok(true)
     }
 
+    /// Drains the buffered rows and their prefix column into one batch.
+    fn take_batch(&mut self) -> RowBatch<K> {
+        let rows = Vec::from(std::mem::take(&mut self.current));
+        let prefixes = Vec::from(std::mem::take(&mut self.current_prefixes));
+        self.rows_yielded += rows.len() as u64;
+        RowBatch { rows, prefixes }
+    }
+
     /// Drains the buffered rows, or reads and decodes the next block and
-    /// returns its rows as one batch; `Ok(None)` at end of run. This is the
-    /// unit of work a prefetch thread ships per channel message.
-    pub(crate) fn next_block_rows(&mut self) -> Result<Option<Vec<Row<K>>>> {
+    /// returns it as one batch (rows plus prefix column); `Ok(None)` at end
+    /// of run. This is both the merge loop's batched pull and the unit of
+    /// work a prefetch thread ships per channel message.
+    pub fn next_batch(&mut self) -> Result<Option<RowBatch<K>>> {
         if !self.current.is_empty() {
-            return Ok(Some(Vec::from(std::mem::take(&mut self.current))));
+            return Ok(Some(self.take_batch()));
         }
         if self.done {
             return Ok(None);
         }
         if self.load_next_block()? {
-            Ok(Some(Vec::from(std::mem::take(&mut self.current))))
+            Ok(Some(self.take_batch()))
         } else {
             Ok(None)
         }
@@ -720,6 +757,7 @@ impl<K: SortKey> RunReader<K> {
         // First drain buffered rows.
         while n > 0 {
             if let Some(_row) = self.current.pop_front() {
+                self.current_prefixes.pop_front();
                 self.rows_yielded += 1;
                 n -= 1;
                 continue;
@@ -765,6 +803,7 @@ impl<K: SortKey> Iterator for RunReader<K> {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             if let Some(row) = self.current.pop_front() {
+                self.current_prefixes.pop_front();
                 self.rows_yielded += 1;
                 return Some(Ok(row));
             }

@@ -1,0 +1,130 @@
+//! Columnar row batches for the batched merge / run-generation hot path.
+//!
+//! A [`RowBatch`] is a vector of rows plus a parallel *code column*: the
+//! 8-byte normalized prefix ([`SortKey::norm_prefix`]) of every row's key,
+//! computed once when the batch is built (at block-decode time for spilled
+//! runs) and reused by every consumer — loser-tree duels, cutoff filtering,
+//! radix run generation and run-writer order checks all read the `u64`
+//! column instead of touching key bytes.
+//!
+//! The prefix column stores the *raw* (ascending-order) prefix; descending
+//! consumers complement it (`!p`) at the point of comparison, so one batch
+//! layout serves both directions.
+
+use crate::key::SortKey;
+use crate::row::Row;
+
+/// A batch of rows with a pre-computed normalized-prefix column.
+///
+/// Invariant: `prefixes.len() == rows.len()` and
+/// `prefixes[i] == rows[i].key.norm_prefix()` at all times.
+#[derive(Debug, Clone, Default)]
+pub struct RowBatch<K> {
+    /// The rows, in batch order.
+    pub rows: Vec<Row<K>>,
+    /// `rows[i].key.norm_prefix()` for every row — the merge code column.
+    pub prefixes: Vec<u64>,
+}
+
+impl<K: SortKey> RowBatch<K> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        RowBatch { rows: Vec::new(), prefixes: Vec::new() }
+    }
+
+    /// An empty batch with room for `cap` rows in both columns.
+    pub fn with_capacity(cap: usize) -> Self {
+        RowBatch { rows: Vec::with_capacity(cap), prefixes: Vec::with_capacity(cap) }
+    }
+
+    /// Builds a batch from rows, computing the prefix column in one pass.
+    pub fn from_rows(rows: Vec<Row<K>>) -> Self {
+        let prefixes = rows.iter().map(|r| r.key.norm_prefix()).collect();
+        RowBatch { rows, prefixes }
+    }
+
+    /// Number of rows in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the batch holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row, computing its prefix.
+    #[inline]
+    pub fn push(&mut self, row: Row<K>) {
+        self.prefixes.push(row.key.norm_prefix());
+        self.rows.push(row);
+    }
+
+    /// Appends a row whose prefix the caller already knows (e.g. taken from
+    /// another batch's code column). Debug-asserts the invariant.
+    #[inline]
+    pub fn push_with_prefix(&mut self, row: Row<K>, prefix: u64) {
+        debug_assert_eq!(prefix, row.key.norm_prefix());
+        self.prefixes.push(prefix);
+        self.rows.push(row);
+    }
+
+    /// Clears both columns, keeping their allocations.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.prefixes.clear();
+    }
+
+    /// Reserves room for `additional` more rows in both columns.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional);
+        self.prefixes.reserve(additional);
+    }
+
+    /// Truncates the batch to its first `len` rows.
+    pub fn truncate(&mut self, len: usize) {
+        self.rows.truncate(len);
+        self.prefixes.truncate(len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{BytesKey, F64Key};
+
+    #[test]
+    fn from_rows_computes_prefix_column() {
+        let rows: Vec<Row<u64>> = vec![Row::key_only(3), Row::key_only(1)];
+        let batch = RowBatch::from_rows(rows);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.prefixes, vec![3u64.norm_prefix(), 1u64.norm_prefix()]);
+    }
+
+    #[test]
+    fn push_maintains_invariant_for_every_key_type() {
+        let mut b = RowBatch::with_capacity(4);
+        b.push(Row::key_only(BytesKey::from("apple")));
+        b.push(Row::key_only(BytesKey::from("")));
+        assert_eq!(b.prefixes[0], BytesKey::from("apple").norm_prefix());
+        assert_eq!(b.prefixes[1], BytesKey::from("").norm_prefix());
+
+        let mut f = RowBatch::new();
+        f.push(Row::key_only(F64Key(-1.5)));
+        assert_eq!(f.prefixes[0], F64Key(-1.5).norm_prefix());
+    }
+
+    #[test]
+    fn clear_and_truncate_keep_columns_aligned() {
+        let mut b = RowBatch::from_rows(vec![Row::key_only(1u64), Row::key_only(2u64)]);
+        b.truncate(1);
+        assert_eq!(b.rows.len(), b.prefixes.len());
+        assert_eq!(b.len(), 1);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.prefixes.len(), 0);
+    }
+}

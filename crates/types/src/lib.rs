@@ -25,6 +25,7 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod error;
 pub mod json;
 pub mod key;
@@ -34,6 +35,7 @@ pub mod order;
 pub mod row;
 pub mod timing;
 
+pub use batch::RowBatch;
 pub use error::{Error, Result};
 pub use json::JsonValue;
 pub use key::{prefix_of_norm, BytesKey, F64Key, KeyPair, SortKey};
