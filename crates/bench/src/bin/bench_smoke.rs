@@ -27,9 +27,9 @@ use std::time::{Duration, Instant};
 use histok_core::{TopKConfig, TopKOperator, TraditionalExternalTopK};
 use histok_sort::run_gen::{ReplacementSelection, ResiduePolicy, RunGenerator};
 use histok_sort::{
-    merge_runs_partitioned, merge_sources_tuned, open_source, plan_merges_tuned, CmpStats,
-    IterSource, LoserTree, MergeConfig, MergePolicy, MergeTuning, NoopObserver,
-    DEFAULT_BATCH_ROWS,
+    merge_runs_partitioned, merge_sources_tuned, open_source, plan_merges_cascade,
+    plan_merges_legacy, plan_merges_tuned, CascadeStats, CmpStats, IterSource, LoserTree,
+    MergeConfig, MergePolicy, MergeTuning, NoopObserver, DEFAULT_BATCH_ROWS,
 };
 use histok_storage::{
     IoScheduler, IoSchedulerMetrics, IoStats, MemoryBackend, RunCatalog, ThreadCensus,
@@ -53,6 +53,11 @@ const STORM_FAN_IN: usize = 64;
 const STORM_THREADS: usize = 4;
 const STORM_IO_THREADS: usize = 4;
 const STORM_PARITY: f64 = 1.10;
+const CASCADE_RUNS: u64 = 512;
+const CASCADE_ROWS_PER_RUN: u64 = 500;
+const CASCADE_FAN_IN: usize = 64;
+const CASCADE_WORKERS: usize = 4;
+const REQUIRED_CASCADE_SPEEDUP: f64 = 1.4;
 /// Timed merge cases keep the fastest of this many repetitions (wall-clock
 /// gates must not trip on scheduler noise).
 const MERGE_REPS: usize = 7;
@@ -369,6 +374,107 @@ fn spill_storm_case(io_threads: usize) -> StormRun {
         io_wait_ns: io.io_wait_ns,
         overlapped_io_ns: io.overlapped_io_ns,
         sched: scheduler.as_ref().map(IoScheduler::metrics),
+        checksum,
+    }
+}
+
+/// One wall-clock measurement of the cascade gate: 512 strided runs
+/// reduced to the fan-in over a sleeping throttled backend with fully
+/// synchronous I/O, so the planned-parallel cascade's speedup comes
+/// from overlapping storage sleeps across pass workers — exactly the
+/// latency-bound regime DESIGN.md §11 targets.
+struct CascadeRun {
+    rows: u64,
+    wall_ns: u64,
+    final_runs: u64,
+    peak_io_threads: usize,
+    stats: CascadeStats,
+    /// Order-sensitive digest of the fully drained output: both
+    /// planners must agree byte for byte.
+    checksum: u64,
+}
+
+impl CascadeRun {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("rows".to_owned(), JsonValue::from(self.rows)),
+            ("wall_ns".to_owned(), JsonValue::from(self.wall_ns)),
+            ("final_runs".to_owned(), JsonValue::from(self.final_runs)),
+            ("peak_io_threads".to_owned(), JsonValue::from(self.peak_io_threads as u64)),
+            ("merge_passes".to_owned(), JsonValue::from(self.stats.merge_passes)),
+            ("intermediate_merges".to_owned(), JsonValue::from(self.stats.intermediate_merges)),
+            ("runs_pruned".to_owned(), JsonValue::from(self.stats.runs_pruned)),
+            ("cascade_wait_ns".to_owned(), JsonValue::from(self.stats.cascade_wait_ns)),
+            ("checksum".to_owned(), JsonValue::from(self.checksum)),
+        ])
+    }
+}
+
+/// Runs the cascade workload once: `parallel = false` is the greedy
+/// serial baseline ([`plan_merges_legacy`]); `parallel = true` the
+/// planned cascade on [`CASCADE_WORKERS`] pass workers. Run drain for
+/// the checksum happens untimed after the wall measurement.
+fn cascade_case(parallel: bool) -> CascadeRun {
+    let model =
+        ThrottleModel { per_op: Duration::from_micros(100), per_byte: Duration::ZERO, sleep: true };
+    let stats = IoStats::new();
+    let catalog: RunCatalog<u64> = RunCatalog::new(
+        Arc::new(ThrottledBackend::new(MemoryBackend::new(), model)),
+        RunCatalog::<u64>::unique_prefix("cascade"),
+        SortOrder::Ascending,
+        stats.clone(),
+    )
+    .with_block_bytes(4096)
+    .with_spill_pipeline(false);
+    // 512 sorted strided runs, written untimed: run r holds keys
+    // r, r+512, r+1024, … so every run overlaps every key range and no
+    // merge can shortcut.
+    for r in 0..CASCADE_RUNS {
+        let mut w = catalog.start_run().expect("start cascade run");
+        for j in 0..CASCADE_ROWS_PER_RUN {
+            w.append(&Row::key_only(j * CASCADE_RUNS + r)).expect("append");
+        }
+        catalog.register(w.finish().expect("finish cascade run")).expect("register");
+    }
+    // Fully synchronous I/O: no read-ahead, no pipeline, no pool — every
+    // storage sleep lands on the merge thread that issued it, so worker
+    // overlap is the only latency hiding available.
+    let tuning = MergeTuning {
+        ovc: true,
+        stats: None,
+        readahead_blocks: 0,
+        io_scheduler: None,
+        batch_rows: DEFAULT_BATCH_ROWS,
+    };
+    let merge = MergeConfig { fan_in: CASCADE_FAN_IN, policy: MergePolicy::LowestKeyFirst };
+    ThreadCensus::reset_peak();
+    let started = Instant::now();
+    let (final_runs, cascade_stats) = if parallel {
+        plan_merges_cascade(&catalog, &merge, None, None, &tuning, CASCADE_WORKERS).expect("plan")
+    } else {
+        let runs = plan_merges_legacy(&catalog, &merge, None, None, &tuning).expect("legacy plan");
+        (runs, CascadeStats::default())
+    };
+    let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let peak_io_threads = ThreadCensus::peak();
+    // Untimed correctness drain: content preservation is the invariant
+    // (limit is None), so both planners must yield the same key stream.
+    let sources =
+        final_runs.iter().map(|m| open_source(&catalog, m, &tuning).expect("open")).collect();
+    let tree = merge_sources_tuned(sources, SortOrder::Ascending, &tuning).expect("drain tree");
+    let mut rows = 0u64;
+    let mut checksum = 0u64;
+    for row in tree {
+        let row = row.expect("row");
+        checksum = checksum.wrapping_mul(31).wrapping_add(row.key);
+        rows += 1;
+    }
+    CascadeRun {
+        rows,
+        wall_ns,
+        final_runs: final_runs.len() as u64,
+        peak_io_threads,
+        stats: cascade_stats,
         checksum,
     }
 }
@@ -713,6 +819,40 @@ fn main() {
         ),
     ]));
 
+    // Cascade gate: 512 runs reduced to fan-in 64 on synchronous
+    // throttled I/O — the planned cascade on 4 pass workers vs. the
+    // greedy serial baseline, byte-identical with ≥1.4× speedup.
+    let cascade_serial = cascade_case(false);
+    let cascade_parallel = cascade_case(true);
+    assert_eq!(cascade_parallel.rows, cascade_serial.rows, "cascade planner changed the row count");
+    assert_eq!(
+        cascade_parallel.checksum, cascade_serial.checksum,
+        "cascade planner changed the output"
+    );
+    let cascade_speedup = if cascade_parallel.wall_ns == 0 {
+        f64::INFINITY
+    } else {
+        cascade_serial.wall_ns as f64 / cascade_parallel.wall_ns as f64
+    };
+    println!(
+        "{:<24} {:>10.0}ms {:>10.0}ms {:>12} {:>12} {:>9.2}x",
+        "cascade",
+        cascade_parallel.wall_ns as f64 / 1e6,
+        cascade_serial.wall_ns as f64 / 1e6,
+        format!("({}pass)", cascade_parallel.stats.merge_passes),
+        format!("({}mrg)", cascade_parallel.stats.intermediate_merges),
+        cascade_speedup
+    );
+    rows.push(JsonValue::Obj(vec![
+        ("name".to_owned(), JsonValue::from("cascade")),
+        ("planned".to_owned(), cascade_parallel.to_json()),
+        ("legacy_serial".to_owned(), cascade_serial.to_json()),
+        (
+            "speedup".to_owned(),
+            JsonValue::from(if cascade_speedup.is_finite() { cascade_speedup } else { f64::MAX }),
+        ),
+    ]));
+
     let report = JsonValue::Obj(vec![
         ("experiment".to_owned(), JsonValue::from("bench_smoke")),
         (
@@ -739,6 +879,11 @@ fn main() {
                 ("storm_fan_in".to_owned(), JsonValue::from(STORM_FAN_IN as u64)),
                 ("storm_io_threads".to_owned(), JsonValue::from(STORM_IO_THREADS as u64)),
                 ("storm_parity".to_owned(), JsonValue::from(STORM_PARITY)),
+                ("cascade_runs".to_owned(), JsonValue::from(CASCADE_RUNS)),
+                ("cascade_rows_per_run".to_owned(), JsonValue::from(CASCADE_ROWS_PER_RUN)),
+                ("cascade_fan_in".to_owned(), JsonValue::from(CASCADE_FAN_IN as u64)),
+                ("cascade_workers".to_owned(), JsonValue::from(CASCADE_WORKERS as u64)),
+                ("required_cascade_speedup".to_owned(), JsonValue::from(REQUIRED_CASCADE_SPEEDUP)),
             ]),
         ),
         ("cases".to_owned(), JsonValue::Arr(rows)),
@@ -820,6 +965,31 @@ fn main() {
         println!(
             "OK: spill storm on the shared pool ran {storm_ratio:.2}x the legacy wall \
              (parity bound {STORM_PARITY}x)"
+        );
+    }
+    if cascade_speedup < REQUIRED_CASCADE_SPEEDUP {
+        eprintln!(
+            "FAIL: planned-parallel cascade sped the serial cascade up only \
+             {cascade_speedup:.2}x (required {REQUIRED_CASCADE_SPEEDUP}x)"
+        );
+        failed = true;
+    } else {
+        println!(
+            "OK: planned-parallel cascade sped the serial cascade up {cascade_speedup:.2}x \
+             (required {REQUIRED_CASCADE_SPEEDUP}x)"
+        );
+    }
+    if cascade_parallel.peak_io_threads > STORM_IO_THREADS {
+        eprintln!(
+            "FAIL: cascade peaked at {} background I/O threads on synchronous tuning \
+             (bound {STORM_IO_THREADS})",
+            cascade_parallel.peak_io_threads
+        );
+        failed = true;
+    } else {
+        println!(
+            "OK: cascade held {} background I/O threads (bound {STORM_IO_THREADS})",
+            cascade_parallel.peak_io_threads
         );
     }
     if failed {

@@ -141,6 +141,15 @@ pub fn metrics_to_json(m: &OperatorMetrics) -> JsonValue {
         ),
         ("partition_skew".to_owned(), JsonValue::from(m.partition_skew())),
         (
+            "cascade".to_owned(),
+            JsonValue::Obj(vec![
+                ("merge_passes".to_owned(), JsonValue::from(m.cascade.merge_passes)),
+                ("intermediate_merges".to_owned(), JsonValue::from(m.cascade.intermediate_merges)),
+                ("runs_pruned".to_owned(), JsonValue::from(m.cascade.runs_pruned)),
+                ("cascade_wait_ns".to_owned(), JsonValue::from(m.cascade.cascade_wait_ns)),
+            ]),
+        ),
+        (
             "cmp".to_owned(),
             JsonValue::Obj(vec![
                 ("ovc_cmps".to_owned(), JsonValue::from(m.cmp.ovc_cmps)),

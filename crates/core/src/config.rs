@@ -102,6 +102,16 @@ pub struct TopKConfig {
     /// below this, partitioning overhead (thread spawn, channel hops)
     /// outweighs the win. Default 8192.
     pub partition_min_rows: u64,
+    /// Worker threads for the intermediate cascade merge passes (the
+    /// independent merges of one pass run concurrently, sharing the I/O
+    /// pool and one cutoff cell — DESIGN.md §11). `1` (the default)
+    /// keeps the cascade serial: concurrent merges publish cutoff
+    /// refinements in completion order, so intermediate run shapes — and
+    /// with them tie-break order among duplicate keys — become
+    /// timing-dependent, which the differential suites (and any caller
+    /// needing run-to-run byte stability) must not see. `0` reuses
+    /// [`merge_threads`](TopKConfig::merge_threads).
+    pub cascade_threads: usize,
     /// Background-I/O worker threads. Spill writes and merge read-ahead
     /// submit block-sized jobs to one shared pool of this size, bounding
     /// the operator's background thread count no matter how many runs and
@@ -146,6 +156,7 @@ impl Default for TopKConfig {
             readahead_blocks: 2,
             merge_threads: default_merge_threads(),
             partition_min_rows: 8192,
+            cascade_threads: 1,
             io_threads: 4,
             batch_rows: histok_sort::DEFAULT_BATCH_ROWS,
         }
@@ -165,6 +176,17 @@ impl TopKConfig {
     /// merge tuning.
     pub fn io_scheduler(&self) -> Option<histok_storage::IoScheduler> {
         (self.io_threads > 0).then(|| histok_storage::IoScheduler::new(self.io_threads))
+    }
+
+    /// Worker threads the intermediate cascade merges actually run on:
+    /// [`cascade_threads`](TopKConfig::cascade_threads), falling back to
+    /// [`merge_threads`](TopKConfig::merge_threads) when 0.
+    pub fn cascade_workers(&self) -> usize {
+        if self.cascade_threads == 0 {
+            self.merge_threads
+        } else {
+            self.cascade_threads
+        }
     }
 
     /// Checks the configuration for consistency.
@@ -318,6 +340,12 @@ impl TopKConfigBuilder {
         self
     }
 
+    /// Cascade-pass worker threads; see [`TopKConfig::cascade_threads`].
+    pub fn cascade_threads(mut self, threads: usize) -> Self {
+        self.config.cascade_threads = threads;
+        self
+    }
+
     /// Background-I/O pool size; see [`TopKConfig::io_threads`].
     pub fn io_threads(mut self, threads: usize) -> Self {
         self.config.io_threads = threads;
@@ -353,6 +381,8 @@ mod tests {
         assert_eq!(c.readahead_blocks, 2);
         assert!((1..=4).contains(&c.merge_threads));
         assert_eq!(c.partition_min_rows, 8192);
+        assert_eq!(c.cascade_threads, 1);
+        assert_eq!(c.cascade_workers(), 1);
         assert_eq!(c.io_threads, 4);
         assert_eq!(c.run_gen_mode, RunGenMode::Adaptive);
         assert_eq!(c.batch_rows, 1024);
@@ -380,6 +410,7 @@ mod tests {
             .readahead_blocks(4)
             .merge_threads(2)
             .partition_min_rows(100)
+            .cascade_threads(3)
             .io_threads(2)
             .batch_rows(64)
             .build()
@@ -397,8 +428,16 @@ mod tests {
         assert_eq!(c.readahead_blocks, 4);
         assert_eq!(c.merge_threads, 2);
         assert_eq!(c.partition_min_rows, 100);
+        assert_eq!(c.cascade_threads, 3);
+        assert_eq!(c.cascade_workers(), 3);
         assert_eq!(c.io_threads, 2);
         assert_eq!(c.batch_rows, 64);
+    }
+
+    #[test]
+    fn cascade_threads_zero_reuses_merge_threads() {
+        let c = TopKConfig::builder().merge_threads(3).cascade_threads(0).build().unwrap();
+        assert_eq!(c.cascade_workers(), 3);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Operator-level metrics: the quantities the paper's evaluation reports.
 
-use histok_sort::CmpSnapshot;
+use histok_sort::{CascadeStats, CmpSnapshot};
 use histok_storage::IoStatsSnapshot;
 use histok_types::PhaseTotals;
 
@@ -38,6 +38,9 @@ pub struct OperatorMetrics {
     /// Rows each final-merge partition emitted, in key-range order; empty
     /// when the merge ran serially.
     pub partition_rows: Vec<u64>,
+    /// Intermediate cascade-merge pass counters (DESIGN.md §11); all zero
+    /// when the run count never exceeded the merge fan-in.
+    pub cascade: CascadeStats,
 }
 
 impl OperatorMetrics {
@@ -64,6 +67,7 @@ impl OperatorMetrics {
             } else {
                 other.partition_rows.clone()
             },
+            cascade: self.cascade.merged(&other.cascade),
         }
     }
 

@@ -17,9 +17,9 @@ use parking_lot::{Mutex, RwLock};
 
 use histok_sort::run_gen::{ReplacementSelection, RunGenerator};
 use histok_sort::{
-    merge_sources_partitioned, merge_sources_tuned, plan_merges_tuned, plan_partitions,
-    run_overlaps, split_sorted_rows, CmpStats, MergeSource, MergeTuning, PartitionCounters,
-    SpillObserver,
+    merge_sources_partitioned, merge_sources_tuned, plan_merges_cascade, plan_partitions,
+    run_overlaps, split_sorted_rows, CascadeStats, CmpStats, MergeSource, MergeTuning,
+    PartitionCounters, SpillObserver,
 };
 use histok_storage::{IoScheduler, IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
@@ -156,6 +156,7 @@ pub struct ParallelTopK<K: SortKey> {
     cmp_stats: CmpStats,
     merge_partitions: u64,
     partition_counters: Option<PartitionCounters>,
+    cascade: CascadeStats,
     /// One background-I/O pool shared by every worker's spills and the
     /// final merge (`None` = legacy thread-per-source).
     io_scheduler: Option<IoScheduler>,
@@ -275,6 +276,7 @@ impl<K: SortKey> ParallelTopK<K> {
             cmp_stats,
             merge_partitions: 1,
             partition_counters: None,
+            cascade: CascadeStats::default(),
             io_scheduler,
         })
     }
@@ -336,13 +338,15 @@ impl<K: SortKey> ParallelTopK<K> {
         let mut plans = Vec::with_capacity(outputs.len());
         let mut est_rows = 0u64;
         for out in &outputs {
-            let final_runs = plan_merges_tuned(
+            let (final_runs, cascade) = plan_merges_cascade(
                 &out.catalog,
                 &self.config.merge,
                 Some(retained),
                 cutoff.as_ref(),
                 &tuning,
+                self.config.cascade_workers(),
             )?;
+            self.cascade = self.cascade.merged(&cascade);
             est_rows += final_runs.iter().map(|m| m.rows).sum::<u64>();
             est_rows += out.residue.iter().map(|s| s.len() as u64).sum::<u64>();
             plans.push(final_runs);
@@ -448,6 +452,7 @@ impl<K: SortKey> ParallelTopK<K> {
                 .as_ref()
                 .map(|c| c.snapshot())
                 .unwrap_or_default(),
+            cascade: self.cascade,
         }
     }
 }

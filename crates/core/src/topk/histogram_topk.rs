@@ -16,8 +16,8 @@ use std::sync::Arc;
 use histok_sort::run_gen::ResiduePolicy;
 use histok_sort::run_gen::{BatchSort, LoadSortStore, ReplacementSelection, RunGenerator};
 use histok_sort::{
-    merge_runs_partitioned, merge_sources_tuned, plan_merges_tuned, BatchedMerge, CmpStats,
-    LoserTree, MergeSource, MergeTuning, PartitionAttempt, PartitionCounters,
+    merge_runs_partitioned, merge_sources_tuned, plan_merges_cascade, BatchedMerge, CascadeStats,
+    CmpStats, LoserTree, MergeSource, MergeTuning, PartitionAttempt, PartitionCounters,
 };
 use histok_storage::{IoScheduler, IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
@@ -71,6 +71,8 @@ pub struct HistogramTopK<K: SortKey> {
     merge_partitions: u64,
     /// Per-partition row counters when the final merge went parallel.
     partition_counters: Option<PartitionCounters>,
+    /// Intermediate cascade-merge pass counters.
+    cascade: CascadeStats,
     /// Shared background-I/O pool (`None` = legacy thread-per-source),
     /// built once from `config.io_threads` and reused by every spill and
     /// merge this operator performs.
@@ -127,6 +129,7 @@ impl<K: SortKey> HistogramTopK<K> {
             cmp_stats: CmpStats::new(),
             merge_partitions: 1,
             partition_counters: None,
+            cascade: CascadeStats::default(),
         })
     }
 
@@ -172,8 +175,7 @@ impl<K: SortKey> HistogramTopK<K> {
             // run shapes; replacement selection's run shape *is* its
             // strategy, so Adaptive leaves it alone.
             RunGenMode::Adaptive => {
-                K::norm_prefix_is_exact()
-                    && self.config.run_generation == RunGenKind::LoadSortStore
+                K::norm_prefix_is_exact() && self.config.run_generation == RunGenKind::LoadSortStore
             }
         };
         if batched {
@@ -279,13 +281,15 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
                 let residue = ext.gen.finish(&mut ext.filter, self.config.residue)?;
                 let cutoff = ext.filter.cutoff().cloned();
                 self.final_filter = Some(ext.filter.metrics());
-                let final_runs = plan_merges_tuned(
+                let (final_runs, cascade) = plan_merges_cascade(
                     &ext.catalog,
                     &self.config.merge,
                     Some(self.spec.retained()),
                     cutoff.as_ref(),
                     &self.merge_tuning(),
+                    self.config.cascade_workers(),
                 )?;
+                self.cascade = cascade;
                 // Range-partitioned parallel final merge (offset queries
                 // stay serial: the fast-skip path positions readers
                 // mid-run, which is incompatible with a range open). The
@@ -379,6 +383,7 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
                 .as_ref()
                 .map(|c| c.snapshot())
                 .unwrap_or_default(),
+            cascade: self.cascade,
         }
     }
 

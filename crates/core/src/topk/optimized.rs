@@ -21,9 +21,9 @@ use std::sync::Arc;
 
 use histok_sort::run_gen::{BatchSort, ReplacementSelection, ResiduePolicy, RunGenerator};
 use histok_sort::{
-    merge_runs_partitioned, merge_runs_to_new_tuned, merge_sources_tuned, plan_merges_tuned,
-    BatchedMerge, CmpStats, MergeSource, MergeTuning, PartitionAttempt, PartitionCounters,
-    SpillObserver,
+    merge_runs_partitioned, merge_runs_to_new_tuned, merge_sources_tuned, plan_merges_cascade,
+    BatchedMerge, CascadeStats, CmpStats, MergeSource, MergeTuning, PartitionAttempt,
+    PartitionCounters, SpillObserver,
 };
 use histok_storage::{IoScheduler, IoStats, RunCatalog, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortOrder, SortSpec};
@@ -135,6 +135,8 @@ pub struct OptimizedExternalTopK<K: SortKey> {
     cmp_stats: CmpStats,
     merge_partitions: u64,
     partition_counters: Option<PartitionCounters>,
+    /// Intermediate cascade-merge pass counters.
+    cascade: CascadeStats,
     /// Shared background-I/O pool (`None` = legacy thread-per-source),
     /// built once from `config.io_threads` and reused by every spill and
     /// merge this operator performs.
@@ -179,6 +181,7 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
             cmp_stats: CmpStats::new(),
             merge_partitions: 1,
             partition_counters: None,
+            cascade: CascadeStats::default(),
         })
     }
 
@@ -336,13 +339,15 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
                 let External { catalog, mut gen, mut obs } = *ext;
                 let residue = gen.finish(&mut obs, ResiduePolicy::KeepInMemory)?;
                 self.eliminated_at_spill_final = obs.eliminated_at_spill;
-                let final_runs = plan_merges_tuned(
+                let (final_runs, cascade) = plan_merges_cascade(
                     &catalog,
                     &self.config.merge,
                     Some(self.spec.retained()),
                     obs.cutoff.as_ref(),
                     &self.merge_tuning(),
+                    self.config.cascade_workers(),
                 )?;
+                self.cascade = cascade;
                 // Range-partition the final merge when configured. The
                 // kth-key cutoff (when set) proves at least `retained`
                 // rows at or below it, so clipping the partition plan at
@@ -423,6 +428,7 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
                 .as_ref()
                 .map(|c| c.snapshot())
                 .unwrap_or_default(),
+            cascade: self.cascade,
         }
     }
 

@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use histok_sort::{CmpStats, ExternalSorter, MergeTuning};
+use histok_sort::{CascadeStats, CmpStats, ExternalSorter, MergeTuning};
 use histok_storage::{IoStats, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
@@ -34,6 +34,7 @@ pub struct TraditionalExternalTopK<K: SortKey> {
     cmp_stats: CmpStats,
     merge_partitions: u64,
     partition_counters: Option<histok_sort::PartitionCounters>,
+    cascade: CascadeStats,
 }
 
 impl<K: SortKey> TraditionalExternalTopK<K> {
@@ -63,6 +64,7 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
                 .with_spill_pipeline(config.spill_pipeline)
                 .with_merge_threads(config.merge_threads)
                 .with_partition_min_rows(config.partition_min_rows)
+                .with_cascade_threads(config.cascade_workers())
                 .with_tuning(MergeTuning {
                     ovc: config.ovc_enabled,
                     stats: Some(op.cmp_stats.clone()),
@@ -108,6 +110,7 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
             cmp_stats,
             merge_partitions: 1,
             partition_counters: None,
+            cascade: CascadeStats::default(),
         })
     }
 
@@ -133,6 +136,7 @@ impl<K: SortKey> TopKOperator<K> for TraditionalExternalTopK<K> {
         let stream = sorter.finish()?;
         self.merge_partitions = stream.merge_partitions() as u64;
         self.partition_counters = stream.partition_counters();
+        self.cascade = stream.cascade_stats();
         self.timer.stop();
         Ok(Box::new(TimedStream::new(
             SpecStream::new(stream, &self.spec),
@@ -159,6 +163,7 @@ impl<K: SortKey> TopKOperator<K> for TraditionalExternalTopK<K> {
                 .as_ref()
                 .map(|c| c.snapshot())
                 .unwrap_or_default(),
+            cascade: self.cascade,
             ..Default::default()
         }
     }

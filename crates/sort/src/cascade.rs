@@ -1,0 +1,470 @@
+//! Cascade merge planning and parallel pass execution.
+//!
+//! [`plan_merges_cascade`] replaces the greedy one-step reduction loop
+//! (kept as [`plan_merges_legacy`](crate::merge::plan_merges_legacy) for
+//! baseline benchmarks) with an explicit pass structure:
+//!
+//! 1. **Plan.** Rank the catalog once per pass and cut it into merge
+//!    groups of at most `fan_in` runs ([`plan_pass_groups`]). When one
+//!    more reduction pass suffices, the pass merges only the
+//!    `excess + merges` best-ranked runs (classic minimal-rewrite
+//!    cascade); otherwise it is a full pass of maximal groups. Group 0
+//!    always holds the best-ranked runs — under
+//!    [`MergePolicy::LowestKeyFirst`] the cutoff-relevant ones — so the
+//!    merge most likely to refine the top-k cutoff executes first.
+//! 2. **Execute.** The groups of a pass are independent, so up to
+//!    `workers` threads drain them concurrently, all sharing the
+//!    process [`IoScheduler`](histok_storage::IoScheduler) through the
+//!    [`MergeTuning`] and one [`SharedCutoff`] cell. A merge that
+//!    completes `limit` rows publishes its last key; merges still in
+//!    flight re-read the cell between output batches and truncate at
+//!    the tighter key (paper §4.1, generalized to concurrent cascades).
+//! 3. **Prune.** Between passes — and again when a worker picks up a
+//!    group — any run whose `first_key` sorts strictly after the
+//!    refined cutoff is removed from the catalog *without being
+//!    opened*; its blocks are booked as skipped I/O.
+//!
+//! Correctness of the shared cutoff does not depend on timing: a merge
+//! that produced `limit` rows ending at key `L` proves at least `limit`
+//! rows at or before `L` exist globally, so no row strictly after `L`
+//! can be in the top `limit` — whichever merge observes the tightened
+//! key, and however late. Pruning a run whose `first_key` strictly
+//! follows the cutoff drops exactly the rows cutoff clipping would have
+//! dropped (ties survive, [`SortOrder::follows`] is strict), so it is
+//! cutoff truncation minus the reads.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use histok_storage::{RunCatalog, RunMeta};
+use histok_types::{Error, Result, SortKey, SortOrder};
+use parking_lot::{Mutex, RwLock};
+
+#[allow(unused_imports)] // doc links
+use crate::merge::MergePolicy;
+use crate::merge::{merge_runs_to_new_shared, rank_candidates, MergeConfig, MergeTuning};
+
+/// A top-k cutoff key shared by every merge of a cascade, in flight or
+/// not. Readers poll [`SharedCutoff::generation`] (one relaxed atomic
+/// load per output batch) and take the read lock only when the
+/// generation moved — the same publish-only-on-move discipline as the
+/// parallel operator's `Shared` filter cell.
+pub struct SharedCutoff<K: SortKey> {
+    order: SortOrder,
+    generation: AtomicU64,
+    key: RwLock<Option<K>>,
+}
+
+impl<K: SortKey> SharedCutoff<K> {
+    /// A cell seeded with the operator's current cutoff (if any).
+    pub fn new(order: SortOrder, initial: Option<K>) -> Self {
+        SharedCutoff { order, generation: AtomicU64::new(0), key: RwLock::new(initial) }
+    }
+
+    /// The sort order the cell compares candidate keys under.
+    pub fn order(&self) -> SortOrder {
+        self.order
+    }
+
+    /// Bumped every time the cutoff moves; cheap to poll.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// The current cutoff key.
+    pub fn get(&self) -> Option<K> {
+        self.key.read().clone()
+    }
+
+    /// Publishes `candidate` iff it is strictly tighter than the current
+    /// cutoff. Returns whether the cell moved. Loose candidates don't
+    /// touch the write lock (checked under the read lock first).
+    pub fn tighten(&self, candidate: &K) -> bool {
+        {
+            let cur = self.key.read();
+            if cur.as_ref().is_some_and(|c| !self.order.precedes(candidate, c)) {
+                return false;
+            }
+        }
+        let mut cur = self.key.write();
+        let tighter = cur.as_ref().is_none_or(|c| self.order.precedes(candidate, c));
+        if tighter {
+            *cur = Some(candidate.clone());
+            self.generation.fetch_add(1, Ordering::Release);
+        }
+        tighter
+    }
+}
+
+/// Counters a cascade accumulates across its passes; surfaced through
+/// `OperatorMetrics` (see docs/METRICS.md).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CascadeStats {
+    /// Intermediate merge passes executed (0 when the catalog already
+    /// fit the fan-in).
+    pub merge_passes: u64,
+    /// Intermediate merges actually drained (groups whose inputs were
+    /// all pruned don't count).
+    pub intermediate_merges: u64,
+    /// Runs deleted without being opened because their `first_key` lay
+    /// strictly past the refined cutoff.
+    pub runs_pruned: u64,
+    /// Nanoseconds the coordinating thread spent blocked joining pass
+    /// workers after finishing its own share of the groups.
+    pub cascade_wait_ns: u64,
+}
+
+impl CascadeStats {
+    /// Field-wise sum, for aggregating sub-operator cascades.
+    pub fn merged(&self, other: &CascadeStats) -> CascadeStats {
+        CascadeStats {
+            merge_passes: self.merge_passes + other.merge_passes,
+            intermediate_merges: self.intermediate_merges + other.intermediate_merges,
+            runs_pruned: self.runs_pruned + other.runs_pruned,
+            cascade_wait_ns: self.cascade_wait_ns + other.cascade_wait_ns,
+        }
+    }
+}
+
+/// Cuts `n` ranked runs into the merge groups of one pass, each group a
+/// range of at most `fan_in` (and at least 2) indices into the ranked
+/// list. Empty when `n` already fits the fan-in.
+///
+/// When a single reduction pass can finish the cascade, the pass merges
+/// only the `excess + merges` best-ranked runs — the minimal rewrite
+/// that lands exactly on `fan_in` survivors — in near-equal groups.
+/// Otherwise every run participates in maximal `fan_in`-sized groups
+/// (a leftover singleton passes through unmerged).
+pub fn plan_pass_groups(n: usize, fan_in: usize) -> Vec<Range<usize>> {
+    debug_assert!(fan_in >= 2);
+    if n <= fan_in {
+        return Vec::new();
+    }
+    let excess = n - fan_in;
+    let merges = excess.div_ceil(fan_in - 1);
+    let inputs = excess + merges;
+    let mut groups = Vec::with_capacity(merges);
+    if inputs <= n {
+        // Final reduction pass: merge the `inputs` best-ranked runs in
+        // `merges` near-equal groups; the rest survive untouched.
+        let base = inputs / merges;
+        let extra = inputs % merges;
+        let mut start = 0;
+        for g in 0..merges {
+            let len = base + usize::from(g < extra);
+            groups.push(start..start + len);
+            start += len;
+        }
+    } else {
+        // More than one pass to go: a full pass of maximal groups.
+        let mut start = 0;
+        while n - start >= 2 {
+            let len = (n - start).min(fan_in);
+            groups.push(start..start + len);
+            start += len;
+        }
+    }
+    groups
+}
+
+/// Shared per-pass state: the group dispenser, pass counters, and the
+/// first error any worker hit (later workers stop picking up groups).
+struct PassState {
+    next_group: AtomicUsize,
+    merges: AtomicU64,
+    pruned: AtomicU64,
+    error: Mutex<Option<Error>>,
+}
+
+/// What survived one merge group: the merged output run, the lone live
+/// member of a group otherwise emptied by pruning, or nothing at all.
+/// One slot per group, filled by whichever worker drained it — the pass
+/// reassembles the run list from the slots *in group order*, so the
+/// cascade's run ordering (and therefore every downstream tie-break) is
+/// identical no matter how many workers raced or which finished first.
+type GroupSlot<K> = Mutex<Option<Vec<RunMeta<K>>>>;
+
+/// Runs the cascade until at most `config.fan_in` runs remain; returns
+/// the final run set and the pass counters.
+///
+/// `limit`/`cutoff` truncate intermediate outputs — always safe for a
+/// top-k (module docs), never used for a full sort. `workers == 1` (or a
+/// single group) executes inline on the calling thread with no spawn,
+/// byte-for-byte the serial cascade. The run ordering fed to each pass
+/// (and returned at the end) is reassembled from per-group slots in
+/// group order, never from the catalog's registration order — parallel
+/// workers register outputs in completion order, and letting that
+/// timing leak into ranking ties or final-merge input order would make
+/// tie-breaking among duplicate keys depend on the worker count.
+pub fn plan_merges_cascade<K: SortKey>(
+    catalog: &RunCatalog<K>,
+    config: &MergeConfig,
+    limit: Option<u64>,
+    cutoff: Option<&K>,
+    tuning: &MergeTuning,
+    workers: usize,
+) -> Result<(Vec<RunMeta<K>>, CascadeStats)> {
+    config.validate()?;
+    let order = catalog.order();
+    let workers = workers.max(1);
+    let shared = SharedCutoff::new(order, cutoff.cloned());
+    let mut stats = CascadeStats::default();
+    let mut runs = catalog.runs();
+    loop {
+        // Prune cutoff-dead runs before planning, so they neither join
+        // a merge group nor occupy a final fan-in slot.
+        if let Some(cut) = shared.get() {
+            let mut live = Vec::with_capacity(runs.len());
+            for meta in runs {
+                if run_is_dead(&meta, &cut, order) {
+                    prune_run(catalog, &meta)?;
+                    stats.runs_pruned += 1;
+                } else {
+                    live.push(meta);
+                }
+            }
+            runs = live;
+        }
+        if runs.len() <= config.fan_in {
+            return Ok((runs, stats));
+        }
+        rank_candidates(&mut runs, config.policy, order);
+        let groups = plan_pass_groups(runs.len(), config.fan_in);
+        stats.merge_passes += 1;
+        let pass = PassState {
+            next_group: AtomicUsize::new(0),
+            merges: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
+            error: Mutex::new(None),
+        };
+        let slots: Vec<GroupSlot<K>> = groups.iter().map(|_| Mutex::new(None)).collect();
+        let spawn = workers.min(groups.len()).saturating_sub(1);
+        if spawn == 0 {
+            run_groups(catalog, &runs, &groups, &slots, limit, &shared, tuning, &pass);
+        } else {
+            let mut idle_at = None;
+            std::thread::scope(|s| {
+                for _ in 0..spawn {
+                    s.spawn(|| {
+                        run_groups(catalog, &runs, &groups, &slots, limit, &shared, tuning, &pass)
+                    });
+                }
+                run_groups(catalog, &runs, &groups, &slots, limit, &shared, tuning, &pass);
+                idle_at = Some(Instant::now());
+            });
+            if let Some(t) = idle_at {
+                stats.cascade_wait_ns += t.elapsed().as_nanos() as u64;
+            }
+        }
+        stats.intermediate_merges += pass.merges.load(Ordering::Relaxed);
+        stats.runs_pruned += pass.pruned.load(Ordering::Relaxed);
+        let latched = pass.error.lock().take();
+        if let Some(e) = latched {
+            return Err(e);
+        }
+        // Next pass's input, in deterministic order: the ranked runs no
+        // group touched, then each group's survivors in group order.
+        let covered = groups.last().map_or(0, |g| g.end);
+        let mut next = Vec::with_capacity(runs.len());
+        next.extend_from_slice(&runs[covered..]);
+        for slot in &slots {
+            let survivors = slot.lock().take();
+            next.extend(survivors.expect("error-free pass fills every group slot"));
+        }
+        runs = next;
+    }
+}
+
+/// A run is dead iff every row in it sorts strictly after the cutoff,
+/// i.e. its first (best) key already does. Ties survive, exactly like
+/// cutoff clipping inside a merge.
+fn run_is_dead<K: SortKey>(meta: &RunMeta<K>, cutoff: &K, order: SortOrder) -> bool {
+    meta.first_key.as_ref().is_some_and(|f| order.follows(f, cutoff))
+}
+
+/// Deletes a dead run without opening it, booking its blocks as skipped
+/// I/O (the reads a merge would have issued but never will).
+fn prune_run<K: SortKey>(catalog: &RunCatalog<K>, meta: &RunMeta<K>) -> Result<()> {
+    for block in &meta.blocks {
+        catalog.stats().record_block_skip(block.payload_bytes as u64);
+    }
+    catalog.remove(&meta.name)
+}
+
+/// Worker loop: claim the next unclaimed group, merge it into its slot,
+/// repeat until the dispenser is empty or another worker latched an
+/// error.
+#[allow(clippy::too_many_arguments)]
+fn run_groups<K: SortKey>(
+    catalog: &RunCatalog<K>,
+    ranked: &[RunMeta<K>],
+    groups: &[Range<usize>],
+    slots: &[GroupSlot<K>],
+    limit: Option<u64>,
+    shared: &SharedCutoff<K>,
+    tuning: &MergeTuning,
+    pass: &PassState,
+) {
+    loop {
+        if pass.error.lock().is_some() {
+            return;
+        }
+        let g = pass.next_group.fetch_add(1, Ordering::Relaxed);
+        let Some(range) = groups.get(g) else { return };
+        match run_group(catalog, &ranked[range.clone()], limit, shared, tuning, pass) {
+            Ok(survivors) => *slots[g].lock() = Some(survivors),
+            Err(e) => {
+                let mut latch = pass.error.lock();
+                if latch.is_none() {
+                    *latch = Some(e);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Merges one group: re-checks each member against the (possibly
+/// tightened) shared cutoff first, pruning dead ones; a group left with
+/// fewer than two live runs has nothing to merge. Returns the group's
+/// survivors — the merged output, or the lone live member, or nothing
+/// (everything pruned, or the cutoff clipped the output empty).
+fn run_group<K: SortKey>(
+    catalog: &RunCatalog<K>,
+    members: &[RunMeta<K>],
+    limit: Option<u64>,
+    shared: &SharedCutoff<K>,
+    tuning: &MergeTuning,
+    pass: &PassState,
+) -> Result<Vec<RunMeta<K>>> {
+    let order = shared.order();
+    let cut = shared.get();
+    let mut live = Vec::with_capacity(members.len());
+    for meta in members {
+        if cut.as_ref().is_some_and(|c| run_is_dead(meta, c, order)) {
+            prune_run(catalog, meta)?;
+            pass.pruned.fetch_add(1, Ordering::Relaxed);
+        } else {
+            live.push(meta.clone());
+        }
+    }
+    if live.len() < 2 {
+        return Ok(live);
+    }
+    let merged = merge_runs_to_new_shared(catalog, &live, limit, shared, tuning)?;
+    pass.merges.fetch_add(1, Ordering::Relaxed);
+    if let (Some(lim), Some(last)) = (limit, &merged.last_key) {
+        if merged.rows >= lim {
+            // §4.1: `limit` rows end at `last`, so no later row can beat
+            // it — publish for every merge still in flight.
+            shared.tighten(last);
+        }
+    }
+    if merged.is_empty() {
+        return Ok(Vec::new());
+    }
+    Ok(vec![merged])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_cutoff_moves_only_tighter() {
+        let cell: SharedCutoff<u64> = SharedCutoff::new(SortOrder::Ascending, None);
+        assert_eq!(cell.generation(), 0);
+        assert!(cell.tighten(&50));
+        assert_eq!(cell.get(), Some(50));
+        let gen = cell.generation();
+        assert!(!cell.tighten(&50), "equal key must not republish");
+        assert!(!cell.tighten(&80), "looser key must not republish");
+        assert_eq!(cell.generation(), gen);
+        assert!(cell.tighten(&10));
+        assert_eq!(cell.get(), Some(10));
+        assert!(cell.generation() > gen);
+    }
+
+    #[test]
+    fn shared_cutoff_respects_descending_order() {
+        let cell: SharedCutoff<u64> = SharedCutoff::new(SortOrder::Descending, Some(50));
+        assert!(!cell.tighten(&40), "40 sorts after 50 descending");
+        assert!(cell.tighten(&60));
+        assert_eq!(cell.get(), Some(60));
+    }
+
+    fn check_groups(n: usize, fan_in: usize) {
+        let groups = plan_pass_groups(n, fan_in);
+        if n <= fan_in {
+            assert!(groups.is_empty());
+            return;
+        }
+        let mut covered = 0;
+        for (i, g) in groups.iter().enumerate() {
+            assert_eq!(g.start, covered, "groups must tile from the front");
+            assert!(g.len() >= 2, "group {i} of {n}/{fan_in} too small: {g:?}");
+            assert!(g.len() <= fan_in, "group {i} of {n}/{fan_in} too big: {g:?}");
+            covered = g.end;
+        }
+        assert!(covered <= n);
+        // The pass must strictly reduce the run count.
+        let consumed: usize = groups.iter().map(|g| g.len()).sum();
+        let after = n - consumed + groups.len();
+        assert!(after < n, "pass over {n}/{fan_in} makes no progress");
+    }
+
+    #[test]
+    fn pass_groups_are_well_formed_across_shapes() {
+        for n in 2..200 {
+            for fan_in in 2..20 {
+                check_groups(n, fan_in);
+            }
+        }
+        check_groups(512, 64);
+        check_groups(1024, 32);
+        check_groups(10_000, 64);
+    }
+
+    #[test]
+    fn final_reduction_pass_lands_exactly_on_fan_in() {
+        // 10 runs, fan-in 4: merging the 8 best in 2 groups of 4 leaves
+        // exactly 4 survivors.
+        let groups = plan_pass_groups(10, 4);
+        assert_eq!(groups, vec![0..4, 4..8]);
+        // 512 runs, fan-in 64: one pass of 8 near-equal merges.
+        let groups = plan_pass_groups(512, 64);
+        assert_eq!(groups.len(), 8);
+        let consumed: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(512 - consumed + groups.len(), 64);
+    }
+
+    #[test]
+    fn oversized_catalog_gets_full_passes() {
+        // 6 runs at fan-in 2 can't finish in one pass: 3 maximal pairs.
+        assert_eq!(plan_pass_groups(6, 2), vec![0..2, 2..4, 4..6]);
+        // Odd count leaves the last run passing through unmerged.
+        assert_eq!(plan_pass_groups(5, 2), vec![0..2, 2..4]);
+    }
+
+    #[test]
+    fn cascade_stats_merge_sums_fields() {
+        let a = CascadeStats {
+            merge_passes: 1,
+            intermediate_merges: 3,
+            runs_pruned: 2,
+            cascade_wait_ns: 10,
+        };
+        let b = CascadeStats {
+            merge_passes: 2,
+            intermediate_merges: 5,
+            runs_pruned: 0,
+            cascade_wait_ns: 7,
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.merge_passes, 3);
+        assert_eq!(m.intermediate_merges, 8);
+        assert_eq!(m.runs_pruned, 2);
+        assert_eq!(m.cascade_wait_ns, 17);
+    }
+}

@@ -11,9 +11,10 @@ use std::sync::Arc;
 use histok_storage::{IoScheduler, IoStats, RunCatalog, StorageBackend};
 use histok_types::{Result, Row, SortKey, SortOrder};
 
+use crate::cascade::{plan_merges_cascade, CascadeStats};
 use crate::merge::{
-    merge_sources_tuned, open_source, plan_merges_tuned, BatchedMerge, MergeConfig, MergePolicy,
-    MergeSource, MergeTuning,
+    merge_sources_tuned, open_source, BatchedMerge, MergeConfig, MergePolicy, MergeSource,
+    MergeTuning,
 };
 use crate::observer::NoopObserver;
 use crate::partition::{merge_runs_partitioned, PartitionCounters, PartitionedMerge};
@@ -51,6 +52,7 @@ pub struct ExternalSorter<K: SortKey> {
     rows_in: u64,
     merge_threads: usize,
     partition_min_rows: u64,
+    cascade_threads: usize,
 }
 
 impl<K: SortKey> ExternalSorter<K> {
@@ -86,6 +88,7 @@ impl<K: SortKey> ExternalSorter<K> {
             rows_in: 0,
             merge_threads: 1,
             partition_min_rows: 0,
+            cascade_threads: 1,
         }
     }
 
@@ -155,6 +158,14 @@ impl<K: SortKey> ExternalSorter<K> {
         self
     }
 
+    /// Worker threads for the intermediate cascade merge passes (default
+    /// 1 = serial): the independent merges of each pass run concurrently,
+    /// sharing the sorter's I/O scheduler.
+    pub fn with_cascade_threads(mut self, threads: usize) -> Self {
+        self.cascade_threads = threads.max(1);
+        self
+    }
+
     /// Adds one input row.
     pub fn push(&mut self, row: Row<K>) -> Result<()> {
         self.rows_in += 1;
@@ -173,7 +184,14 @@ impl<K: SortKey> ExternalSorter<K> {
     /// baseline.
     pub fn finish(mut self) -> Result<SortedStream<K>> {
         self.generator.finish(&mut NoopObserver, ResiduePolicy::SpillToRuns)?;
-        let final_runs = plan_merges_tuned(&self.catalog, &self.merge, None, None, &self.tuning)?;
+        let (final_runs, cascade) = plan_merges_cascade(
+            &self.catalog,
+            &self.merge,
+            None,
+            None,
+            &self.tuning,
+            self.cascade_threads,
+        )?;
         let spilled: u64 = final_runs.iter().map(|m| m.rows).sum();
         if self.merge_threads >= 2 && spilled >= self.partition_min_rows.max(1) {
             if let Some(merge) = merge_runs_partitioned(
@@ -189,6 +207,7 @@ impl<K: SortKey> ExternalSorter<K> {
                 return Ok(SortedStream {
                     _catalog: self.catalog,
                     inner: SortedInner::Partitioned(merge),
+                    cascade,
                 });
             }
         }
@@ -198,7 +217,7 @@ impl<K: SortKey> ExternalSorter<K> {
         }
         let tree = merge_sources_tuned(sources, self.order, &self.tuning)?;
         let merge = BatchedMerge::new(tree, self.tuning.batch_rows);
-        Ok(SortedStream { _catalog: self.catalog, inner: SortedInner::Serial(merge) })
+        Ok(SortedStream { _catalog: self.catalog, inner: SortedInner::Serial(merge), cascade })
     }
 }
 
@@ -206,6 +225,7 @@ impl<K: SortKey> ExternalSorter<K> {
 pub struct SortedStream<K: SortKey> {
     _catalog: Arc<RunCatalog<K>>,
     inner: SortedInner<K>,
+    cascade: CascadeStats,
 }
 
 enum SortedInner<K: SortKey> {
@@ -228,6 +248,12 @@ impl<K: SortKey> SortedStream<K> {
             SortedInner::Serial(_) => None,
             SortedInner::Partitioned(m) => Some(m.counters()),
         }
+    }
+
+    /// Pass counters of the intermediate cascade merges that reduced the
+    /// run count to the fan-in (all zero when no reduction was needed).
+    pub fn cascade_stats(&self) -> CascadeStats {
+        self.cascade
     }
 }
 

@@ -19,6 +19,7 @@
 #![deny(missing_docs)]
 
 pub mod budget;
+pub mod cascade;
 pub mod cmp_stats;
 pub mod external;
 pub mod heap;
@@ -30,19 +31,20 @@ pub mod run_gen;
 pub mod source;
 
 pub use budget::{row_footprint, MemoryBudget};
+pub use cascade::{plan_merges_cascade, plan_pass_groups, CascadeStats, SharedCutoff};
 pub use cmp_stats::{CmpSnapshot, CmpStats};
 pub use external::ExternalSorter;
 pub use heap::BinaryHeapBy;
 pub use loser_tree::LoserTree;
 pub use merge::{
-    merge_runs_to_new, merge_runs_to_new_tuned, merge_sources, merge_sources_tuned, open_source,
-    plan_merges, plan_merges_tuned, BatchedMerge, MergeConfig, MergePolicy, MergeSource,
-    MergeTuning,
+    merge_runs_to_new, merge_runs_to_new_shared, merge_runs_to_new_tuned, merge_sources,
+    merge_sources_tuned, open_source, plan_merges, plan_merges_legacy, plan_merges_tuned,
+    BatchedMerge, MergeConfig, MergePolicy, MergeSource, MergeTuning,
 };
-pub use source::{IterSource, RowSource, DEFAULT_BATCH_ROWS};
 pub use observer::{NoopObserver, SpillObserver};
 pub use partition::{
     merge_runs_partitioned, merge_sources_partitioned, plan_partitions, run_overlaps,
     split_sorted_rows, PartitionAttempt, PartitionCounters, PartitionedMerge,
 };
 pub use run_gen::{BatchSort, LoadSortStore, ReplacementSelection, ResiduePolicy, RunGenerator};
+pub use source::{IterSource, RowSource, DEFAULT_BATCH_ROWS};

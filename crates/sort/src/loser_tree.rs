@@ -571,7 +571,9 @@ mod tests {
         IterSource::new(keys.iter().map(|&k| Ok(Row::key_only(k))).collect::<Vec<_>>().into_iter())
     }
 
-    fn iter_src<K: SortKey>(rows: Vec<Result<Row<K>>>) -> IterSource<std::vec::IntoIter<Result<Row<K>>>> {
+    fn iter_src<K: SortKey>(
+        rows: Vec<Result<Row<K>>>,
+    ) -> IterSource<std::vec::IntoIter<Result<Row<K>>>> {
         IterSource::new(rows.into_iter())
     }
 
@@ -825,7 +827,8 @@ mod tests {
                 iter_src(keys.into_iter().map(|k| Ok(Row::key_only(k))).collect::<Vec<_>>())
             };
             let sources = vec![make(0), make(3), make(5)];
-            let got: Vec<_> = LoserTree::new(sources, order).unwrap().map(|r| r.unwrap().key).collect();
+            let got: Vec<_> =
+                LoserTree::new(sources, order).unwrap().map(|r| r.unwrap().key).collect();
             let mut expected = got.clone();
             expected.sort();
             if order == SortOrder::Descending {
@@ -848,8 +851,7 @@ mod tests {
     fn ties_break_toward_lower_source_index() {
         let a: Vec<Result<Row<u64>>> = vec![Ok(Row::new(5u64, &b"from-a"[..]))];
         let b: Vec<Result<Row<u64>>> = vec![Ok(Row::new(5u64, &b"from-b"[..]))];
-        let mut lt =
-            LoserTree::new(vec![iter_src(a), iter_src(b)], SortOrder::Ascending).unwrap();
+        let mut lt = LoserTree::new(vec![iter_src(a), iter_src(b)], SortOrder::Ascending).unwrap();
         assert_eq!(lt.next().unwrap().unwrap().payload.as_ref(), b"from-a");
         assert_eq!(lt.next().unwrap().unwrap().payload.as_ref(), b"from-b");
     }
@@ -858,11 +860,8 @@ mod tests {
     fn source_error_is_surfaced_and_fuses() {
         let bad: Vec<Result<Row<u64>>> =
             vec![Ok(Row::key_only(1)), Err(Error::Corrupt("boom".into()))];
-        let mut lt = LoserTree::new(
-            vec![iter_src(bad), src(&[100])],
-            SortOrder::Ascending,
-        )
-        .unwrap();
+        let mut lt =
+            LoserTree::new(vec![iter_src(bad), src(&[100])], SortOrder::Ascending).unwrap();
         assert_eq!(lt.next().unwrap().unwrap().key, 1);
         // The error surfaces before any further rows.
         assert!(matches!(lt.next(), Some(Err(Error::Corrupt(_)))));
@@ -872,11 +871,7 @@ mod tests {
     #[test]
     fn immediate_error_in_first_rows() {
         let bad: Vec<Result<Row<u64>>> = vec![Err(Error::Corrupt("early".into()))];
-        let mut lt = LoserTree::new(
-            vec![iter_src(bad), src(&[1])],
-            SortOrder::Ascending,
-        )
-        .unwrap();
+        let mut lt = LoserTree::new(vec![iter_src(bad), src(&[1])], SortOrder::Ascending).unwrap();
         assert!(matches!(lt.next(), Some(Err(_))));
         assert!(lt.next().is_none());
     }
@@ -896,11 +891,8 @@ mod tests {
         // Same, but the erroring source outlives every other source.
         let bad: Vec<Result<Row<u64>>> =
             vec![Ok(Row::key_only(9)), Err(Error::Corrupt("tail".into()))];
-        let mut lt = LoserTree::new(
-            vec![src(&[1, 2]), iter_src(bad)],
-            SortOrder::Ascending,
-        )
-        .unwrap();
+        let mut lt =
+            LoserTree::new(vec![src(&[1, 2]), iter_src(bad)], SortOrder::Ascending).unwrap();
         assert_eq!(lt.next().unwrap().unwrap().key, 1);
         assert_eq!(lt.next().unwrap().unwrap().key, 2);
         assert_eq!(lt.next().unwrap().unwrap().key, 9);
@@ -911,11 +903,11 @@ mod tests {
     #[test]
     fn merge_into_matches_iterator_output() {
         for batch_rows in [1usize, 7, 1024] {
-            let make = || {
-                vec![src(&[1, 3, 5, 7, 9, 11]), src(&[2, 4, 6, 8]), src(&[0, 10, 12])]
-            };
-            let by_iter: Vec<u64> =
-                LoserTree::new(make(), SortOrder::Ascending).unwrap().map(|r| r.unwrap().key).collect();
+            let make = || vec![src(&[1, 3, 5, 7, 9, 11]), src(&[2, 4, 6, 8]), src(&[0, 10, 12])];
+            let by_iter: Vec<u64> = LoserTree::new(make(), SortOrder::Ascending)
+                .unwrap()
+                .map(|r| r.unwrap().key)
+                .collect();
             let mut lt = LoserTree::new(make(), SortOrder::Ascending).unwrap();
             let mut by_batch: Vec<u64> = Vec::new();
             let mut out = RowBatch::new();
@@ -936,13 +928,9 @@ mod tests {
 
     #[test]
     fn merge_into_surfaces_error_after_partial_batch() {
-        let bad: Vec<Result<Row<u64>>> = vec![
-            Ok(Row::key_only(1)),
-            Ok(Row::key_only(3)),
-            Err(Error::Corrupt("mid".into())),
-        ];
-        let mut lt =
-            LoserTree::new(vec![iter_src(bad), src(&[2])], SortOrder::Ascending).unwrap();
+        let bad: Vec<Result<Row<u64>>> =
+            vec![Ok(Row::key_only(1)), Ok(Row::key_only(3)), Err(Error::Corrupt("mid".into()))];
+        let mut lt = LoserTree::new(vec![iter_src(bad), src(&[2])], SortOrder::Ascending).unwrap();
         let mut out = RowBatch::new();
         // First drain stops once the error latches; the rows merged before
         // it come back intact.
@@ -957,11 +945,8 @@ mod tests {
 
     #[test]
     fn merge_into_descending_carries_raw_prefixes() {
-        let mut lt = LoserTree::new(
-            vec![src(&[9, 5, 1]), src(&[8, 4])],
-            SortOrder::Descending,
-        )
-        .unwrap();
+        let mut lt =
+            LoserTree::new(vec![src(&[9, 5, 1]), src(&[8, 4])], SortOrder::Descending).unwrap();
         let mut out = RowBatch::new();
         lt.merge_into(&mut out, 16).unwrap();
         assert_eq!(out.rows.iter().map(|r| r.key).collect::<Vec<_>>(), vec![9, 8, 5, 4, 1]);

@@ -16,6 +16,7 @@ use histok_storage::{
 };
 use histok_types::{Error, Result, Row, RowBatch, SortKey, SortOrder};
 
+use crate::cascade::SharedCutoff;
 use crate::cmp_stats::CmpStats;
 use crate::loser_tree::LoserTree;
 use crate::source::{RowSource, DEFAULT_BATCH_ROWS};
@@ -330,12 +331,30 @@ pub fn merge_runs_to_new<K: SortKey>(
     merge_runs_to_new_tuned(catalog, runs, limit, cutoff, &MergeTuning::default())
 }
 
-/// As [`merge_runs_to_new`], with explicit [`MergeTuning`].
+/// As [`merge_runs_to_new`], with explicit [`MergeTuning`]. The cutoff
+/// is fixed for the whole merge.
 pub fn merge_runs_to_new_tuned<K: SortKey>(
     catalog: &RunCatalog<K>,
     runs: &[RunMeta<K>],
     limit: Option<u64>,
     cutoff: Option<&K>,
+    tuning: &MergeTuning,
+) -> Result<RunMeta<K>> {
+    let fixed = SharedCutoff::new(catalog.order(), cutoff.cloned());
+    merge_runs_to_new_shared(catalog, runs, limit, &fixed, tuning)
+}
+
+/// As [`merge_runs_to_new_tuned`], but the cutoff lives in a
+/// [`SharedCutoff`] cell that concurrent merges of the same cascade may
+/// tighten while this one is in flight: the drain polls the cell's
+/// generation between output batches (one relaxed load) and re-reads
+/// the key only when it moved, truncating the rest of the merge at the
+/// tighter key.
+pub fn merge_runs_to_new_shared<K: SortKey>(
+    catalog: &RunCatalog<K>,
+    runs: &[RunMeta<K>],
+    limit: Option<u64>,
+    shared: &SharedCutoff<K>,
     tuning: &MergeTuning,
 ) -> Result<RunMeta<K>> {
     let order = catalog.order();
@@ -355,10 +374,19 @@ pub fn merge_runs_to_new_tuned<K: SortKey>(
             SortOrder::Ascending => 0,
             SortOrder::Descending => !0u64,
         };
-        let cut_prefix = cutoff.map(|c| c.norm_prefix() ^ out_mask);
+        let mut seen_gen = shared.generation();
+        let mut cutoff = shared.get();
+        let mut cut_prefix = cutoff.as_ref().map(|c| c.norm_prefix() ^ out_mask);
         let mut produced = 0u64;
         let mut out = RowBatch::with_capacity(tuning.batch_rows);
         loop {
+            let gen = shared.generation();
+            if gen != seen_gen {
+                // Another merge of the cascade tightened the cutoff.
+                seen_gen = gen;
+                cutoff = shared.get();
+                cut_prefix = cutoff.as_ref().map(|c| c.norm_prefix() ^ out_mask);
+            }
             let want = match limit {
                 Some(l) => {
                     let remaining = l.saturating_sub(produced);
@@ -374,19 +402,16 @@ pub fn merge_runs_to_new_tuned<K: SortKey>(
                 break;
             }
             let mut clipped = false;
-            if let (Some(cut), Some(cp)) = (cutoff, cut_prefix) {
+            if let (Some(cut), Some(cp)) = (cutoff.as_ref(), cut_prefix) {
                 let first_past = if K::norm_prefix_is_exact() {
                     // Exact prefixes: prefix order IS key order.
                     out.prefixes.iter().position(|&p| (p ^ out_mask) > cp)
                 } else {
                     // A row can only follow the cutoff if its prefix is at
                     // or past the cutoff's; confirm on the key from there.
-                    out.prefixes
-                        .iter()
-                        .position(|&p| (p ^ out_mask) >= cp)
-                        .and_then(|i| {
-                            (i..out.len()).find(|&j| order.follows(&out.rows[j].key, cut))
-                        })
+                    out.prefixes.iter().position(|&p| (p ^ out_mask) >= cp).and_then(|i| {
+                        (i..out.len()).find(|&j| order.follows(&out.rows[j].key, cut))
+                    })
                 };
                 if let Some(i) = first_past {
                     out.truncate(i);
@@ -428,7 +453,11 @@ pub fn merge_runs_to_new_tuned<K: SortKey>(
 }
 
 /// Sorts run metas so the best merge candidates (per `policy`) come first.
-fn rank_candidates<K: SortKey>(runs: &mut [RunMeta<K>], policy: MergePolicy, order: SortOrder) {
+pub(crate) fn rank_candidates<K: SortKey>(
+    runs: &mut [RunMeta<K>],
+    policy: MergePolicy,
+    order: SortOrder,
+) {
     match policy {
         MergePolicy::SmallestFirst => runs.sort_by_key(|m| m.rows),
         MergePolicy::LowestKeyFirst => runs.sort_by(|a, b| match (&a.first_key, &b.first_key) {
@@ -458,8 +487,26 @@ pub fn plan_merges<K: SortKey>(
 }
 
 /// As [`plan_merges`], with explicit [`MergeTuning`] applied to every
-/// intermediate merge step.
+/// intermediate merge step. Delegates to the cascade planner
+/// ([`plan_merges_cascade`](crate::cascade::plan_merges_cascade)) running
+/// inline on the calling thread, discarding the pass counters.
 pub fn plan_merges_tuned<K: SortKey>(
+    catalog: &RunCatalog<K>,
+    config: &MergeConfig,
+    limit: Option<u64>,
+    cutoff: Option<&K>,
+    tuning: &MergeTuning,
+) -> Result<Vec<RunMeta<K>>> {
+    crate::cascade::plan_merges_cascade(catalog, config, limit, cutoff, tuning, 1)
+        .map(|(runs, _)| runs)
+}
+
+/// The pre-cascade greedy planner: one (F − 1)-sized step at a time on
+/// the calling thread, re-ranking the whole run list every iteration and
+/// tightening the cutoff only between steps. Kept as the serial baseline
+/// the `bench_smoke` cascade gate compares against; new code should call
+/// [`plan_merges_tuned`] or the cascade planner directly.
+pub fn plan_merges_legacy<K: SortKey>(
     catalog: &RunCatalog<K>,
     config: &MergeConfig,
     limit: Option<u64>,

@@ -307,8 +307,7 @@ mod tests {
             let row_bytes = row_footprint(&Row::key_only(0u64));
             let mut gen = BatchSort::new(cat.clone(), 10 * row_bytes);
             let mut obs = NoopObserver;
-            for k in [77u64, 3, 41, 9, 100, 2, 55, 13, 8, 99, 1, 64, 30, 5, 88, 21, 7, 45, 6, 92]
-            {
+            for k in [77u64, 3, 41, 9, 100, 2, 55, 13, 8, 99, 1, 64, 30, 5, 88, 21, 7, 45, 6, 92] {
                 gen.push(Row::key_only(k), &mut obs).unwrap();
             }
             gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
@@ -338,9 +337,8 @@ mod tests {
         // same multiset of spilled keys, each run sorted — including byte
         // keys that exercise the prefix-tie fallback.
         use crate::run_gen::LoadSortStore;
-        let words: Vec<String> = (0..200)
-            .map(|i| format!("commonprefix-{:03}-{}", i % 50, i))
-            .collect();
+        let words: Vec<String> =
+            (0..200).map(|i| format!("commonprefix-{:03}-{}", i % 50, i)).collect();
         let collect = |spill: &dyn Fn() -> Vec<Vec<BytesKey>>| -> Vec<BytesKey> {
             let mut all: Vec<BytesKey> = spill().into_iter().flatten().collect();
             all.sort();
@@ -369,8 +367,7 @@ mod tests {
             cat.runs()
                 .iter()
                 .map(|m| {
-                    let run: Vec<BytesKey> =
-                        cat.open(m).unwrap().map(|r| r.unwrap().key).collect();
+                    let run: Vec<BytesKey> = cat.open(m).unwrap().map(|r| r.unwrap().key).collect();
                     assert!(run.windows(2).all(|w| w[0] <= w[1]), "run not sorted");
                     run
                 })

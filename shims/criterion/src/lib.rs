@@ -28,6 +28,19 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// Batch sizing hint for [`Bencher::iter_batched`]. The shim times each
+/// routine call individually regardless, so the variants only mirror
+/// criterion's API.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap; criterion would batch many per sample.
+    SmallInput,
+    /// Inputs are moderately expensive.
+    LargeInput,
+    /// One setup per routine call — inputs too expensive to batch.
+    PerIteration,
+}
+
 /// Passed to the benchmark closure; [`Bencher::iter`] runs the measurement.
 pub struct Bencher {
     iters: u64,
@@ -42,6 +55,23 @@ impl Bencher {
             black_box(routine());
         }
         self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding the
+    /// setup cost from the measurement (criterion's `iter_batched`).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
     }
 }
 
