@@ -17,9 +17,8 @@ type VecSource<K> = IterSource<std::vec::IntoIter<Result<Row<K>>>>;
 fn sources<K: SortKey>(key: impl Fn(u64) -> K) -> Vec<VecSource<K>> {
     (0..FAN_IN)
         .map(|i| {
-            let rows: Vec<Result<Row<K>>> = (0..TOTAL_ROWS / FAN_IN)
-                .map(|j| Ok(Row::key_only(key(j * FAN_IN + i))))
-                .collect();
+            let rows: Vec<Result<Row<K>>> =
+                (0..TOTAL_ROWS / FAN_IN).map(|j| Ok(Row::key_only(key(j * FAN_IN + i)))).collect();
             IterSource::new(rows.into_iter())
         })
         .collect()

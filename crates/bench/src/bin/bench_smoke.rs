@@ -18,13 +18,17 @@
 //! on a spill-heavy top-k over a sleeping throttled backend (modelled
 //! disaggregated-storage latency), or if the range-partitioned parallel
 //! merge fails to beat the serial merge by at least 1.5× wall-clock on
-//! the same latency-dominated backend.
+//! the same latency-dominated backend, or if the 64-query `TopKServer`
+//! fleet fails to beat serial one-at-a-time execution by at least 1.5×
+//! aggregate throughput (with bounded p95 latency, byte-identical
+//! per-query results, and ≤ `io_threads` background threads).
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use histok_core::{TopKConfig, TopKOperator, TraditionalExternalTopK};
+use histok_exec::{Query, ServerConfig, TopKServer};
 use histok_sort::run_gen::{ReplacementSelection, ResiduePolicy, RunGenerator};
 use histok_sort::{
     merge_runs_partitioned, merge_sources_tuned, open_source, plan_merges_cascade,
@@ -32,10 +36,13 @@ use histok_sort::{
     MergeConfig, MergePolicy, MergeTuning, NoopObserver, DEFAULT_BATCH_ROWS,
 };
 use histok_storage::{
-    IoScheduler, IoSchedulerMetrics, IoStats, MemoryBackend, RunCatalog, ThreadCensus,
-    ThrottleModel, ThrottledBackend,
+    IoScheduler, IoSchedulerMetrics, IoStats, MemoryBackend, RunCatalog, StorageBackend,
+    ThreadCensus, ThrottleModel, ThrottledBackend,
 };
-use histok_types::{BytesKey, JsonValue, Result, Row, RowBatch, SortKey, SortOrder, SortSpec};
+use histok_types::{
+    BytesKey, F64Key, JsonValue, Result, Row, RowBatch, SortKey, SortOrder, SortSpec,
+};
+use histok_workload::Workload;
 
 const MERGE_ROWS: u64 = 200_000;
 const FAN_IN: u64 = 64;
@@ -53,6 +60,18 @@ const STORM_FAN_IN: usize = 64;
 const STORM_THREADS: usize = 4;
 const STORM_IO_THREADS: usize = 4;
 const STORM_PARITY: f64 = 1.10;
+const CONC_QUERIES: u64 = 64;
+const CONC_ROWS_PER_QUERY: u64 = 3_000;
+const CONC_SMALL_K: u64 = 10;
+const CONC_SPILL_K: u64 = 400;
+const CONC_QUERY_BUDGET: usize = 16 * 1024;
+const CONC_POOL_BYTES: usize = 256 * 1024;
+const CONC_IO_THREADS: usize = 4;
+const REQUIRED_CONC_SPEEDUP: f64 = 1.5;
+/// p95 per-query latency (admission wait + execution) in the concurrent
+/// fleet must stay under this fraction of the serial wall — concurrency
+/// must not be bought by starving individual queries.
+const CONC_P95_FRACTION: f64 = 0.75;
 const CASCADE_RUNS: u64 = 512;
 const CASCADE_ROWS_PER_RUN: u64 = 500;
 const CASCADE_FAN_IN: usize = 64;
@@ -481,6 +500,171 @@ fn cascade_case(parallel: bool) -> CascadeRun {
 
 type VecSource<K> = IterSource<std::vec::IntoIter<Result<Row<K>>>>;
 
+/// One query of the mixed fleet: odd indices spill (k = 400 under a
+/// 16 KiB workspace), even indices stay in memory (k = 10). Merge reads
+/// stay synchronous on the query thread (`readahead_blocks = 0`): the
+/// serial baseline pays every storage sleep in sequence, while the fleet
+/// overlaps them across query threads — the latency-bound regime the
+/// shared server targets on any core count.
+fn fleet_query(i: u64) -> Query<F64Key> {
+    let k = if i.is_multiple_of(2) { CONC_SMALL_K } else { CONC_SPILL_K };
+    let config = TopKConfig::builder()
+        .memory_budget(CONC_QUERY_BUDGET)
+        .block_bytes(4096)
+        .spill_pipeline(true)
+        .readahead_blocks(0)
+        .io_threads(CONC_IO_THREADS)
+        .build()
+        .expect("fleet config");
+    Query::scan(
+        Workload::uniform(CONC_ROWS_PER_QUERY, 0xC0FFEE ^ i).with_payload_bytes(32).rows(),
+        SortSpec::ascending(k),
+    )
+    .config(config)
+}
+
+/// Order-sensitive checksum over keys *and* payloads: byte-identical
+/// per-query results regardless of lease sizing is a gate.
+fn fleet_checksum(rows: &[Row<F64Key>]) -> u64 {
+    let mut sum = 0u64;
+    for row in rows {
+        sum = sum.wrapping_mul(0x100000001b3).wrapping_add(row.key.get().to_bits());
+        for b in row.payload.as_ref() {
+            sum = sum.wrapping_mul(31).wrapping_add(u64::from(*b));
+        }
+    }
+    sum
+}
+
+fn fleet_backend() -> Arc<dyn StorageBackend> {
+    let model =
+        ThrottleModel { per_op: Duration::from_micros(25), per_byte: Duration::ZERO, sleep: true };
+    Arc::new(ThrottledBackend::new(MemoryBackend::new(), model))
+}
+
+struct FleetSerial {
+    wall_ns: u64,
+    rows_in: u64,
+    checksums: Vec<u64>,
+}
+
+impl FleetSerial {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("wall_ns".to_owned(), JsonValue::from(self.wall_ns)),
+            ("rows_in".to_owned(), JsonValue::from(self.rows_in)),
+            ("rows_per_sec".to_owned(), JsonValue::from(rate(self.rows_in, self.wall_ns))),
+        ])
+    }
+}
+
+/// The baseline: the same 64 queries, one at a time, each standalone
+/// (private pool, fixed `memory_budget`) on the same throttled backend.
+fn concurrent_queries_serial() -> FleetSerial {
+    let backend = fleet_backend();
+    let started = Instant::now();
+    let mut checksums = Vec::with_capacity(CONC_QUERIES as usize);
+    for i in 0..CONC_QUERIES {
+        let result = fleet_query(i).execute_shared(backend.clone()).expect("serial fleet query");
+        checksums.push(fleet_checksum(&result.rows));
+    }
+    let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    FleetSerial { wall_ns, rows_in: CONC_QUERIES * CONC_ROWS_PER_QUERY, checksums }
+}
+
+struct FleetRun {
+    wall_ns: u64,
+    rows_in: u64,
+    p95_latency_ns: u64,
+    queued_ns_total: u64,
+    peak_io_threads: usize,
+    peak_concurrent: usize,
+    peak_leases: usize,
+    grants: u64,
+    admitted_immediately: u64,
+    rebalances: u64,
+    revoked_bytes: u64,
+    spilled_bytes: u64,
+    checksums: Vec<u64>,
+}
+
+impl FleetRun {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("wall_ns".to_owned(), JsonValue::from(self.wall_ns)),
+            ("rows_in".to_owned(), JsonValue::from(self.rows_in)),
+            ("rows_per_sec".to_owned(), JsonValue::from(rate(self.rows_in, self.wall_ns))),
+            ("p95_latency_ns".to_owned(), JsonValue::from(self.p95_latency_ns)),
+            ("queued_ns_total".to_owned(), JsonValue::from(self.queued_ns_total)),
+            ("peak_io_threads".to_owned(), JsonValue::from(self.peak_io_threads as u64)),
+            ("peak_concurrent".to_owned(), JsonValue::from(self.peak_concurrent as u64)),
+            ("peak_leases".to_owned(), JsonValue::from(self.peak_leases as u64)),
+            ("grants".to_owned(), JsonValue::from(self.grants)),
+            ("admitted_immediately".to_owned(), JsonValue::from(self.admitted_immediately)),
+            ("rebalances".to_owned(), JsonValue::from(self.rebalances)),
+            ("revoked_bytes".to_owned(), JsonValue::from(self.revoked_bytes)),
+            ("spilled_bytes".to_owned(), JsonValue::from(self.spilled_bytes)),
+        ])
+    }
+}
+
+/// The gate workload: the same 64 queries through one `TopKServer` from
+/// 64 client threads — one 256 KiB lease pool (oversubscribed 2× by the
+/// spilling queries' desired workspaces) and one 4-worker I/O pool.
+fn concurrent_queries_fleet() -> FleetRun {
+    let backend = fleet_backend();
+    ThreadCensus::reset_peak();
+    let server = Arc::new(TopKServer::new(ServerConfig {
+        total_memory: CONC_POOL_BYTES,
+        io_threads: CONC_IO_THREADS,
+        min_lease: 4 * 1024,
+        small_query_bytes: 2 * 1024,
+        // Estimates must cover the payload-carrying rows, or the small
+        // queries' leases run below their k-row heap and force spills.
+        row_bytes_hint: 128,
+    }));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CONC_QUERIES)
+        .map(|i| {
+            let server = server.clone();
+            let backend = backend.clone();
+            std::thread::spawn(move || {
+                let result = server.execute(fleet_query(i), backend).expect("fleet query");
+                let latency = result.queued + result.elapsed;
+                let latency_ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+                (latency_ns, fleet_checksum(&result.rows))
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(handles.len());
+    let mut checksums = Vec::with_capacity(handles.len());
+    for h in handles {
+        let (latency_ns, checksum) = h.join().expect("fleet query thread");
+        latencies.push(latency_ns);
+        checksums.push(checksum);
+    }
+    let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let peak_io_threads = ThreadCensus::peak();
+    latencies.sort_unstable();
+    let p95_latency_ns = latencies[(latencies.len() * 95).div_ceil(100).saturating_sub(1)];
+    let fleet = server.fleet_metrics();
+    FleetRun {
+        wall_ns,
+        rows_in: CONC_QUERIES * CONC_ROWS_PER_QUERY,
+        p95_latency_ns,
+        queued_ns_total: fleet.admission.queued_ns_total,
+        peak_io_threads,
+        peak_concurrent: fleet.peak_concurrent,
+        peak_leases: fleet.admission.peak_leases,
+        grants: fleet.admission.grants,
+        admitted_immediately: fleet.admission.admitted_immediately,
+        rebalances: fleet.admission.rebalances,
+        revoked_bytes: fleet.admission.revoked_bytes,
+        spilled_bytes: fleet.spilled_bytes,
+        checksums,
+    }
+}
+
 fn sources<K: SortKey>(key: &impl Fn(u64) -> K) -> Vec<VecSource<K>> {
     (0..FAN_IN)
         .map(|i| {
@@ -853,6 +1037,39 @@ fn main() {
         ),
     ]));
 
+    // Concurrent-query fleet: 64 mixed queries through one `TopKServer`
+    // (one lease pool, one I/O pool) vs. the same queries serially,
+    // standalone. Byte-identical per-query output is a hard assert.
+    let fleet_serial = concurrent_queries_serial();
+    let fleet = concurrent_queries_fleet();
+    assert_eq!(
+        fleet.checksums, fleet_serial.checksums,
+        "concurrent execution changed some query's result bytes"
+    );
+    let conc_speedup = if fleet.wall_ns == 0 {
+        f64::INFINITY
+    } else {
+        fleet_serial.wall_ns as f64 / fleet.wall_ns as f64
+    };
+    println!(
+        "{:<24} {:>10.0}ms {:>10.0}ms {:>12} {:>12} {:>9.2}x",
+        "concurrent_queries",
+        fleet.wall_ns as f64 / 1e6,
+        fleet_serial.wall_ns as f64 / 1e6,
+        format!("(p95 {:.0}ms)", fleet.p95_latency_ns as f64 / 1e6),
+        "(serial)",
+        conc_speedup
+    );
+    rows.push(JsonValue::Obj(vec![
+        ("name".to_owned(), JsonValue::from("concurrent_queries")),
+        ("fleet".to_owned(), fleet.to_json()),
+        ("serial".to_owned(), fleet_serial.to_json()),
+        (
+            "speedup".to_owned(),
+            JsonValue::from(if conc_speedup.is_finite() { conc_speedup } else { f64::MAX }),
+        ),
+    ]));
+
     let report = JsonValue::Obj(vec![
         ("experiment".to_owned(), JsonValue::from("bench_smoke")),
         (
@@ -884,6 +1101,12 @@ fn main() {
                 ("cascade_fan_in".to_owned(), JsonValue::from(CASCADE_FAN_IN as u64)),
                 ("cascade_workers".to_owned(), JsonValue::from(CASCADE_WORKERS as u64)),
                 ("required_cascade_speedup".to_owned(), JsonValue::from(REQUIRED_CASCADE_SPEEDUP)),
+                ("conc_queries".to_owned(), JsonValue::from(CONC_QUERIES)),
+                ("conc_rows_per_query".to_owned(), JsonValue::from(CONC_ROWS_PER_QUERY)),
+                ("conc_pool_bytes".to_owned(), JsonValue::from(CONC_POOL_BYTES as u64)),
+                ("conc_io_threads".to_owned(), JsonValue::from(CONC_IO_THREADS as u64)),
+                ("required_conc_speedup".to_owned(), JsonValue::from(REQUIRED_CONC_SPEEDUP)),
+                ("conc_p95_fraction".to_owned(), JsonValue::from(CONC_P95_FRACTION)),
             ]),
         ),
         ("cases".to_owned(), JsonValue::Arr(rows)),
@@ -990,6 +1213,47 @@ fn main() {
         println!(
             "OK: cascade held {} background I/O threads (bound {STORM_IO_THREADS})",
             cascade_parallel.peak_io_threads
+        );
+    }
+    if conc_speedup < REQUIRED_CONC_SPEEDUP {
+        eprintln!(
+            "FAIL: the concurrent fleet sped the 64-query workload up only {conc_speedup:.2}x \
+             (required {REQUIRED_CONC_SPEEDUP}x)"
+        );
+        failed = true;
+    } else {
+        println!(
+            "OK: the concurrent fleet sped the 64-query workload up {conc_speedup:.2}x \
+             (required {REQUIRED_CONC_SPEEDUP}x)"
+        );
+    }
+    let p95_bound_ns = (fleet_serial.wall_ns as f64 * CONC_P95_FRACTION) as u64;
+    if fleet.p95_latency_ns > p95_bound_ns {
+        eprintln!(
+            "FAIL: fleet p95 latency {:.0}ms exceeds {CONC_P95_FRACTION} of the serial wall \
+             ({:.0}ms)",
+            fleet.p95_latency_ns as f64 / 1e6,
+            p95_bound_ns as f64 / 1e6
+        );
+        failed = true;
+    } else {
+        println!(
+            "OK: fleet p95 latency {:.0}ms within {CONC_P95_FRACTION} of the serial wall \
+             ({:.0}ms)",
+            fleet.p95_latency_ns as f64 / 1e6,
+            p95_bound_ns as f64 / 1e6
+        );
+    }
+    if fleet.peak_io_threads > CONC_IO_THREADS {
+        eprintln!(
+            "FAIL: the fleet peaked at {} background I/O threads with a {}-worker shared pool",
+            fleet.peak_io_threads, CONC_IO_THREADS
+        );
+        failed = true;
+    } else {
+        println!(
+            "OK: the fleet held {} background I/O threads (shared pool of {})",
+            fleet.peak_io_threads, CONC_IO_THREADS
         );
     }
     if failed {

@@ -126,6 +126,7 @@ pub fn outcome_to_json(o: &RunOutcome) -> JsonValue {
 pub fn metrics_to_json(m: &OperatorMetrics) -> JsonValue {
     JsonValue::Obj(vec![
         ("rows_in".to_owned(), JsonValue::from(m.rows_in)),
+        ("queued_ns".to_owned(), JsonValue::from(m.queued_ns)),
         ("eliminated_at_input".to_owned(), JsonValue::from(m.eliminated_at_input)),
         ("eliminated_at_spill".to_owned(), JsonValue::from(m.eliminated_at_spill)),
         ("rows_spilled".to_owned(), JsonValue::from(m.rows_spilled())),

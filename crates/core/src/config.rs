@@ -1,7 +1,7 @@
 //! Configuration of the top-k operators.
 
 use histok_sort::run_gen::ResiduePolicy;
-use histok_sort::{MergeConfig, MergePolicy};
+use histok_sort::{BudgetHandle, MemoryBudget, MergeConfig, MergePolicy};
 use histok_types::{Error, Result};
 
 use crate::sizing::SizingPolicy;
@@ -121,6 +121,22 @@ pub struct TopKConfig {
     /// Rows per batch on the batched merge path (loser-tree drain loops,
     /// partition-worker channel hops). Must be at least 1. Default 1024.
     pub batch_rows: usize,
+    /// An injected, shared background-I/O pool. When set,
+    /// [`io_scheduler`](TopKConfig::io_scheduler) returns a clone of this
+    /// pool instead of constructing a fresh one, so every operator built
+    /// from this config — including the per-group sub-operators of
+    /// `GroupedTopK`/`SegmentedTopK`/`ExchangeTopK` and every query a
+    /// `TopKServer` admits — shares `io_threads` workers fleet-wide
+    /// instead of spawning a private pool each. `None` (the default)
+    /// keeps the standalone one-pool-per-operator behaviour.
+    pub io_scheduler_handle: Option<histok_storage::IoScheduler>,
+    /// A revocable memory-lease handle. When set, operators read their
+    /// workspace limit through this shared cell instead of the fixed
+    /// [`memory_budget`](TopKConfig::memory_budget), so a server's
+    /// admission controller can grow or shrink a *running* query's
+    /// workspace at phase boundaries without restarting it. `None` (the
+    /// default) keeps the fixed budget.
+    pub budget_lease: Option<BudgetHandle>,
 }
 
 /// Default for [`TopKConfig::merge_threads`]: the machine's available
@@ -159,6 +175,8 @@ impl Default for TopKConfig {
             cascade_threads: 1,
             io_threads: 4,
             batch_rows: histok_sort::DEFAULT_BATCH_ROWS,
+            io_scheduler_handle: None,
+            budget_lease: None,
         }
     }
 }
@@ -169,13 +187,57 @@ impl TopKConfig {
         TopKConfigBuilder { config: TopKConfig::default() }
     }
 
-    /// Builds the background-I/O worker pool this configuration asks for:
-    /// a pool of [`io_threads`](TopKConfig::io_threads) workers, or `None`
-    /// in legacy thread-per-source mode (`io_threads == 0`). Operators
-    /// call this once and thread the pool through their run catalog and
-    /// merge tuning.
+    /// The background-I/O worker pool this configuration asks for: the
+    /// injected shared pool when
+    /// [`io_scheduler_handle`](TopKConfig::io_scheduler_handle) is set,
+    /// otherwise a fresh pool of [`io_threads`](TopKConfig::io_threads)
+    /// workers, or `None` in legacy thread-per-source mode
+    /// (`io_threads == 0`). Operators call this once and thread the pool
+    /// through their run catalog and merge tuning.
     pub fn io_scheduler(&self) -> Option<histok_storage::IoScheduler> {
-        (self.io_threads > 0).then(|| histok_storage::IoScheduler::new(self.io_threads))
+        if self.io_threads == 0 {
+            return None;
+        }
+        self.io_scheduler_handle
+            .clone()
+            .or_else(|| Some(histok_storage::IoScheduler::new(self.io_threads)))
+    }
+
+    /// Returns a clone of this config with one materialized shared I/O
+    /// pool injected, so composite operators (grouped, segmented,
+    /// exchange) hand every sub-operator the *same* `io_threads` workers
+    /// instead of letting each construct a private pool. A no-op in
+    /// legacy mode or when a shared pool was already injected.
+    pub fn with_shared_io_scheduler(&self) -> TopKConfig {
+        let mut config = self.clone();
+        if config.io_scheduler_handle.is_none() {
+            config.io_scheduler_handle = config.io_scheduler();
+        }
+        config
+    }
+
+    /// Builds the workspace budget for an operator: lease-backed (shared,
+    /// resizable limit) when [`budget_lease`](TopKConfig::budget_lease) is
+    /// set, otherwise a private fixed budget of
+    /// [`memory_budget`](TopKConfig::memory_budget) bytes.
+    pub fn make_budget(&self) -> MemoryBudget {
+        match &self.budget_lease {
+            Some(handle) => MemoryBudget::with_handle(handle.clone()),
+            None => MemoryBudget::new(self.memory_budget),
+        }
+    }
+
+    /// The workspace limit in effect right now: the lease's current grant
+    /// when one is attached, else the fixed
+    /// [`memory_budget`](TopKConfig::memory_budget). In-memory/spill
+    /// switch decisions must read this (not the fixed field) so a lease
+    /// resize reaches operators that track usage outside a
+    /// [`MemoryBudget`].
+    pub fn effective_memory_budget(&self) -> usize {
+        match &self.budget_lease {
+            Some(handle) => handle.limit(),
+            None => self.memory_budget,
+        }
     }
 
     /// Worker threads the intermediate cascade merges actually run on:
@@ -358,6 +420,20 @@ impl TopKConfigBuilder {
         self
     }
 
+    /// Injects a shared background-I/O pool; see
+    /// [`TopKConfig::io_scheduler_handle`].
+    pub fn io_scheduler_handle(mut self, scheduler: histok_storage::IoScheduler) -> Self {
+        self.config.io_scheduler_handle = Some(scheduler);
+        self
+    }
+
+    /// Attaches a revocable memory-lease handle; see
+    /// [`TopKConfig::budget_lease`].
+    pub fn budget_lease(mut self, lease: BudgetHandle) -> Self {
+        self.config.budget_lease = Some(lease);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<TopKConfig> {
         self.config.validate()?;
@@ -432,6 +508,48 @@ mod tests {
         assert_eq!(c.cascade_workers(), 3);
         assert_eq!(c.io_threads, 2);
         assert_eq!(c.batch_rows, 64);
+    }
+
+    #[test]
+    fn injected_scheduler_is_returned_instead_of_a_fresh_pool() {
+        let shared = histok_storage::IoScheduler::new(2);
+        let c = TopKConfig::builder().io_scheduler_handle(shared.clone()).build().unwrap();
+        let got = c.io_scheduler().expect("scheduler expected");
+        assert!(got.same_pool(&shared), "injected pool must be returned, not a fresh one");
+        let again = c.io_scheduler().unwrap();
+        assert!(again.same_pool(&shared), "every call must return the same shared pool");
+        // Legacy mode wins: io_threads == 0 means no background pool at all.
+        let legacy =
+            TopKConfig::builder().io_threads(0).io_scheduler_handle(shared).build().unwrap();
+        assert!(legacy.io_scheduler().is_none());
+    }
+
+    #[test]
+    fn with_shared_io_scheduler_materializes_one_pool() {
+        let c = TopKConfig::default().with_shared_io_scheduler();
+        let a = c.io_scheduler().unwrap();
+        let b = c.io_scheduler().unwrap();
+        assert!(a.same_pool(&b), "sub-operators cloned from this config must share the pool");
+        // Idempotent: a second call keeps the already-injected pool.
+        let again = c.with_shared_io_scheduler();
+        assert!(again.io_scheduler().unwrap().same_pool(&a));
+    }
+
+    #[test]
+    fn budget_lease_governs_make_budget_and_effective_limit() {
+        let fixed = TopKConfig::builder().memory_budget(4096).build().unwrap();
+        assert_eq!(fixed.effective_memory_budget(), 4096);
+        assert_eq!(fixed.make_budget().limit(), 4096);
+
+        let lease = BudgetHandle::new(1024);
+        let leased =
+            TopKConfig::builder().memory_budget(4096).budget_lease(lease.clone()).build().unwrap();
+        assert_eq!(leased.effective_memory_budget(), 1024, "lease overrides the fixed budget");
+        let budget = leased.make_budget();
+        assert!(budget.handle().same_as(&lease));
+        lease.set_limit(8192);
+        assert_eq!(leased.effective_memory_budget(), 8192);
+        assert_eq!(budget.limit(), 8192, "a resize reaches budgets already handed out");
     }
 
     #[test]

@@ -107,6 +107,9 @@ impl<K: SortKey> ExchangeTopK<K> {
     ) -> Result<Self> {
         spec.validate()?;
         config.validate()?;
+        // Pin the consumer's I/O pool here so repeated exchanges built
+        // from one shared config reuse a caller-injected pool.
+        let config = config.with_shared_io_scheduler();
         let flow = Arc::new(FlowControl {
             cutoff: RwLock::new(None),
             shipped: std::sync::atomic::AtomicU64::new(0),

@@ -41,6 +41,11 @@ where
     ) -> Result<Self> {
         spec.validate()?;
         config.validate()?;
+        // Materialize one shared I/O pool up front: every group's
+        // sub-operator clones this config, so they all submit to the same
+        // `io_threads` workers instead of spawning a private pool per
+        // group (up to 4 × G background threads before this).
+        let config = config.with_shared_io_scheduler();
         Ok(GroupedTopK {
             spec,
             config,

@@ -41,6 +41,9 @@ pub struct OperatorMetrics {
     /// Intermediate cascade-merge pass counters (DESIGN.md §11); all zero
     /// when the run count never exceeded the merge fan-in.
     pub cascade: CascadeStats,
+    /// Nanoseconds this query waited in a server's admission queue before
+    /// its memory lease was granted (0 for standalone execution).
+    pub queued_ns: u64,
 }
 
 impl OperatorMetrics {
@@ -68,6 +71,7 @@ impl OperatorMetrics {
                 other.partition_rows.clone()
             },
             cascade: self.cascade.merged(&other.cascade),
+            queued_ns: self.queued_ns.saturating_add(other.queued_ns),
         }
     }
 

@@ -171,12 +171,21 @@ impl<K: SortKey> ParallelTopK<K> {
         backend: impl StorageBackend + 'static,
         threads: usize,
     ) -> Result<Self> {
+        Self::with_arc(spec, config, Arc::new(backend), threads)
+    }
+
+    /// As [`ParallelTopK::new`] with a shared backend.
+    pub fn with_arc(
+        spec: SortSpec,
+        config: TopKConfig,
+        backend: Arc<dyn StorageBackend>,
+        threads: usize,
+    ) -> Result<Self> {
         spec.validate()?;
         config.validate()?;
         if threads == 0 {
             return Err(Error::InvalidConfig("at least one worker thread required".into()));
         }
-        let backend: Arc<dyn StorageBackend> = Arc::new(backend);
         let stats = IoStats::new();
         // The same construction as the serial operator: honors
         // filter_enabled, approx_slack, spill_filter, sizing, tail buckets.
@@ -215,7 +224,9 @@ impl<K: SortKey> ParallelTopK<K> {
             );
             let worker_catalog = catalog.clone();
             let shared_for_worker = shared.clone();
-            let budget = config.memory_budget;
+            // Each worker charges its own counter; a shared lease handle
+            // (if any) still governs every worker's limit.
+            let budget = config.make_budget();
             let run_limit = if config.limit_run_size { Some(spec.retained()) } else { None };
             let residue_policy = config.residue;
             let worker_spec = spec;
@@ -224,7 +235,7 @@ impl<K: SortKey> ParallelTopK<K> {
             let worker_ovc = config.ovc_enabled;
             let worker_cmp_stats = cmp_stats.clone();
             let handle = std::thread::spawn(move || -> Result<WorkerOutput<K>> {
-                let mut gen = ReplacementSelection::new(worker_catalog.clone(), budget)
+                let mut gen = ReplacementSelection::with_budget(worker_catalog.clone(), budget)
                     .with_ovc(worker_ovc, Some(worker_cmp_stats));
                 if let Some(limit) = run_limit {
                     gen = gen.with_run_limit(limit);
@@ -453,6 +464,7 @@ impl<K: SortKey> ParallelTopK<K> {
                 .map(|c| c.snapshot())
                 .unwrap_or_default(),
             cascade: self.cascade,
+            queued_ns: 0,
         }
     }
 }

@@ -54,6 +54,9 @@ where
     ) -> Result<Self> {
         spec.validate()?;
         config.validate()?;
+        // One shared I/O pool across all segments' sub-operators instead
+        // of a fresh pool per segment.
+        let config = config.with_shared_io_scheduler();
         Ok(SegmentedTopK {
             spec,
             config,

@@ -178,12 +178,15 @@ impl<K: SortKey> HistogramTopK<K> {
                 K::norm_prefix_is_exact() && self.config.run_generation == RunGenKind::LoadSortStore
             }
         };
+        // Lease-aware budgets: when the config carries a `budget_lease`,
+        // every generator reads its limit through the shared handle, so an
+        // admission controller can resize a running query's workspace.
         if batched {
-            return Box::new(BatchSort::new(catalog, self.config.memory_budget));
+            return Box::new(BatchSort::with_budget(catalog, self.config.make_budget()));
         }
         match self.config.run_generation {
             RunGenKind::ReplacementSelection => {
-                let mut gen = ReplacementSelection::new(catalog, self.config.memory_budget)
+                let mut gen = ReplacementSelection::with_budget(catalog, self.config.make_budget())
                     .with_ovc(self.config.ovc_enabled, Some(self.cmp_stats.clone()));
                 if self.config.limit_run_size {
                     gen = gen.with_run_limit(self.spec.retained());
@@ -191,7 +194,7 @@ impl<K: SortKey> HistogramTopK<K> {
                 Box::new(gen)
             }
             RunGenKind::LoadSortStore => {
-                Box::new(LoadSortStore::new(catalog, self.config.memory_budget))
+                Box::new(LoadSortStore::with_budget(catalog, self.config.make_budget()))
             }
         }
     }
@@ -242,7 +245,7 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
         match &mut self.state {
             State::InMemory(heap) => {
                 let fp = histok_sort::row_footprint(&row);
-                if !heap.is_full() && heap.bytes() + fp > self.config.memory_budget {
+                if !heap.is_full() && heap.bytes() + fp > self.config.effective_memory_budget() {
                     // The output no longer fits: activate run generation.
                     let rows = heap.drain_unordered();
                     self.switch_to_external(rows)?;
@@ -253,7 +256,7 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
                     Offer::Displaced | Offer::Rejected => self.eliminated_at_input += 1,
                 }
                 self.peak_bytes = self.peak_bytes.max(heap.bytes());
-                if heap.is_full() && heap.bytes() > self.config.memory_budget {
+                if heap.is_full() && heap.bytes() > self.config.effective_memory_budget() {
                     // Variable-size rows grew the full queue past its
                     // budget (§2.3's robustness hazard): spill adaptively
                     // instead of failing.
@@ -384,6 +387,7 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
                 .map(|c| c.snapshot())
                 .unwrap_or_default(),
             cascade: self.cascade,
+            queued_ns: 0,
         }
     }
 

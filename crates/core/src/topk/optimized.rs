@@ -229,10 +229,11 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
         // only the explicit Batch override swaps in the radix sorter
         // (losing the run-size cap, which batch mode does not support).
         let mut gen: Box<dyn RunGenerator<K>> = if self.config.run_gen_mode == RunGenMode::Batch {
-            Box::new(BatchSort::new(catalog.clone(), self.config.memory_budget))
+            Box::new(BatchSort::with_budget(catalog.clone(), self.config.make_budget()))
         } else {
-            let mut gen = ReplacementSelection::new(catalog.clone(), self.config.memory_budget)
-                .with_ovc(self.config.ovc_enabled, Some(self.cmp_stats.clone()));
+            let mut gen =
+                ReplacementSelection::with_budget(catalog.clone(), self.config.make_budget())
+                    .with_ovc(self.config.ovc_enabled, Some(self.cmp_stats.clone()));
             if self.config.limit_run_size {
                 gen = gen.with_run_limit(self.spec.retained());
             }
@@ -298,7 +299,7 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
         match &mut self.state {
             State::InMemory(heap) => {
                 let fp = histok_sort::row_footprint(&row);
-                if !heap.is_full() && heap.bytes() + fp > self.config.memory_budget {
+                if !heap.is_full() && heap.bytes() + fp > self.config.effective_memory_budget() {
                     let rows = heap.drain_unordered();
                     self.switch_to_external(rows)?;
                     self.rows_in -= 1; // the recursive push counts it again
@@ -429,6 +430,7 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
                 .map(|c| c.snapshot())
                 .unwrap_or_default(),
             cascade: self.cascade,
+            queued_ns: 0,
         }
     }
 

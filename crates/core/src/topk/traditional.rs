@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use histok_sort::{CascadeStats, CmpStats, ExternalSorter, MergeTuning};
+use histok_sort::{CascadeStats, CmpStats, ExternalSorter, MemoryBudget, MergeTuning};
 use histok_storage::{IoStats, StorageBackend};
 use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
@@ -56,7 +56,7 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
         backend: Arc<dyn StorageBackend>,
     ) -> Result<Self> {
         config.validate()?;
-        let mut op = Self::with_arc(spec, config.memory_budget, backend)?;
+        let mut op = Self::with_budget(spec, config.make_budget(), backend)?;
         let sorter = op.sorter.take().expect("sorter present before first push");
         op.sorter = Some(
             sorter
@@ -85,18 +85,30 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
         budget_bytes: usize,
         backend: Arc<dyn StorageBackend>,
     ) -> Result<Self> {
-        spec.validate()?;
         if budget_bytes == 0 {
             return Err(Error::InvalidConfig("memory budget must be positive".into()));
         }
+        Self::with_budget(spec, MemoryBudget::new(budget_bytes), backend)
+    }
+
+    /// As [`TraditionalExternalTopK::with_arc`] with a caller-built budget
+    /// (possibly reading its limit through a shared lease handle).
+    fn with_budget(
+        spec: SortSpec,
+        budget: MemoryBudget,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<Self> {
+        spec.validate()?;
         let stats = IoStats::new();
         let cmp_stats = CmpStats::new();
-        let sorter = ExternalSorter::new(backend.clone(), spec.order, budget_bytes, stats.clone())
-            .with_tuning(MergeTuning {
-                ovc: true,
-                stats: Some(cmp_stats.clone()),
-                ..MergeTuning::default()
-            });
+        let budget_bytes = budget.limit();
+        let sorter =
+            ExternalSorter::with_memory_budget(backend.clone(), spec.order, budget, stats.clone())
+                .with_tuning(MergeTuning {
+                    ovc: true,
+                    stats: Some(cmp_stats.clone()),
+                    ..MergeTuning::default()
+                });
         Ok(TraditionalExternalTopK {
             spec,
             sorter: Some(sorter),

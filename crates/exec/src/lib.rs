@@ -18,10 +18,14 @@
 
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod operator;
 pub mod query;
 pub mod schema;
+pub mod server;
 
+pub use admission::{AdmissionMetrics, BudgetLease, ServerBudget};
 pub use operator::{FilterOp, LimitOp, Operator, ScanOp, TopKExec};
 pub use query::{Algorithm, Query, QueryResult};
 pub use schema::{DataType, Field, Record, Schema, Value};
+pub use server::{FleetMetrics, ServerConfig, Session, TopKServer};

@@ -1,5 +1,6 @@
 //! A tiny fluent query builder over the operators.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use histok_core::{
@@ -49,6 +50,10 @@ pub struct QueryResult<K> {
     pub metrics: OperatorMetrics,
     /// Wall-clock execution time.
     pub elapsed: Duration,
+    /// Time spent waiting for admission before execution started (always
+    /// zero for standalone execution; set by `TopKServer` so callers can
+    /// separate scheduling delay from execution time).
+    pub queued: Duration,
     /// Name of the algorithm that ran.
     pub algorithm: &'static str,
 }
@@ -106,27 +111,70 @@ impl<K: SortKey> Query<K> {
         out
     }
 
+    /// The query's top-k clause (used by `TopKServer` admission to
+    /// estimate the in-memory footprint).
+    pub fn spec(&self) -> histok_types::SortSpec {
+        self.spec
+    }
+
+    /// The operator configuration as currently built (the server reads the
+    /// requested workspace and injects its shared scheduler/lease).
+    pub fn config_ref(&self) -> &TopKConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access for the server's injections.
+    pub(crate) fn config_mut(&mut self) -> &mut TopKConfig {
+        &mut self.config
+    }
+
+    /// Whether this plan can spill at all (the in-memory algorithm never
+    /// touches storage, whatever its estimated footprint).
+    pub(crate) fn algorithm_kind(&self) -> Algorithm {
+        self.algorithm
+    }
+
     /// Plans and executes the query on `backend`, materializing the
     /// output.
     pub fn execute(self, backend: impl StorageBackend + 'static) -> Result<QueryResult<K>> {
+        self.execute_shared(Arc::new(backend))
+    }
+
+    /// As [`Query::execute`] on a backend shared with other queries (the
+    /// server path: N queries, one storage fleet).
+    pub fn execute_shared(self, backend: Arc<dyn StorageBackend>) -> Result<QueryResult<K>> {
+        self.execute_with_phase_hook(backend, |_| {})
+    }
+
+    /// Executes with a callback at the run-generation → output-merge phase
+    /// boundary (after `open` returns, run generation and intermediate
+    /// merges are complete and the sort workspace is flushed; only the
+    /// streaming final merge remains). The server uses this to shrink the
+    /// query's memory lease to a merge reserve while siblings are queued.
+    pub(crate) fn execute_with_phase_hook(
+        self,
+        backend: Arc<dyn StorageBackend>,
+        mut after_open: impl FnMut(&OperatorMetrics),
+    ) -> Result<QueryResult<K>> {
         let topk: Box<dyn TopKOperator<K>> = match self.algorithm {
-            Algorithm::Histogram => Box::new(HistogramTopK::new(self.spec, self.config, backend)?),
+            Algorithm::Histogram => {
+                Box::new(HistogramTopK::with_arc(self.spec, self.config, backend)?)
+            }
             Algorithm::InMemory => Box::new(InMemoryTopK::new(self.spec)?),
-            Algorithm::Traditional => Box::new(TraditionalExternalTopK::new(
-                self.spec,
-                self.config.memory_budget,
-                backend,
-            )?),
+            Algorithm::Traditional => {
+                Box::new(TraditionalExternalTopK::with_config(self.spec, &self.config, backend)?)
+            }
             Algorithm::Optimized => {
-                Box::new(OptimizedExternalTopK::new(self.spec, self.config, backend)?)
+                Box::new(OptimizedExternalTopK::with_arc(self.spec, self.config, backend)?)
             }
             Algorithm::Parallel(threads) => {
-                Box::new(ParallelTopK::new(self.spec, self.config, backend, threads)?)
+                Box::new(ParallelTopK::with_arc(self.spec, self.config, backend, threads)?)
             }
         };
         let mut root = TopKExec::new(self.source, topk);
         let start = Instant::now();
         root.open()?;
+        after_open(&root.metrics());
         let mut rows = Vec::new();
         while let Some(row) = root.next()? {
             rows.push(row);
@@ -137,7 +185,7 @@ impl<K: SortKey> Query<K> {
         // timing are only booked once the output stream is released.
         root.close()?;
         let metrics = root.metrics();
-        Ok(QueryResult { rows, metrics, elapsed, algorithm })
+        Ok(QueryResult { rows, metrics, elapsed, queued: Duration::ZERO, algorithm })
     }
 }
 

@@ -5,10 +5,53 @@
 //! tracks bytes charged against that allocation and answers the only
 //! question run generation asks: *is there room for one more row?*
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use histok_types::{HeapSize, Row, SortKey};
 
 /// Estimated bookkeeping overhead per buffered row (heap entry, indices).
 const PER_ROW_OVERHEAD: usize = 16;
+
+/// A shared, revocable byte limit.
+///
+/// Every [`MemoryBudget`] reads its limit through one of these. Budgets
+/// created with [`MemoryBudget::new`] get a private handle; budgets created
+/// with [`MemoryBudget::with_handle`] share one, so an external owner (a
+/// server granting per-query leases) can grow or shrink the limit of a
+/// *running* sort without restarting it. A grow takes effect at the next
+/// `would_exceed` check — the operator simply buffers more rows before its
+/// next spill. A shrink below the current `used` does not panic or evict:
+/// `charge` tolerates overage by design, and the next `would_exceed` check
+/// returns true, so the workspace drains to the new limit at the next
+/// natural spill/release point.
+#[derive(Debug, Clone)]
+pub struct BudgetHandle {
+    limit: Arc<AtomicUsize>,
+}
+
+impl BudgetHandle {
+    /// Creates a handle with the given initial limit.
+    pub fn new(limit: usize) -> Self {
+        BudgetHandle { limit: Arc::new(AtomicUsize::new(limit)) }
+    }
+
+    /// The current limit in bytes.
+    pub fn limit(&self) -> usize {
+        self.limit.load(Ordering::Acquire)
+    }
+
+    /// Replaces the limit; all budgets sharing this handle observe the new
+    /// value on their next check.
+    pub fn set_limit(&self, limit: usize) {
+        self.limit.store(limit, Ordering::Release);
+    }
+
+    /// True if `other` shares this handle's limit cell.
+    pub fn same_as(&self, other: &BudgetHandle) -> bool {
+        Arc::ptr_eq(&self.limit, &other.limit)
+    }
+}
 
 /// Bytes one buffered row is charged against the budget: its inline size,
 /// its owned heap bytes, and a fixed bookkeeping overhead.
@@ -17,9 +60,13 @@ pub fn row_footprint<K: SortKey>(row: &Row<K>) -> usize {
 }
 
 /// A simple charge/release byte counter with a hard limit.
+///
+/// The limit lives behind a [`BudgetHandle`]; cloning a budget shares the
+/// handle (and resets nothing else), so components of one operator observe
+/// a lease resize together while keeping independent usage counters.
 #[derive(Debug, Clone)]
 pub struct MemoryBudget {
-    limit: usize,
+    limit: BudgetHandle,
     used: usize,
     peak: usize,
     rows: usize,
@@ -28,14 +75,39 @@ pub struct MemoryBudget {
 }
 
 impl MemoryBudget {
-    /// Creates a budget of `limit` bytes.
+    /// Creates a budget of `limit` bytes with a private limit handle.
     pub fn new(limit: usize) -> Self {
-        MemoryBudget { limit, used: 0, peak: 0, rows: 0, total_charged: 0, lifetime_rows: 0 }
+        MemoryBudget::with_handle(BudgetHandle::new(limit))
     }
 
-    /// The configured limit.
+    /// Creates a budget whose limit is read through `handle`, shared with
+    /// whoever else holds it.
+    pub fn with_handle(handle: BudgetHandle) -> Self {
+        MemoryBudget {
+            limit: handle,
+            used: 0,
+            peak: 0,
+            rows: 0,
+            total_charged: 0,
+            lifetime_rows: 0,
+        }
+    }
+
+    /// The current limit (re-read on every call — it may have been resized
+    /// through a shared [`BudgetHandle`]).
     pub fn limit(&self) -> usize {
-        self.limit
+        self.limit.limit()
+    }
+
+    /// The handle through which this budget reads its limit.
+    pub fn handle(&self) -> &BudgetHandle {
+        &self.limit
+    }
+
+    /// A fresh budget sharing this one's limit handle with zeroed usage
+    /// counters — the template for sibling components of the same lease.
+    pub fn fork(&self) -> Self {
+        MemoryBudget::with_handle(self.limit.clone())
     }
 
     /// Bytes currently charged.
@@ -55,7 +127,7 @@ impl MemoryBudget {
 
     /// True if charging `bytes` more would exceed the limit.
     pub fn would_exceed(&self, bytes: usize) -> bool {
-        self.used.saturating_add(bytes) > self.limit
+        self.used.saturating_add(bytes) > self.limit.limit()
     }
 
     /// Charges one row of `bytes`. The caller decides whether to spill
@@ -91,7 +163,7 @@ impl MemoryBudget {
     /// Estimated capacity of the budget in rows, given what has been
     /// observed so far.
     pub fn capacity_rows(&self, fallback_row_bytes: usize) -> u64 {
-        (self.limit / self.avg_row_bytes(fallback_row_bytes)).max(1) as u64
+        (self.limit.limit() / self.avg_row_bytes(fallback_row_bytes)).max(1) as u64
     }
 }
 
@@ -133,6 +205,94 @@ mod tests {
         }
         // Average observed row is 50 bytes → capacity 20 rows.
         assert_eq!(b.capacity_rows(100), 20);
+    }
+
+    #[test]
+    fn lease_grow_is_visible_at_the_next_check() {
+        let mut b = MemoryBudget::new(100);
+        b.charge(90);
+        assert!(b.would_exceed(20));
+        b.handle().set_limit(200);
+        assert_eq!(b.limit(), 200);
+        assert!(!b.would_exceed(20), "grown lease must admit more rows without a restart");
+        b.charge(20);
+        assert_eq!(b.used(), 110);
+        assert_eq!(b.peak(), 110);
+    }
+
+    #[test]
+    fn shrink_below_used_defers_until_release() {
+        let mut b = MemoryBudget::new(100);
+        b.charge(40);
+        b.charge(40);
+        // Revoke most of the lease while 80 bytes are still buffered.
+        b.handle().set_limit(50);
+        // No panic, no eviction: usage stays, but any further charge is
+        // flagged so the operator spills at its next natural boundary.
+        assert_eq!(b.used(), 80);
+        assert!(b.would_exceed(1));
+        b.release(40);
+        assert!(b.would_exceed(11));
+        b.release(40);
+        assert_eq!(b.used(), 0);
+        assert!(!b.would_exceed(50));
+        b.charge(50); // back under the shrunk limit
+        assert_eq!(b.peak(), 80, "peak reflects the pre-shrink high-water mark");
+    }
+
+    #[test]
+    fn clones_and_forks_share_the_resized_limit() {
+        let a = MemoryBudget::new(64);
+        let mut b = a.clone();
+        let c = a.fork();
+        b.charge(10);
+        assert_eq!(a.used(), 0, "usage counters are per-clone");
+        a.handle().set_limit(1024);
+        assert_eq!(b.limit(), 1024);
+        assert_eq!(c.limit(), 1024);
+        assert!(a.handle().same_as(b.handle()) && a.handle().same_as(c.handle()));
+        let private = MemoryBudget::new(64);
+        assert!(!private.handle().same_as(a.handle()));
+        assert_eq!(private.limit(), 64);
+    }
+
+    #[test]
+    fn concurrent_resize_preserves_accounting_invariants() {
+        // A lease owner grows and shrinks the limit from another thread
+        // while the sort charges and releases. The usage/peak accounting
+        // must stay exact (it is single-writer); the limit is allowed to
+        // change between a `would_exceed` check and the charge — the
+        // budget's tolerated-overage contract absorbs that race.
+        let budget = MemoryBudget::new(1_000);
+        let handle = budget.handle().clone();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let resizer = {
+            let stop = stop.clone();
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                let mut limit = 1_000usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    limit = if limit == 1_000 { 10 } else { 1_000 };
+                    handle.set_limit(limit);
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let mut b = budget;
+        for round in 0..2_000 {
+            let bytes = 1 + round % 7;
+            if !b.would_exceed(bytes) || b.rows() == 0 {
+                b.charge(bytes);
+                assert!(b.peak() >= b.used());
+                b.release(bytes);
+            }
+            assert_eq!(b.rows(), 0);
+            assert_eq!(b.used(), 0);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        resizer.join().unwrap();
+        let final_limit = handle.limit();
+        assert!(final_limit == 10 || final_limit == 1_000);
     }
 
     #[test]

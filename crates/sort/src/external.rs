@@ -11,6 +11,7 @@ use std::sync::Arc;
 use histok_storage::{IoScheduler, IoStats, RunCatalog, StorageBackend};
 use histok_types::{Result, Row, SortKey, SortOrder};
 
+use crate::budget::MemoryBudget;
 use crate::cascade::{plan_merges_cascade, CascadeStats};
 use crate::merge::{
     merge_sources_tuned, open_source, BatchedMerge, MergeConfig, MergePolicy, MergeSource,
@@ -45,7 +46,7 @@ use crate::run_gen::{BatchSort, LoadSortStore, ResiduePolicy, RunGenerator};
 pub struct ExternalSorter<K: SortKey> {
     catalog: Arc<RunCatalog<K>>,
     generator: Box<dyn RunGenerator<K>>,
-    budget_bytes: usize,
+    budget: MemoryBudget,
     merge: MergeConfig,
     tuning: MergeTuning,
     order: SortOrder,
@@ -64,6 +65,18 @@ impl<K: SortKey> ExternalSorter<K> {
         budget_bytes: usize,
         stats: IoStats,
     ) -> Self {
+        Self::with_memory_budget(backend, order, MemoryBudget::new(budget_bytes), stats)
+    }
+
+    /// Creates a sorter whose workspace is governed by `budget` — fork it
+    /// from a shared [`crate::BudgetHandle`] when an external lease owner
+    /// may resize the limit while the sort runs.
+    pub fn with_memory_budget(
+        backend: Arc<dyn StorageBackend>,
+        order: SortOrder,
+        budget: MemoryBudget,
+        stats: IoStats,
+    ) -> Self {
         let catalog = Arc::new(RunCatalog::new(
             backend,
             RunCatalog::<K>::unique_prefix("xsort"),
@@ -74,14 +87,14 @@ impl<K: SortKey> ExternalSorter<K> {
         // prefix is exact take the radix batch sort (same flush points and
         // run contents, no comparator on the hot path).
         let generator: Box<dyn RunGenerator<K>> = if K::norm_prefix_is_exact() {
-            Box::new(BatchSort::new(catalog.clone(), budget_bytes))
+            Box::new(BatchSort::with_budget(catalog.clone(), budget.fork()))
         } else {
-            Box::new(LoadSortStore::new(catalog.clone(), budget_bytes))
+            Box::new(LoadSortStore::with_budget(catalog.clone(), budget.fork()))
         };
         ExternalSorter {
             catalog,
             generator,
-            budget_bytes,
+            budget,
             merge: MergeConfig { fan_in: 512, policy: MergePolicy::SmallestFirst },
             tuning: MergeTuning::default(),
             order,
@@ -104,9 +117,9 @@ impl<K: SortKey> ExternalSorter<K> {
     pub fn with_batch_run_gen(mut self, batched: bool) -> Self {
         debug_assert_eq!(self.generator.buffered_rows(), 0, "switch run generation before pushing");
         self.generator = if batched {
-            Box::new(BatchSort::new(self.catalog.clone(), self.budget_bytes))
+            Box::new(BatchSort::with_budget(self.catalog.clone(), self.budget.fork()))
         } else {
-            Box::new(LoadSortStore::new(self.catalog.clone(), self.budget_bytes))
+            Box::new(LoadSortStore::with_budget(self.catalog.clone(), self.budget.fork()))
         };
         self
     }
@@ -228,6 +241,9 @@ pub struct SortedStream<K: SortKey> {
     cascade: CascadeStats,
 }
 
+// One stream per sort: the variant size gap is irrelevant at this
+// allocation rate, and boxing would cost an indirection per batch.
+#[allow(clippy::large_enum_variant)]
 enum SortedInner<K: SortKey> {
     Serial(BatchedMerge<K, MergeSource<K>>),
     Partitioned(PartitionedMerge<K>),

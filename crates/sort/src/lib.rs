@@ -30,7 +30,7 @@ pub mod partition;
 pub mod run_gen;
 pub mod source;
 
-pub use budget::{row_footprint, MemoryBudget};
+pub use budget::{row_footprint, BudgetHandle, MemoryBudget};
 pub use cascade::{plan_merges_cascade, plan_pass_groups, CascadeStats, SharedCutoff};
 pub use cmp_stats::{CmpSnapshot, CmpStats};
 pub use external::ExternalSorter;

@@ -83,6 +83,13 @@ impl<K: SortKey> BatchSort<K> {
     /// Creates a generator writing runs through `catalog` under a budget
     /// of `budget_bytes`.
     pub fn new(catalog: Arc<RunCatalog<K>>, budget_bytes: usize) -> Self {
+        Self::with_budget(catalog, MemoryBudget::new(budget_bytes))
+    }
+
+    /// Creates a generator charging its workspace against `budget` — use a
+    /// budget forked from a shared [`crate::BudgetHandle`] when an external
+    /// lease governs the limit.
+    pub fn with_budget(catalog: Arc<RunCatalog<K>>, budget: MemoryBudget) -> Self {
         let order = catalog.order();
         let out_mask = match order {
             SortOrder::Ascending => 0,
@@ -93,7 +100,7 @@ impl<K: SortKey> BatchSort<K> {
             rows: Vec::new(),
             prefixes: Vec::new(),
             out_mask,
-            budget: MemoryBudget::new(budget_bytes),
+            budget,
             order,
             pairs: Vec::new(),
             scratch: Vec::new(),

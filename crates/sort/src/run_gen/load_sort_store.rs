@@ -27,13 +27,15 @@ impl<K: SortKey> LoadSortStore<K> {
     /// Creates a generator writing runs through `catalog` under a budget of
     /// `budget_bytes`.
     pub fn new(catalog: Arc<RunCatalog<K>>, budget_bytes: usize) -> Self {
+        Self::with_budget(catalog, MemoryBudget::new(budget_bytes))
+    }
+
+    /// Creates a generator charging its workspace against `budget` — use a
+    /// budget forked from a shared [`crate::BudgetHandle`] when an external
+    /// lease governs the limit.
+    pub fn with_budget(catalog: Arc<RunCatalog<K>>, budget: MemoryBudget) -> Self {
         let order = catalog.order();
-        LoadSortStore {
-            catalog,
-            buffer: Vec::new(),
-            budget: MemoryBudget::new(budget_bytes),
-            order,
-        }
+        LoadSortStore { catalog, buffer: Vec::new(), budget, order }
     }
 
     fn sort_buffer(&mut self) {

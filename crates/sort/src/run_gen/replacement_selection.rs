@@ -178,11 +178,18 @@ impl<K: SortKey> ReplacementSelection<K> {
     /// Creates a generator writing runs through `catalog` under a budget of
     /// `budget_bytes`.
     pub fn new(catalog: Arc<RunCatalog<K>>, budget_bytes: usize) -> Self {
+        Self::with_budget(catalog, MemoryBudget::new(budget_bytes))
+    }
+
+    /// Creates a generator charging its workspace against `budget` — use a
+    /// budget forked from a shared [`crate::BudgetHandle`] when an external
+    /// lease governs the limit.
+    pub fn with_budget(catalog: Arc<RunCatalog<K>>, budget: MemoryBudget) -> Self {
         let order = catalog.order();
         ReplacementSelection {
             catalog,
             heap: SelectionHeap::new(order),
-            budget: MemoryBudget::new(budget_bytes),
+            budget,
             order,
             current_tag: 0,
             last_written: None,

@@ -15,7 +15,9 @@
 use std::sync::Arc;
 
 use histok_sort::run_gen::{BatchSort, LoadSortStore, ResiduePolicy, RunGenerator};
-use histok_sort::{merge_sources_tuned, open_source, IterSource, LoserTree, MergeTuning, SpillObserver};
+use histok_sort::{
+    merge_sources_tuned, open_source, IterSource, LoserTree, MergeTuning, SpillObserver,
+};
 use histok_storage::{IoStats, MemoryBackend, RunCatalog};
 use histok_types::{BytesKey, Error, F64Key, KeyPair, Result, Row, RowBatch, SortKey, SortOrder};
 
@@ -73,8 +75,7 @@ fn open_tree<K: SortKey>(
     cat: &RunCatalog<K>,
     tuning: &MergeTuning,
 ) -> LoserTree<K, histok_sort::MergeSource<K>> {
-    let sources: Vec<_> =
-        cat.runs().iter().map(|m| open_source(cat, m, tuning).unwrap()).collect();
+    let sources: Vec<_> = cat.runs().iter().map(|m| open_source(cat, m, tuning).unwrap()).collect();
     merge_sources_tuned(sources, cat.order(), tuning).unwrap()
 }
 
@@ -230,11 +231,8 @@ fn generate<K: SortKey>(
         gen.push(Row::new(key, pl), obs).unwrap();
     }
     let residue = gen.finish(obs, residue).unwrap();
-    let runs: Vec<Vec<Row<K>>> = cat
-        .runs()
-        .iter()
-        .map(|m| cat.open(m).unwrap().map(|r| r.unwrap()).collect())
-        .collect();
+    let runs: Vec<Vec<Row<K>>> =
+        cat.runs().iter().map(|m| cat.open(m).unwrap().map(|r| r.unwrap()).collect()).collect();
     (runs, residue, obs.eliminated, obs.spilled)
 }
 
@@ -263,12 +261,7 @@ fn rungen_grid<K: SortKey>(
         } else {
             Box::new(LoadSortStore::new(cat.clone(), budget))
         };
-        let mut obs = CutoffObs {
-            cut: cut.clone(),
-            order,
-            eliminated: 0,
-            spilled: 0,
-        };
+        let mut obs = CutoffObs { cut: cut.clone(), order, eliminated: 0, spilled: 0 };
         // Without the filter dimension, neutralize the cutoff by making it
         // the worst admitted key: `follows` never fires.
         if !filter {
@@ -335,8 +328,7 @@ fn rungen_duplicate_heavy() {
 fn error_latch_mid_batch_matches_row_protocol() {
     let make_sources = || {
         let good: Vec<Result<Row<u64>>> = (0..10).map(|k| Ok(Row::key_only(k * 2))).collect();
-        let mut bad: Vec<Result<Row<u64>>> =
-            (0..5).map(|k| Ok(Row::key_only(k * 2 + 1))).collect();
+        let mut bad: Vec<Result<Row<u64>>> = (0..5).map(|k| Ok(Row::key_only(k * 2 + 1))).collect();
         bad.push(Err(Error::Corrupt("injected mid-stream".into())));
         bad.push(Ok(Row::key_only(999)));
         vec![IterSource::new(good.into_iter()), IterSource::new(bad.into_iter())]

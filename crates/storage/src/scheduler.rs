@@ -278,6 +278,12 @@ impl IoScheduler {
         self.owner.core.threads
     }
 
+    /// True if `other` is a clone of this scheduler (same worker pool),
+    /// as opposed to an independently constructed pool.
+    pub fn same_pool(&self, other: &IoScheduler) -> bool {
+        Arc::ptr_eq(&self.owner.core, &other.owner.core)
+    }
+
     /// An ungated submission handle (no per-backend limit).
     pub fn handle(&self) -> IoSchedulerHandle {
         IoSchedulerHandle { sched: self.clone(), gate: None }
