@@ -1,0 +1,93 @@
+//! Duplicate-ratio sweep for in-sort folding (DESIGN.md §14): the same
+//! "top-k distinct" query over streams whose keys repeat 1×, 10× and
+//! 100× on average, executed three ways — dedup at the output (plain
+//! full external sort of every duplicate, folded afterwards), in-sort
+//! `dedup`, and in-sort COUNT aggregation. At ratio 1× folding is pure
+//! overhead and should cost nothing; as the ratio grows the fold
+//! absorbs duplicates before they reach storage and the gap to the
+//! at-output baseline widens.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use histok_core::{HistogramTopK, TopKConfig, TopKOperator};
+use histok_storage::MemoryBackend;
+use histok_types::{AggregateOp, Row, SortSpec};
+
+const TOTAL_ROWS: u64 = 40_000;
+/// Average occurrences per distinct key.
+const DUP_RATIOS: [u64; 3] = [1, 10, 100];
+/// Distinct groups the query retains.
+const K: u64 = 200;
+const BUDGET: usize = 16 * 1024;
+
+/// A deterministic scrambled stream over `TOTAL_ROWS / ratio` distinct
+/// keys: multiplicative hashing spreads each key's ~`ratio` occurrences
+/// across the whole stream (no adjacency for the fold to exploit for
+/// free).
+fn keys(ratio: u64) -> Vec<u64> {
+    let distinct = (TOTAL_ROWS / ratio).max(1);
+    (0..TOTAL_ROWS).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) % distinct).collect()
+}
+
+fn config(dedup: bool, count: bool) -> TopKConfig {
+    let mut b = TopKConfig::builder().memory_budget(BUDGET).block_bytes(4096).dedup(dedup);
+    if count {
+        b = b.aggregate(AggregateOp::Count);
+    }
+    b.build().expect("fold bench config")
+}
+
+/// Runs the operator over the stream and returns the output row count;
+/// `spec` is `K` distinct groups for the folding modes and a full sort
+/// (deduped here afterwards, like a downstream GROUP BY would) for the
+/// at-output baseline.
+fn run(spec: SortSpec, cfg: TopKConfig, input: &[u64], posthoc: bool) -> u64 {
+    let mut op = HistogramTopK::new(spec, cfg, MemoryBackend::new()).expect("fold bench operator");
+    for &k in input {
+        op.push(Row::key_only(k)).expect("push");
+    }
+    let mut groups = 0u64;
+    let mut last = None;
+    for row in op.finish().expect("finish") {
+        let key = row.expect("row").key;
+        if !posthoc || last != Some(key) {
+            groups += 1;
+            last = Some(key);
+        }
+        if posthoc && groups >= K {
+            break;
+        }
+    }
+    groups
+}
+
+fn bench_dup_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dedup_fold/topk_distinct");
+    g.throughput(Throughput::Elements(TOTAL_ROWS));
+    g.sample_size(10);
+    for ratio in DUP_RATIOS {
+        let input = keys(ratio);
+        g.bench_function(format!("dup{ratio}x_at_output"), |b| {
+            b.iter(|| {
+                let n = run(SortSpec::ascending(TOTAL_ROWS), config(false, false), &input, true);
+                black_box(n);
+            })
+        });
+        g.bench_function(format!("dup{ratio}x_fold_dedup"), |b| {
+            b.iter(|| {
+                let n = run(SortSpec::ascending(K), config(true, false), &input, false);
+                black_box(n);
+            })
+        });
+        g.bench_function(format!("dup{ratio}x_fold_count"), |b| {
+            b.iter(|| {
+                let n = run(SortSpec::ascending(K), config(false, true), &input, false);
+                black_box(n);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dup_sweep);
+criterion_main!(benches);

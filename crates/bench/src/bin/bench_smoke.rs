@@ -21,13 +21,20 @@
 //! the same latency-dominated backend, or if the 64-query `TopKServer`
 //! fleet fails to beat serial one-at-a-time execution by at least 1.5×
 //! aggregate throughput (with bounded p95 latency, byte-identical
-//! per-query results, and ≤ `io_threads` background threads).
+//! per-query results, and ≤ `io_threads` background threads), or if
+//! in-sort duplicate folding (DESIGN.md §14) fails to cut spilled bytes
+//! by at least 5× on a Zipf(1.2) duplicate-heavy stream over throttled
+//! storage versus deduplicating at the sort's output (with the folded
+//! results byte-identical to the post-hoc oracle, dedup and grouped
+//! COUNT alike).
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use histok_core::{TopKConfig, TopKOperator, TraditionalExternalTopK};
+use histok_core::{
+    GroupedAggTopK, HistogramTopK, TopKConfig, TopKOperator, TraditionalExternalTopK,
+};
 use histok_exec::{Query, ServerConfig, TopKServer};
 use histok_sort::run_gen::{ReplacementSelection, ResiduePolicy, RunGenerator};
 use histok_sort::{
@@ -40,9 +47,10 @@ use histok_storage::{
     ThreadCensus, ThrottleModel, ThrottledBackend,
 };
 use histok_types::{
-    BytesKey, F64Key, JsonValue, Result, Row, RowBatch, SortKey, SortOrder, SortSpec,
+    decode_count, AggregateOp, BytesKey, F64Key, JsonValue, Result, Row, RowBatch, SortKey,
+    SortOrder, SortSpec,
 };
-use histok_workload::Workload;
+use histok_workload::{Distribution, Workload};
 
 const MERGE_ROWS: u64 = 200_000;
 const FAN_IN: u64 = 64;
@@ -77,6 +85,20 @@ const CASCADE_ROWS_PER_RUN: u64 = 500;
 const CASCADE_FAN_IN: usize = 64;
 const CASCADE_WORKERS: usize = 4;
 const REQUIRED_CASCADE_SPEEDUP: f64 = 1.4;
+/// Zipf dedup workload (DESIGN.md §14): i.i.d. Zipf(s) ranks over a key
+/// space much smaller than the row count, so duplicates dominate.
+const ZIPF_ROWS: u64 = 60_000;
+const ZIPF_DISTINCT: u64 = 2_000;
+const ZIPF_S: f64 = 1.2;
+/// Distinct groups the dedup query retains.
+const ZIPF_K: u64 = 500;
+/// Groups the COUNT-aggregate query ranks by group size.
+const ZIPF_GROUP_K: u64 = 50;
+const ZIPF_BUDGET: usize = 8 * 1024;
+/// In-sort folding must cut spilled bytes by at least this factor vs.
+/// carrying every duplicate through the sort and deduplicating at the
+/// output.
+const REQUIRED_FOLD_REDUCTION: f64 = 5.0;
 /// Timed merge cases keep the fastest of this many repetitions (wall-clock
 /// gates must not trip on scheduler noise).
 const MERGE_REPS: usize = 7;
@@ -244,6 +266,7 @@ fn partition_case(threads: usize) -> PartitionRun {
         readahead_blocks: 2,
         io_scheduler: None,
         batch_rows: DEFAULT_BATCH_ROWS,
+        fold: None,
     };
     let skipped_before = stats.snapshot().blocks_skipped;
     let started = Instant::now();
@@ -359,6 +382,7 @@ fn spill_storm_case(io_threads: usize) -> StormRun {
         readahead_blocks: 2,
         io_scheduler: scheduler.clone(),
         batch_rows: DEFAULT_BATCH_ROWS,
+        fold: None,
     };
     let merge = MergeConfig { fan_in: STORM_FAN_IN, policy: MergePolicy::SmallestFirst };
     let io_before = stats.snapshot();
@@ -464,6 +488,7 @@ fn cascade_case(parallel: bool) -> CascadeRun {
         readahead_blocks: 0,
         io_scheduler: None,
         batch_rows: DEFAULT_BATCH_ROWS,
+        fold: None,
     };
     let merge = MergeConfig { fan_in: CASCADE_FAN_IN, policy: MergePolicy::LowestKeyFirst };
     ThreadCensus::reset_peak();
@@ -622,6 +647,7 @@ fn concurrent_queries_fleet() -> FleetRun {
         // Estimates must cover the payload-carrying rows, or the small
         // queries' leases run below their k-row heap and force spills.
         row_bytes_hint: 128,
+        folded_row_bytes_hint: 32,
     }));
     let started = Instant::now();
     let handles: Vec<_> = (0..CONC_QUERIES)
@@ -802,6 +828,181 @@ fn case_json(name: &str, with_ovc: &CaseResult, without: &CaseResult) -> (f64, J
         ),
     ]);
     (reduction, json)
+}
+
+/// One pass over the Zipf stream: either folding duplicates inside the
+/// sort (`dedup` on, k = [`ZIPF_K`] distinct groups) or carrying every
+/// duplicate through the full external sort and deduplicating at the
+/// output.
+struct ZipfRun {
+    rows_in: u64,
+    wall_ns: u64,
+    spilled_bytes: u64,
+    rows_spilled: u64,
+    rows_folded: u64,
+    bytes_folded_pre_spill: u64,
+}
+
+impl ZipfRun {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("rows_in".to_owned(), JsonValue::from(self.rows_in)),
+            ("wall_ns".to_owned(), JsonValue::from(self.wall_ns)),
+            ("rows_per_sec".to_owned(), JsonValue::from(rate(self.rows_in, self.wall_ns))),
+            ("spilled_bytes".to_owned(), JsonValue::from(self.spilled_bytes)),
+            ("rows_spilled".to_owned(), JsonValue::from(self.rows_spilled)),
+            ("rows_folded".to_owned(), JsonValue::from(self.rows_folded)),
+            ("bytes_folded_pre_spill".to_owned(), JsonValue::from(self.bytes_folded_pre_spill)),
+        ])
+    }
+}
+
+/// The grouped-aggregation leg: top groups by COUNT, verified against a
+/// post-hoc hash-count oracle.
+struct ZipfGrouped {
+    rows_in: u64,
+    wall_ns: u64,
+    groups: u64,
+    top_count: u64,
+    rows_folded: u64,
+}
+
+impl ZipfGrouped {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("rows_in".to_owned(), JsonValue::from(self.rows_in)),
+            ("wall_ns".to_owned(), JsonValue::from(self.wall_ns)),
+            ("groups".to_owned(), JsonValue::from(self.groups)),
+            ("top_count".to_owned(), JsonValue::from(self.top_count)),
+            ("rows_folded".to_owned(), JsonValue::from(self.rows_folded)),
+        ])
+    }
+}
+
+/// The shared duplicate-heavy stream: i.i.d. Zipf([`ZIPF_S`]) ranks over
+/// [`ZIPF_DISTINCT`] keys, [`ZIPF_ROWS`] rows.
+fn zipf_stream() -> impl Iterator<Item = F64Key> {
+    Workload::uniform(ZIPF_ROWS, 0xD5F0)
+        .with_distribution(Distribution::Zipf { s: ZIPF_S, n: ZIPF_DISTINCT })
+        .keys()
+}
+
+/// All duplicates of a key share one payload, so FIRST is deterministic
+/// and byte-comparison against the oracle meaningful.
+fn zipf_payload(k: f64) -> Vec<u8> {
+    k.to_le_bytes().to_vec()
+}
+
+/// Sleeping throttled backend: spilled bytes carry a modelled
+/// disaggregated-storage cost, so the fold's byte savings are also
+/// wall-clock savings.
+fn zipf_backend() -> Arc<dyn StorageBackend> {
+    let model =
+        ThrottleModel { per_op: Duration::from_micros(20), per_byte: Duration::ZERO, sleep: true };
+    Arc::new(ThrottledBackend::new(MemoryBackend::new(), model))
+}
+
+/// Runs the dedup top-k (`dedup = true`) or the dedup-at-output baseline
+/// (`dedup = false`: plain full sort of every duplicate; the caller
+/// dedups the returned rows). Returns the output rows (key bits,
+/// payload) and the run's accounting.
+fn zipf_case(dedup: bool) -> (Vec<(u64, Vec<u8>)>, ZipfRun) {
+    let config = TopKConfig::builder()
+        .memory_budget(ZIPF_BUDGET)
+        .block_bytes(4096)
+        .dedup(dedup)
+        .build()
+        .expect("zipf config");
+    let spec = if dedup { SortSpec::ascending(ZIPF_K) } else { SortSpec::ascending(ZIPF_ROWS) };
+    let mut op: HistogramTopK<F64Key> =
+        HistogramTopK::with_arc(spec, config, zipf_backend()).expect("zipf operator");
+    let started = Instant::now();
+    for k in zipf_stream() {
+        let payload = zipf_payload(k.0);
+        op.push(Row::new(k, payload)).expect("push");
+    }
+    let mut out = Vec::new();
+    for row in op.finish().expect("finish") {
+        let row = row.expect("row");
+        out.push((row.key.0.to_bits(), row.payload.to_vec()));
+    }
+    let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let m = op.metrics();
+    let run = ZipfRun {
+        rows_in: m.rows_in,
+        wall_ns,
+        spilled_bytes: m.io.bytes_written,
+        rows_spilled: m.rows_spilled(),
+        rows_folded: m.rows_folded,
+        bytes_folded_pre_spill: m.bytes_folded_pre_spill,
+    };
+    (out, run)
+}
+
+/// Dedup at the output: keep the first row of each adjacent group of the
+/// already-sorted baseline output, truncated to the k distinct groups
+/// the in-sort dedup query retains.
+fn zipf_posthoc_dedup(rows: &[(u64, Vec<u8>)]) -> Vec<(u64, Vec<u8>)> {
+    let mut out: Vec<(u64, Vec<u8>)> = Vec::new();
+    for (k, p) in rows {
+        if out.last().map(|(last, _)| last == k) != Some(true) {
+            out.push((*k, p.clone()));
+        }
+    }
+    out.truncate(ZIPF_K as usize);
+    out
+}
+
+/// Top [`ZIPF_GROUP_K`] groups by COUNT descending over the same stream,
+/// asserted byte-identical (keys, values, accumulator bytes) to a
+/// post-hoc hash-count oracle with the same (count, key) descending
+/// tie-break.
+fn zipf_grouped_case() -> ZipfGrouped {
+    let config = TopKConfig::builder()
+        .memory_budget(ZIPF_BUDGET)
+        .block_bytes(4096)
+        .aggregate(AggregateOp::Count)
+        .build()
+        .expect("zipf grouped config");
+    let mut op: GroupedAggTopK<F64Key> =
+        GroupedAggTopK::with_arc(ZIPF_GROUP_K, SortOrder::Descending, config, zipf_backend())
+            .expect("zipf grouped operator");
+    let started = Instant::now();
+    for k in zipf_stream() {
+        op.push(Row::key_only(k)).expect("push");
+    }
+    let groups = op.finish().expect("finish");
+    let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+
+    let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for k in zipf_stream() {
+        *counts.entry(k.0.to_bits()).or_insert(0) += 1;
+    }
+    // Positive-f64 bit patterns order like the values, so (count, bits)
+    // descending matches the operator's (value, group key) tie-break.
+    let mut want: Vec<(u64, u64)> = counts.iter().map(|(&bits, &c)| (c, bits)).collect();
+    want.sort_unstable_by(|a, b| b.cmp(a));
+    want.truncate(ZIPF_GROUP_K as usize);
+    assert_eq!(groups.len(), want.len(), "grouped COUNT lost groups");
+    for (g, &(count, bits)) in groups.iter().zip(&want) {
+        assert_eq!(g.key.0.to_bits(), bits, "grouped COUNT ranked the wrong group");
+        assert_eq!(g.value, count as f64, "grouped COUNT mis-valued a group");
+        assert_eq!(decode_count(&g.acc), count, "grouped COUNT accumulator diverged");
+        assert_eq!(
+            &g.acc[..],
+            &count.to_le_bytes()[..],
+            "grouped COUNT accumulator bytes diverged"
+        );
+    }
+
+    let m = op.metrics();
+    ZipfGrouped {
+        rows_in: m.rows_in,
+        wall_ns,
+        groups: groups.len() as u64,
+        top_count: want.first().map_or(0, |&(c, _)| c),
+        rows_folded: m.rows_folded,
+    }
 }
 
 fn output_path() -> PathBuf {
@@ -1070,6 +1271,41 @@ fn main() {
         ),
     ]));
 
+    // Zipf dedup: the same duplicate-heavy stream folded inside the sort
+    // vs. carried whole through the external sort and deduplicated at the
+    // output. The folded result must be byte-identical to the post-hoc
+    // oracle; the fold must cut spilled bytes ≥ 5×.
+    let (folded_rows, zipf_early) = zipf_case(true);
+    let (raw_rows, zipf_at_output) = zipf_case(false);
+    assert_eq!(zipf_early.rows_in, zipf_at_output.rows_in, "zipf stream diverged between modes");
+    let zipf_oracle = zipf_posthoc_dedup(&raw_rows);
+    assert_eq!(folded_rows, zipf_oracle, "in-sort dedup diverged from the post-hoc oracle");
+    let fold_reduction = if zipf_early.spilled_bytes == 0 {
+        f64::INFINITY
+    } else {
+        zipf_at_output.spilled_bytes as f64 / zipf_early.spilled_bytes as f64
+    };
+    let zipf_grouped = zipf_grouped_case();
+    println!(
+        "{:<24} {:>10.0}ms {:>10.0}ms {:>12} {:>12} {:>9.1}x",
+        "zipf_dedup",
+        zipf_early.wall_ns as f64 / 1e6,
+        zipf_at_output.wall_ns as f64 / 1e6,
+        format!("({}kB)", zipf_early.spilled_bytes / 1024),
+        format!("({}kB)", zipf_at_output.spilled_bytes / 1024),
+        fold_reduction
+    );
+    rows.push(JsonValue::Obj(vec![
+        ("name".to_owned(), JsonValue::from("zipf_dedup")),
+        ("dedup_early".to_owned(), zipf_early.to_json()),
+        ("dedup_at_output".to_owned(), zipf_at_output.to_json()),
+        (
+            "spilled_bytes_reduction".to_owned(),
+            JsonValue::from(if fold_reduction.is_finite() { fold_reduction } else { f64::MAX }),
+        ),
+        ("grouped_count".to_owned(), zipf_grouped.to_json()),
+    ]));
+
     let report = JsonValue::Obj(vec![
         ("experiment".to_owned(), JsonValue::from("bench_smoke")),
         (
@@ -1107,6 +1343,13 @@ fn main() {
                 ("conc_io_threads".to_owned(), JsonValue::from(CONC_IO_THREADS as u64)),
                 ("required_conc_speedup".to_owned(), JsonValue::from(REQUIRED_CONC_SPEEDUP)),
                 ("conc_p95_fraction".to_owned(), JsonValue::from(CONC_P95_FRACTION)),
+                ("zipf_rows".to_owned(), JsonValue::from(ZIPF_ROWS)),
+                ("zipf_distinct".to_owned(), JsonValue::from(ZIPF_DISTINCT)),
+                ("zipf_s".to_owned(), JsonValue::from(ZIPF_S)),
+                ("zipf_k".to_owned(), JsonValue::from(ZIPF_K)),
+                ("zipf_group_k".to_owned(), JsonValue::from(ZIPF_GROUP_K)),
+                ("zipf_budget".to_owned(), JsonValue::from(ZIPF_BUDGET as u64)),
+                ("required_fold_reduction".to_owned(), JsonValue::from(REQUIRED_FOLD_REDUCTION)),
             ]),
         ),
         ("cases".to_owned(), JsonValue::Arr(rows)),
@@ -1254,6 +1497,20 @@ fn main() {
         println!(
             "OK: the fleet held {} background I/O threads (shared pool of {})",
             fleet.peak_io_threads, CONC_IO_THREADS
+        );
+    }
+    if fold_reduction < REQUIRED_FOLD_REDUCTION {
+        eprintln!(
+            "FAIL: in-sort dedup cut spilled bytes only {fold_reduction:.2}x \
+             (required {REQUIRED_FOLD_REDUCTION}x)"
+        );
+        failed = true;
+    } else {
+        println!(
+            "OK: in-sort dedup cut spilled bytes {fold_reduction:.1}x \
+             (required {REQUIRED_FOLD_REDUCTION}x; dedup and grouped COUNT byte-identical \
+             to the post-hoc oracle; {} rows folded)",
+            zipf_early.rows_folded + zipf_grouped.rows_folded
         );
     }
     if failed {

@@ -2,7 +2,7 @@
 
 use histok_sort::run_gen::ResiduePolicy;
 use histok_sort::{BudgetHandle, MemoryBudget, MergeConfig, MergePolicy};
-use histok_types::{Error, Result};
+use histok_types::{AggregateOp, Error, Result};
 
 use crate::sizing::SizingPolicy;
 
@@ -137,6 +137,20 @@ pub struct TopKConfig {
     /// workspace at phase boundaries without restarting it. `None` (the
     /// default) keeps the fixed budget.
     pub budget_lease: Option<BudgetHandle>,
+    /// Remove duplicate keys in-sort (`SELECT DISTINCT ... ORDER BY ...
+    /// LIMIT k`): equal keys fold to one deterministic representative row
+    /// at every pipeline stage — run generation, each merge duel, and the
+    /// in-memory store — so `limit` counts *distinct* keys. Mutually
+    /// exclusive with [`aggregate`](TopKConfig::aggregate).
+    pub dedup: bool,
+    /// Grouped aggregation in-sort (`GROUP BY key` with the top `limit`
+    /// groups in key order): equal keys fold by combining payloads with
+    /// this aggregate at every pipeline stage. The histogram cutoff can
+    /// only prune on the *group key* order — never on unmerged partial
+    /// aggregates — so pre-aggregation input/spill filtering is disabled
+    /// in this mode; cutoffs still tighten post-merge (DESIGN.md §14).
+    /// Mutually exclusive with [`dedup`](TopKConfig::dedup).
+    pub aggregate: Option<AggregateOp>,
 }
 
 /// Default for [`TopKConfig::merge_threads`]: the machine's available
@@ -177,6 +191,8 @@ impl Default for TopKConfig {
             batch_rows: histok_sort::DEFAULT_BATCH_ROWS,
             io_scheduler_handle: None,
             budget_lease: None,
+            dedup: false,
+            aggregate: None,
         }
     }
 }
@@ -251,6 +267,18 @@ impl TopKConfig {
         }
     }
 
+    /// The payload-folding operation this configuration asks for: the
+    /// configured [`aggregate`](TopKConfig::aggregate), or
+    /// [`AggregateOp::First`] (pure duplicate removal) when
+    /// [`dedup`](TopKConfig::dedup) is set, else `None`.
+    pub fn fold_op(&self) -> Option<AggregateOp> {
+        if self.dedup {
+            Some(AggregateOp::First)
+        } else {
+            self.aggregate
+        }
+    }
+
     /// Checks the configuration for consistency.
     pub fn validate(&self) -> Result<()> {
         if self.memory_budget == 0 {
@@ -267,6 +295,11 @@ impl TopKConfig {
         }
         if self.batch_rows == 0 {
             return Err(Error::InvalidConfig("batch_rows must be at least 1".into()));
+        }
+        if self.dedup && self.aggregate.is_some() {
+            return Err(Error::InvalidConfig(
+                "dedup and aggregate are mutually exclusive (dedup IS aggregate FIRST)".into(),
+            ));
         }
         self.sizing.validate()?;
         self.merge.validate()?;
@@ -434,6 +467,18 @@ impl TopKConfigBuilder {
         self
     }
 
+    /// In-sort duplicate removal; see [`TopKConfig::dedup`].
+    pub fn dedup(mut self, on: bool) -> Self {
+        self.config.dedup = on;
+        self
+    }
+
+    /// In-sort grouped aggregation; see [`TopKConfig::aggregate`].
+    pub fn aggregate(mut self, op: AggregateOp) -> Self {
+        self.config.aggregate = Some(op);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<TopKConfig> {
         self.config.validate()?;
@@ -577,5 +622,21 @@ mod tests {
         assert!(TopKConfig::builder().merge_threads(1).build().is_ok());
         assert!(TopKConfig::builder().batch_rows(0).build().is_err());
         assert!(TopKConfig::builder().batch_rows(1).build().is_ok());
+        assert!(TopKConfig::builder().dedup(true).aggregate(AggregateOp::Sum).build().is_err());
+        assert!(TopKConfig::builder().dedup(true).build().is_ok());
+        assert!(TopKConfig::builder().aggregate(AggregateOp::Count).build().is_ok());
+    }
+
+    #[test]
+    fn fold_op_maps_dedup_to_first() {
+        assert_eq!(TopKConfig::default().fold_op(), None);
+        assert_eq!(
+            TopKConfig::builder().dedup(true).build().unwrap().fold_op(),
+            Some(AggregateOp::First)
+        );
+        assert_eq!(
+            TopKConfig::builder().aggregate(AggregateOp::Sum).build().unwrap().fold_op(),
+            Some(AggregateOp::Sum)
+        );
     }
 }

@@ -13,8 +13,10 @@
 //! bucket is inserted, and the sharpened cutoff immediately starts
 //! eliminating rows — including later rows of the very run being written.
 
+use std::collections::BTreeSet;
+
 use histok_sort::{BinaryHeapBy, SpillObserver};
-use histok_types::{Result, SortKey, SortOrder};
+use histok_types::{AggregateOp, Result, SortKey, SortOrder};
 
 use crate::histogram::{Bucket, HistogramBuilder};
 use crate::sizing::SizingPolicy;
@@ -65,13 +67,103 @@ pub(crate) fn filter_from_config<K: SortKey>(
     spec: &histok_types::SortSpec,
     config: &crate::config::TopKConfig,
 ) -> CutoffFilter<K> {
-    let sizing = if config.filter_enabled { config.sizing } else { SizingPolicy::Disabled };
+    let fold = config.fold_op();
+    // Row-count histograms are unsound over a folding sort: a bucket's
+    // count promises "≥ k *rows* at or before the boundary", but a fold
+    // query's limit counts *distinct keys* (DESIGN.md §14). Dedup mode
+    // replaces the histogram with an exact distinct-key tracker; value
+    // aggregates get no input model at all and rely on post-merge
+    // refinement only.
+    let histogram_sound = fold.is_none();
+    let sizing = if config.filter_enabled && histogram_sound {
+        config.sizing
+    } else {
+        SizingPolicy::Disabled
+    };
+    // Pre-aggregation elimination is sound only when each group needs a
+    // single surviving representative (plain top-k, dedup/FIRST). For
+    // SUM/COUNT/MIN/MAX every dropped duplicate would corrupt its group's
+    // accumulator, so spill-side elimination is forced off.
+    let pre_agg_filtering = matches!(fold, None | Some(AggregateOp::First));
     let filter_k = ((spec.retained() as f64) * (1.0 - config.approx_slack)).ceil() as u64;
-    CutoffFilter::with_policy(filter_k.max(1), spec.order, sizing)
+    let mut filter = CutoffFilter::with_policy(filter_k.max(1), spec.order, sizing)
         .with_memory_budget(config.histogram_memory)
         .with_tail_buckets(config.tail_buckets)
-        .with_spill_elimination(config.filter_enabled && config.spill_filter)
-        .with_norm_prefix(config.ovc_enabled)
+        .with_spill_elimination(config.filter_enabled && config.spill_filter && pre_agg_filtering)
+        .with_norm_prefix(config.ovc_enabled);
+    if config.filter_enabled && fold == Some(AggregateOp::First) {
+        filter = filter.with_distinct_tracking();
+    }
+    filter
+}
+
+/// Verdict of [`CutoffFilter::observe_input`] on one input-side key in
+/// distinct (dedup) mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistinctVerdict {
+    /// First sighting of a key that may still reach the output: keep it.
+    Admit,
+    /// The key is already tracked — the row is a pure duplicate of a
+    /// representative already in the sort pipeline (FIRST fold: drop it).
+    Duplicate,
+    /// The tracker is full and the key sorts strictly after the worst
+    /// retained distinct key — its whole group is out of the output.
+    Worse,
+}
+
+/// Exact distinct-key input model for dedup queries: the best `target`
+/// *distinct* keys seen so far. Replaces the row-count histogram, whose
+/// cutoffs are unsound when the limit counts groups instead of rows
+/// (DESIGN.md §14). Memory is bounded by `target` keys — the same order as
+/// the retained output itself.
+#[derive(Debug)]
+struct DistinctTracker<K: SortKey> {
+    set: BTreeSet<K>,
+    target: usize,
+    order: SortOrder,
+}
+
+impl<K: SortKey> DistinctTracker<K> {
+    fn new(target: u64, order: SortOrder) -> Self {
+        DistinctTracker { set: BTreeSet::new(), target: target.max(1) as usize, order }
+    }
+
+    /// The worst retained distinct key (`BTreeSet` iterates ascending).
+    fn worst(&self) -> Option<&K> {
+        match self.order {
+            SortOrder::Ascending => self.set.iter().next_back(),
+            SortOrder::Descending => self.set.iter().next(),
+        }
+    }
+
+    /// The cutoff this tracker proves: once `target` distinct keys are
+    /// tracked, at least `target` groups sort at or before the worst one.
+    fn cutoff(&self) -> Option<&K> {
+        if self.set.len() >= self.target {
+            self.worst()
+        } else {
+            None
+        }
+    }
+
+    fn observe(&mut self, key: &K) -> DistinctVerdict {
+        if self.set.contains(key) {
+            return DistinctVerdict::Duplicate;
+        }
+        if self.set.len() >= self.target {
+            let worst = self.worst().expect("full tracker has a worst key");
+            if self.order.follows(key, worst) {
+                return DistinctVerdict::Worse;
+            }
+            // Strictly better than the worst retained key: the worst
+            // group can never re-enter the output (the retained key set
+            // only ever improves), so evict it for good.
+            let worst = worst.clone();
+            self.set.remove(&worst);
+        }
+        self.set.insert(key.clone());
+        DistinctVerdict::Admit
+    }
 }
 
 /// Boxed runtime comparator for buckets.
@@ -120,6 +212,8 @@ pub struct CutoffFilter<K: SortKey> {
     memory_budget: usize,
     used_bytes: usize,
     metrics: FilterMetrics,
+    /// Distinct-key input model (dedup mode); replaces the histogram.
+    distinct: Option<DistinctTracker<K>>,
 }
 
 impl<K: SortKey> CutoffFilter<K> {
@@ -147,6 +241,7 @@ impl<K: SortKey> CutoffFilter<K> {
             memory_budget: DEFAULT_FILTER_MEMORY,
             used_bytes: 0,
             metrics: FilterMetrics::default(),
+            distinct: None,
         }
     }
 
@@ -193,6 +288,40 @@ impl<K: SortKey> CutoffFilter<K> {
     pub fn with_norm_prefix(mut self, enabled: bool) -> Self {
         self.norm_prefix_enabled = enabled;
         self
+    }
+
+    /// Switches the filter to distinct (dedup) mode: an exact tracker of
+    /// the best `k` *distinct* keys replaces the row-count histogram as the
+    /// cutoff source. Bucket callbacks from the spill path become no-ops —
+    /// their row counts are meaningless when the limit counts groups.
+    pub fn with_distinct_tracking(mut self) -> Self {
+        self.distinct = Some(DistinctTracker::new(self.k, self.order));
+        self
+    }
+
+    /// True when the filter runs in distinct (dedup) mode.
+    pub fn distinct_mode(&self) -> bool {
+        self.distinct.is_some()
+    }
+
+    /// Distinct-mode input filtering (Algorithm 1 line 4 adapted to a
+    /// DISTINCT limit): classifies `key` against the tracker and tightens
+    /// the cutoff when the tracker's worst retained key improves. Returns
+    /// [`DistinctVerdict::Admit`] unconditionally outside distinct mode.
+    pub fn observe_input(&mut self, key: &K) -> DistinctVerdict {
+        let Some(tracker) = &mut self.distinct else { return DistinctVerdict::Admit };
+        let verdict = tracker.observe(key);
+        if let Some(cut) = tracker.cutoff() {
+            let tighter = match &self.cutoff {
+                Some(cur) => self.order.precedes(cut, cur),
+                None => true,
+            };
+            if tighter {
+                let cut = cut.clone();
+                self.set_cutoff(cut);
+            }
+        }
+        verdict
     }
 
     /// Installs a new cutoff key and refreshes its cached normalized
@@ -330,6 +459,9 @@ impl<K: SortKey> CutoffFilter<K> {
 
 impl<K: SortKey> SpillObserver<K> for CutoffFilter<K> {
     fn run_started(&mut self, estimated_rows: u64) {
+        if self.distinct.is_some() {
+            return; // distinct mode: row-count buckets carry no information
+        }
         let width = self.policy.width_for_run(estimated_rows.max(1));
         self.builder.start_run(width, self.policy.max_buckets_per_run());
     }
@@ -343,12 +475,18 @@ impl<K: SortKey> SpillObserver<K> for CutoffFilter<K> {
     }
 
     fn row_spilled(&mut self, key: &K) {
+        if self.distinct.is_some() {
+            return;
+        }
         if let Some(bucket) = self.builder.offer(key) {
             self.insert_bucket(bucket);
         }
     }
 
     fn run_finished(&mut self) {
+        if self.distinct.is_some() {
+            return;
+        }
         if let Some(tail) = self.builder.finish_run(self.emit_tail) {
             self.insert_bucket(tail);
         }
@@ -621,6 +759,62 @@ mod tests {
         // The fast path must see the new cutoff, not the stale prefix.
         assert!(f.eliminate(&41));
         assert!(!f.eliminate(&40));
+    }
+
+    #[test]
+    fn distinct_tracking_counts_groups_not_rows() {
+        // The counterexample that makes row-count cutoffs unsound under
+        // dedup (DESIGN.md §14): k = 2, 100 copies of key 5, then key 6.
+        // A histogram would see 100 rows ≤ 5, establish cutoff 5 and kill
+        // key 6 — the true second-best group. The tracker never does.
+        let mut f: CutoffFilter<u64> =
+            CutoffFilter::new(2, SortOrder::Ascending).with_distinct_tracking();
+        assert!(f.distinct_mode());
+        assert_eq!(f.observe_input(&5), DistinctVerdict::Admit);
+        for _ in 0..99 {
+            assert_eq!(f.observe_input(&5), DistinctVerdict::Duplicate);
+        }
+        assert!(f.cutoff().is_none(), "one distinct key proves nothing for k = 2");
+        assert!(!f.eliminate(&6));
+        assert_eq!(f.observe_input(&6), DistinctVerdict::Admit);
+        assert_eq!(f.cutoff(), Some(&6), "two distinct keys tracked: worst is the cutoff");
+        assert_eq!(f.observe_input(&7), DistinctVerdict::Worse);
+        assert_eq!(f.observe_input(&4), DistinctVerdict::Admit); // evicts 6
+        assert_eq!(f.cutoff(), Some(&5));
+        assert_eq!(f.observe_input(&6), DistinctVerdict::Worse, "evicted groups stay out");
+        // Spill-side elimination keeps ties, kills strictly-worse keys.
+        assert!(f.eliminate(&6));
+        assert!(!f.eliminate(&5));
+    }
+
+    #[test]
+    fn distinct_tracking_descending() {
+        let mut f: CutoffFilter<u64> =
+            CutoffFilter::new(2, SortOrder::Descending).with_distinct_tracking();
+        assert_eq!(f.observe_input(&10), DistinctVerdict::Admit);
+        assert_eq!(f.observe_input(&20), DistinctVerdict::Admit);
+        assert_eq!(f.cutoff(), Some(&10));
+        assert_eq!(f.observe_input(&5), DistinctVerdict::Worse);
+        assert_eq!(f.observe_input(&30), DistinctVerdict::Admit); // evicts 10
+        assert_eq!(f.cutoff(), Some(&20));
+    }
+
+    #[test]
+    fn distinct_mode_ignores_spill_buckets() {
+        use histok_sort::SpillObserver;
+        // 100 spilled copies of one key would hand a row-count histogram a
+        // cutoff immediately; in distinct mode the spill path must feed
+        // nothing into the input model.
+        let mut f: CutoffFilter<u64> =
+            CutoffFilter::with_policy(4, SortOrder::Ascending, SizingPolicy::FixedWidth(2))
+                .with_distinct_tracking();
+        f.run_started(100);
+        for _ in 0..100 {
+            f.row_spilled(&1);
+        }
+        f.run_finished();
+        assert_eq!(f.metrics().buckets_inserted, 0);
+        assert!(f.cutoff().is_none());
     }
 
     #[test]

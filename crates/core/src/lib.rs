@@ -16,6 +16,10 @@
 //!   approximate top-k ([`ApproximateTopK`], §4.5). `OFFSET` clauses
 //!   (§2.7) are supported by every operator through
 //!   [`histok_types::SortSpec`]'s `offset`.
+//! * In-sort aggregation (DESIGN.md §14): `DISTINCT` / `GROUP BY`
+//!   duplicate folding inside the sort via [`TopKConfig`]'s `dedup` /
+//!   `aggregate`, and "top-k groups by aggregate value" through
+//!   [`GroupedAggTopK`].
 
 #![deny(missing_docs)]
 
@@ -24,6 +28,7 @@ pub mod config;
 pub mod cutoff;
 pub mod exchange;
 pub mod grouped;
+pub mod grouped_agg;
 pub mod histogram;
 pub mod metrics;
 pub mod offset;
@@ -34,9 +39,10 @@ pub mod topk;
 
 pub use approximate::ApproximateTopK;
 pub use config::{RunGenKind, RunGenMode, TopKConfig, TopKConfigBuilder};
-pub use cutoff::{CutoffFilter, FilterMetrics, DEFAULT_FILTER_MEMORY};
+pub use cutoff::{CutoffFilter, DistinctVerdict, FilterMetrics, DEFAULT_FILTER_MEMORY};
 pub use exchange::{ExchangeMetrics, ExchangeTopK, Producer};
 pub use grouped::GroupedTopK;
+pub use grouped_agg::{AggGroup, GroupedAggTopK};
 pub use histogram::{Bucket, HistogramBuilder};
 pub use metrics::OperatorMetrics;
 pub use offset::fast_skip_sources;

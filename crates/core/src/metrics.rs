@@ -44,6 +44,15 @@ pub struct OperatorMetrics {
     /// Nanoseconds this query waited in a server's admission queue before
     /// its memory lease was granted (0 for standalone execution).
     pub queued_ns: u64,
+    /// Duplicate rows folded into their group's surviving row, anywhere in
+    /// the pipeline: run generation, merge duels, the in-memory store.
+    /// Zero unless [`dedup`](crate::TopKConfig::dedup) or
+    /// [`aggregate`](crate::TopKConfig::aggregate) is on.
+    pub rows_folded: u64,
+    /// Encoded bytes of duplicates absorbed *before* reaching storage
+    /// (fold-at-insert in run generation, in-memory folding) — spill
+    /// bandwidth the early fold saved outright.
+    pub bytes_folded_pre_spill: u64,
 }
 
 impl OperatorMetrics {
@@ -72,6 +81,10 @@ impl OperatorMetrics {
             },
             cascade: self.cascade.merged(&other.cascade),
             queued_ns: self.queued_ns.saturating_add(other.queued_ns),
+            rows_folded: self.rows_folded.saturating_add(other.rows_folded),
+            bytes_folded_pre_spill: self
+                .bytes_folded_pre_spill
+                .saturating_add(other.bytes_folded_pre_spill),
         }
     }
 

@@ -186,6 +186,11 @@ impl<K: SortKey> ParallelTopK<K> {
         if threads == 0 {
             return Err(Error::InvalidConfig("at least one worker thread required".into()));
         }
+        if config.fold_op().is_some() {
+            return Err(Error::InvalidConfig(
+                "dedup/aggregate queries are not supported by the parallel operator".into(),
+            ));
+        }
         let stats = IoStats::new();
         // The same construction as the serial operator: honors
         // filter_enabled, approx_slack, spill_filter, sizing, tail buckets.
@@ -299,6 +304,7 @@ impl<K: SortKey> ParallelTopK<K> {
             readahead_blocks: self.config.readahead_blocks,
             io_scheduler: self.io_scheduler.clone(),
             batch_rows: self.config.batch_rows,
+            fold: None,
         }
     }
 
@@ -464,7 +470,7 @@ impl<K: SortKey> ParallelTopK<K> {
                 .map(|c| c.snapshot())
                 .unwrap_or_default(),
             cascade: self.cascade,
-            queued_ns: 0,
+            ..Default::default()
         }
     }
 }

@@ -17,16 +17,18 @@ use histok_sort::run_gen::ResiduePolicy;
 use histok_sort::run_gen::{BatchSort, LoadSortStore, ReplacementSelection, RunGenerator};
 use histok_sort::{
     merge_runs_partitioned, merge_sources_tuned, plan_merges_cascade, BatchedMerge, CascadeStats,
-    CmpStats, LoserTree, MergeSource, MergeTuning, PartitionAttempt, PartitionCounters,
+    CmpStats, FoldSpec, FoldStats, LoserTree, MergeSource, MergeTuning, PartitionAttempt,
+    PartitionCounters,
 };
 use histok_storage::{IoScheduler, IoStats, RunCatalog, StorageBackend};
-use histok_types::{Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
+use histok_types::{Aggregator, Error, Phase, PhaseTimer, Result, Row, SortKey, SortSpec};
 
 use crate::config::{RunGenKind, RunGenMode, TopKConfig};
-use crate::cutoff::{CutoffFilter, FilterMetrics};
+use crate::cutoff::{CutoffFilter, DistinctVerdict, FilterMetrics};
 use crate::metrics::OperatorMetrics;
 use crate::topk::{
-    already_finished, Offer, RetainedHeap, RowStream, SpecStream, TimedStream, TopKOperator,
+    already_finished, FoldedStore, Offer, RetainedHeap, RowStream, SpecStream, TimedStream,
+    TopKOperator,
 };
 
 /// The histogram-guided adaptive top-k operator (the paper's contribution).
@@ -77,15 +79,71 @@ pub struct HistogramTopK<K: SortKey> {
     /// built once from `config.io_threads` and reused by every spill and
     /// merge this operator performs.
     io_scheduler: Option<IoScheduler>,
+    /// Fold counters every pipeline component flushes into; zero unless
+    /// the query runs in dedup/aggregate mode.
+    fold_stats: FoldStats,
+    /// The aggregator for fold mode (`None` = plain top-k).
+    agg: Option<Arc<dyn Aggregator>>,
 }
 
 enum State<K: SortKey> {
     /// Phase 1: plain in-memory priority queue.
-    InMemory(RetainedHeap<K>),
+    InMemory(MemStore<K>),
     /// Phase 2: run generation guarded by the cutoff filter.
     External(Box<External<K>>),
     /// Output has been produced.
     Finished,
+}
+
+/// Phase-1 store: a plain retained heap, or the folding group store when
+/// the query runs in dedup/aggregate mode.
+enum MemStore<K: SortKey> {
+    Heap(RetainedHeap<K>),
+    Folded(FoldedStore<K>),
+}
+
+impl<K: SortKey> MemStore<K> {
+    fn bytes(&self) -> usize {
+        match self {
+            MemStore::Heap(h) => h.bytes(),
+            MemStore::Folded(f) => f.bytes(),
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        match self {
+            MemStore::Heap(h) => h.is_full(),
+            MemStore::Folded(f) => f.is_full(),
+        }
+    }
+
+    fn cutoff(&self) -> Option<&K> {
+        match self {
+            MemStore::Heap(h) => h.cutoff(),
+            MemStore::Folded(f) => f.cutoff(),
+        }
+    }
+
+    fn offer(&mut self, row: Row<K>) -> Offer {
+        match self {
+            MemStore::Heap(h) => h.offer(row),
+            MemStore::Folded(f) => f.offer(row),
+        }
+    }
+
+    fn drain_unordered(&mut self) -> Vec<Row<K>> {
+        match self {
+            MemStore::Heap(h) => h.drain_unordered(),
+            MemStore::Folded(f) => f.drain_unordered(),
+        }
+    }
+
+    fn into_sorted(self) -> Vec<Row<K>> {
+        match self {
+            MemStore::Heap(h) => h.into_sorted(),
+            MemStore::Folded(f) => f.into_sorted(),
+        }
+    }
 }
 
 struct External<K: SortKey> {
@@ -112,9 +170,22 @@ impl<K: SortKey> HistogramTopK<K> {
     ) -> Result<Self> {
         spec.validate()?;
         config.validate()?;
+        let fold_stats = FoldStats::new();
+        let agg = config.fold_op().map(|op| op.aggregator());
+        let store = match &agg {
+            Some(a) => MemStore::Folded(FoldedStore::new(
+                spec.retained(),
+                spec.order,
+                a.clone(),
+                fold_stats.clone(),
+            )),
+            None => MemStore::Heap(RetainedHeap::new(spec.retained(), spec.order)),
+        };
         Ok(HistogramTopK {
-            state: State::InMemory(RetainedHeap::new(spec.retained(), spec.order)),
+            state: State::InMemory(store),
             io_scheduler: config.io_scheduler(),
+            fold_stats,
+            agg,
             spec,
             config,
             backend,
@@ -137,7 +208,7 @@ impl<K: SortKey> HistogramTopK<K> {
     /// the histogram-derived cutoff once external.
     pub fn cutoff(&self) -> Option<K> {
         match &self.state {
-            State::InMemory(heap) => heap.cutoff().cloned(),
+            State::InMemory(store) => store.cutoff().cloned(),
             State::External(ext) => ext.filter.cutoff().cloned(),
             State::Finished => None,
         }
@@ -157,6 +228,12 @@ impl<K: SortKey> HistogramTopK<K> {
         crate::cutoff::filter_from_config(&self.spec, &self.config)
     }
 
+    /// The fold instruction every sort component receives in fold mode:
+    /// the aggregator plus the shared counters.
+    fn fold_spec(&self) -> Option<FoldSpec> {
+        self.agg.as_ref().map(|a| FoldSpec::new(a.clone()).with_stats(self.fold_stats.clone()))
+    }
+
     fn merge_tuning(&self) -> MergeTuning {
         MergeTuning {
             ovc: self.config.ovc_enabled,
@@ -164,6 +241,7 @@ impl<K: SortKey> HistogramTopK<K> {
             readahead_blocks: self.config.readahead_blocks,
             io_scheduler: self.io_scheduler.clone(),
             batch_rows: self.config.batch_rows,
+            fold: self.fold_spec(),
         }
     }
 
@@ -181,22 +259,29 @@ impl<K: SortKey> HistogramTopK<K> {
         // Lease-aware budgets: when the config carries a `budget_lease`,
         // every generator reads its limit through the shared handle, so an
         // admission controller can resize a running query's workspace.
-        if batched {
-            return Box::new(BatchSort::with_budget(catalog, self.config.make_budget()));
-        }
-        match self.config.run_generation {
-            RunGenKind::ReplacementSelection => {
-                let mut gen = ReplacementSelection::with_budget(catalog, self.config.make_budget())
-                    .with_ovc(self.config.ovc_enabled, Some(self.cmp_stats.clone()));
-                if self.config.limit_run_size {
-                    gen = gen.with_run_limit(self.spec.retained());
+        let mut gen: Box<dyn RunGenerator<K>> = if batched {
+            Box::new(BatchSort::with_budget(catalog, self.config.make_budget()))
+        } else {
+            match self.config.run_generation {
+                RunGenKind::ReplacementSelection => {
+                    let mut gen =
+                        ReplacementSelection::with_budget(catalog, self.config.make_budget())
+                            .with_ovc(self.config.ovc_enabled, Some(self.cmp_stats.clone()));
+                    if self.config.limit_run_size {
+                        gen = gen.with_run_limit(self.spec.retained());
+                    }
+                    Box::new(gen)
                 }
-                Box::new(gen)
+                RunGenKind::LoadSortStore => {
+                    Box::new(LoadSortStore::with_budget(catalog, self.config.make_budget()))
+                }
             }
-            RunGenKind::LoadSortStore => {
-                Box::new(LoadSortStore::with_budget(catalog, self.config.make_budget()))
-            }
-        }
+        };
+        // Fold mode: duplicates collapse inside run generation where the
+        // generator supports it; generators that ignore the hint still
+        // yield deduplicated output because every merge duel folds too.
+        gen.set_fold(self.fold_spec());
+        gen
     }
 
     /// Leaves phase 1: every retained row re-enters through run generation.
@@ -216,7 +301,18 @@ impl<K: SortKey> HistogramTopK<K> {
         let gen = self.build_generator(catalog.clone());
         let filter = self.build_filter();
         let mut ext = Box::new(External { catalog, gen, filter });
+        // In dedup mode the re-entering rows (distinct by construction)
+        // seed the distinct tracker, so the cutoff is established before
+        // the first external-phase row arrives. `observe_input` is a no-op
+        // outside distinct mode.
+        let seed_distinct = self.config.filter_enabled && self.config.input_filter;
         for row in heap_rows {
+            if seed_distinct && ext.filter.observe_input(&row.key) == DistinctVerdict::Worse {
+                // The store retained more groups than the (slack-reduced)
+                // filter target; groups past the target are already out.
+                self.eliminated_at_input += 1;
+                continue;
+            }
             ext.gen.push(row, &mut ext.filter)?;
         }
         self.state = State::External(ext);
@@ -226,10 +322,30 @@ impl<K: SortKey> HistogramTopK<K> {
 
     fn push_external(&mut self, row: Row<K>) -> Result<()> {
         let State::External(ext) = &mut self.state else { unreachable!() };
-        if self.config.filter_enabled && self.config.input_filter && ext.filter.eliminate(&row.key)
-        {
-            self.eliminated_at_input += 1;
-            return Ok(());
+        if self.config.filter_enabled && self.config.input_filter {
+            if ext.filter.distinct_mode() {
+                // Dedup mode (Algorithm 1 line 4 adapted to DISTINCT):
+                // duplicates of a tracked key fold into nothing — their
+                // representative is already in the pipeline — and keys
+                // strictly worse than `retained` known distinct keys die.
+                match ext.filter.observe_input(&row.key) {
+                    DistinctVerdict::Admit => {}
+                    DistinctVerdict::Duplicate => {
+                        self.fold_stats.record_pre_spill(1, row.encoded_len() as u64);
+                        return Ok(());
+                    }
+                    DistinctVerdict::Worse => {
+                        self.eliminated_at_input += 1;
+                        return Ok(());
+                    }
+                }
+            } else if self.agg.is_none() && ext.filter.eliminate(&row.key) {
+                self.eliminated_at_input += 1;
+                return Ok(());
+            }
+            // Value aggregates (`agg` set, not distinct mode): no input
+            // elimination — every duplicate must reach its group's
+            // accumulator (DESIGN.md §14).
         }
         ext.gen.push(row, &mut ext.filter)?;
         self.peak_bytes = self.peak_bytes.max(ext.gen.buffered_bytes());
@@ -242,25 +358,33 @@ use crate::topk::HoldCatalog;
 impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
     fn push(&mut self, row: Row<K>) -> Result<()> {
         self.rows_in += 1;
+        // Operator boundary: in fold mode the raw payload becomes an
+        // accumulator exactly once per input row. Rows re-entering run
+        // generation at the external switch are already accumulators and
+        // bypass this.
+        let row = match &self.agg {
+            Some(agg) => Row { payload: agg.init(row.payload), key: row.key },
+            None => row,
+        };
         match &mut self.state {
-            State::InMemory(heap) => {
+            State::InMemory(store) => {
                 let fp = histok_sort::row_footprint(&row);
-                if !heap.is_full() && heap.bytes() + fp > self.config.effective_memory_budget() {
+                if !store.is_full() && store.bytes() + fp > self.config.effective_memory_budget() {
                     // The output no longer fits: activate run generation.
-                    let rows = heap.drain_unordered();
+                    let rows = store.drain_unordered();
                     self.switch_to_external(rows)?;
                     return self.push_external(row);
                 }
-                match heap.offer(row) {
-                    Offer::Grew => {}
+                match store.offer(row) {
+                    Offer::Grew | Offer::Folded => {}
                     Offer::Displaced | Offer::Rejected => self.eliminated_at_input += 1,
                 }
-                self.peak_bytes = self.peak_bytes.max(heap.bytes());
-                if heap.is_full() && heap.bytes() > self.config.effective_memory_budget() {
+                self.peak_bytes = self.peak_bytes.max(store.bytes());
+                if store.is_full() && store.bytes() > self.config.effective_memory_budget() {
                     // Variable-size rows grew the full queue past its
                     // budget (§2.3's robustness hazard): spill adaptively
                     // instead of failing.
-                    let rows = heap.drain_unordered();
+                    let rows = store.drain_unordered();
                     self.switch_to_external(rows)?;
                 }
                 Ok(())
@@ -272,8 +396,8 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
 
     fn finish(&mut self) -> Result<RowStream<K>> {
         match std::mem::replace(&mut self.state, State::Finished) {
-            State::InMemory(heap) => {
-                let rows = heap.into_sorted();
+            State::InMemory(store) => {
+                let rows = store.into_sorted();
                 self.timer.stop();
                 Ok(Box::new(TimedStream::new(
                     SpecStream::new(rows.into_iter().map(Ok), &self.spec),
@@ -332,12 +456,16 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
                 }
                 // §4.1: an OFFSET clause lets the merge start partway in —
                 // the block indexes prove whole blocks irrelevant and skip
-                // them without reading.
+                // them without reading. In fold mode the offset counts
+                // output *groups* while block row counts predate folding,
+                // so the fast skip is unsound and the merge starts from
+                // row zero (SpecStream skips folded rows instead).
+                let skip_offset = if self.agg.is_some() { 0 } else { self.spec.offset };
                 let skipped = crate::offset::fast_skip_sources(
                     &ext.catalog,
                     &final_runs,
                     residue,
-                    self.spec.offset,
+                    skip_offset,
                     self.config.readahead_blocks,
                 )?;
                 let mut spec = self.spec;
@@ -369,6 +497,7 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
         let mut phases = self.timer.snapshot();
         phases.spill_write_ns = io.write_latency.total_ns;
         phases.final_merge_ns += self.final_merge_ns.load(Ordering::Relaxed);
+        let fold = self.fold_stats.snapshot();
         OperatorMetrics {
             rows_in: self.rows_in,
             eliminated_at_input: self.eliminated_at_input,
@@ -388,6 +517,8 @@ impl<K: SortKey> TopKOperator<K> for HistogramTopK<K> {
                 .unwrap_or_default(),
             cascade: self.cascade,
             queued_ns: 0,
+            rows_folded: fold.rows_folded,
+            bytes_folded_pre_spill: fold.bytes_folded_pre_spill,
         }
     }
 
@@ -645,5 +776,104 @@ mod tests {
         let keys = shuffled(500, 12);
         let (out, _) = run_op(SortSpec::ascending(500), config(1 << 20), &keys);
         assert_eq!(out, (0..500).collect::<Vec<_>>());
+    }
+
+    fn dedup_config(budget: usize) -> TopKConfig {
+        TopKConfig::builder().memory_budget(budget).block_bytes(1024).dedup(true).build().unwrap()
+    }
+
+    #[test]
+    fn dedup_external_returns_distinct_keys_and_folds() {
+        // 40 copies each of keys 0..500; DISTINCT top-300 must return 300
+        // *distinct* keys, where the plain query returns 40 copies apiece.
+        let mut keys = Vec::new();
+        for k in 0..500u64 {
+            keys.extend(std::iter::repeat_n(k, 40));
+        }
+        keys.shuffle(&mut StdRng::seed_from_u64(31));
+        let row_bytes = histok_sort::row_footprint(&Row::key_only(0u64));
+        let (out, m) = run_op(SortSpec::ascending(300), dedup_config(100 * row_bytes), &keys);
+        assert_eq!(out, (0..300).collect::<Vec<_>>());
+        assert!(m.spilled);
+        assert!(m.rows_folded > 0);
+        // The distinct tracker absorbs duplicates of retained groups and
+        // eliminates worse groups before they reach storage.
+        assert!(
+            m.rows_spilled() < 2_000,
+            "dedup spilled {} of {} input rows",
+            m.rows_spilled(),
+            keys.len()
+        );
+        // Same spec without dedup keeps whole duplicate groups instead.
+        let (plain, _) = run_op(SortSpec::ascending(300), config(100 * row_bytes), &keys);
+        let distinct: std::collections::BTreeSet<u64> = plain.iter().copied().collect();
+        assert!(distinct.len() <= 8, "plain top-300 covers ~8 duplicate groups");
+    }
+
+    #[test]
+    fn dedup_in_memory_folds_without_spilling() {
+        // 20 copies each of 0..100 with a generous budget: the folded
+        // store handles DISTINCT entirely in memory.
+        let mut keys: Vec<u64> = (0..2_000).map(|i| i % 100).collect();
+        keys.shuffle(&mut StdRng::seed_from_u64(32));
+        let (out, m) = run_op(SortSpec::ascending(50), dedup_config(1 << 20), &keys);
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+        assert!(!m.spilled);
+        assert_eq!(m.rows_spilled(), 0);
+        assert!(m.rows_folded > 0);
+    }
+
+    #[test]
+    fn dedup_offset_counts_groups_not_rows() {
+        // OFFSET pages over *distinct* keys; exercises the fast-skip
+        // gating (block row counts predate folding, so offsets must be
+        // applied to the folded stream).
+        let mut keys = Vec::new();
+        for k in 0..400u64 {
+            keys.extend(std::iter::repeat_n(k, 15));
+        }
+        keys.shuffle(&mut StdRng::seed_from_u64(33));
+        let row_bytes = histok_sort::row_footprint(&Row::key_only(0u64));
+        let spec = SortSpec::ascending(50).with_offset(100);
+        let (out, m) = run_op(spec, dedup_config(60 * row_bytes), &keys);
+        assert_eq!(out, (100..150).collect::<Vec<_>>());
+        assert!(m.spilled);
+    }
+
+    #[test]
+    fn aggregate_count_externally_matches_per_group_counts() {
+        // COUNT per group with 7 copies of each key; value aggregates get
+        // no pre-aggregation filtering, so every row flows through the
+        // fold pipeline and each surviving group carries its exact count.
+        let mut keys = Vec::new();
+        for k in 0..200u64 {
+            keys.extend(std::iter::repeat_n(k, 7));
+        }
+        keys.shuffle(&mut StdRng::seed_from_u64(34));
+        let row_bytes = histok_sort::row_footprint(&Row::key_only(0u64));
+        let cfg = TopKConfig::builder()
+            .memory_budget(60 * row_bytes)
+            .block_bytes(1024)
+            .aggregate(histok_types::AggregateOp::Count)
+            .build()
+            .unwrap();
+        let mut op =
+            HistogramTopK::new(SortSpec::ascending(100), cfg, MemoryBackend::new()).unwrap();
+        for &k in &keys {
+            op.push(Row::key_only(k)).unwrap();
+        }
+        let out: Vec<(u64, u64)> = op
+            .finish()
+            .unwrap()
+            .map(|r| {
+                let r = r.unwrap();
+                (r.key, histok_types::decode_count(&r.payload))
+            })
+            .collect();
+        assert_eq!(out, (0..100).map(|k| (k, 7)).collect::<Vec<_>>());
+        let m = op.metrics();
+        assert!(m.spilled);
+        assert!(m.rows_folded > 0);
+        assert_eq!(m.eliminated_at_input, 0, "no input elimination under value aggregation");
     }
 }

@@ -50,7 +50,7 @@ impl<K: SortKey> TopKOperator<K> for InMemoryTopK<K> {
             .ok_or_else(|| histok_types::Error::InvalidConfig("push after finish".into()))?;
         self.rows_in += 1;
         match heap.offer(row) {
-            Offer::Grew => {}
+            Offer::Grew | Offer::Folded => {}
             Offer::Displaced | Offer::Rejected => self.eliminated += 1,
         }
         self.peak_bytes = self.peak_bytes.max(heap.bytes());

@@ -45,15 +45,18 @@ pub trait TopKOperator<K: SortKey>: Send {
     fn algorithm(&self) -> &'static str;
 }
 
-/// Outcome of offering a row to a [`RetainedHeap`].
+/// Outcome of offering a row to a [`RetainedHeap`] or [`FoldedStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Offer {
-    /// The heap grew by one row.
+    /// The store grew by one row.
     Grew,
     /// The row replaced a worse one (one candidate eliminated).
     Displaced,
     /// The row was rejected (eliminated immediately).
     Rejected,
+    /// The row folded into an existing group's accumulator
+    /// ([`FoldedStore`] only).
+    Folded,
 }
 
 /// The classic in-memory top-k structure (§2.3): a priority queue in the
@@ -129,6 +132,110 @@ impl<K: SortKey> RetainedHeap<K> {
         let mut rows = self.heap.drain_sorted();
         rows.reverse();
         rows
+    }
+}
+
+/// In-memory phase store for dedup/aggregate queries: one row per distinct
+/// key, capped at `retained` groups, ordered by key. A duplicate folds into
+/// its group's accumulator the moment it arrives; once the store is full, a
+/// row whose key sorts strictly after the worst retained group is rejected
+/// outright.
+///
+/// Rejection is sound even for value aggregates, where dropping an
+/// arbitrary row would corrupt its group's SUM/COUNT: the retained key set
+/// only ever *improves* (an eviction replaces the worst key with a strictly
+/// better one), so if a group is ever rejected or evicted, `retained`
+/// strictly better groups exist from that point on and the group can never
+/// re-enter the output. No row of an output group is ever dropped
+/// (DESIGN.md §14).
+pub(crate) struct FoldedStore<K: SortKey> {
+    map: std::collections::BTreeMap<K, Row<K>>,
+    retained: usize,
+    bytes: usize,
+    order: SortOrder,
+    agg: std::sync::Arc<dyn histok_types::Aggregator>,
+    /// Fold counters, recorded as they happen (shared with the external
+    /// pipeline's sinks so `metrics()` sees one total).
+    stats: histok_sort::FoldStats,
+}
+
+impl<K: SortKey> FoldedStore<K> {
+    pub(crate) fn new(
+        retained: u64,
+        order: SortOrder,
+        agg: std::sync::Arc<dyn histok_types::Aggregator>,
+        stats: histok_sort::FoldStats,
+    ) -> Self {
+        FoldedStore {
+            map: std::collections::BTreeMap::new(),
+            retained: retained.max(1) as usize,
+            bytes: 0,
+            order,
+            agg,
+            stats,
+        }
+    }
+
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.map.len() >= self.retained
+    }
+
+    /// The worst retained group key once the store holds `retained` groups.
+    pub(crate) fn cutoff(&self) -> Option<&K> {
+        if !self.is_full() {
+            return None;
+        }
+        match self.order {
+            SortOrder::Ascending => self.map.keys().next_back(),
+            SortOrder::Descending => self.map.keys().next(),
+        }
+    }
+
+    pub(crate) fn offer(&mut self, row: Row<K>) -> Offer {
+        if let Some(acc) = self.map.get_mut(&row.key) {
+            self.stats.record_pre_spill(1, row.encoded_len() as u64);
+            if let Some(folded) = self.agg.fold(&acc.payload, &row.payload) {
+                let old = row_footprint(acc);
+                acc.payload = folded;
+                self.bytes = self.bytes.saturating_sub(old) + row_footprint(acc);
+            }
+            return Offer::Folded;
+        }
+        if !self.is_full() {
+            self.bytes += row_footprint(&row);
+            self.map.insert(row.key.clone(), row);
+            return Offer::Grew;
+        }
+        let worst = self.cutoff().expect("full store has a worst group").clone();
+        if self.order.precedes(&row.key, &worst) {
+            let evicted = self.map.remove(&worst).expect("cutoff key is in the map");
+            self.bytes = self.bytes.saturating_sub(row_footprint(&evicted));
+            self.bytes += row_footprint(&row);
+            self.map.insert(row.key.clone(), row);
+            Offer::Displaced
+        } else {
+            Offer::Rejected
+        }
+    }
+
+    /// Removes all group rows in unspecified order (switching to external
+    /// mode: the accumulated groups re-enter through run generation).
+    pub(crate) fn drain_unordered(&mut self) -> Vec<Row<K>> {
+        self.bytes = 0;
+        std::mem::take(&mut self.map).into_values().collect()
+    }
+
+    /// Consumes the store, returning group rows in output order.
+    pub(crate) fn into_sorted(self) -> Vec<Row<K>> {
+        let rows: Vec<Row<K>> = self.map.into_values().collect();
+        match self.order {
+            SortOrder::Ascending => rows,
+            SortOrder::Descending => rows.into_iter().rev().collect(),
+        }
     }
 }
 
@@ -279,6 +386,45 @@ mod tests {
         // least as good — matches §2.3's priority-queue semantics).
         assert_eq!(h.offer(Row::key_only(5)), Offer::Rejected);
         assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn folded_store_folds_duplicates_and_evicts_whole_groups() {
+        use histok_types::{decode_count, AggregateOp, Bytes};
+        let agg = AggregateOp::Count.aggregator();
+        let stats = histok_sort::FoldStats::new();
+        let mut s: FoldedStore<u64> =
+            FoldedStore::new(2, SortOrder::Ascending, agg.clone(), stats.clone());
+        let row = |k: u64| Row::new(k, agg.init(Bytes::new()));
+        assert_eq!(s.offer(row(10)), Offer::Grew);
+        assert_eq!(s.offer(row(10)), Offer::Folded);
+        assert_eq!(s.offer(row(30)), Offer::Grew);
+        assert!(s.is_full());
+        assert_eq!(s.cutoff(), Some(&30));
+        assert_eq!(s.offer(row(40)), Offer::Rejected);
+        assert_eq!(s.offer(row(20)), Offer::Displaced); // evicts group 30
+        assert_eq!(s.offer(row(30)), Offer::Rejected, "evicted groups stay out");
+        assert_eq!(s.offer(row(10)), Offer::Folded);
+        assert_eq!(stats.snapshot().rows_folded, 2);
+        assert!(s.bytes() > 0);
+        let out = s.into_sorted();
+        assert_eq!(out.iter().map(|r| r.key).collect::<Vec<_>>(), vec![10, 20]);
+        assert_eq!(decode_count(&out[0].payload), 3);
+        assert_eq!(decode_count(&out[1].payload), 1);
+    }
+
+    #[test]
+    fn folded_store_descending_order() {
+        use histok_types::{AggregateOp, Bytes};
+        let agg = AggregateOp::First.aggregator();
+        let mut s: FoldedStore<u64> =
+            FoldedStore::new(2, SortOrder::Descending, agg.clone(), histok_sort::FoldStats::new());
+        for k in [5u64, 9, 5, 1, 7] {
+            s.offer(Row::new(k, agg.init(Bytes::new())));
+        }
+        assert_eq!(s.cutoff(), Some(&7));
+        let out = s.into_sorted();
+        assert_eq!(out.iter().map(|r| r.key).collect::<Vec<_>>(), vec![9, 7]);
     }
 
     #[test]

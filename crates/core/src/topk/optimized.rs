@@ -161,6 +161,11 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
     ) -> Result<Self> {
         spec.validate()?;
         config.validate()?;
+        if config.fold_op().is_some() {
+            return Err(Error::InvalidConfig(
+                "dedup/aggregate queries are not supported by the optimized baseline".into(),
+            ));
+        }
         Ok(OptimizedExternalTopK {
             state: State::InMemory(RetainedHeap::new(spec.retained(), spec.order)),
             io_scheduler: config.io_scheduler(),
@@ -192,6 +197,7 @@ impl<K: SortKey> OptimizedExternalTopK<K> {
             readahead_blocks: self.config.readahead_blocks,
             io_scheduler: self.io_scheduler.clone(),
             batch_rows: self.config.batch_rows,
+            fold: None,
         }
     }
 
@@ -306,7 +312,7 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
                     return self.push(row);
                 }
                 match heap.offer(row) {
-                    Offer::Grew => {}
+                    Offer::Grew | Offer::Folded => {}
                     Offer::Displaced | Offer::Rejected => self.eliminated_at_input += 1,
                 }
                 self.peak_bytes = self.peak_bytes.max(heap.bytes());
@@ -430,7 +436,7 @@ impl<K: SortKey> TopKOperator<K> for OptimizedExternalTopK<K> {
                 .map(|c| c.snapshot())
                 .unwrap_or_default(),
             cascade: self.cascade,
-            queued_ns: 0,
+            ..Default::default()
         }
     }
 

@@ -56,6 +56,11 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
         backend: Arc<dyn StorageBackend>,
     ) -> Result<Self> {
         config.validate()?;
+        if config.fold_op().is_some() {
+            return Err(Error::InvalidConfig(
+                "dedup/aggregate queries are not supported by the traditional baseline".into(),
+            ));
+        }
         let mut op = Self::with_budget(spec, config.make_budget(), backend)?;
         let sorter = op.sorter.take().expect("sorter present before first push");
         op.sorter = Some(
@@ -71,6 +76,7 @@ impl<K: SortKey> TraditionalExternalTopK<K> {
                     readahead_blocks: config.readahead_blocks,
                     io_scheduler: None,
                     batch_rows: config.batch_rows,
+                    fold: None,
                 })
                 // After with_tuning: sets both the catalog's spill pool and
                 // the tuning's read-ahead pool.

@@ -45,6 +45,11 @@ pub struct ServerConfig {
     /// Assumed bytes per retained row when estimating whether a query fits
     /// in memory (row struct + payload + bookkeeping).
     pub row_bytes_hint: usize,
+    /// Assumed bytes per retained *group* for dedup/aggregate queries:
+    /// in-sort folding keeps one fixed-width accumulator per distinct key
+    /// instead of an arbitrary payload, so folded queries sit lighter in
+    /// memory than the general hint suggests (DESIGN.md §14).
+    pub folded_row_bytes_hint: usize,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +60,7 @@ impl Default for ServerConfig {
             min_lease: 1024 * 1024,
             small_query_bytes: 256 * 1024,
             row_bytes_hint: 64,
+            folded_row_bytes_hint: 32,
         }
     }
 }
@@ -132,9 +138,17 @@ impl TopKServer {
     }
 
     /// Estimated bytes the query's retained top-k occupies in memory.
+    /// Folded (dedup/aggregate) queries retain one accumulator per
+    /// distinct group, priced at the smaller
+    /// [`ServerConfig::folded_row_bytes_hint`].
     fn estimated_footprint<K: SortKey>(&self, query: &Query<K>) -> usize {
         let retained = query.spec().retained().max(1);
-        (retained as usize).saturating_mul(self.config.row_bytes_hint.max(1))
+        let hint = if query.config_ref().fold_op().is_some() {
+            self.config.folded_row_bytes_hint
+        } else {
+            self.config.row_bytes_hint
+        };
+        (retained as usize).saturating_mul(hint.max(1))
     }
 
     /// Admits and executes one query, blocking until its lease is granted
@@ -243,6 +257,7 @@ mod tests {
             min_lease: 4 * 1024,
             small_query_bytes: 2 * 1024,
             row_bytes_hint: 64,
+            folded_row_bytes_hint: 32,
         })
     }
 
@@ -296,6 +311,30 @@ mod tests {
         assert!(fleet.peak_concurrent >= 2, "queries must actually overlap");
         assert_eq!(server.budget().available(), server.budget().total(), "all leases returned");
         assert_eq!(server.budget().queue_len(), 0);
+    }
+
+    #[test]
+    fn folded_queries_estimate_smaller_and_take_the_fast_path() {
+        // retained = 48: plain estimate 48 × 64 = 3 KiB (queued), dedup
+        // estimate 48 × 32 = 1.5 KiB (immediate small-query admission).
+        let server = small_server();
+        let backend: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
+        server.execute(query(5_000, 48, 9, 16 * 1024), backend.clone()).unwrap();
+        let fleet = server.fleet_metrics();
+        assert_eq!(fleet.admission.queued_queries, 1, "plain query must queue for a lease");
+        let dedup_cfg = TopKConfig::builder()
+            .memory_budget(16 * 1024)
+            .block_bytes(1024)
+            .dedup(true)
+            .build()
+            .unwrap();
+        let q = Query::scan(Workload::uniform(5_000, 9).rows(), SortSpec::ascending(48))
+            .config(dedup_cfg);
+        let result = server.execute(q, backend).unwrap();
+        assert_eq!(result.rows.len(), 48);
+        let fleet = server.fleet_metrics();
+        assert_eq!(fleet.admission.queued_queries, 1, "folded query skips the queue");
+        assert!(fleet.admission.admitted_immediately >= 1);
     }
 
     #[test]

@@ -72,6 +72,7 @@ fn server_fleet_shares_one_pool_across_queries() {
         min_lease: 4 * 1024,
         small_query_bytes: 2 * 1024,
         row_bytes_hint: 64,
+        folded_row_bytes_hint: 32,
     }));
     let backend: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
     let handles: Vec<_> = (0..QUERIES)

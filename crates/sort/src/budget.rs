@@ -151,6 +151,20 @@ impl MemoryBudget {
         self.rows = self.rows.saturating_sub(1);
     }
 
+    /// Adjusts the charge of an already-charged row whose size changed in
+    /// place (a payload grown or shrunk by folding a duplicate into it).
+    /// Does not affect the row count.
+    pub fn resize_row(&mut self, old_bytes: usize, new_bytes: usize) {
+        if new_bytes >= old_bytes {
+            let delta = new_bytes - old_bytes;
+            self.used = self.used.saturating_add(delta);
+            self.peak = self.peak.max(self.used);
+            self.total_charged += delta as u64;
+        } else {
+            self.used = self.used.saturating_sub(old_bytes - new_bytes);
+        }
+    }
+
     /// Average bytes per charged row over the budget's lifetime; `fallback`
     /// before any row was seen. Used to estimate memory capacity in rows.
     pub fn avg_row_bytes(&self, fallback: usize) -> usize {

@@ -1,0 +1,146 @@
+//! Duplicate-fold configuration and accounting for fold-mode sorts.
+//!
+//! A [`FoldSpec`] carries the [`Aggregator`] into every fold point of the
+//! pipeline — run generation, the loser tree, cascade and partitioned
+//! merges — together with an optional shared [`FoldStats`] sink. Like
+//! [`crate::CmpStats`], the shared counters are atomics that hot loops
+//! update from thread-local tallies flushed once per component, not per
+//! fold.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use histok_types::Aggregator;
+
+#[derive(Debug, Default)]
+struct Counters {
+    rows_folded: AtomicU64,
+    bytes_folded_pre_spill: AtomicU64,
+}
+
+/// Shared fold counters, cheap to clone into every pipeline component.
+///
+/// `rows_folded` counts every duplicate row absorbed anywhere in the
+/// pipeline; `bytes_folded_pre_spill` counts the encoded bytes of
+/// duplicates absorbed *before* they reached storage (run generation and
+/// the in-memory phase) — the write traffic folding saved outright.
+#[derive(Debug, Clone, Default)]
+pub struct FoldStats {
+    inner: Arc<Counters>,
+}
+
+impl FoldStats {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        FoldStats::default()
+    }
+
+    /// Adds `rows` merge-time folds (rows that had already spilled).
+    pub fn record_merge(&self, rows: u64) {
+        if rows > 0 {
+            self.inner.rows_folded.fetch_add(rows, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `rows` folds that happened before spilling, saving `bytes` of
+    /// run writes.
+    pub fn record_pre_spill(&self, rows: u64, bytes: u64) {
+        if rows > 0 {
+            self.inner.rows_folded.fetch_add(rows, Ordering::Relaxed);
+            self.inner.bytes_folded_pre_spill.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> FoldSnapshot {
+        FoldSnapshot {
+            rows_folded: self.inner.rows_folded.load(Ordering::Relaxed),
+            bytes_folded_pre_spill: self.inner.bytes_folded_pre_spill.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`FoldStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FoldSnapshot {
+    /// Duplicate rows absorbed by folding, anywhere in the pipeline.
+    pub rows_folded: u64,
+    /// Encoded bytes of duplicates absorbed before they were spilled.
+    pub bytes_folded_pre_spill: u64,
+}
+
+impl FoldSnapshot {
+    /// Component-wise sum (saturating).
+    pub fn merged(&self, other: &FoldSnapshot) -> FoldSnapshot {
+        FoldSnapshot {
+            rows_folded: self.rows_folded.saturating_add(other.rows_folded),
+            bytes_folded_pre_spill: self
+                .bytes_folded_pre_spill
+                .saturating_add(other.bytes_folded_pre_spill),
+        }
+    }
+}
+
+/// How a sort should fold equal-key rows: the aggregator to combine
+/// payloads with, plus an optional stats sink.
+#[derive(Debug, Clone)]
+pub struct FoldSpec {
+    /// Combines the payloads of two equal-key rows.
+    pub agg: Arc<dyn Aggregator>,
+    /// Where fold counts are flushed (`None` = don't count).
+    pub stats: Option<FoldStats>,
+}
+
+impl FoldSpec {
+    /// A spec folding with `agg` and no stats sink.
+    pub fn new(agg: Arc<dyn Aggregator>) -> Self {
+        FoldSpec { agg, stats: None }
+    }
+
+    /// Attaches a stats sink.
+    pub fn with_stats(mut self, stats: FoldStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Flushes merge-time fold tallies to the sink, if any.
+    pub fn flush_merge(&self, rows: u64) {
+        if let Some(stats) = &self.stats {
+            stats.record_merge(rows);
+        }
+    }
+
+    /// Flushes pre-spill fold tallies to the sink, if any.
+    pub fn flush_pre_spill(&self, rows: u64, bytes: u64) {
+        if let Some(stats) = &self.stats {
+            stats.record_pre_spill(rows, bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histok_types::AggregateOp;
+
+    #[test]
+    fn stats_accumulate_across_clones() {
+        let stats = FoldStats::new();
+        let spec = FoldSpec::new(AggregateOp::First.aggregator()).with_stats(stats.clone());
+        spec.flush_merge(3);
+        spec.clone().flush_pre_spill(2, 120);
+        spec.flush_pre_spill(0, 999); // no-op
+        let snap = stats.snapshot();
+        assert_eq!(snap.rows_folded, 5);
+        assert_eq!(snap.bytes_folded_pre_spill, 120);
+    }
+
+    #[test]
+    fn snapshots_merge_saturating() {
+        let a = FoldSnapshot { rows_folded: u64::MAX, bytes_folded_pre_spill: 1 };
+        let b = FoldSnapshot { rows_folded: 1, bytes_folded_pre_spill: 2 };
+        let m = a.merged(&b);
+        assert_eq!(m.rows_folded, u64::MAX);
+        assert_eq!(m.bytes_folded_pre_spill, 3);
+    }
+}

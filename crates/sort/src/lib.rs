@@ -22,6 +22,7 @@ pub mod budget;
 pub mod cascade;
 pub mod cmp_stats;
 pub mod external;
+pub mod fold;
 pub mod heap;
 pub mod loser_tree;
 pub mod merge;
@@ -34,6 +35,7 @@ pub use budget::{row_footprint, BudgetHandle, MemoryBudget};
 pub use cascade::{plan_merges_cascade, plan_pass_groups, CascadeStats, SharedCutoff};
 pub use cmp_stats::{CmpSnapshot, CmpStats};
 pub use external::ExternalSorter;
+pub use fold::{FoldSnapshot, FoldSpec, FoldStats};
 pub use heap::BinaryHeapBy;
 pub use loser_tree::LoserTree;
 pub use merge::{

@@ -35,9 +35,12 @@
 //! row that just departed the same source, regardless of which batch
 //! either row arrived in.
 
-use histok_types::{norm_cmp, ovc_resolve, Ovc, Result, Row, RowBatch, SortKey, SortOrder};
+use histok_types::{
+    norm_cmp, ovc_resolve, Aggregator, Ovc, Result, Row, RowBatch, SortKey, SortOrder,
+};
 
 use crate::cmp_stats::CmpStats;
+use crate::fold::FoldSpec;
 use crate::source::{RowSource, DEFAULT_BATCH_ROWS};
 
 /// Builds the loser's code against the winner from two differing
@@ -165,6 +168,12 @@ pub struct LoserTree<K: SortKey, S: RowSource<K>> {
     batches_out: u64,
     /// Shared sink the local counters flush into on drop.
     stats: Option<CmpStats>,
+    /// Fold mode: equal-key rows are combined at emission instead of both
+    /// being produced (see [`LoserTree::set_fold`]).
+    fold: Option<FoldSpec>,
+    /// Duplicate rows absorbed by folding; flushed to the spec's
+    /// [`crate::FoldStats`] on drop.
+    rows_folded: u64,
     /// First error from any source; returned once, then the tree is done.
     pending_error: Option<histok_types::Error>,
     done: bool,
@@ -222,6 +231,8 @@ impl<K: SortKey, S: RowSource<K>> LoserTree<K, S> {
             full_cmps: 0,
             batches_out: 0,
             stats,
+            fold: None,
+            rows_folded: 0,
             pending_error,
             done: n == 0,
         };
@@ -240,6 +251,20 @@ impl<K: SortKey, S: RowSource<K>> LoserTree<K, S> {
     /// Comparison counts so far as `(ovc_cmps, full_cmps)`.
     pub fn cmp_counts(&self) -> (u64, u64) {
         (self.ovc_cmps, self.full_cmps)
+    }
+
+    /// Enables (or disables) duplicate folding: successive equal-key rows
+    /// are combined into one output row, their payloads merged by the
+    /// spec's aggregator. The double-EQUAL tie-break path already
+    /// identifies equal keys without touching key bytes, so folding adds
+    /// no comparisons for exact-prefix key types.
+    pub fn set_fold(&mut self, fold: Option<FoldSpec>) {
+        self.fold = fold;
+    }
+
+    /// Duplicate rows absorbed by folding so far.
+    pub fn rows_folded(&self) -> u64 {
+        self.rows_folded
     }
 
     /// Re-encodes `norms[i]` from the current head if it is stale.
@@ -343,10 +368,19 @@ impl<K: SortKey, S: RowSource<K>> LoserTree<K, S> {
         // Wide keys agreeing through the prefix: compare the normalized
         // suffixes. Equal prefixes guarantee agreement through byte
         // min(8, len) (prefix-free encodings), so the scan starts there.
-        self.full_cmps += 1;
         self.ensure_norm(a);
         self.ensure_norm(b);
-        let res = ovc_resolve(&self.norms[a], &self.norms[b], from.max(8), self.order);
+        let from = from.max(8);
+        if from >= self.norms[a].len() && from >= self.norms[b].len() {
+            // Both normalized strings end at or before the scan start, so
+            // the resolve touches zero key bytes (prefix-freeness makes
+            // the keys equal): this duel was decided on the prefix/OVC
+            // column alone and books as an OVC comparison.
+            self.ovc_cmps += 1;
+        } else {
+            self.full_cmps += 1;
+        }
+        let res = ovc_resolve(&self.norms[a], &self.norms[b], from, self.order);
         match res.ordering {
             std::cmp::Ordering::Less => {
                 self.ovcs[b] = res.loser_ovc;
@@ -450,7 +484,13 @@ impl<K: SortKey, S: RowSource<K>> LoserTree<K, S> {
                                 != std::cmp::Ordering::Greater,
                             "source not sorted in the requested order"
                         );
-                        self.full_cmps += 1;
+                        if self.norms[i].len() <= 8 && self.scratch.len() <= 8 {
+                            // Equal keys recognized without scanning a
+                            // byte (see `duel_resolve`).
+                            self.ovc_cmps += 1;
+                        } else {
+                            self.full_cmps += 1;
+                        }
                         self.ovcs[i] =
                             ovc_resolve(&self.norms[i], &self.scratch, 8, self.order).loser_ovc;
                         std::mem::swap(&mut self.norms[i], &mut self.scratch);
@@ -465,6 +505,39 @@ impl<K: SortKey, S: RowSource<K>> LoserTree<K, S> {
             }
         }
         self.adjust();
+    }
+
+    /// Absorbs every successive winning head equal to `row`'s key into
+    /// `row`'s payload (fold mode). Runs until the winning key changes or
+    /// the sources drain, so a fold never straddles a batch boundary and
+    /// every emitted key is distinct. Equality rides the duel machinery's
+    /// invariants: with coding enabled, equal output-order prefixes plus
+    /// an exact prefix (or a confirming key compare for wide keys) mean
+    /// equal keys.
+    fn fold_equal_heads(&mut self, agg: &dyn Aggregator, row: &mut Row<K>, out_prefix: u64) {
+        while self.pending_error.is_none() {
+            let w = self.winner;
+            let equal = match &self.heads[w] {
+                Some(h) => {
+                    if self.ovc_enabled {
+                        self.head_prefixes[w] == out_prefix
+                            && (K::norm_prefix_is_exact() || h.key == row.key)
+                    } else {
+                        h.key == row.key
+                    }
+                }
+                None => false,
+            };
+            if !equal {
+                break;
+            }
+            let dup = self.heads[w].take().expect("head checked above");
+            self.refill_winner(&dup);
+            if let Some(folded) = agg.fold(&row.payload, &dup.payload) {
+                row.payload = folded;
+            }
+            self.rows_folded += 1;
+        }
     }
 
     /// Peeks at the key that would be produced next.
@@ -494,13 +567,17 @@ impl<K: SortKey, S: RowSource<K>> LoserTree<K, S> {
             self.done = true;
             return Err(e);
         }
+        let agg = self.fold.as_ref().map(|f| f.agg.clone());
         while out.len() < max_rows {
             let i = self.winner;
             match self.heads[i].take() {
-                Some(row) => {
-                    let raw = self.head_prefixes[i] ^ self.out_mask;
+                Some(mut row) => {
+                    let out_prefix = self.head_prefixes[i];
                     self.refill_winner(&row);
-                    out.push_with_prefix(row, raw);
+                    if let Some(agg) = &agg {
+                        self.fold_equal_heads(agg.as_ref(), &mut row, out_prefix);
+                    }
+                    out.push_with_prefix(row, out_prefix ^ self.out_mask);
                     if self.pending_error.is_some() {
                         break;
                     }
@@ -524,6 +601,9 @@ impl<K: SortKey, S: RowSource<K>> Drop for LoserTree<K, S> {
             stats.record(self.ovc_cmps, self.full_cmps);
             stats.record_batches(self.batches_out);
         }
+        if let Some(spec) = &self.fold {
+            spec.flush_merge(self.rows_folded);
+        }
     }
 }
 
@@ -541,14 +621,20 @@ impl<K: SortKey, S: RowSource<K>> Iterator for LoserTree<K, S> {
             self.done = true;
             return Some(Err(e));
         }
-        match self.heads[self.winner].take() {
-            Some(row) => {
+        let i = self.winner;
+        match self.heads[i].take() {
+            Some(mut row) => {
                 // A source error hit during this refill is parked in
                 // `pending_error`, not returned: the row in hand is valid
                 // and must not be lost. The next call emits the error (or
                 // drops it if the caller stops early — standard iterator
                 // semantics).
+                let out_prefix = self.head_prefixes[i];
                 self.refill_winner(&row);
+                if let Some(spec) = &self.fold {
+                    let agg = spec.agg.clone();
+                    self.fold_equal_heads(agg.as_ref(), &mut row, out_prefix);
+                }
                 Some(Ok(row))
             }
             None => {
@@ -953,5 +1039,156 @@ mod tests {
         for (row, &p) in out.rows.iter().zip(&out.prefixes) {
             assert_eq!(p, row.key.norm_prefix(), "prefix column must stay raw (ascending-order)");
         }
+    }
+
+    #[test]
+    fn fold_dedup_emits_each_key_once() {
+        use crate::fold::{FoldSpec, FoldStats};
+        use histok_types::AggregateOp;
+        for ovc in [true, false] {
+            for order in [SortOrder::Ascending, SortOrder::Descending] {
+                let mut a = vec![1u64, 3, 3, 5, 5, 5];
+                let mut b = vec![1, 1, 3, 6];
+                if order == SortOrder::Descending {
+                    a.reverse();
+                    b.reverse();
+                }
+                let stats = FoldStats::new();
+                let mut lt = LoserTree::with_ovc(vec![src(&a), src(&b)], order, ovc, None).unwrap();
+                lt.set_fold(Some(
+                    FoldSpec::new(AggregateOp::First.aggregator()).with_stats(stats.clone()),
+                ));
+                let got: Vec<u64> = (&mut lt).map(|r| r.unwrap().key).collect();
+                let mut expected = vec![1u64, 3, 5, 6];
+                if order == SortOrder::Descending {
+                    expected.reverse();
+                }
+                assert_eq!(got, expected, "ovc = {ovc}, order = {order:?}");
+                assert_eq!(lt.rows_folded(), 6);
+                drop(lt);
+                assert_eq!(stats.snapshot().rows_folded, 6);
+            }
+        }
+    }
+
+    #[test]
+    fn fold_count_totals_multiplicity_across_sources() {
+        use crate::fold::FoldSpec;
+        use histok_types::{decode_count, AggregateOp, Bytes};
+        let agg = AggregateOp::Count.aggregator();
+        let counted = |keys: &[u64]| -> Vec<Result<Row<u64>>> {
+            keys.iter().map(|&k| Ok(Row::new(k, agg.init(Bytes::new())))).collect()
+        };
+        let mut lt = LoserTree::new(
+            vec![
+                iter_src(counted(&[2, 2, 7, 7, 7])),
+                iter_src(counted(&[2, 9])),
+                iter_src(counted(&[7])),
+            ],
+            SortOrder::Ascending,
+        )
+        .unwrap();
+        lt.set_fold(Some(FoldSpec::new(agg.clone())));
+        let got: Vec<(u64, u64)> =
+            (&mut lt).map(|r| r.unwrap()).map(|r| (r.key, decode_count(&r.payload))).collect();
+        assert_eq!(got, vec![(2, 3), (7, 4), (9, 1)]);
+    }
+
+    #[test]
+    fn fold_in_merge_into_matches_iterator_and_respects_batch_bounds() {
+        use crate::fold::FoldSpec;
+        use histok_types::{decode_count, AggregateOp, Bytes};
+        let agg = AggregateOp::Count.aggregator();
+        for batch_rows in [1usize, 2, 1024] {
+            let counted = |keys: &[u64]| -> Vec<Result<Row<u64>>> {
+                keys.iter().map(|&k| Ok(Row::new(k, agg.init(Bytes::new())))).collect()
+            };
+            let mut lt = LoserTree::new(
+                vec![iter_src(counted(&[1, 1, 4, 4, 4, 8])), iter_src(counted(&[1, 4, 8, 8]))],
+                SortOrder::Ascending,
+            )
+            .unwrap();
+            lt.set_fold(Some(FoldSpec::new(agg.clone())));
+            let mut got: Vec<(u64, u64)> = Vec::new();
+            let mut out = RowBatch::new();
+            loop {
+                lt.merge_into(&mut out, batch_rows).unwrap();
+                if out.is_empty() {
+                    break;
+                }
+                assert!(out.rows.len() <= batch_rows);
+                for (row, &p) in out.rows.iter().zip(&out.prefixes) {
+                    assert_eq!(p, row.key.norm_prefix());
+                    got.push((row.key, decode_count(&row.payload)));
+                }
+            }
+            // Every emitted key distinct with its full multiplicity: a fold
+            // group never straddles a batch boundary.
+            assert_eq!(got, vec![(1, 3), (4, 4), (8, 3)], "batch_rows = {batch_rows}");
+        }
+    }
+
+    #[test]
+    fn fold_wide_keys_needs_key_equality_not_just_prefix() {
+        use crate::fold::FoldSpec;
+        use histok_types::AggregateOp;
+        // Shared 8-byte prefix, different tails: these must NOT fold.
+        let mk = |ks: &[&str]| {
+            iter_src(
+                ks.iter()
+                    .map(|s| Ok(Row::key_only(BytesKey::from(*s))))
+                    .collect::<Vec<Result<Row<BytesKey>>>>(),
+            )
+        };
+        for ovc in [true, false] {
+            let mut lt = LoserTree::with_ovc(
+                vec![
+                    mk(&["prefix-0001-a", "prefix-0001-a", "prefix-0002-b"]),
+                    mk(&["prefix-0001-a", "prefix-0002-c"]),
+                ],
+                SortOrder::Ascending,
+                ovc,
+                None,
+            )
+            .unwrap();
+            lt.set_fold(Some(FoldSpec::new(AggregateOp::First.aggregator())));
+            let got: Vec<String> = (&mut lt)
+                .map(|r| String::from_utf8(r.unwrap().key.as_slice().to_vec()).unwrap())
+                .collect();
+            assert_eq!(got, vec!["prefix-0001-a", "prefix-0002-b", "prefix-0002-c"], "ovc = {ovc}");
+            assert_eq!(lt.rows_folded(), 2);
+        }
+    }
+
+    #[test]
+    fn equal_short_wide_keys_duel_without_full_comparisons() {
+        // Regression: a duel between equal keys whose whole normalized form
+        // fits the 8-byte prefix scans zero key bytes — prefix-freeness
+        // already proves equality — and must book as an ovc comparison, not
+        // a full one. BytesKey norms here are 4 bytes ("aa" + terminator).
+        let mk = |ks: &[&str]| {
+            iter_src(
+                ks.iter()
+                    .map(|s| Ok(Row::key_only(BytesKey::from(*s))))
+                    .collect::<Vec<Result<Row<BytesKey>>>>(),
+            )
+        };
+        let stats = CmpStats::new();
+        let mut lt = LoserTree::with_ovc(
+            vec![mk(&["aa", "aa", "aa", "bb"]), mk(&["aa", "aa", "bb", "bb"])],
+            SortOrder::Ascending,
+            true,
+            Some(stats.clone()),
+        )
+        .unwrap();
+        let mut rows = 0usize;
+        for r in &mut lt {
+            r.unwrap();
+            rows += 1;
+        }
+        assert_eq!(rows, 8);
+        let (ovc, full) = lt.cmp_counts();
+        assert!(ovc > 0);
+        assert_eq!(full, 0, "equal duels resolved inside the prefix must not count as full");
     }
 }

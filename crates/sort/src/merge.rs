@@ -18,6 +18,7 @@ use histok_types::{Error, Result, Row, RowBatch, SortKey, SortOrder};
 
 use crate::cascade::SharedCutoff;
 use crate::cmp_stats::CmpStats;
+use crate::fold::FoldSpec;
 use crate::loser_tree::LoserTree;
 use crate::source::{RowSource, DEFAULT_BATCH_ROWS};
 
@@ -42,6 +43,9 @@ pub struct MergeTuning {
     /// sources). `1` degenerates to row-at-a-time — the differential
     /// baseline.
     pub batch_rows: usize,
+    /// Fold equal-key rows at every merge step (duplicate removal /
+    /// grouped aggregation); `None` emits duplicates verbatim.
+    pub fold: Option<FoldSpec>,
 }
 
 impl Default for MergeTuning {
@@ -52,6 +56,7 @@ impl Default for MergeTuning {
             readahead_blocks: 2,
             io_scheduler: None,
             batch_rows: DEFAULT_BATCH_ROWS,
+            fold: None,
         }
     }
 }
@@ -78,6 +83,13 @@ impl MergeTuning {
     /// Overrides the merge batch size (clamped to at least 1).
     pub fn with_batch_rows(mut self, rows: usize) -> Self {
         self.batch_rows = rows.max(1);
+        self
+    }
+
+    /// Enables (or disables) equal-key folding in every merge this tuning
+    /// reaches — serial, cascade and partitioned.
+    pub fn with_fold(mut self, fold: Option<FoldSpec>) -> Self {
+        self.fold = fold;
         self
     }
 }
@@ -273,6 +285,7 @@ pub fn merge_sources_tuned<K: SortKey>(
 ) -> Result<LoserTree<K, MergeSource<K>>> {
     let mut tree = LoserTree::with_ovc(sources, order, tuning.ovc, tuning.stats.clone())?;
     tree.set_batch_target(tuning.batch_rows);
+    tree.set_fold(tuning.fold.clone());
     Ok(tree)
 }
 

@@ -286,10 +286,14 @@ pub fn merge_sources_partitioned<K: SortKey>(
         let ovc = tuning.ovc;
         let stats = tuning.stats.clone();
         let batch_rows = tuning.batch_rows.max(1);
+        // Partition ranges are half-open on keys, so every duplicate of a
+        // key lands in exactly one partition and per-partition folding is
+        // byte-identical to a serial folded merge.
+        let fold = tuning.fold.clone();
         let counters = counters.clone();
-        let spawned = std::thread::Builder::new()
-            .name(format!("pmerge-{i}"))
-            .spawn(move || merge_worker(sources, order, ovc, stats, batch_rows, tx, counters, i));
+        let spawned = std::thread::Builder::new().name(format!("pmerge-{i}")).spawn(move || {
+            merge_worker(sources, order, ovc, stats, fold, batch_rows, tx, counters, i)
+        });
         match spawned {
             Ok(handle) => {
                 receivers.push(Some(rx));
@@ -327,6 +331,7 @@ fn merge_worker<K: SortKey>(
     order: SortOrder,
     ovc: bool,
     stats: Option<crate::cmp_stats::CmpStats>,
+    fold: Option<crate::fold::FoldSpec>,
     batch_rows: usize,
     tx: SyncSender<Result<RowBatch<K>>>,
     counters: PartitionCounters,
@@ -340,6 +345,7 @@ fn merge_worker<K: SortKey>(
         }
     };
     tree.set_batch_target(batch_rows);
+    tree.set_fold(fold);
     loop {
         let mut batch = RowBatch::with_capacity(batch_rows);
         match tree.merge_into(&mut batch, batch_rows) {

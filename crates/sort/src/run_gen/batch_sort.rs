@@ -24,6 +24,7 @@ use histok_storage::RunCatalog;
 use histok_types::{Result, Row, RowBatch, SortKey, SortOrder};
 
 use crate::budget::{row_footprint, MemoryBudget};
+use crate::fold::FoldSpec;
 use crate::observer::SpillObserver;
 use crate::run_gen::{ResiduePolicy, RunGenerator};
 
@@ -77,6 +78,9 @@ pub struct BatchSort<K: SortKey> {
     /// Reused radix workspaces, kept across flushes.
     pairs: Vec<(u64, u32)>,
     scratch: Vec<(u64, u32)>,
+    fold: Option<FoldSpec>,
+    rows_folded: u64,
+    bytes_folded: u64,
 }
 
 impl<K: SortKey> BatchSort<K> {
@@ -104,7 +108,20 @@ impl<K: SortKey> BatchSort<K> {
             order,
             pairs: Vec::new(),
             scratch: Vec::new(),
+            fold: None,
+            rows_folded: 0,
+            bytes_folded: 0,
         }
+    }
+
+    /// Enables duplicate folding: after each buffer sort, adjacent equal
+    /// keys collapse into one row before the run is written, so runs leave
+    /// the generator already duplicate-free. Equality is decided on the
+    /// prefix column alone for prefix-exact keys and falls back to a full
+    /// key compare when tied prefixes are inconclusive.
+    pub fn with_fold(mut self, fold: FoldSpec) -> Self {
+        self.fold = Some(fold);
+        self
     }
 
     /// Sorts the buffer into output order: radix over the prefix column,
@@ -144,6 +161,43 @@ impl<K: SortKey> BatchSort<K> {
             }
             start = end;
         }
+    }
+
+    /// Collapses adjacent equal keys in the sorted buffer, folding each
+    /// duplicate's payload into the group's surviving row and releasing the
+    /// duplicate's budget. Runs in place with one swap-compaction pass.
+    fn fold_adjacent(&mut self) {
+        let Some(spec) = self.fold.clone() else { return };
+        let n = self.rows.len();
+        if n < 2 {
+            return;
+        }
+        let agg = spec.agg;
+        let mut w = 0;
+        for r in 1..n {
+            let equal = self.prefixes[r] == self.prefixes[w]
+                && (K::norm_prefix_is_exact() || self.rows[r].key == self.rows[w].key);
+            if equal {
+                self.rows_folded += 1;
+                self.bytes_folded += self.rows[r].encoded_len() as u64;
+                let dup_footprint = row_footprint(&self.rows[r]);
+                let dup_payload = self.rows[r].payload.clone();
+                let acc = &mut self.rows[w];
+                if let Some(folded) = agg.fold(&acc.payload, &dup_payload) {
+                    let old_fp = row_footprint(acc);
+                    acc.payload = folded;
+                    let new_fp = row_footprint(acc);
+                    self.budget.resize_row(old_fp, new_fp);
+                }
+                self.budget.release(dup_footprint);
+            } else {
+                w += 1;
+                self.rows.swap(w, r);
+                self.prefixes[w] = self.prefixes[r];
+            }
+        }
+        self.rows.truncate(w + 1);
+        self.prefixes.truncate(w + 1);
     }
 
     /// Index of the first buffered (sorted) row that sorts after `cut`,
@@ -205,6 +259,7 @@ impl<K: SortKey> BatchSort<K> {
             return Ok(());
         }
         self.sort_buffer();
+        self.fold_adjacent();
         // As in load-sort-store, the run estimate is the buffer being
         // flushed — known exactly, before spill-time elimination.
         let estimated_rows = self.rows.len() as u64;
@@ -263,6 +318,7 @@ impl<K: SortKey> RunGenerator<K> for BatchSort<K> {
             }
             ResiduePolicy::KeepInMemory => {
                 self.sort_buffer();
+                self.fold_adjacent();
                 let kept = self.retain_survivors(obs);
                 for row in &self.rows {
                     self.budget.release(row_footprint(row));
@@ -280,6 +336,18 @@ impl<K: SortKey> RunGenerator<K> for BatchSort<K> {
 
     fn buffered_bytes(&self) -> usize {
         self.budget.used()
+    }
+
+    fn set_fold(&mut self, fold: Option<FoldSpec>) {
+        self.fold = fold;
+    }
+}
+
+impl<K: SortKey> Drop for BatchSort<K> {
+    fn drop(&mut self) {
+        if let Some(spec) = &self.fold {
+            spec.flush_pre_spill(self.rows_folded, self.bytes_folded);
+        }
     }
 }
 
@@ -498,6 +566,71 @@ mod tests {
         assert_eq!(obs.started.len(), obs.finished);
         assert_eq!(obs.spilled, 35);
         assert!(obs.started.iter().all(|&e| e > 0 && e <= 10));
+    }
+
+    #[test]
+    fn fold_collapses_adjacent_duplicates_per_run() {
+        use crate::fold::{FoldSpec, FoldStats};
+        use histok_types::{decode_count, AggregateOp, Bytes};
+        let agg = AggregateOp::Count.aggregator();
+        let stats = FoldStats::new();
+        let cat = catalog(SortOrder::Ascending);
+        let row_bytes = row_footprint(&Row::new(0u64, agg.init(Bytes::new())));
+        let mut gen = BatchSort::new(cat.clone(), 20 * row_bytes)
+            .with_fold(FoldSpec::new(agg.clone()).with_stats(stats.clone()));
+        let mut obs = NoopObserver;
+        // 60 rows over 5 distinct keys, scattered so each memory load holds
+        // many duplicates of each key.
+        for i in 0..60u64 {
+            gen.push(Row::new(i % 5, agg.init(Bytes::new())), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        let mut total = [0u64; 5];
+        for meta in cat.runs().iter() {
+            let rows: Vec<Row<u64>> = cat.open(meta).unwrap().map(|r| r.unwrap()).collect();
+            // Each run is duplicate-free: distinct, sorted keys.
+            assert!(rows.windows(2).all(|w| w[0].key < w[1].key), "run keys must be distinct");
+            for row in rows {
+                total[row.key as usize] += decode_count(&row.payload);
+            }
+        }
+        assert_eq!(total, [12; 5], "folded counts must cover every input row");
+        assert_eq!(gen.buffered_bytes(), 0);
+        drop(gen);
+        let snap = stats.snapshot();
+        assert_eq!(snap.rows_folded + 5 * cat.runs().len() as u64, 60);
+        assert!(snap.bytes_folded_pre_spill > 0);
+    }
+
+    #[test]
+    fn fold_wide_keys_with_tied_prefixes_only_merges_true_equals() {
+        use crate::fold::FoldSpec;
+        use histok_types::AggregateOp;
+        let cat = Arc::new(RunCatalog::<BytesKey>::new(
+            Arc::new(MemoryBackend::new()),
+            "wf",
+            SortOrder::Ascending,
+            IoStats::new(),
+        ));
+        let mut gen = BatchSort::new(cat.clone(), 1 << 20)
+            .with_fold(FoldSpec::new(AggregateOp::First.aggregator()));
+        let mut obs = NoopObserver;
+        // Same 8-byte prefix, three distinct tails, with duplicates.
+        for s in ["prefix-0001-a", "prefix-0001-b", "prefix-0001-a", "prefix-0001-c"] {
+            gen.push(Row::key_only(BytesKey::from(s)), &mut obs).unwrap();
+        }
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        let runs = cat.runs();
+        assert_eq!(runs.len(), 1);
+        let got: Vec<BytesKey> = cat.open(&runs[0]).unwrap().map(|r| r.unwrap().key).collect();
+        assert_eq!(
+            got,
+            vec![
+                BytesKey::from("prefix-0001-a"),
+                BytesKey::from("prefix-0001-b"),
+                BytesKey::from("prefix-0001-c"),
+            ]
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub use replacement_selection::ReplacementSelection;
 
 use histok_types::{Result, Row, SortKey};
 
+use crate::fold::FoldSpec;
 use crate::observer::SpillObserver;
 
 /// What to do with rows still buffered in memory when input ends.
@@ -70,4 +71,12 @@ pub trait RunGenerator<K: SortKey>: Send {
     fn cmp_counts(&self) -> (u64, u64) {
         (0, 0)
     }
+
+    /// Enables in-sort duplicate folding: equal keys are combined by the
+    /// spec's aggregator before rows reach storage, so runs leave the
+    /// generator duplicate-free (or at least duplicate-reduced — see each
+    /// generator's notes). Generators without fold support ignore the
+    /// call; merge-time folding downstream still guarantees distinct
+    /// output, this only saves the spill bandwidth.
+    fn set_fold(&mut self, _fold: Option<FoldSpec>) {}
 }

@@ -17,6 +17,7 @@ use histok_types::{Result, Row, SortKey, SortOrder};
 
 use crate::budget::{row_footprint, MemoryBudget};
 use crate::cmp_stats::CmpStats;
+use crate::fold::FoldSpec;
 use crate::observer::SpillObserver;
 use crate::run_gen::{ResiduePolicy, RunGenerator};
 
@@ -172,6 +173,13 @@ pub struct ReplacementSelection<K: SortKey> {
     seq: u64,
     /// Shared sink the heap's comparison counters flush into on drop.
     cmp_stats: Option<CmpStats>,
+    /// Fold mode: an incoming row equal to the heap root (same run) is
+    /// absorbed into the root instead of entering the heap.
+    fold: Option<FoldSpec>,
+    /// Rows absorbed by folding; flushed to the spec's stats on drop.
+    rows_folded: u64,
+    /// Encoded bytes of absorbed rows (write traffic saved before spill).
+    bytes_folded: u64,
 }
 
 impl<K: SortKey> ReplacementSelection<K> {
@@ -198,6 +206,9 @@ impl<K: SortKey> ReplacementSelection<K> {
             run_limit: None,
             seq: 0,
             cmp_stats: None,
+            fold: None,
+            rows_folded: 0,
+            bytes_folded: 0,
         }
     }
 
@@ -213,6 +224,16 @@ impl<K: SortKey> ReplacementSelection<K> {
     pub fn with_ovc(mut self, enabled: bool, stats: Option<CmpStats>) -> Self {
         self.heap.ovc_enabled = enabled;
         self.cmp_stats = stats;
+        self
+    }
+
+    /// Enables equal-key folding on heap insert: a row whose key equals
+    /// the current heap root's (and that belongs to the same selection
+    /// run) is folded into the root's payload instead of buffering and
+    /// later spilling as a duplicate. Opportunistic — duplicates that
+    /// never meet the root still spill and are folded at merge time.
+    pub fn with_fold(mut self, fold: FoldSpec) -> Self {
+        self.fold = Some(fold);
         self
     }
 
@@ -278,9 +299,33 @@ impl<K: SortKey> RunGenerator<K> for ReplacementSelection<K> {
         };
         let key = row.key.clone();
         let prefix = if self.heap.ovc_enabled { key.norm_prefix() } else { 0 };
-        self.heap.push(Entry { run: tag, key, prefix, seq: self.seq, row, footprint });
-        self.seq += 1;
-        self.budget.charge(footprint);
+        let can_fold = self.fold.is_some()
+            && match self.heap.peek() {
+                Some(root) => {
+                    root.run == tag
+                        && (!self.heap.ovc_enabled || root.prefix == prefix)
+                        && root.key == key
+                }
+                None => false,
+            };
+        if can_fold {
+            // Fold on insert: the duplicate never enters the heap (and
+            // never spills), so no budget is charged for it.
+            let agg = self.fold.as_ref().expect("fold checked above").agg.clone();
+            self.bytes_folded += row.encoded_len() as u64;
+            self.rows_folded += 1;
+            let root = &mut self.heap.items[0];
+            if let Some(folded) = agg.fold(&root.row.payload, &row.payload) {
+                root.row.payload = folded;
+                let new_footprint = row_footprint(&root.row);
+                self.budget.resize_row(root.footprint, new_footprint);
+                root.footprint = new_footprint;
+            }
+        } else {
+            self.heap.push(Entry { run: tag, key, prefix, seq: self.seq, row, footprint });
+            self.seq += 1;
+            self.budget.charge(footprint);
+        }
         while self.budget.used() > self.budget.limit() && self.heap.len() > 1 {
             self.spill_one(obs)?;
         }
@@ -330,12 +375,19 @@ impl<K: SortKey> RunGenerator<K> for ReplacementSelection<K> {
     fn cmp_counts(&self) -> (u64, u64) {
         (self.heap.ovc_cmps.get(), self.heap.full_cmps.get())
     }
+
+    fn set_fold(&mut self, fold: Option<FoldSpec>) {
+        self.fold = fold;
+    }
 }
 
 impl<K: SortKey> Drop for ReplacementSelection<K> {
     fn drop(&mut self) {
         if let Some(stats) = &self.cmp_stats {
             stats.record(self.heap.ovc_cmps.get(), self.heap.full_cmps.get());
+        }
+        if let Some(spec) = &self.fold {
+            spec.flush_pre_spill(self.rows_folded, self.bytes_folded);
         }
     }
 }
@@ -392,6 +444,36 @@ mod tests {
         }
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_at_insert_collapses_root_duplicates() {
+        use crate::fold::{FoldSpec, FoldStats};
+        use histok_types::{decode_count, AggregateOp, Bytes};
+        let (_be, cat) = catalog(SortOrder::Ascending);
+        let agg = AggregateOp::Count.aggregator();
+        let stats = FoldStats::new();
+        // Budget for ~4 rows — a constant key folds at the root instead of
+        // spilling, so the whole stream fits without a single flush.
+        let row_bytes = row_footprint(&Row::new(0u64, agg.init(Bytes::new())));
+        let mut gen = ReplacementSelection::new(cat.clone(), 4 * row_bytes)
+            .with_fold(FoldSpec::new(agg.clone()).with_stats(stats.clone()));
+        let mut obs = NoopObserver;
+        for _ in 0..1000 {
+            gen.push(Row::new(5u64, agg.init(Bytes::new())), &mut obs).unwrap();
+        }
+        assert_eq!(gen.buffered_rows(), 1, "duplicates of the root must fold, not accumulate");
+        gen.finish(&mut obs, ResiduePolicy::SpillToRuns).unwrap();
+        let runs = cat.runs();
+        assert_eq!(runs.len(), 1);
+        let rows: Vec<Row<u64>> = cat.open(&runs[0]).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].key, 5);
+        assert_eq!(decode_count(&rows[0].payload), 1000);
+        drop(gen);
+        let snap = stats.snapshot();
+        assert_eq!(snap.rows_folded, 999);
+        assert!(snap.bytes_folded_pre_spill > 0);
     }
 
     #[test]

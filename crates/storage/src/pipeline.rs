@@ -22,7 +22,7 @@
 //!
 //! **Two execution modes.** Both primitives either spawn a dedicated OS
 //! thread (the legacy mode, one thread per open run / per merge source) or
-//! submit block-sized jobs to a shared [`IoScheduler`] pool
+//! submit block-sized jobs to a shared [`IoScheduler`](crate::IoScheduler) pool
 //! ([`SpillPipeline::spawn_scheduled`] /
 //! [`PrefetchingRunReader::spawn_scheduled`]), which bounds the
 //! process-wide background thread count to the pool size no matter how

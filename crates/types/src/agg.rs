@@ -1,0 +1,244 @@
+//! Payload aggregation for in-sort duplicate folding.
+//!
+//! When a sort runs in *fold* mode, rows with equal keys are combined into
+//! one row the moment they meet — inside run generation, at every loser-tree
+//! duel, and in the in-memory top-k store — instead of travelling through
+//! the pipeline (and onto storage) as duplicates. An [`Aggregator`] decides
+//! what "combined" means for the payload bytes: keep the first
+//! representative (pure duplicate removal), count, sum, or min/max.
+//!
+//! The operators feed every raw input payload through [`Aggregator::init`]
+//! once, so the sort pipeline only ever folds *accumulators* with
+//! accumulators. Folding must therefore be commutative and associative:
+//! runs meet in merge order, not input order.
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+/// Combines the payloads of equal-key rows during a fold-mode sort.
+///
+/// Implementations must be commutative and associative over accumulator
+/// payloads: the sort gives no guarantee about the order in which
+/// duplicates of one key meet.
+pub trait Aggregator: Debug + Send + Sync {
+    /// Converts one raw input payload into accumulator form. Called exactly
+    /// once per input row, before the row enters the sort. The default is
+    /// the identity (payloads that already are accumulators).
+    fn init(&self, payload: Bytes) -> Bytes {
+        payload
+    }
+
+    /// Folds the accumulator `dup` into the accumulator `acc`, returning
+    /// the combined payload — or `None` to keep `acc` unchanged (the
+    /// zero-copy path for FIRST and for min/max folds won by `acc`).
+    fn fold(&self, acc: &Bytes, dup: &Bytes) -> Option<Bytes>;
+
+    /// Decodes an accumulator into the numeric aggregate value, for
+    /// operators that rank groups by it. `None` when the aggregate has no
+    /// numeric reading (FIRST).
+    fn value(&self, acc: &Bytes) -> Option<f64> {
+        let _ = acc;
+        None
+    }
+}
+
+/// The built-in aggregation functions, selectable from a config.
+///
+/// The numeric aggregates use fixed 8-byte little-endian accumulators:
+/// `Count` holds a `u64`, `Sum`/`Min`/`Max` hold an `f64` (initialize rows
+/// with [`encode_f64`]). A malformed (short) accumulator reads as zero
+/// rather than failing: folding happens deep inside the sort hot path,
+/// where there is no error channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateOp {
+    /// Keep one representative payload per key — pure duplicate removal.
+    /// Which duplicate survives is deterministic for a fixed run/merge
+    /// plan but is *not* guaranteed to be the first in input order.
+    First,
+    /// Number of input rows per key (`u64` accumulator; the input payload
+    /// is ignored and replaced by a count of 1).
+    Count,
+    /// Sum of the input payloads read as little-endian `f64`.
+    Sum,
+    /// Minimum input payload under `f64::total_cmp`.
+    Min,
+    /// Maximum input payload under `f64::total_cmp`.
+    Max,
+}
+
+impl AggregateOp {
+    /// The aggregator implementing this function.
+    pub fn aggregator(self) -> Arc<dyn Aggregator> {
+        match self {
+            AggregateOp::First => Arc::new(FoldFirst),
+            AggregateOp::Count => Arc::new(FoldCount),
+            AggregateOp::Sum => Arc::new(FoldSum),
+            AggregateOp::Min => Arc::new(FoldMinMax { max: false }),
+            AggregateOp::Max => Arc::new(FoldMinMax { max: true }),
+        }
+    }
+
+    /// A short label for reports ("first", "count", …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AggregateOp::First => "first",
+            AggregateOp::Count => "count",
+            AggregateOp::Sum => "sum",
+            AggregateOp::Min => "min",
+            AggregateOp::Max => "max",
+        }
+    }
+}
+
+/// Encodes an `f64` as a `Sum`/`Min`/`Max` payload/accumulator.
+pub fn encode_f64(v: f64) -> Bytes {
+    Bytes::copy_from_slice(&v.to_le_bytes())
+}
+
+/// Reads an `f64` accumulator (zero when malformed).
+pub fn decode_f64(acc: &[u8]) -> f64 {
+    match acc.get(..8) {
+        Some(b) => f64::from_le_bytes(b.try_into().expect("8 bytes")),
+        None => 0.0,
+    }
+}
+
+/// Reads a `Count` accumulator (zero when malformed).
+pub fn decode_count(acc: &[u8]) -> u64 {
+    match acc.get(..8) {
+        Some(b) => u64::from_le_bytes(b.try_into().expect("8 bytes")),
+        None => 0,
+    }
+}
+
+#[derive(Debug)]
+struct FoldFirst;
+
+impl Aggregator for FoldFirst {
+    fn fold(&self, _acc: &Bytes, _dup: &Bytes) -> Option<Bytes> {
+        None
+    }
+}
+
+#[derive(Debug)]
+struct FoldCount;
+
+impl Aggregator for FoldCount {
+    fn init(&self, _payload: Bytes) -> Bytes {
+        Bytes::copy_from_slice(&1u64.to_le_bytes())
+    }
+    fn fold(&self, acc: &Bytes, dup: &Bytes) -> Option<Bytes> {
+        let n = decode_count(acc).saturating_add(decode_count(dup));
+        Some(Bytes::copy_from_slice(&n.to_le_bytes()))
+    }
+    fn value(&self, acc: &Bytes) -> Option<f64> {
+        Some(decode_count(acc) as f64)
+    }
+}
+
+#[derive(Debug)]
+struct FoldSum;
+
+impl Aggregator for FoldSum {
+    fn fold(&self, acc: &Bytes, dup: &Bytes) -> Option<Bytes> {
+        Some(encode_f64(decode_f64(acc) + decode_f64(dup)))
+    }
+    fn value(&self, acc: &Bytes) -> Option<f64> {
+        Some(decode_f64(acc))
+    }
+}
+
+#[derive(Debug)]
+struct FoldMinMax {
+    max: bool,
+}
+
+impl Aggregator for FoldMinMax {
+    fn fold(&self, acc: &Bytes, dup: &Bytes) -> Option<Bytes> {
+        let keep_acc = match decode_f64(acc).total_cmp(&decode_f64(dup)) {
+            std::cmp::Ordering::Less => !self.max,
+            std::cmp::Ordering::Equal => true,
+            std::cmp::Ordering::Greater => self.max,
+        };
+        if keep_acc {
+            None
+        } else {
+            Some(dup.clone())
+        }
+    }
+    fn value(&self, acc: &Bytes) -> Option<f64> {
+        Some(decode_f64(acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold_all(op: AggregateOp, values: &[f64]) -> Bytes {
+        let agg = op.aggregator();
+        let mut accs: Vec<Bytes> = values.iter().map(|&v| agg.init(encode_f64(v))).collect();
+        let mut acc = accs.remove(0);
+        for dup in accs {
+            if let Some(next) = agg.fold(&acc, &dup) {
+                acc = next;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn count_counts_rows() {
+        let acc = fold_all(AggregateOp::Count, &[9.0, 9.0, 9.0]);
+        assert_eq!(decode_count(&acc), 3);
+        assert_eq!(AggregateOp::Count.aggregator().value(&acc), Some(3.0));
+    }
+
+    #[test]
+    fn sum_adds_values() {
+        let acc = fold_all(AggregateOp::Sum, &[1.5, 2.0, 3.25]);
+        assert_eq!(decode_f64(&acc), 6.75);
+    }
+
+    #[test]
+    fn min_max_pick_ends() {
+        assert_eq!(decode_f64(&fold_all(AggregateOp::Min, &[3.0, -1.0, 2.0])), -1.0);
+        assert_eq!(decode_f64(&fold_all(AggregateOp::Max, &[3.0, -1.0, 2.0])), 3.0);
+    }
+
+    #[test]
+    fn first_keeps_the_accumulator() {
+        let agg = AggregateOp::First.aggregator();
+        let a = Bytes::copy_from_slice(b"keep me");
+        assert_eq!(agg.fold(&a, &Bytes::copy_from_slice(b"drop me")), None);
+        assert_eq!(agg.value(&a), None);
+    }
+
+    #[test]
+    fn malformed_accumulators_read_as_zero() {
+        assert_eq!(decode_f64(b"abc"), 0.0);
+        assert_eq!(decode_count(b""), 0);
+        let acc = AggregateOp::Sum
+            .aggregator()
+            .fold(&Bytes::copy_from_slice(b"xy"), &encode_f64(4.0))
+            .unwrap();
+        assert_eq!(decode_f64(&acc), 4.0);
+    }
+
+    #[test]
+    fn folds_are_order_insensitive() {
+        for op in [AggregateOp::Count, AggregateOp::Sum, AggregateOp::Min, AggregateOp::Max] {
+            let fwd = fold_all(op, &[1.0, 5.0, 2.0, 2.0]);
+            let rev = fold_all(op, &[2.0, 2.0, 5.0, 1.0]);
+            assert_eq!(fwd, rev, "{}", op.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AggregateOp::First.label(), "first");
+        assert_eq!(AggregateOp::Sum.label(), "sum");
+    }
+}

@@ -22,9 +22,12 @@
 //! * [`Ovc`] — offset-value codes over the keys' order-preserving
 //!   normalized byte strings ([`SortKey::norm_encode`]), letting merge
 //!   loops decide most comparisons with a single `u64` compare.
+//! * [`Aggregator`] / [`AggregateOp`] — payload folding for in-sort
+//!   duplicate removal and grouped aggregation.
 
 #![deny(missing_docs)]
 
+pub mod agg;
 pub mod batch;
 pub mod error;
 pub mod json;
@@ -35,7 +38,9 @@ pub mod order;
 pub mod row;
 pub mod timing;
 
+pub use agg::{decode_count, decode_f64, encode_f64, AggregateOp, Aggregator};
 pub use batch::RowBatch;
+pub use bytes::Bytes;
 pub use error::{Error, Result};
 pub use json::JsonValue;
 pub use key::{prefix_of_norm, BytesKey, F64Key, KeyPair, SortKey};

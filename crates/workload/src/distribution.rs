@@ -40,6 +40,18 @@ pub enum Distribution {
         /// Maximum displacement of a key from its sorted position.
         disorder: u64,
     },
+    /// I.i.d. Zipf-distributed ranks: each row samples a rank
+    /// `r ∈ 1..=n` with `P(r) ∝ 1/r^s`. Unlike [`Distribution::Fal`]
+    /// (every rank exactly once), *duplicates are the point* — the same
+    /// hot ranks recur constantly, which is what the in-sort duplicate
+    /// folding of DESIGN.md §14 exploits. The dedup benchmarks use
+    /// `s = 1.2` over a key space much smaller than the row count.
+    Zipf {
+        /// Skew exponent (0 = uniform over ranks; larger = heavier head).
+        s: f64,
+        /// Number of distinct ranks (the key-space size).
+        n: u64,
+    },
 }
 
 impl Distribution {
@@ -56,6 +68,7 @@ impl Distribution {
             Distribution::Lognormal { .. } => "lognormal".to_string(),
             Distribution::Adversarial => "adversarial".to_string(),
             Distribution::NearlySorted { disorder } => format!("nearly-sorted-{disorder}"),
+            Distribution::Zipf { s, n } => format!("zipf-{s}-{n}"),
         }
     }
 }
@@ -78,6 +91,7 @@ mod tests {
         assert_eq!(Distribution::Fal { shape: 1.25 }.label(), "fal-1.25");
         assert_eq!(Distribution::lognormal_default().label(), "lognormal");
         assert_eq!(Distribution::Adversarial.label(), "adversarial");
+        assert_eq!(Distribution::Zipf { s: 1.2, n: 1000 }.label(), "zipf-1.2-1000");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use histok_types::{F64Key, Row};
 
@@ -108,6 +108,9 @@ enum StreamKind {
     Lognormal { rng: Box<StdRng>, mu: f64, sigma: f64 },
     /// Deterministic strictly improving sequence.
     Adversarial { next: f64, step: f64 },
+    /// I.i.d. rank sampling by inverse-CDF binary search over precomputed
+    /// cumulative weights (duplicates expected).
+    Zipf { rng: Box<StdRng>, cdf: Vec<f64> },
 }
 
 impl KeyStream {
@@ -133,6 +136,20 @@ impl KeyStream {
                 StreamKind::Lognormal { rng: Box::new(StdRng::seed_from_u64(w.seed)), mu, sigma }
             }
             Distribution::Adversarial => StreamKind::Adversarial { next: w.rows as f64, step: 1.0 },
+            Distribution::Zipf { s, n } => {
+                let n = n.max(1);
+                let mut acc = 0.0;
+                let mut cdf: Vec<f64> = (1..=n)
+                    .map(|rank| {
+                        acc += (rank as f64).powf(-s);
+                        acc
+                    })
+                    .collect();
+                for c in &mut cdf {
+                    *c /= acc;
+                }
+                StreamKind::Zipf { rng: Box::new(StdRng::seed_from_u64(w.seed)), cdf }
+            }
             Distribution::NearlySorted { disorder } => {
                 let mut rng = StdRng::seed_from_u64(w.seed);
                 // Shuffle independent blocks of `disorder` keys: every key
@@ -175,6 +192,11 @@ impl Iterator for KeyStream {
                 *next -= *step;
                 k
             }
+            StreamKind::Zipf { rng, cdf } => {
+                let u: f64 = rng.gen();
+                let rank = cdf.partition_point(|&c| c < u).min(cdf.len() - 1) + 1;
+                rank as f64
+            }
         };
         Some(F64Key(key))
     }
@@ -195,6 +217,7 @@ mod tests {
             Distribution::Fal { shape: 1.25 },
             Distribution::lognormal_default(),
             Distribution::Adversarial,
+            Distribution::Zipf { s: 1.2, n: 100 },
         ] {
             let w = Workload::uniform(1_000, 42).with_distribution(d);
             let a: Vec<f64> = w.keys().map(|k| k.get()).collect();
@@ -287,6 +310,37 @@ mod tests {
         let w = Workload::uniform(1_000, 0).with_distribution(Distribution::Adversarial);
         let keys: Vec<f64> = w.keys().map(|k| k.get()).collect();
         assert!(keys.windows(2).all(|p| p[1] < p[0]));
+    }
+
+    #[test]
+    fn zipf_samples_ranks_with_heavy_duplication() {
+        let n = 1_000u64;
+        let w = Workload::uniform(100_000, 17).with_distribution(Distribution::Zipf { s: 1.2, n });
+        let keys: Vec<f64> = w.keys().map(|k| k.get()).collect();
+        assert_eq!(keys.len(), 100_000);
+        // Every key is a rank in 1..=n.
+        assert!(keys.iter().all(|&k| k >= 1.0 && k <= n as f64 && k.fract() == 0.0));
+        // 100k draws over 1k ranks: duplicates dominate.
+        let distinct: std::collections::BTreeSet<u64> = keys.iter().map(|&k| k as u64).collect();
+        assert!(distinct.len() <= n as usize);
+        assert!(distinct.len() > 100, "skew should not collapse the key space entirely");
+        // Zipf head: rank 1 is ~2^1.2 ≈ 2.3× as frequent as rank 2, and
+        // the top-10 ranks carry most of the mass.
+        let count = |r: u64| keys.iter().filter(|&&k| k as u64 == r).count() as f64;
+        assert!(count(1) / count(2) > 1.8, "rank1/rank2 = {}", count(1) / count(2));
+        let head: usize = (1..=10).map(|r| count(r) as usize).sum();
+        assert!(head as f64 > 0.4 * keys.len() as f64, "top-10 ranks hold {head} rows");
+    }
+
+    #[test]
+    fn zipf_s_zero_is_uniform_over_ranks() {
+        let w =
+            Workload::uniform(50_000, 18).with_distribution(Distribution::Zipf { s: 0.0, n: 10 });
+        let keys: Vec<f64> = w.keys().map(|k| k.get()).collect();
+        for r in 1..=10u64 {
+            let freq = keys.iter().filter(|&&k| k as u64 == r).count() as f64 / keys.len() as f64;
+            assert!((freq - 0.1).abs() < 0.01, "rank {r} frequency {freq}");
+        }
     }
 
     #[test]
